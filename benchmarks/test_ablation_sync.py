@@ -1,0 +1,69 @@
+"""Ablation: exchange synchrony (per-iteration blocking vs stale/async).
+
+The paper's implementation synchronizes neighbor exchange every iteration;
+Lipizzaner's original design tolerates stale neighbors.  This bench runs
+both on the same workload: the async variant must never be slower than the
+synchronous one beyond noise (it removes the wait), at the cost of training
+on possibly stale genomes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.coevolution.sequential import build_training_dataset
+from repro.experiments.workloads import bench_config
+from repro.parallel import DistributedRunner
+
+from benchmarks.conftest import save_artifact
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = bench_config(3, 3)
+    return config, build_training_dataset(config)
+
+
+def _run(config, dataset, mode):
+    return DistributedRunner(
+        config, backend="process", dataset=dataset, exchange_mode=mode
+    ).run()
+
+
+def test_ablation_sync_vs_async(benchmark, workload, results_dir):
+    config, dataset = workload
+    sync_result = _run(config, dataset, "neighbors")
+    async_result = benchmark.pedantic(
+        lambda: _run(config, dataset, "async"), rounds=1, iterations=1
+    )
+    assert sync_result.complete and async_result.complete
+
+    sync_s = sync_result.training.wall_time_s
+    async_s = async_result.training.wall_time_s
+    lines = [
+        "ABLATION — EXCHANGE SYNCHRONY (3x3, process backend)",
+        f"synchronous (paper):  {sync_s:8.2f}s",
+        f"asynchronous (stale): {async_s:8.2f}s",
+        f"async/sync ratio:     {async_s / sync_s:8.2f}",
+    ]
+    save_artifact(results_dir, "ablation_sync.txt", "\n".join(lines))
+    # Removing the synchronization wait must not make things slower
+    # (allow 30% noise — the workload is seconds-scale).
+    assert async_s < sync_s * 1.3
+
+
+def test_ablation_allgather_exchange(benchmark, workload, results_dir):
+    """The paper-style LOCAL allgather moves every center to every slave;
+    the neighbor-p2p variant moves only what each cell consumes."""
+    config, dataset = workload
+    p2p = _run(config, dataset, "neighbors")
+    allgather = benchmark.pedantic(
+        lambda: _run(config, dataset, "allgather"), rounds=1, iterations=1
+    )
+    assert allgather.complete
+    lines = [
+        "ABLATION — EXCHANGE TRANSPORT (3x3, process backend)",
+        f"neighbor p2p:     {p2p.training.wall_time_s:8.2f}s",
+        f"LOCAL allgather:  {allgather.training.wall_time_s:8.2f}s",
+    ]
+    save_artifact(results_dir, "ablation_exchange.txt", "\n".join(lines))

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 1 (toroidal grid, overlapping neighborhoods)."""
+
+from repro.experiments import fig1
+
+from benchmarks.conftest import save_artifact
+
+
+def test_fig1_neighborhood_structure(benchmark, results_dir):
+    data = benchmark(fig1.run)
+    # The two neighborhoods the paper's figure draws:
+    assert data["example_interior"] == [(1, 1), (1, 0), (0, 1), (1, 2), (2, 1)]
+    assert data["example_wrapping"] == [(1, 3), (1, 2), (0, 3), (1, 0), (2, 3)]
+    # Overlap property: every cell is in exactly 5 neighborhoods.
+    for coords, containing in data["overlaps"].items():
+        assert len(set(containing)) == 5
+    save_artifact(results_dir, "fig1.txt", fig1.format_figure(data))

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 2 (slave state machine) from a live run."""
+
+from repro.experiments import fig2
+
+from benchmarks.conftest import save_artifact
+
+
+def test_fig2_state_machine(benchmark, results_dir):
+    data = benchmark.pedantic(lambda: fig2.run(dynamic=True), rounds=1, iterations=1)
+    assert data["walk"] == ["inactive", "processing", "finished"]
+    assert len(data["rejected"]) == 7  # 9 pairs minus the 2 legal arrows
+    assert all(state == "finished" for state in data["live_final_states"])
+    save_artifact(results_dir, "fig2.txt", fig2.format_figure(data))

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 3 (master/slave processing + communication flow)."""
+
+from repro.experiments import fig3
+
+from benchmarks.conftest import save_artifact
+
+
+def test_fig3_flow_trace(benchmark, results_dir):
+    data = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    assert data["master_sequence_ok"], data["lanes"].get("master")
+    assert all(data["slave_sequences_ok"].values()), data["slave_sequences_ok"]
+    save_artifact(results_dir, "fig3.txt", fig3.format_figure(data))

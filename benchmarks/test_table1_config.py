@@ -1,0 +1,28 @@
+"""Bench: regenerate Table I (parameter settings of the trained GANs).
+
+A configuration artifact — the "measurement" is building and validating the
+configuration object the master broadcasts, which is also the payload cost
+of the run-task message.
+"""
+
+from repro.config import ExperimentConfig, paper_table1_config
+from repro.experiments import table1
+
+from benchmarks.conftest import save_artifact
+
+
+def test_table1_parameters(benchmark, results_dir):
+    result = benchmark.pedantic(table1.run, rounds=3, iterations=1)
+    assert result["all_match"], result["matches_paper"]
+    save_artifact(results_dir, "table1.txt", result["table"])
+
+
+def test_table1_config_broadcast_roundtrip(benchmark):
+    """The config's JSON round-trip is what every slave deserializes."""
+    config = paper_table1_config(4, 4)
+
+    def roundtrip():
+        return ExperimentConfig.from_json(config.to_json())
+
+    clone = benchmark(roundtrip)
+    assert clone == config

@@ -1,0 +1,35 @@
+"""Bench: regenerate Table II (resources used on each execution).
+
+Measures the master's placement path — platform inspection plus the
+balanced task placement — for each of the paper's grid sizes, and checks
+the cores/memory accounting against the paper's numbers.
+"""
+
+import pytest
+
+from repro.cluster import cluster_uy, place_tasks, table2_resources
+from repro.experiments import table2
+from repro.experiments.workloads import PAPER_GRIDS
+
+from benchmarks.conftest import save_artifact
+
+
+@pytest.mark.parametrize("rows,cols", PAPER_GRIDS, ids=["2x2", "3x3", "4x4"])
+def test_table2_placement(benchmark, rows, cols):
+    resources = table2_resources(rows, cols)
+
+    def place():
+        platform = cluster_uy()
+        return place_tasks(platform, tasks=resources["cores"])
+
+    plan = benchmark(place)
+    assert plan.tasks == resources["cores"]
+    assert plan.max_load() == 1  # 30 empty nodes -> perfectly spread
+
+
+def test_table2_rows_match_paper(benchmark, results_dir):
+    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    assert all(row.cores_match for row in rows)
+    for row in rows:
+        assert abs(row.memory_mb - row.paper_memory_mb) <= 1024
+    save_artifact(results_dir, "table2.txt", table2.format_table(rows))

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build a wheel under PEP 660; on fully offline
+machines without ``wheel`` installed, ``python setup.py develop`` provides the
+same editable install through the legacy path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — parallel/distributed cellular coevolutionary GAN training.
+
+A from-scratch reproduction of *"Parallel/distributed implementation of
+cellular training for generative adversarial neural networks"* (Perez,
+Nesmachnow, Toutouh, Hemberg, O'Reilly — IEEE IPDPS Workshops / PDCO 2020,
+arXiv:2004.04633), including every substrate the paper depends on:
+
+* :mod:`repro.nn` — NumPy autograd + MLP library (PyTorch substitute);
+* :mod:`repro.data` — synthetic MNIST renderer + loaders (MNIST substitute);
+* :mod:`repro.gan` — the Table I generator/discriminator pairs;
+* :mod:`repro.metrics` — classifier score / FID / mode coverage;
+* :mod:`repro.coevolution` — the Lipizzaner/Mustangs cellular algorithm and
+  the single-core baseline trainer;
+* :mod:`repro.mpi` — message-passing runtime with an mpi4py-style API
+  (threads or forked processes);
+* :mod:`repro.cluster` — simulated HPC platform (Cluster-UY substitute);
+* :mod:`repro.parallel` — **the paper's contribution**: the master-slave
+  distributed implementation (CommManager, Grid, heartbeats, two-thread
+  slaves);
+* :mod:`repro.profiling` — the Table IV routine profiler;
+* :mod:`repro.experiments` — regenerators for every table and figure.
+
+Quickstart::
+
+    from repro import default_config, SequentialTrainer, DistributedRunner
+
+    config = default_config(2, 2)           # 2x2 grid, laptop-scale workload
+    result = DistributedRunner(config).run()  # 5 ranks: 1 master + 4 slaves
+"""
+
+from repro.config import ExperimentConfig, default_config, paper_table1_config
+from repro.coevolution import SequentialTrainer, TrainingResult
+from repro.parallel import DistributedResult, DistributedRunner
+from repro.runtime import pin_blas_threads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "paper_table1_config",
+    "SequentialTrainer",
+    "TrainingResult",
+    "DistributedRunner",
+    "DistributedResult",
+    "pin_blas_threads",
+    "__version__",
+]

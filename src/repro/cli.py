@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Print the library version, the paper being reproduced, and the active
+    platform model.
+``run``
+    Train a grid: ``python -m repro run --grid 3x3 --backend process
+    --iterations 4 --dataset-size 2000 [--checkpoint out.npz]``.
+``resume``
+    Continue from a checkpoint: ``python -m repro resume out.npz``.
+``table``
+    Regenerate a paper table: ``python -m repro table 1|2|3|4``.
+``fig``
+    Regenerate a paper figure: ``python -m repro fig 1|2|3|4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_grid(text: str) -> tuple[int, int]:
+    try:
+        rows, cols = text.lower().split("x")
+        parsed = (int(rows), int(cols))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"grid must look like '3x3', got {text!r}")
+    if parsed[0] < 1 or parsed[1] < 1:
+        raise argparse.ArgumentTypeError("grid dimensions must be >= 1")
+    return parsed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel/distributed cellular GAN training "
+                    "(reproduction of Perez et al., IPDPS/PDCO 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and platform information")
+
+    run = sub.add_parser("run", help="train a grid of GANs")
+    run.add_argument("--grid", type=_parse_grid, default=(2, 2), metavar="RxC")
+    run.add_argument("--backend", choices=("process", "threaded", "sequential"),
+                     default="process")
+    run.add_argument("--iterations", type=int, default=4)
+    run.add_argument("--dataset-size", type=int, default=2000)
+    run.add_argument("--batch-size", type=int, default=100)
+    run.add_argument("--batches-per-iteration", type=int, default=3)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--loss", choices=("bce", "mse", "heuristic", "mustangs"),
+                     default="bce")
+    run.add_argument("--exchange", choices=("neighbors", "allgather", "async"),
+                     default="neighbors")
+    run.add_argument("--profile", action="store_true")
+    run.add_argument("--checkpoint", metavar="PATH",
+                     help="write a checkpoint here after training")
+
+    resume = sub.add_parser("resume", help="continue a checkpointed run")
+    resume.add_argument("checkpoint", metavar="PATH")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    return parser
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.cluster import cluster_uy
+
+    platform = cluster_uy()
+    print(f"repro {repro.__version__}")
+    print("reproduction of: Perez, Nesmachnow, Toutouh, Hemberg, O'Reilly —")
+    print("  'Parallel/distributed implementation of cellular training for")
+    print("   generative adversarial neural networks', IPDPS Workshops/PDCO 2020")
+    print(f"platform model: {platform.name}, {len(platform.nodes)} nodes, "
+          f"{platform.total_cores} cores")
+    return 0
+
+
+def _build_config(args):
+    import dataclasses
+
+    from repro.config import paper_table1_config
+
+    config = paper_table1_config(*args.grid).scaled(
+        iterations=args.iterations,
+        dataset_size=args.dataset_size,
+        batch_size=args.batch_size,
+        batches_per_iteration=args.batches_per_iteration,
+    )
+    training = dataclasses.replace(config.training, loss_function=args.loss)
+    return dataclasses.replace(config, training=training, seed=args.seed)
+
+
+def _report_result(result, cells: int) -> None:
+    print(f"wall time: {result.wall_time_s:.2f}s")
+    for cell in range(cells):
+        reports = result.cell_reports[cell]
+        if not reports:
+            print(f"  cell {cell}: no reports (dead slave?)")
+            continue
+        last = reports[-1]
+        print(f"  cell {cell}: g-fitness {last.best_generator_fitness:9.4f}  "
+              f"d-fitness {last.best_discriminator_fitness:9.4f}  "
+              f"lr {last.learning_rate:.6f}")
+    print(f"best cell: {result.best_cell_index()}")
+
+
+def _cmd_run(args) -> int:
+    from repro.coevolution import SequentialTrainer, TrainingCheckpoint, save_checkpoint
+    from repro.coevolution.sequential import build_training_dataset
+    from repro.parallel import DistributedRunner
+
+    config = _build_config(args)
+    cells = config.coevolution.cells
+    print(f"grid {args.grid[0]}x{args.grid[1]} ({cells} cells), "
+          f"backend={args.backend}, iterations={config.coevolution.iterations}")
+    dataset = build_training_dataset(config)
+
+    if args.backend == "sequential":
+        trainer = SequentialTrainer(config, dataset)
+        result = trainer.run()
+        _report_result(result, cells)
+        if args.checkpoint:
+            save_checkpoint(args.checkpoint, TrainingCheckpoint.from_trainer(trainer))
+            print(f"checkpoint written to {args.checkpoint}")
+        return 0
+
+    runner = DistributedRunner(config, backend=args.backend, dataset=dataset,
+                               exchange_mode=args.exchange, profile=args.profile)
+    result = runner.run()
+    _report_result(result.training, cells)
+    if args.profile:
+        from repro.profiling import format_table4, profile_rows
+
+        rows = profile_rows(result.total_work_profile(), result.distributed_profile())
+        print("\n" + format_table4(rows))
+    if not result.complete:
+        print(f"WARNING: dead ranks {result.dead_ranks}", file=sys.stderr)
+        return 1
+    if args.checkpoint:
+        print("NOTE: --checkpoint currently snapshots sequential runs only; "
+              "re-run with --backend sequential", file=sys.stderr)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.coevolution import SequentialTrainer, load_checkpoint
+
+    checkpoint = load_checkpoint(args.checkpoint)
+    print(f"resuming at iteration {checkpoint.iteration} "
+          f"({checkpoint.remaining_iterations} remaining)")
+    trainer = SequentialTrainer.from_checkpoint(checkpoint)
+    result = trainer.run()
+    _report_result(result, checkpoint.config.coevolution.cells)
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import table1, table2, table3, table4
+
+    if args.number == 1:
+        print(table1.run()["table"])
+    elif args.number == 2:
+        print(table2.format_table(table2.run()))
+    elif args.number == 3:
+        print(table3.format_table(table3.run()))
+    else:
+        print(table4.format_table(table4.run()))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from repro.experiments import fig1, fig2, fig3, fig4
+
+    if args.number == 1:
+        print(fig1.format_figure(fig1.run()))
+    elif args.number == 2:
+        print(fig2.format_figure(fig2.run()))
+    elif args.number == 3:
+        print(fig3.format_figure(fig3.run()))
+    else:
+        print(fig4.format_figure(fig4.run()))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "table": _cmd_table,
+    "fig": _cmd_fig,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

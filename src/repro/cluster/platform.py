@@ -1,0 +1,117 @@
+"""Compute nodes and the cluster they form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComputeNode", "ClusterPlatform", "cluster_uy"]
+
+
+@dataclass
+class ComputeNode:
+    """One server: a core count, memory and scratch storage budget.
+
+    ``busy_cores``/``busy_memory_mb`` model background occupancy — Cluster-UY
+    is collaborative and best-effort, so a node is rarely empty.
+    """
+
+    name: str
+    cores: int
+    memory_mb: int
+    storage_gb: int
+    busy_cores: int = 0
+    busy_memory_mb: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.memory_mb < 1 or self.storage_gb < 0:
+            raise ValueError("node resources must be positive")
+        self._check_busy()
+
+    def _check_busy(self) -> None:
+        if not 0 <= self.busy_cores <= self.cores:
+            raise ValueError("busy cores outside node capacity")
+        if not 0 <= self.busy_memory_mb <= self.memory_mb:
+            raise ValueError("busy memory outside node capacity")
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.busy_cores
+
+    @property
+    def free_memory_mb(self) -> int:
+        return self.memory_mb - self.busy_memory_mb
+
+    def occupy(self, cores: int, memory_mb: int) -> None:
+        """Reserve resources (raises if they are not available)."""
+        if cores > self.free_cores or memory_mb > self.free_memory_mb:
+            raise ValueError(
+                f"node {self.name}: cannot occupy {cores} cores/{memory_mb} MB "
+                f"(free: {self.free_cores}/{self.free_memory_mb})"
+            )
+        self.busy_cores += cores
+        self.busy_memory_mb += memory_mb
+
+    def release(self, cores: int, memory_mb: int) -> None:
+        """Return previously occupied resources."""
+        self.busy_cores -= cores
+        self.busy_memory_mb -= memory_mb
+        self._check_busy()
+
+
+@dataclass
+class ClusterPlatform:
+    """A named collection of nodes."""
+
+    name: str
+    nodes: list[ComputeNode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def free_cores(self) -> int:
+        return sum(n.free_cores for n in self.nodes)
+
+    def node(self, name: str) -> ComputeNode:
+        for candidate in self.nodes:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no node named {name!r}")
+
+    def nodes_by_free_cores(self) -> list[ComputeNode]:
+        """Nodes sorted emptiest-first (the placement heuristic's order)."""
+        return sorted(self.nodes, key=lambda n: (-n.free_cores, n.name))
+
+
+def cluster_uy(servers: int = 30, *, busy_fraction: float = 0.0,
+               rng=None) -> ClusterPlatform:
+    """The paper's platform: ``servers`` x (40 cores, 128 GB, 300 GB SSD).
+
+    ``busy_fraction`` > 0 pre-occupies roughly that share of each node's
+    cores (rounded), modelling the best-effort queue's background load;
+    pass an ``rng`` to randomize per-node occupancy around the fraction.
+    """
+    if not 0 <= busy_fraction < 1:
+        raise ValueError("busy_fraction must be in [0, 1)")
+    nodes = []
+    for i in range(servers):
+        busy = int(round(40 * busy_fraction))
+        if rng is not None and busy_fraction > 0:
+            busy = int(min(39, max(0, rng.binomial(40, busy_fraction))))
+        nodes.append(
+            ComputeNode(
+                name=f"node{i:02d}",
+                cores=40,
+                memory_mb=128 * 1024,
+                storage_gb=300,
+                busy_cores=busy,
+                busy_memory_mb=int(128 * 1024 * busy / 40),
+            )
+        )
+    return ClusterPlatform(name="Cluster-UY", nodes=nodes)

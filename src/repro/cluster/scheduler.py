@@ -1,0 +1,230 @@
+"""A slurm-like best-effort scheduler over the simulated platform.
+
+Models the scheduling behavior the paper's executions depend on: jobs
+request tasks/memory/time (Table II), wait in a FIFO best-effort queue until
+resources free up, run, and are killed at their time limit.  Time is
+simulated explicitly through :meth:`BestEffortScheduler.advance`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.platform import ClusterPlatform, ComputeNode
+
+__all__ = ["ResourceRequest", "JobState", "Job", "Allocation", "BestEffortScheduler"]
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """What one experiment submits (mirrors the paper's Table II rows)."""
+
+    tasks: int
+    memory_mb_per_task: int
+    time_limit_hours: float
+    storage_gb: int = 40
+
+    def __post_init__(self) -> None:
+        if self.tasks < 1:
+            raise ValueError("tasks must be >= 1")
+        if self.memory_mb_per_task < 1:
+            raise ValueError("memory_mb_per_task must be >= 1")
+        if self.time_limit_hours <= 0:
+            raise ValueError("time_limit_hours must be positive")
+        if self.storage_gb < 0:
+            raise ValueError("storage_gb must be >= 0")
+
+    @property
+    def total_memory_mb(self) -> int:
+        return self.tasks * self.memory_mb_per_task
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Allocation:
+    """Task -> node assignment of a running job."""
+
+    task_nodes: list[str]
+
+    def node_of(self, task: int) -> str:
+        return self.task_nodes[task]
+
+    def tasks_per_node(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for name in self.task_nodes:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+@dataclass
+class Job:
+    """One submission and its lifecycle."""
+
+    job_id: int
+    request: ResourceRequest
+    state: JobState = JobState.PENDING
+    allocation: Allocation | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    runtime_hours: float | None = None
+    """How long the job *would* run if never killed (set on completion path)."""
+
+    remaining_hours: float = field(default=0.0, repr=False)
+
+
+class BestEffortScheduler:
+    """FIFO queue + emptiest-node-first packing, with time-limit enforcement.
+
+    ``backfill=True`` enables simple (non-reserving) backfill: when the
+    queue head does not fit, later jobs that *do* fit may start — higher
+    utilization at the cost of possible head starvation, the classic
+    trade-off of best-effort queues like Cluster-UY's.
+    """
+
+    def __init__(self, platform: ClusterPlatform, backfill: bool = False):
+        self.platform = platform
+        self.backfill = backfill
+        self.clock_hours = 0.0
+        self._queue: list[Job] = []
+        self._running: list[Job] = []
+        self._history: list[Job] = []
+        self._ids = itertools.count(1)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, request: ResourceRequest, runtime_hours: float) -> Job:
+        """Queue a job that needs ``runtime_hours`` of wall time to finish."""
+        if runtime_hours <= 0:
+            raise ValueError("runtime_hours must be positive")
+        job = Job(
+            job_id=next(self._ids),
+            request=request,
+            submitted_at=self.clock_hours,
+            runtime_hours=runtime_hours,
+            remaining_hours=runtime_hours,
+        )
+        self._queue.append(job)
+        self._try_start()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        if job.state is JobState.PENDING:
+            self._queue.remove(job)
+            job.state = JobState.CANCELLED
+            self._history.append(job)
+        elif job.state is JobState.RUNNING:
+            self._finish(job, JobState.CANCELLED)
+
+    # -- placement ----------------------------------------------------------------
+
+    def _try_place(self, request: ResourceRequest) -> Allocation | None:
+        """Emptiest-first packing; returns None when it does not fit now."""
+        plan: list[tuple[ComputeNode, int]] = []
+        remaining = request.tasks
+        for node in self.platform.nodes_by_free_cores():
+            if remaining == 0:
+                break
+            by_cores = node.free_cores
+            by_memory = node.free_memory_mb // request.memory_mb_per_task
+            take = min(remaining, by_cores, by_memory)
+            if take > 0:
+                plan.append((node, take))
+                remaining -= take
+        if remaining > 0:
+            return None
+        task_nodes: list[str] = []
+        for node, take in plan:
+            node.occupy(take, take * request.memory_mb_per_task)
+            task_nodes.extend([node.name] * take)
+        return Allocation(task_nodes)
+
+    def _try_start(self) -> None:
+        """Start jobs that fit: strict FIFO by default, backfill optionally."""
+        while self._queue:
+            job = self._queue[0]
+            allocation = self._try_place(job.request)
+            if allocation is None:
+                break
+            self._queue.pop(0)
+            self._start(job, allocation)
+        if not self.backfill:
+            return
+        # Backfill pass: any later job that fits right now may start.
+        for job in list(self._queue):
+            allocation = self._try_place(job.request)
+            if allocation is not None:
+                self._queue.remove(job)
+                self._start(job, allocation)
+
+    def _start(self, job: Job, allocation: Allocation) -> None:
+        job.allocation = allocation
+        job.state = JobState.RUNNING
+        job.started_at = self.clock_hours
+        self._running.append(job)
+
+    # -- time ----------------------------------------------------------------------
+
+    def advance(self, hours: float) -> list[Job]:
+        """Advance simulated time; returns jobs that finished in the window."""
+        if hours < 0:
+            raise ValueError("cannot advance time backwards")
+        finished: list[Job] = []
+        remaining_window = hours
+        while remaining_window > 1e-12:
+            if not self._running:
+                self.clock_hours += remaining_window
+                break
+            # Next event: a job completing or hitting its limit.
+            next_steps = []
+            for job in self._running:
+                to_limit = job.request.time_limit_hours - (self.clock_hours - job.started_at)
+                next_steps.append(min(job.remaining_hours, to_limit))
+            step = min(min(next_steps), remaining_window)
+            self.clock_hours += step
+            remaining_window -= step
+            for job in list(self._running):
+                job.remaining_hours -= step
+                elapsed = self.clock_hours - job.started_at
+                if job.remaining_hours <= 1e-12:
+                    self._finish(job, JobState.COMPLETED)
+                    finished.append(job)
+                elif elapsed >= job.request.time_limit_hours - 1e-12:
+                    self._finish(job, JobState.TIMEOUT)
+                    finished.append(job)
+            self._try_start()
+        return finished
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        assert job.allocation is not None
+        for node_name, count in job.allocation.tasks_per_node().items():
+            self.platform.node(node_name).release(
+                count, count * job.request.memory_mb_per_task
+            )
+        job.state = state
+        job.finished_at = self.clock_hours
+        self._running.remove(job)
+        self._history.append(job)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def pending(self) -> list[Job]:
+        return list(self._queue)
+
+    @property
+    def running(self) -> list[Job]:
+        return list(self._running)
+
+    @property
+    def history(self) -> list[Job]:
+        return list(self._history)

@@ -1,0 +1,296 @@
+"""One grid cell: sub-populations, selection, mutation and training.
+
+:class:`Cell` implements the per-iteration algorithm of Lipizzaner/Mustangs
+(Section II-B) for a single cell.  The *identical* object runs inside the
+single-core sequential trainer and inside every distributed slave — only the
+source of ``neighbor_genomes`` differs (in-memory snapshot vs MPI allgather).
+
+Per iteration (one call to :meth:`step`):
+
+1. **update genomes** — materialize center + gathered neighbor genomes into
+   the preallocated sub-population networks (profiled, Table IV row 3).
+2. evaluate all s x s pairings on a batch (fitness table);
+   tournament-select (k=2) the generator and discriminator to train.
+3. **mutate** — Gaussian learning-rate mutation (Table I) and the
+   (1+1)-ES step on the mixture weights (profiled, Table IV row 4).
+4. **train** — for every batch of the iteration: one discriminator step
+   against a randomly drawn generator opponent and one generator step
+   against a randomly drawn discriminator opponent (profiled, Table IV
+   row 2; the ``skip N disc. steps`` setting thins discriminator updates).
+5. re-evaluate and promote the fittest individuals to be the new center.
+
+The RNG discipline matters: a cell consumes randomness only from its own
+``rng`` (seeded from the experiment seed and the cell index), so the same
+seed produces the same training trajectory no matter which backend runs the
+cell or in which order cells execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.coevolution.fitness import FitnessTable, evaluate_subpopulations
+from repro.coevolution.genome import Genome, genome_from_network
+from repro.coevolution.mixture import MixtureWeights, sample_mixture
+from repro.coevolution.mutation import mutate_learning_rate
+from repro.coevolution.selection import tournament_select
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.gan.networks import Discriminator, Generator
+from repro.gan.pair import GANPair
+from repro.nn import Tensor, loss_by_name, optimizer_by_name
+from repro.nn.autograd import no_grad
+from repro.nn.losses import MUSTANGS_LOSSES
+from repro.nn.serialize import parameters_to_vector
+from repro.profiling import NULL_TIMER, RoutineTimer
+
+__all__ = ["Cell", "CellReport", "NEIGHBORHOOD_SIZE"]
+
+#: s = 5: the cell itself plus W, N, E, S (paper Fig. 1).
+NEIGHBORHOOD_SIZE = 5
+
+
+@dataclass
+class CellReport:
+    """Per-iteration statistics a cell reports upward."""
+
+    iteration: int
+    best_generator_fitness: float
+    best_discriminator_fitness: float
+    selected_generator: int
+    selected_discriminator: int
+    learning_rate: float
+    mixture_weights: np.ndarray = field(repr=False)
+    d_loss: float = float("nan")
+    g_loss: float = float("nan")
+
+
+def _cell_rng(seed: int, cell_index: int, stream: int) -> np.random.Generator:
+    """Independent, order-insensitive RNG stream for one cell."""
+    return np.random.default_rng(np.random.SeedSequence([seed, cell_index, stream]))
+
+
+class Cell:
+    """State and per-iteration logic of one grid cell."""
+
+    def __init__(self, config: ExperimentConfig, cell_index: int, dataset: ArrayDataset,
+                 neighborhood_size: int = NEIGHBORHOOD_SIZE):
+        if neighborhood_size < 1:
+            raise ValueError("neighborhood must contain at least the center")
+        self.config = config
+        self.cell_index = cell_index
+        self.neighborhood_size = neighborhood_size
+        self.rng = _cell_rng(config.seed, cell_index, stream=0)
+        loader_rng = _cell_rng(config.seed, cell_index, stream=1)
+        self.loader = DataLoader(dataset, config.training.batch_size, loader_rng)
+        self._batches = iter(())
+
+        # Mustangs: each cell draws its loss from the pool; Lipizzaner uses
+        # the configured loss everywhere.
+        if config.training.loss_function == "mustangs":
+            loss_cls = MUSTANGS_LOSSES[int(self.rng.integers(len(MUSTANGS_LOSSES)))]
+            self.loss_name = loss_cls.name
+        else:
+            self.loss_name = config.training.loss_function
+        self.loss = loss_by_name(self.loss_name)
+
+        # Center pair, freshly initialized per cell.
+        init_rng = _cell_rng(config.seed, cell_index, stream=2)
+        self.center = GANPair(
+            Generator(config.network, init_rng),
+            Discriminator(config.network, init_rng),
+            self.loss,
+            config.mutation.optimizer,
+            config.mutation.initial_learning_rate,
+        )
+
+        # Preallocated sub-population networks; index 0 mirrors the center.
+        build_rng = _cell_rng(config.seed, cell_index, stream=3)
+        self._sub_generators = [Generator(config.network, build_rng)
+                                for _ in range(neighborhood_size)]
+        self._sub_discriminators = [Discriminator(config.network, build_rng)
+                                    for _ in range(neighborhood_size)]
+        #: learning rate travelling with each sub-population member.
+        self._sub_lr = [config.mutation.initial_learning_rate] * neighborhood_size
+
+        self.mixture = MixtureWeights.uniform(neighborhood_size)
+        self.iteration = 0
+        self.reports: list[CellReport] = []
+
+    # -- genome exchange -------------------------------------------------------
+
+    def center_genomes(self) -> tuple[Genome, Genome]:
+        """Snapshot the center pair for exchange with neighbors."""
+        lr = self.center.learning_rate
+        return (
+            genome_from_network(self.center.generator, lr, self.loss_name),
+            genome_from_network(self.center.discriminator, lr, self.loss_name),
+        )
+
+    def _update_subpopulations(self, neighbor_genomes: list[tuple[Genome, Genome]]) -> None:
+        """Materialize center + neighbor genomes into the preallocated nets.
+
+        This is the paper's profiled "update genomes" routine.  Excess
+        neighbors are ignored; missing neighbors leave the (stale) previous
+        parameters in place — mirroring the asynchronous tolerance of the
+        original Lipizzaner.
+        """
+        own_g, own_d = self.center_genomes()
+        entries = [(own_g, own_d)] + list(neighbor_genomes)
+        entries = entries[: self.neighborhood_size]
+        for i, (g_genome, d_genome) in enumerate(entries):
+            g_genome.write_into(self._sub_generators[i])
+            d_genome.write_into(self._sub_discriminators[i])
+            self._sub_lr[i] = g_genome.learning_rate
+
+    # -- batching -----------------------------------------------------------------
+
+    def _next_batch(self) -> np.ndarray:
+        try:
+            return next(self._batches)
+        except StopIteration:
+            self._batches = iter(self.loader)
+            return next(self._batches)
+
+    def _iteration_batches(self) -> list[np.ndarray]:
+        count = self.config.training.batches_per_iteration or len(self.loader)
+        return [self._next_batch() for _ in range(count)]
+
+    # -- mixture fitness (cheap proxy used during evolution) -----------------------
+
+    def _mixture_fitness(self, weights: MixtureWeights, batch_size: int) -> float:
+        """Generator-loss of mixture samples under the center discriminator.
+
+        A cheap stand-in for the end-of-run quality metric: low when the
+        blended samples fool the current discriminator.
+        """
+        samples = sample_mixture(self._sub_generators, weights, batch_size, self.rng)
+        with no_grad():
+            logits = self.center.discriminator(Tensor(samples))
+            return self.loss.generator_loss(logits).item()
+
+    # -- the per-iteration algorithm ------------------------------------------------
+
+    def step(self, neighbor_genomes: list[tuple[Genome, Genome]],
+             timer: RoutineTimer = NULL_TIMER) -> CellReport:
+        """Run one coevolutionary iteration; returns the iteration report."""
+        config = self.config
+
+        with timer.section("update_genomes"):
+            self._update_subpopulations(neighbor_genomes)
+
+        # Selection batch + fitness table.
+        with timer.section("train"):
+            selection_batch = self._next_batch()
+            table = evaluate_subpopulations(
+                self._sub_generators, self._sub_discriminators,
+                self.loss, selection_batch, self.rng,
+            )
+            g_idx = tournament_select(
+                table.generator_fitness, self.rng, config.coevolution.tournament_size
+            )
+            d_idx = tournament_select(
+                table.discriminator_fitness, self.rng, config.coevolution.tournament_size
+            )
+
+        with timer.section("mutate"):
+            mutated_lr = mutate_learning_rate(
+                self._sub_lr[g_idx], self.rng,
+                mutation_rate=config.mutation.mutation_rate,
+                mutation_probability=config.mutation.mutation_probability,
+            )
+            self._sub_lr[g_idx] = mutated_lr
+            # (1+1)-ES on the mixture weights with the cheap proxy fitness.
+            parent_fitness = self._mixture_fitness(self.mixture, config.training.batch_size)
+            offspring = self.mixture.mutated(self.rng, config.coevolution.mixture_mutation_scale)
+            offspring_fitness = self._mixture_fitness(offspring, config.training.batch_size)
+            if offspring_fitness <= parent_fitness:
+                self.mixture = offspring
+
+        # Train the selected pair against randomly drawn opponents.
+        with timer.section("train"):
+            generator = self._sub_generators[g_idx]
+            discriminator = self._sub_discriminators[d_idx]
+            pair = GANPair(generator, discriminator, self.loss,
+                           config.mutation.optimizer, mutated_lr)
+            pair.d_optimizer.learning_rate = self._sub_lr[d_idx]
+            skip = max(1, config.training.skip_discriminator_steps)
+            d_loss = g_loss = float("nan")
+            for batch_no, batch in enumerate(self._iteration_batches()):
+                if batch_no % skip == 0:
+                    opponent_g = self._sub_generators[
+                        int(self.rng.integers(self.neighborhood_size))
+                    ]
+                    d_loss = pair.train_discriminator_step(batch, self.rng, generator=opponent_g)
+                opponent_d = self._sub_discriminators[
+                    int(self.rng.integers(self.neighborhood_size))
+                ]
+                g_loss = pair.train_generator_step(batch.shape[0], self.rng,
+                                                   discriminator=opponent_d)
+
+            # Re-evaluate and promote the fittest members to center.
+            replacement_batch = self._next_batch()
+            final_table = evaluate_subpopulations(
+                self._sub_generators, self._sub_discriminators,
+                self.loss, replacement_batch, self.rng,
+            )
+            best_g = final_table.best_generator
+            best_d = final_table.best_discriminator
+            self._promote(best_g, best_d)
+
+        self.iteration += 1
+        report = CellReport(
+            iteration=self.iteration,
+            best_generator_fitness=float(final_table.generator_fitness[best_g]),
+            best_discriminator_fitness=float(final_table.discriminator_fitness[best_d]),
+            selected_generator=g_idx,
+            selected_discriminator=d_idx,
+            learning_rate=self.center.learning_rate,
+            mixture_weights=self.mixture.weights.copy(),
+            d_loss=d_loss,
+            g_loss=g_loss,
+        )
+        self.reports.append(report)
+        return report
+
+    def _promote(self, g_idx: int, d_idx: int) -> None:
+        """Copy the winning sub-population members into the center pair."""
+        g_vec = parameters_to_vector(self._sub_generators[g_idx])
+        d_vec = parameters_to_vector(self._sub_discriminators[d_idx])
+        Genome(g_vec, self._sub_lr[g_idx], self.loss_name).write_into(self.center.generator)
+        Genome(d_vec, self._sub_lr[d_idx], self.loss_name).write_into(self.center.discriminator)
+        self.center.learning_rate = self._sub_lr[g_idx]
+
+    # -- checkpoint restore ------------------------------------------------------
+
+    def restore(self, generator_genome: Genome, discriminator_genome: Genome,
+                mixture_weights: np.ndarray, iteration: int) -> None:
+        """Restore this cell from checkpointed state (resume after a kill).
+
+        Adopts the genomes' loss and learning rate, resets the iteration
+        counter, and re-derives the RNG stream from ``(seed, cell,
+        iteration)`` so the resumed run is deterministic per checkpoint.
+        """
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        generator_genome.write_into(self.center.generator)
+        discriminator_genome.write_into(self.center.discriminator)
+        self.loss_name = generator_genome.loss_name
+        self.loss = loss_by_name(self.loss_name)
+        self.center.loss = self.loss
+        self.center.learning_rate = generator_genome.learning_rate
+        self.mixture = MixtureWeights(np.asarray(mixture_weights, dtype=np.float64))
+        self.iteration = iteration
+        self.rng = _cell_rng(self.config.seed, self.cell_index, stream=4 + iteration)
+
+    # -- final artifacts ---------------------------------------------------------
+
+    def subpopulation_generators(self) -> list[Generator]:
+        """The s generators backing this cell's mixture (center first)."""
+        return list(self._sub_generators)
+
+    def sample_from_mixture(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``n`` images from this cell's generator mixture."""
+        return sample_mixture(self._sub_generators, self.mixture, n, rng or self.rng)

@@ -1,0 +1,121 @@
+"""Training checkpoints: survive the cluster's wall-time limit.
+
+The paper's jobs run under slurm with a **96-hour time limit** (Table I) on
+a best-effort queue — a job killed at the limit loses all training state
+unless it checkpoints.  This module snapshots everything the coevolutionary
+state consists of — per-cell center genomes, mixture weights, the iteration
+counter and the full configuration — into a single ``.npz`` and restores a
+:class:`~repro.coevolution.sequential.SequentialTrainer` that continues
+where the previous job stopped.
+
+Resume semantics: cell RNG streams are re-derived from ``(seed, cell,
+iteration)``, so a resumed run is deterministic given the checkpoint, though
+not bit-identical to the uninterrupted run (the standard trade-off; noted in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.coevolution.genome import Genome
+from repro.coevolution.mixture import MixtureWeights
+
+__all__ = ["TrainingCheckpoint", "save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class TrainingCheckpoint:
+    """Everything needed to continue a run."""
+
+    config: ExperimentConfig
+    iteration: int
+    center_genomes: list[tuple[Genome, Genome]]
+    mixture_weights: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        cells = self.config.coevolution.cells
+        if len(self.center_genomes) != cells:
+            raise ValueError(
+                f"checkpoint holds {len(self.center_genomes)} genomes for a "
+                f"{cells}-cell grid"
+            )
+        if len(self.mixture_weights) != cells:
+            raise ValueError("one mixture weight vector per cell required")
+        if self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+
+    @property
+    def remaining_iterations(self) -> int:
+        return max(0, self.config.coevolution.iterations - self.iteration)
+
+    @classmethod
+    def from_trainer(cls, trainer) -> "TrainingCheckpoint":
+        """Snapshot a live :class:`SequentialTrainer`."""
+        return cls(
+            config=trainer.config,
+            iteration=trainer.cells[0].iteration if trainer.cells else 0,
+            center_genomes=[cell.center_genomes() for cell in trainer.cells],
+            mixture_weights=[cell.mixture.weights.copy() for cell in trainer.cells],
+        )
+
+
+def save_checkpoint(path: str | os.PathLike, checkpoint: TrainingCheckpoint) -> None:
+    """Write the checkpoint atomically as a compressed ``.npz``."""
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "config": checkpoint.config.to_dict(),
+        "iteration": checkpoint.iteration,
+        "learning_rates": [
+            [g.learning_rate, d.learning_rate] for g, d in checkpoint.center_genomes
+        ],
+        "loss_names": [g.loss_name for g, _ in checkpoint.center_genomes],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "metadata": np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8),
+    }
+    for index, (g, d) in enumerate(checkpoint.center_genomes):
+        arrays[f"generator_{index}"] = g.parameters
+        arrays[f"discriminator_{index}"] = d.parameters
+        arrays[f"mixture_{index}"] = checkpoint.mixture_weights[index]
+    tmp = f"{os.fspath(path)}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | os.PathLike) -> TrainingCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path) as archive:
+        try:
+            metadata = json.loads(bytes(archive["metadata"]).decode())
+        except KeyError:
+            raise ValueError(f"{path}: not a repro checkpoint (no metadata)") from None
+        version = metadata.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported checkpoint version {version}")
+        config = ExperimentConfig.from_dict(metadata["config"])
+        cells = config.coevolution.cells
+        genomes: list[tuple[Genome, Genome]] = []
+        mixtures: list[np.ndarray] = []
+        for index in range(cells):
+            g_lr, d_lr = metadata["learning_rates"][index]
+            loss_name = metadata["loss_names"][index]
+            genomes.append((
+                Genome(archive[f"generator_{index}"], g_lr, loss_name),
+                Genome(archive[f"discriminator_{index}"], d_lr, loss_name),
+            ))
+            mixtures.append(np.asarray(archive[f"mixture_{index}"]))
+    return TrainingCheckpoint(
+        config=config,
+        iteration=int(metadata["iteration"]),
+        center_genomes=genomes,
+        mixture_weights=mixtures,
+    )

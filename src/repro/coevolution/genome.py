@@ -1,0 +1,100 @@
+"""Genomes: the unit of exchange between grid cells.
+
+A :class:`Genome` is one network's flat parameter vector plus the evolvable
+hyperparameters that travel with it (learning rate, loss name).  Cells
+exchange *pairs* of genomes (generator + discriminator) — the "center" of
+the paper's Fig. 1 — through the communication layer, and materialize them
+back into networks with :func:`pair_from_genomes`.
+
+The paper's Table IV profiles "update genomes" as one of the four dominant
+routines: that is :meth:`Genome.write_into` over the gathered vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.gan.networks import Discriminator, Generator
+from repro.gan.pair import GANPair
+from repro.nn import loss_by_name
+from repro.nn.modules import Module
+from repro.nn.serialize import parameters_to_vector, vector_to_parameters
+
+__all__ = ["Genome", "genome_from_network", "genome_from_pair", "pair_from_genomes"]
+
+
+@dataclass
+class Genome:
+    """Flat parameters + evolvable hyperparameters of one network.
+
+    Picklable (NumPy vector + plain scalars) so it can cross process
+    boundaries through the MPI layer unchanged.
+    """
+
+    parameters: np.ndarray
+    learning_rate: float
+    loss_name: str
+
+    def __post_init__(self) -> None:
+        self.parameters = np.asarray(self.parameters, dtype=np.float64)
+        if self.parameters.ndim != 1:
+            raise ValueError("genome parameters must be a flat vector")
+        if self.learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+
+    def copy(self) -> "Genome":
+        return Genome(self.parameters.copy(), self.learning_rate, self.loss_name)
+
+    def write_into(self, network: Module) -> None:
+        """Copy this genome's parameters into ``network`` (in place)."""
+        vector_to_parameters(self.parameters, network)
+
+    def distance_to(self, other: "Genome") -> float:
+        """L2 distance between parameter vectors (diversity diagnostics)."""
+        if self.parameters.shape != other.parameters.shape:
+            raise ValueError("genomes of different architectures")
+        return float(np.linalg.norm(self.parameters - other.parameters))
+
+    @property
+    def size(self) -> int:
+        return self.parameters.shape[0]
+
+
+def genome_from_network(network: Module, learning_rate: float, loss_name: str,
+                        out: np.ndarray | None = None) -> Genome:
+    """Snapshot a network into a genome (optionally into a reused buffer)."""
+    return Genome(parameters_to_vector(network, out=out), learning_rate, loss_name)
+
+
+def genome_from_pair(pair: GANPair) -> tuple[Genome, Genome]:
+    """Snapshot a GAN pair into ``(generator_genome, discriminator_genome)``."""
+    lr = pair.learning_rate
+    name = pair.loss.name
+    return (
+        genome_from_network(pair.generator, lr, name),
+        genome_from_network(pair.discriminator, lr, name),
+    )
+
+
+def pair_from_genomes(generator_genome: Genome, discriminator_genome: Genome,
+                      config: ExperimentConfig, rng: np.random.Generator) -> GANPair:
+    """Materialize a GAN pair from two genomes.
+
+    Optimizer state starts fresh (Lipizzaner does not migrate moments with
+    genomes); the learning rate and loss travel with the generator genome.
+    """
+    generator = Generator(config.network, rng)
+    discriminator = Discriminator(config.network, rng)
+    generator_genome.write_into(generator)
+    discriminator_genome.write_into(discriminator)
+    pair = GANPair(
+        generator,
+        discriminator,
+        loss_by_name(generator_genome.loss_name),
+        config.mutation.optimizer,
+        generator_genome.learning_rate,
+    )
+    return pair

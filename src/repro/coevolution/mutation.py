@@ -1,0 +1,38 @@
+"""Hyperparameter mutation (paper Table I: Gaussian on the learning rate).
+
+Table I specifies: optimizer Adam, initial learning rate 2e-4, mutation
+rate 1e-4, mutation probability 0.5.  We read this as Lipizzaner does: with
+probability 0.5 per epoch, the selected individual's learning rate receives
+additive Gaussian noise with standard deviation 1e-4, clamped to stay
+strictly positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mutate_learning_rate", "MIN_LEARNING_RATE"]
+
+#: Lower clamp keeping mutated learning rates usable by the optimizers.
+MIN_LEARNING_RATE = 1e-8
+
+
+def mutate_learning_rate(learning_rate: float, rng: np.random.Generator, *,
+                         mutation_rate: float, mutation_probability: float) -> float:
+    """Return the (possibly) mutated learning rate.
+
+    With probability ``mutation_probability``: add ``N(0, mutation_rate)``
+    and clamp at :data:`MIN_LEARNING_RATE`.  Otherwise return the input
+    unchanged.  One uniform draw and at most one normal draw are consumed
+    from ``rng`` — the determinism tests count on that exact budget.
+    """
+    if learning_rate <= 0:
+        raise ValueError("learning rate must be positive")
+    if mutation_rate < 0:
+        raise ValueError("mutation_rate must be >= 0")
+    if not 0.0 <= mutation_probability <= 1.0:
+        raise ValueError("mutation_probability must be in [0, 1]")
+    if rng.uniform() >= mutation_probability:
+        return learning_rate
+    mutated = learning_rate + rng.normal(0.0, mutation_rate)
+    return max(mutated, MIN_LEARNING_RATE)

@@ -1,0 +1,41 @@
+"""Tournament selection (paper Table I: tournament size 2).
+
+Fitness is a *loss*: lower is better throughout the coevolution package.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["tournament_select", "rank_by_fitness"]
+
+
+def tournament_select(fitnesses: Sequence[float], rng: np.random.Generator,
+                      tournament_size: int = 2) -> int:
+    """Return the index of the tournament winner (minimal fitness).
+
+    Draws ``tournament_size`` distinct competitors uniformly (or all of them
+    when the population is smaller) and returns the best one.  Ties break
+    toward the lower index, keeping selection deterministic given the draw.
+    """
+    n = len(fitnesses)
+    if n == 0:
+        raise ValueError("cannot select from an empty population")
+    if tournament_size < 1:
+        raise ValueError("tournament size must be >= 1")
+    k = min(tournament_size, n)
+    competitors = rng.choice(n, size=k, replace=False)
+    competitors.sort()  # lower index wins ties
+    best = competitors[0]
+    best_fit = fitnesses[best]
+    for idx in competitors[1:]:
+        if fitnesses[idx] < best_fit:
+            best, best_fit = idx, fitnesses[idx]
+    return int(best)
+
+
+def rank_by_fitness(fitnesses: Sequence[float]) -> list[int]:
+    """Indices sorted best (lowest loss) to worst, stable for ties."""
+    return sorted(range(len(fitnesses)), key=lambda i: (fitnesses[i], i))

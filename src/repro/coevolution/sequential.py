@@ -1,0 +1,139 @@
+"""Single-core sequential trainer — the paper's Table III baseline.
+
+Runs all ``m x m`` cells in one process, one after another, with the exact
+synchronous-exchange semantics of the distributed version: at the start of
+every iteration the centers of *all* cells are snapshotted, and every cell's
+step consumes the snapshots of its four neighbors.  This matches the
+per-iteration ``allgather`` of the distributed implementation, so (with the
+same seed) both produce identical genomes — asserted by the integration
+tests — and the runtime comparison isolates parallelization effects only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.coevolution.cell import Cell, CellReport
+from repro.coevolution.genome import Genome
+from repro.coevolution.grid import ToroidalGrid
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import load_synthetic_mnist
+from repro.data.transforms import to_tanh_range
+from repro.profiling import NULL_TIMER, RoutineTimer, TimerSnapshot
+from repro.runtime import pin_blas_threads
+
+__all__ = ["SequentialTrainer", "TrainingResult", "build_training_dataset"]
+
+
+def build_training_dataset(config: ExperimentConfig, *, cache: bool = True) -> ArrayDataset:
+    """Render/load the synthetic dataset and scale it to the tanh range."""
+    raw = load_synthetic_mnist(config.dataset_size, seed=config.seed, cache=cache)
+    return ArrayDataset(to_tanh_range(raw.images), raw.labels)
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one full training run (either trainer)."""
+
+    config: ExperimentConfig
+    center_genomes: list[tuple[Genome, Genome]]
+    mixture_weights: list[np.ndarray]
+    cell_reports: list[list[CellReport]]
+    wall_time_s: float
+    timer_snapshots: list[TimerSnapshot] = field(default_factory=list)
+
+    @property
+    def grid(self) -> ToroidalGrid:
+        coev = self.config.coevolution
+        return ToroidalGrid(coev.grid_rows, coev.grid_cols)
+
+    def best_cell_index(self) -> int:
+        """Cell whose final generator fitness is best (lowest loss)."""
+        finals = [reports[-1].best_generator_fitness if reports else float("inf")
+                  for reports in self.cell_reports]
+        return int(np.argmin(finals))
+
+
+class SequentialTrainer:
+    """Train the whole grid in one process (the single-core baseline)."""
+
+    def __init__(self, config: ExperimentConfig, dataset: ArrayDataset | None = None):
+        self.config = config
+        self.grid = ToroidalGrid(config.coevolution.grid_rows, config.coevolution.grid_cols)
+        self.dataset = dataset if dataset is not None else build_training_dataset(config)
+        self.cells = [Cell(config, index, self.dataset)
+                      for index in range(self.grid.cell_count)]
+        self.start_iteration = 0
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint, dataset: ArrayDataset | None = None
+                        ) -> "SequentialTrainer":
+        """Continue a run from a :class:`~repro.coevolution.checkpoint.TrainingCheckpoint`.
+
+        ``run()`` will execute only the iterations the original
+        configuration still owes (``checkpoint.remaining_iterations``).
+        """
+        trainer = cls(checkpoint.config, dataset)
+        for cell, (g, d), weights in zip(
+                trainer.cells, checkpoint.center_genomes, checkpoint.mixture_weights):
+            cell.restore(g, d, weights, checkpoint.iteration)
+        trainer.start_iteration = checkpoint.iteration
+        return trainer
+
+    def run(self, timer_factory=None, iterations: int | None = None) -> TrainingResult:
+        """Run the configured number of iterations over all cells.
+
+        ``timer_factory`` (optional) is called once per cell to produce its
+        :class:`RoutineTimer`; the "gather" section is recorded here at the
+        trainer level because in the sequential version the exchange is a
+        plain in-memory snapshot (its cost is what Table IV row 1 compares
+        against the MPI allgather).
+        """
+        # One core per process is the paper's execution model (Table II);
+        # pinning BLAS makes the single-core baseline honestly single-core.
+        pin_blas_threads(1)
+        if iterations is not None:
+            total_iterations = iterations
+        else:
+            total_iterations = self.config.coevolution.iterations - self.start_iteration
+        timers: list[RoutineTimer] = [
+            timer_factory() if timer_factory is not None else NULL_TIMER
+            for _ in self.cells
+        ]
+        start = time.perf_counter()
+        for _ in range(total_iterations):
+            # Synchronous exchange: snapshot all centers first...
+            with_timing = timer_factory is not None
+            snapshots: list[tuple[Genome, Genome]] = []
+            for cell, timer in zip(self.cells, timers):
+                if with_timing:
+                    with timer.section("gather"):
+                        snapshots.append(cell.center_genomes())
+                else:
+                    snapshots.append(cell.center_genomes())
+            # ...then step every cell against its neighbors' snapshots.
+            for index, (cell, timer) in enumerate(zip(self.cells, timers)):
+                neighbor_indices = self.grid.neighbors_of(index)
+                if with_timing:
+                    with timer.section("gather"):
+                        neighbors = [
+                            (snapshots[j][0].copy(), snapshots[j][1].copy())
+                            for j in neighbor_indices
+                        ]
+                else:
+                    neighbors = [snapshots[j] for j in neighbor_indices]
+                cell.step(neighbors, timer)
+        wall = time.perf_counter() - start
+
+        return TrainingResult(
+            config=self.config,
+            center_genomes=[cell.center_genomes() for cell in self.cells],
+            mixture_weights=[cell.mixture.weights.copy() for cell in self.cells],
+            cell_reports=[cell.reports for cell in self.cells],
+            wall_time_s=wall,
+            timer_snapshots=[t.snapshot() for t in timers],
+        )

@@ -1,0 +1,31 @@
+"""Parameter settings for cellular GAN training (Table I of the paper).
+
+The paper fixes every hyperparameter of the trained GANs and of the
+coevolutionary algorithm in its Table I.  This package exposes those settings
+as validated dataclasses with JSON round-tripping, so that the master process
+can broadcast one configuration object to every slave (Section III-B of the
+paper: *"sharing the parameter configuration to be used in the execution with
+all slave processes"*).
+"""
+
+from repro.config.settings import (
+    CoevolutionSettings,
+    ExecutionSettings,
+    ExperimentConfig,
+    HyperparameterMutationSettings,
+    NetworkSettings,
+    TrainingSettings,
+    default_config,
+    paper_table1_config,
+)
+
+__all__ = [
+    "NetworkSettings",
+    "CoevolutionSettings",
+    "HyperparameterMutationSettings",
+    "TrainingSettings",
+    "ExecutionSettings",
+    "ExperimentConfig",
+    "default_config",
+    "paper_table1_config",
+]

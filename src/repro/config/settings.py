@@ -1,0 +1,281 @@
+"""Validated experiment configuration (paper Table I).
+
+Every knob reported in Table I ("Parameters settings of the trained GANs") is
+represented here, grouped exactly as the table groups them:
+
+* *Network topology* — :class:`NetworkSettings`
+* *Coevolutionary settings* — :class:`CoevolutionSettings`
+* *Hyperparameter mutation* — :class:`HyperparameterMutationSettings`
+* *Training settings* — :class:`TrainingSettings`
+* *Execution settings* — :class:`ExecutionSettings`
+
+:func:`paper_table1_config` returns the exact values from the paper;
+:func:`default_config` returns a scaled-down variant suitable for laptop-scale
+runs (fewer iterations, smaller dataset) that keeps every ratio intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration value is outside its legal domain."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class NetworkSettings:
+    """Network topology block of Table I.
+
+    The paper trains multilayer perceptrons: a 64-neuron latent input, two
+    hidden layers of 256 neurons, a 784-neuron (28x28) output and ``tanh``
+    activations.  The discriminator mirrors the generator (784 -> hidden ->
+    1 logit), as in the Lipizzaner reference implementation.
+    """
+
+    network_type: str = "MLP"
+    latent_size: int = 64
+    hidden_layers: int = 2
+    hidden_neurons: int = 256
+    output_neurons: int = 784
+    activation: str = "tanh"
+
+    def __post_init__(self) -> None:
+        _require(self.network_type in {"MLP"}, f"unsupported network type: {self.network_type!r}")
+        _require(self.latent_size > 0, "latent_size must be positive")
+        _require(self.hidden_layers >= 1, "hidden_layers must be >= 1")
+        _require(self.hidden_neurons > 0, "hidden_neurons must be positive")
+        _require(self.output_neurons > 0, "output_neurons must be positive")
+        _require(
+            self.activation in {"tanh", "relu", "leaky_relu", "sigmoid"},
+            f"unsupported activation: {self.activation!r}",
+        )
+
+    @property
+    def image_side(self) -> int:
+        """Side length of the square image the generator emits."""
+        side = int(round(self.output_neurons ** 0.5))
+        return side
+
+
+@dataclass(frozen=True)
+class CoevolutionSettings:
+    """Coevolutionary settings block of Table I."""
+
+    iterations: int = 200
+    population_size: int = 1
+    tournament_size: int = 2
+    grid_rows: int = 3
+    grid_cols: int = 3
+    mixture_mutation_scale: float = 0.01
+
+    def __post_init__(self) -> None:
+        _require(self.iterations >= 1, "iterations must be >= 1")
+        _require(self.population_size >= 1, "population_size must be >= 1")
+        _require(self.tournament_size >= 1, "tournament_size must be >= 1")
+        _require(self.grid_rows >= 1 and self.grid_cols >= 1, "grid must be at least 1x1")
+        _require(self.mixture_mutation_scale >= 0.0, "mixture_mutation_scale must be >= 0")
+
+    @property
+    def grid_size(self) -> tuple[int, int]:
+        return (self.grid_rows, self.grid_cols)
+
+    @property
+    def cells(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+
+@dataclass(frozen=True)
+class HyperparameterMutationSettings:
+    """Hyperparameter mutation block of Table I.
+
+    With probability ``mutation_probability`` the learning rate of the
+    selected individual receives Gaussian noise with standard deviation
+    ``mutation_rate`` (and is clamped to stay positive).  The optimizer named
+    here is instantiated fresh whenever a genome is copied between cells.
+    """
+
+    optimizer: str = "adam"
+    initial_learning_rate: float = 0.0002
+    mutation_rate: float = 0.0001
+    mutation_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(
+            self.optimizer in {"adam", "sgd", "rmsprop"},
+            f"unsupported optimizer: {self.optimizer!r}",
+        )
+        _require(self.initial_learning_rate > 0, "initial_learning_rate must be positive")
+        _require(self.mutation_rate >= 0, "mutation_rate must be >= 0")
+        _require(
+            0.0 <= self.mutation_probability <= 1.0,
+            "mutation_probability must be in [0, 1]",
+        )
+
+
+@dataclass(frozen=True)
+class TrainingSettings:
+    """Training settings block of Table I."""
+
+    batch_size: int = 100
+    skip_discriminator_steps: int = 1
+    loss_function: str = "bce"
+    batches_per_iteration: int = 0
+    """Batches consumed per coevolutionary iteration; 0 means the full epoch."""
+
+    def __post_init__(self) -> None:
+        _require(self.batch_size >= 1, "batch_size must be >= 1")
+        _require(self.skip_discriminator_steps >= 0, "skip_discriminator_steps must be >= 0")
+        _require(
+            self.loss_function in {"bce", "mse", "heuristic", "mustangs"},
+            f"unsupported loss function: {self.loss_function!r}",
+        )
+        _require(self.batches_per_iteration >= 0, "batches_per_iteration must be >= 0")
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Execution settings block of Table I / Table II.
+
+    ``number_of_tasks`` is the MPI world size: one master plus one slave per
+    grid cell (5 for 2x2 up to 17 for 4x4 in the paper).  ``time_limit_hours``
+    and ``temporary_storage_gb`` mirror the slurm request of the paper.
+    """
+
+    number_of_tasks: int = 10
+    time_limit_hours: float = 96.0
+    temporary_storage_gb: int = 40
+    heartbeat_interval_s: float = 0.25
+    backend: str = "process"
+
+    def __post_init__(self) -> None:
+        _require(self.number_of_tasks >= 2, "need at least one master and one slave")
+        _require(self.time_limit_hours > 0, "time_limit_hours must be positive")
+        _require(self.temporary_storage_gb >= 0, "temporary_storage_gb must be >= 0")
+        _require(self.heartbeat_interval_s > 0, "heartbeat_interval_s must be positive")
+        _require(
+            self.backend in {"process", "threaded", "sequential"},
+            f"unsupported backend: {self.backend!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Complete configuration broadcast from the master to all slaves."""
+
+    network: NetworkSettings = field(default_factory=NetworkSettings)
+    coevolution: CoevolutionSettings = field(default_factory=CoevolutionSettings)
+    mutation: HyperparameterMutationSettings = field(default_factory=HyperparameterMutationSettings)
+    training: TrainingSettings = field(default_factory=TrainingSettings)
+    execution: ExecutionSettings = field(default_factory=ExecutionSettings)
+    dataset_size: int = 60_000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        _require(self.dataset_size >= self.training.batch_size, "dataset smaller than one batch")
+        _require(self.seed >= 0, "seed must be non-negative")
+        expected_tasks = self.coevolution.cells + 1
+        _require(
+            self.execution.number_of_tasks == expected_tasks,
+            "number_of_tasks must equal grid cells + 1 (one master plus one slave "
+            f"per cell); expected {expected_tasks}, got {self.execution.number_of_tasks}",
+        )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return max(1, self.dataset_size // self.training.batch_size)
+
+    def with_grid(self, rows: int, cols: int) -> "ExperimentConfig":
+        """Return a copy configured for a ``rows x cols`` grid.
+
+        Adjusts ``number_of_tasks`` to match (cells + 1) as Table II does.
+        """
+        coev = dataclasses.replace(self.coevolution, grid_rows=rows, grid_cols=cols)
+        execu = dataclasses.replace(self.execution, number_of_tasks=rows * cols + 1)
+        return dataclasses.replace(self, coevolution=coev, execution=execu)
+
+    def scaled(self, *, iterations: int, dataset_size: int, batch_size: int | None = None,
+               batches_per_iteration: int | None = None) -> "ExperimentConfig":
+        """Return a scaled-down copy keeping every structural parameter."""
+        train = self.training
+        if batch_size is not None or batches_per_iteration is not None:
+            train = dataclasses.replace(
+                self.training,
+                batch_size=batch_size if batch_size is not None else self.training.batch_size,
+                batches_per_iteration=(
+                    batches_per_iteration
+                    if batches_per_iteration is not None
+                    else self.training.batches_per_iteration
+                ),
+            )
+        coev = dataclasses.replace(self.coevolution, iterations=iterations)
+        return dataclasses.replace(self, coevolution=coev, training=train, dataset_size=dataset_size)
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentConfig":
+        def build(klass, key):
+            sub = payload.get(key, {})
+            if not isinstance(sub, Mapping):
+                raise ConfigError(f"section {key!r} must be a mapping")
+            names = {f.name for f in dataclasses.fields(klass)}
+            unknown = set(sub) - names
+            if unknown:
+                raise ConfigError(f"unknown keys in section {key!r}: {sorted(unknown)}")
+            return klass(**sub)
+
+        top = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - top
+        if unknown:
+            raise ConfigError(f"unknown top-level keys: {sorted(unknown)}")
+        return cls(
+            network=build(NetworkSettings, "network"),
+            coevolution=build(CoevolutionSettings, "coevolution"),
+            mutation=build(HyperparameterMutationSettings, "mutation"),
+            training=build(TrainingSettings, "training"),
+            execution=build(ExecutionSettings, "execution"),
+            dataset_size=int(payload.get("dataset_size", 60_000)),
+            seed=int(payload.get("seed", 42)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        return cls.from_dict(json.loads(text))
+
+
+def paper_table1_config(grid_rows: int = 3, grid_cols: int = 3) -> ExperimentConfig:
+    """The exact Table I configuration of the paper for a given grid size."""
+    return ExperimentConfig(
+        network=NetworkSettings(),
+        coevolution=CoevolutionSettings(grid_rows=grid_rows, grid_cols=grid_cols),
+        mutation=HyperparameterMutationSettings(),
+        training=TrainingSettings(),
+        execution=ExecutionSettings(number_of_tasks=grid_rows * grid_cols + 1),
+        dataset_size=60_000,
+        seed=42,
+    )
+
+
+def default_config(grid_rows: int = 2, grid_cols: int = 2, *, seed: int = 42) -> ExperimentConfig:
+    """A laptop-scale configuration: same structure, scaled-down workload."""
+    scaled = paper_table1_config(grid_rows, grid_cols).scaled(
+        iterations=4, dataset_size=2_000, batch_size=50, batches_per_iteration=4
+    )
+    return dataclasses.replace(scaled, seed=seed)

@@ -1,0 +1,33 @@
+"""Datasets and loading utilities (the MNIST substitute).
+
+The paper evaluates on MNIST (70,000 28x28 grayscale handwritten digits).
+This environment has no network access, so :mod:`repro.data.synthetic`
+provides a procedural *synthetic MNIST*: stroke-rendered digits 0-9 with
+random affine jitter, noise and thickness variation.  The training pipeline
+(784-dim flattened images in ``[-1, 1]``, batch size 100, ten balanced
+classes/modes) is identical to the paper's, which is what the cellular GAN
+training exercises.
+
+:mod:`repro.data.mnist_idx` additionally reads/writes the original IDX file
+format, so real MNIST files can be dropped in when available.
+"""
+
+from repro.data.dataset import ArrayDataset, DataLoader, train_test_split
+from repro.data.synthetic import SyntheticMNIST, load_synthetic_mnist
+from repro.data.mnist_idx import read_idx_file, read_idx_images, read_idx_labels, write_idx_file
+from repro.data.transforms import flatten_images, to_tanh_range, from_tanh_range
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticMNIST",
+    "load_synthetic_mnist",
+    "read_idx_file",
+    "read_idx_images",
+    "read_idx_labels",
+    "write_idx_file",
+    "flatten_images",
+    "to_tanh_range",
+    "from_tanh_range",
+]

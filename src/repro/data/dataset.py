@@ -1,0 +1,102 @@
+"""Dataset container and batching loader.
+
+:class:`DataLoader` reproduces the part of ``torch.utils.data.DataLoader``
+the paper's training loop uses: shuffled mini-batches of a fixed size
+(Table I: batch size 100), reshuffled every epoch from an explicit RNG so
+distributed runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """Pairs of (features, labels) stored as contiguous NumPy arrays."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray | None = None):
+        images = np.ascontiguousarray(images, dtype=np.float64)
+        if labels is not None:
+            labels = np.ascontiguousarray(labels)
+            if labels.shape[0] != images.shape[0]:
+                raise ValueError("labels length must match images")
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index):
+        if self.labels is None:
+            return self.images[index]
+        return self.images[index], self.labels[index]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        labels = None if self.labels is None else self.labels[indices]
+        return ArrayDataset(self.images[indices], labels)
+
+
+class DataLoader:
+    """Iterate mini-batches, reshuffling each epoch from an explicit RNG.
+
+    ``drop_last=True`` (the default, matching the paper's fixed batch size)
+    discards the final short batch so every gradient step sees exactly
+    ``batch_size`` samples.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, rng: np.random.Generator,
+                 shuffle: bool = True, drop_last: bool = True):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if len(dataset) < batch_size and drop_last:
+            raise ValueError(
+                f"dataset of {len(dataset)} samples cannot produce a full batch of {batch_size}"
+            )
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.rng = rng
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for lo in range(0, stop, self.batch_size):
+            batch_idx = order[lo:lo + self.batch_size]
+            yield self.dataset.images[batch_idx]
+
+    def batches_with_labels(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Like ``__iter__`` but also yields labels (classifier training)."""
+        if self.dataset.labels is None:
+            raise ValueError("dataset has no labels")
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for lo in range(0, stop, self.batch_size):
+            batch_idx = order[lo:lo + self.batch_size]
+            yield self.dataset.images[batch_idx], self.dataset.labels[batch_idx]
+
+
+def train_test_split(dataset: ArrayDataset, test_fraction: float,
+                     rng: np.random.Generator) -> tuple[ArrayDataset, ArrayDataset]:
+    """Random split mirroring MNIST's 60k/10k train/test partition."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if train_idx.size == 0:
+        raise ValueError("split leaves no training samples")
+    return dataset.subset(train_idx), dataset.subset(test_idx)

@@ -1,0 +1,94 @@
+"""Stroke geometry for the ten handwritten digits.
+
+Each digit is described as a list of polylines in a unit box: ``x`` grows
+rightward, ``y`` grows downward (image convention).  Curved glyph parts are
+sampled into short line segments.  The renderer in
+:mod:`repro.data.synthetic` turns these into anti-aliased 28x28 bitmaps.
+
+The glyphs are deliberately simple — the point is a ten-mode, visually
+digit-like distribution for the GAN to learn, with the same shape statistics
+that make MNIST a good mode-collapse probe (limited target space, ten
+balanced modes).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["digit_segments", "NUM_CLASSES"]
+
+NUM_CLASSES = 10
+
+
+def _arc(cx: float, cy: float, rx: float, ry: float, start_deg: float, end_deg: float,
+         steps: int = 14) -> list[tuple[float, float]]:
+    """Sample an elliptical arc into a polyline.  Angles in image convention
+    (0 degrees = +x axis, growing clockwise because y points down)."""
+    pts = []
+    for k in range(steps + 1):
+        t = math.radians(start_deg + (end_deg - start_deg) * k / steps)
+        pts.append((cx + rx * math.cos(t), cy + ry * math.sin(t)))
+    return pts
+
+
+def _polyline_to_segments(points: list[tuple[float, float]]) -> list[tuple[float, float, float, float]]:
+    return [
+        (points[i][0], points[i][1], points[i + 1][0], points[i + 1][1])
+        for i in range(len(points) - 1)
+    ]
+
+
+def _strokes(digit: int) -> list[list[tuple[float, float]]]:
+    """Polylines for one digit inside the unit box."""
+    if digit == 0:
+        return [_arc(0.5, 0.5, 0.26, 0.36, 0.0, 360.0, steps=20)]
+    if digit == 1:
+        return [[(0.38, 0.28), (0.52, 0.14), (0.52, 0.86)]]
+    if digit == 2:
+        top = _arc(0.5, 0.32, 0.22, 0.18, 170.0, 380.0, steps=10)
+        return [top + [(0.30, 0.84), (0.74, 0.84)]]
+    if digit == 3:
+        upper = _arc(0.48, 0.32, 0.2, 0.17, 150.0, 395.0, steps=10)
+        lower = _arc(0.48, 0.67, 0.22, 0.19, 325.0, 570.0, steps=10)
+        return [upper, lower]
+    if digit == 4:
+        return [
+            [(0.62, 0.86), (0.62, 0.14), (0.26, 0.62), (0.78, 0.62)],
+        ]
+    if digit == 5:
+        hook = _arc(0.47, 0.64, 0.24, 0.21, 250.0, 480.0, steps=12)
+        return [[(0.72, 0.16), (0.32, 0.16), (0.30, 0.46)] + hook]
+    if digit == 6:
+        # Sweeping stroke down into a closed lower loop.
+        sweep = [(0.62, 0.14), (0.42, 0.32), (0.32, 0.52)]
+        loop = _arc(0.5, 0.66, 0.19, 0.18, 0.0, 360.0, steps=16)
+        return [sweep + [loop[len(loop) // 2]], loop]
+    if digit == 7:
+        return [[(0.26, 0.16), (0.74, 0.16), (0.44, 0.86)]]
+    if digit == 8:
+        upper = _arc(0.5, 0.32, 0.18, 0.16, 0.0, 360.0, steps=16)
+        lower = _arc(0.5, 0.68, 0.21, 0.18, 0.0, 360.0, steps=16)
+        return [upper, lower]
+    if digit == 9:
+        loop = _arc(0.5, 0.34, 0.19, 0.18, 0.0, 360.0, steps=16)
+        tail = [(0.69, 0.34), (0.66, 0.62), (0.56, 0.86)]
+        return [loop, tail]
+    raise ValueError(f"digit must be in 0..9, got {digit}")
+
+
+@lru_cache(maxsize=NUM_CLASSES)
+def digit_segments(digit: int) -> np.ndarray:
+    """Return the digit's strokes as an ``(S, 2, 2)`` array of segments.
+
+    ``segments[s, 0]`` is the segment start ``(x, y)`` and ``segments[s, 1]``
+    the end, both in the unit box.  Cached — geometry is immutable.
+    """
+    segs: list[tuple[float, float, float, float]] = []
+    for stroke in _strokes(digit):
+        segs.extend(_polyline_to_segments(stroke))
+    arr = np.asarray(segs, dtype=np.float64).reshape(-1, 2, 2)
+    arr.setflags(write=False)
+    return arr

@@ -1,0 +1,96 @@
+"""Reader/writer for the IDX file format used by the original MNIST files.
+
+If the real ``train-images-idx3-ubyte`` / ``train-labels-idx1-ubyte`` files
+are available locally, they can be loaded through this module and fed to the
+same pipeline as the synthetic data.  The writer exists so tests can
+round-trip the format without network access.
+
+Format (http://yann.lecun.com/exdb/mnist/): big-endian; magic number
+``0x00 0x00 <dtype> <ndim>`` followed by ``ndim`` uint32 dimension sizes and
+the raw array data.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+__all__ = ["read_idx_file", "write_idx_file", "read_idx_images", "read_idx_labels"]
+
+_DTYPE_CODES: dict[int, np.dtype] = {
+    0x08: np.dtype(">u1"),
+    0x09: np.dtype(">i1"),
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+_CODE_FOR_KIND = {v.newbyteorder("="): k for k, v in _DTYPE_CODES.items()}
+
+
+class IdxFormatError(ValueError):
+    """Raised when a file does not follow the IDX layout."""
+
+
+def read_idx_file(path_or_file) -> np.ndarray:
+    """Read any IDX file into a native-byte-order NumPy array."""
+    if hasattr(path_or_file, "read"):
+        return _read_idx(path_or_file)
+    with open(path_or_file, "rb") as handle:
+        return _read_idx(handle)
+
+
+def _read_idx(handle: BinaryIO) -> np.ndarray:
+    header = handle.read(4)
+    if len(header) != 4 or header[0] != 0 or header[1] != 0:
+        raise IdxFormatError("bad IDX magic number")
+    code, ndim = header[2], header[3]
+    if code not in _DTYPE_CODES:
+        raise IdxFormatError(f"unknown IDX dtype code 0x{code:02x}")
+    dims_raw = handle.read(4 * ndim)
+    if len(dims_raw) != 4 * ndim:
+        raise IdxFormatError("truncated IDX dimension header")
+    dims = struct.unpack(f">{ndim}I", dims_raw)
+    dtype = _DTYPE_CODES[code]
+    count = int(np.prod(dims)) if dims else 1
+    payload = handle.read(count * dtype.itemsize)
+    if len(payload) != count * dtype.itemsize:
+        raise IdxFormatError("truncated IDX payload")
+    array = np.frombuffer(payload, dtype=dtype).reshape(dims)
+    return array.astype(dtype.newbyteorder("="))
+
+
+def write_idx_file(path_or_file, array: np.ndarray) -> None:
+    """Write an array in IDX format (inverse of :func:`read_idx_file`)."""
+    native = np.ascontiguousarray(array)
+    key = native.dtype.newbyteorder("=")
+    if key not in _CODE_FOR_KIND:
+        raise IdxFormatError(f"dtype {native.dtype} not representable in IDX")
+    code = _CODE_FOR_KIND[key]
+    header = bytes([0, 0, code, native.ndim])
+    dims = struct.pack(f">{native.ndim}I", *native.shape)
+    payload = native.astype(native.dtype.newbyteorder(">")).tobytes()
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(header + dims + payload)
+    else:
+        with open(path_or_file, "wb") as handle:
+            handle.write(header + dims + payload)
+
+
+def read_idx_images(path) -> np.ndarray:
+    """Read an images IDX file into ``(n, rows*cols)`` floats in ``[0, 1]``."""
+    raw = read_idx_file(path)
+    if raw.ndim != 3:
+        raise IdxFormatError(f"image file must be 3-D, got {raw.ndim}-D")
+    n = raw.shape[0]
+    return raw.reshape(n, -1).astype(np.float64) / 255.0
+
+
+def read_idx_labels(path) -> np.ndarray:
+    """Read a labels IDX file into an ``(n,)`` int64 array."""
+    raw = read_idx_file(path)
+    if raw.ndim != 1:
+        raise IdxFormatError(f"label file must be 1-D, got {raw.ndim}-D")
+    return raw.astype(np.int64)

@@ -1,0 +1,102 @@
+"""Synthetic 32x32 RGB shapes — the higher-dimensional dataset.
+
+The paper's future work: "apply our method to train GANs to address the
+generation of higher dimensional images, such as samples from CIFAR and
+CelebA."  CIFAR itself is unavailable offline, so this module provides a
+procedural color dataset with the properties that matter for the method:
+3072-dimensional samples (32x32x3, four times MNIST's 784) and ten visually
+distinct modes (five shapes x two palettes).
+
+The cellular trainer is dimension-agnostic — only
+:class:`~repro.config.NetworkSettings.output_neurons` changes — so this
+dataset exercises the exact code path the authors name as future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SHAPE_CLASSES", "SHAPES_SIDE", "SHAPES_PIXELS", "render_shapes",
+           "load_synthetic_shapes"]
+
+SHAPES_SIDE = 32
+SHAPES_PIXELS = SHAPES_SIDE * SHAPES_SIDE * 3
+
+#: Ten classes: five shapes, each in a warm and a cool palette.
+SHAPE_CLASSES = (
+    "circle/warm", "circle/cool",
+    "square/warm", "square/cool",
+    "triangle/warm", "triangle/cool",
+    "ring/warm", "ring/cool",
+    "cross/warm", "cross/cool",
+)
+
+_coords = (np.arange(SHAPES_SIDE, dtype=np.float64) + 0.5) / SHAPES_SIDE
+_X, _Y = np.meshgrid(_coords, _coords)
+
+_WARM = np.array([0.95, 0.45, 0.15])
+_COOL = np.array([0.15, 0.45, 0.95])
+
+
+def _mask_for(shape: str, cx: float, cy: float, radius: float) -> np.ndarray:
+    """Soft occupancy mask in [0, 1] for one shape instance."""
+    dx, dy = _X - cx, _Y - cy
+    if shape == "circle":
+        dist = np.sqrt(dx * dx + dy * dy)
+        return np.clip((radius - dist) / 0.04 + 0.5, 0.0, 1.0)
+    if shape == "square":
+        dist = np.maximum(np.abs(dx), np.abs(dy))
+        return np.clip((radius - dist) / 0.04 + 0.5, 0.0, 1.0)
+    if shape == "triangle":
+        # Upward triangle: inside if below the two slanted edges and above
+        # the base.
+        base = cy + radius * 0.8
+        left = dy * 0.5 - dx * 1.0 + radius * 0.8
+        right = dy * 0.5 + dx * 1.0 + radius * 0.8
+        inside = np.minimum(np.minimum(left, right), base - _Y)
+        return np.clip(inside / 0.05 + 0.3, 0.0, 1.0)
+    if shape == "ring":
+        dist = np.sqrt(dx * dx + dy * dy)
+        band = radius * 0.35
+        return np.clip((band - np.abs(dist - radius * 0.8)) / 0.03 + 0.5, 0.0, 1.0)
+    if shape == "cross":
+        arm = radius * 0.35
+        horizontal = (np.abs(dy) < arm) & (np.abs(dx) < radius)
+        vertical = (np.abs(dx) < arm) & (np.abs(dy) < radius)
+        return (horizontal | vertical).astype(np.float64)
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+def render_shapes(labels: np.ndarray, rng: np.random.Generator,
+                  noise_std: float = 0.04) -> np.ndarray:
+    """Render one 32x32 RGB image per label; returns ``(n, 3072)`` in [0, 1]."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if labels.size and (labels.min() < 0 or labels.max() >= len(SHAPE_CLASSES)):
+        raise ValueError(f"labels must be in 0..{len(SHAPE_CLASSES) - 1}")
+    out = np.empty((labels.shape[0], SHAPES_PIXELS))
+    for i, label in enumerate(labels):
+        shape, palette = SHAPE_CLASSES[label].split("/")
+        cx = 0.5 + rng.uniform(-0.08, 0.08)
+        cy = 0.5 + rng.uniform(-0.08, 0.08)
+        radius = rng.uniform(0.22, 0.3)
+        mask = _mask_for(shape, cx, cy, radius)
+        base = _WARM if palette == "warm" else _COOL
+        color = np.clip(base + rng.normal(0.0, 0.05, size=3), 0.0, 1.0)
+        background = rng.uniform(0.0, 0.12)
+        image = background + mask[:, :, None] * (color - background)[None, None, :]
+        image += rng.normal(0.0, noise_std, size=image.shape)
+        out[i] = np.clip(image, 0.0, 1.0).ravel()
+    return out
+
+
+def load_synthetic_shapes(n_samples: int, seed: int = 42,
+                          noise_std: float = 0.04) -> tuple[np.ndarray, np.ndarray]:
+    """Balanced dataset of ``n_samples`` shapes; returns (images, labels)."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n_samples, 3072]))
+    labels = np.arange(n_samples, dtype=np.int64) % len(SHAPE_CLASSES)
+    rng.shuffle(labels)
+    return render_shapes(labels, rng, noise_std=noise_std), labels

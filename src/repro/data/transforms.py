@@ -1,0 +1,32 @@
+"""Image-range transforms.
+
+Table I's generators end in ``tanh``, so training images must live in
+``[-1, 1]``; the renderer and the IDX loader both produce ``[0, 1]``.
+These helpers convert between the two ranges (and are exact inverses,
+which the property tests assert).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_tanh_range", "from_tanh_range", "flatten_images"]
+
+
+def to_tanh_range(images: np.ndarray) -> np.ndarray:
+    """Map ``[0, 1]`` pixel intensities to the generator's ``[-1, 1]`` range."""
+    return images * 2.0 - 1.0
+
+
+def from_tanh_range(images: np.ndarray) -> np.ndarray:
+    """Map generator output in ``[-1, 1]`` back to ``[0, 1]`` intensities."""
+    return (images + 1.0) * 0.5
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """Flatten ``(n, h, w)`` image stacks to ``(n, h*w)`` (no copy if possible)."""
+    if images.ndim == 2:
+        return images
+    if images.ndim != 3:
+        raise ValueError(f"expected (n, h, w) or (n, p), got shape {images.shape}")
+    return images.reshape(images.shape[0], -1)

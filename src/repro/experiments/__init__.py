@@ -1,0 +1,36 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+One module per artifact; each exposes a ``run(...)`` returning structured
+rows/series and a ``format_...`` printer producing the paper's layout.  The
+benchmark harness under ``benchmarks/`` calls these, and ``EXPERIMENTS.md``
+records paper-versus-measured values.
+
+===========  ====================================================  ==========================
+Artifact     Content                                               Module
+===========  ====================================================  ==========================
+Table I      parameter settings of the trained GANs                :mod:`repro.experiments.table1`
+Table II     resources used per grid size                          :mod:`repro.experiments.table2`
+Table III    execution times + speedup, single-core vs distributed :mod:`repro.experiments.table3`
+Table IV     profiling of the four dominant routines               :mod:`repro.experiments.table4`
+Fig. 1       toroidal grid and overlapping neighborhoods           :mod:`repro.experiments.fig1`
+Fig. 2       slave state machine                                   :mod:`repro.experiments.fig2`
+Fig. 3       master/slave flow (threads + MPI messages)            :mod:`repro.experiments.fig3`
+Fig. 4       bar chart of the Table IV routine times               :mod:`repro.experiments.fig4`
+===========  ====================================================  ==========================
+"""
+
+from repro.experiments import fig1, fig2, fig3, fig4, table1, table2, table3, table4
+from repro.experiments.workloads import bench_config, quick_config
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "bench_config",
+    "quick_config",
+]

@@ -1,0 +1,66 @@
+"""Fig. 1 — the toroidal grid and its overlapping neighborhoods.
+
+The paper's figure shows a 4x4 grid and two five-cell Moore neighborhoods
+(N(1,3) wrapping around the torus, N(1,1) interior), illustrating how
+overlap propagates center updates.  The regenerator produces the same
+structure as data: every neighborhood, the overlap sets, and an ASCII
+rendering of the two example neighborhoods.
+"""
+
+from __future__ import annotations
+
+from repro.coevolution.grid import ToroidalGrid
+
+__all__ = ["run", "format_figure"]
+
+
+def run(rows: int = 4, cols: int = 4) -> dict:
+    """Neighborhood structure of the paper's example grid."""
+    grid = ToroidalGrid(rows, cols)
+    neighborhoods = {
+        (r, c): grid.neighborhood(r, c) for r in range(rows) for c in range(cols)
+    }
+    overlaps = {}
+    for index in range(grid.cell_count):
+        coords = grid.coords_of(index)
+        overlaps[coords] = [grid.coords_of(j) for j in grid.overlapping_neighborhoods(index)]
+    return {
+        "grid": (rows, cols),
+        "neighborhoods": neighborhoods,
+        "overlaps": overlaps,
+        # The two neighborhoods the paper's figure highlights:
+        "example_interior": neighborhoods[(1, 1)],
+        "example_wrapping": neighborhoods[(1, 3)],
+    }
+
+
+def _render(rows: int, cols: int, members: list[tuple[int, int]], center: tuple[int, int]) -> str:
+    lines = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            if (r, c) == center:
+                cells.append("[C]")
+            elif (r, c) in members:
+                cells.append("[N]")
+            else:
+                cells.append(" . ")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def format_figure(data: dict) -> str:
+    rows, cols = data["grid"]
+    parts = [
+        f"FIG. 1 — {rows}x{cols} TOROIDAL GRID, FIVE-CELL MOORE NEIGHBORHOODS",
+        "",
+        "Neighborhood N(1,1) (interior):",
+        _render(rows, cols, data["example_interior"], data["example_interior"][0]),
+        "",
+        "Neighborhood N(1,3) (wraps around the torus):",
+        _render(rows, cols, data["example_wrapping"], data["example_wrapping"][0]),
+        "",
+        "Overlap: each center appears in exactly 5 neighborhoods "
+        "(its own + its four neighbors').",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,123 @@
+"""Generic parameter-sweep harness with CSV output.
+
+The evaluation methodology of the paper is a sweep (grid size x version,
+ten repetitions, mean ± std).  This module generalizes that pattern so new
+studies — iteration scaling, exchange modes, loss pools — are one
+declaration instead of a bespoke script:
+
+    sweep = Sweep(
+        name="grid-scaling",
+        parameters={"grid": [(2, 2), (3, 3)], "backend": ["process"]},
+        run=my_measure_fn,          # dict -> dict of metrics
+        repetitions=3,
+    )
+    rows = sweep.execute()
+    sweep.write_csv("out.csv", rows)
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["Sweep", "SweepRow"]
+
+
+@dataclass
+class SweepRow:
+    """One parameter combination with aggregated metrics."""
+
+    parameters: dict[str, Any]
+    metrics_mean: dict[str, float]
+    metrics_std: dict[str, float]
+    repetitions: int
+    seconds: float
+
+    def flat(self) -> dict[str, Any]:
+        """Single flat mapping for CSV writing."""
+        out: dict[str, Any] = dict(self.parameters)
+        for name, value in self.metrics_mean.items():
+            out[f"{name}_mean"] = value
+        for name, value in self.metrics_std.items():
+            out[f"{name}_std"] = value
+        out["repetitions"] = self.repetitions
+        out["seconds"] = self.seconds
+        return out
+
+
+@dataclass
+class Sweep:
+    """Cartesian-product sweep over named parameter lists."""
+
+    name: str
+    parameters: Mapping[str, Sequence[Any]]
+    run: Callable[[dict[str, Any], int], Mapping[str, float]]
+    """Called as ``run(combination, repetition_index)``; returns metrics."""
+    repetitions: int = 1
+    progress: Callable[[str], None] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise ValueError("sweep needs at least one parameter")
+        if any(len(values) == 0 for values in self.parameters.values()):
+            raise ValueError("every parameter needs at least one value")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    def combinations(self) -> list[dict[str, Any]]:
+        names = list(self.parameters)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.parameters[n] for n in names))
+        ]
+
+    def execute(self) -> list[SweepRow]:
+        rows: list[SweepRow] = []
+        for combo in self.combinations():
+            if self.progress is not None:
+                self.progress(f"{self.name}: {combo}")
+            start = time.perf_counter()
+            samples: list[Mapping[str, float]] = []
+            for repetition in range(self.repetitions):
+                metrics = dict(self.run(combo, repetition))
+                if not metrics:
+                    raise ValueError(f"run() returned no metrics for {combo}")
+                samples.append(metrics)
+            keys = set(samples[0])
+            for sample in samples[1:]:
+                if set(sample) != keys:
+                    raise ValueError("runs returned inconsistent metric names")
+            rows.append(SweepRow(
+                parameters=combo,
+                metrics_mean={
+                    k: statistics.fmean(s[k] for s in samples) for k in sorted(keys)
+                },
+                metrics_std={
+                    k: (statistics.stdev([s[k] for s in samples])
+                        if len(samples) > 1 else 0.0)
+                    for k in sorted(keys)
+                },
+                repetitions=self.repetitions,
+                seconds=time.perf_counter() - start,
+            ))
+        return rows
+
+    @staticmethod
+    def write_csv(path, rows: list[SweepRow]) -> None:
+        """Write aggregated rows as CSV (stringifying non-scalar params)."""
+        if not rows:
+            raise ValueError("nothing to write")
+        flat_rows = [
+            {k: (str(v) if isinstance(v, (tuple, list)) else v)
+             for k, v in row.flat().items()}
+            for row in rows
+        ]
+        fieldnames = list(flat_rows[0])
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(flat_rows)

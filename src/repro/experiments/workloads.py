@@ -1,0 +1,70 @@
+"""Shared workload definitions for the experiment regenerators.
+
+The paper trains 200 iterations over full MNIST epochs on a cluster with a
+96-hour limit; a laptop-scale reproduction keeps every *structural*
+parameter of Table I (network shape, batch size 100, tournament size 2,
+mutation settings, grid sizes) and scales only the iteration count and the
+dataset volume.  Wall-clock ratios — the object of Tables III/IV — are
+preserved because every phase (train / gather / update / mutate) shrinks by
+the same factor.
+
+Environment overrides (picked up by the benchmark harness):
+
+* ``REPRO_BENCH_ITERATIONS`` — coevolutionary iterations per run (default 4)
+* ``REPRO_BENCH_DATASET`` — dataset size (default 2000)
+* ``REPRO_BENCH_BATCHES`` — batches per iteration (default 3)
+* ``REPRO_BENCH_REPETITIONS`` — repetitions for Table III statistics (default 1)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.config import ExperimentConfig, paper_table1_config
+
+__all__ = ["bench_config", "quick_config", "bench_repetitions", "PAPER_GRIDS"]
+
+#: The grid sizes evaluated by the paper (Tables II and III).
+PAPER_GRIDS: tuple[tuple[int, int], ...] = ((2, 2), (3, 3), (4, 4))
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    parsed = int(value)
+    if parsed < 1:
+        raise ValueError(f"{name} must be >= 1, got {parsed}")
+    return parsed
+
+
+def bench_config(rows: int, cols: int, *, seed: int = 42) -> ExperimentConfig:
+    """The benchmark workload for one grid size (Table I, scaled)."""
+    import dataclasses
+
+    scaled = paper_table1_config(rows, cols).scaled(
+        iterations=_env_int("REPRO_BENCH_ITERATIONS", 4),
+        dataset_size=_env_int("REPRO_BENCH_DATASET", 2000),
+        batch_size=100,
+        batches_per_iteration=_env_int("REPRO_BENCH_BATCHES", 3),
+    )
+    return dataclasses.replace(scaled, seed=seed)
+
+
+def quick_config(rows: int = 2, cols: int = 2, *, seed: int = 42,
+                 iterations: int = 2) -> ExperimentConfig:
+    """A seconds-scale workload for integration tests."""
+    import dataclasses
+
+    scaled = paper_table1_config(rows, cols).scaled(
+        iterations=iterations,
+        dataset_size=400,
+        batch_size=20,
+        batches_per_iteration=2,
+    )
+    return dataclasses.replace(scaled, seed=seed)
+
+
+def bench_repetitions() -> int:
+    """Repetitions for Table III statistics (paper: 10; default here: 1)."""
+    return _env_int("REPRO_BENCH_REPETITIONS", 1)

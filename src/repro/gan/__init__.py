@@ -1,0 +1,24 @@
+"""GANs as trained by the paper: Table I MLPs plus the adversarial steps.
+
+* :mod:`repro.gan.networks` — generator/discriminator MLP builders
+  (64 -> 256 -> 256 -> 784 with ``tanh``, and the mirrored discriminator).
+* :mod:`repro.gan.pair` — :class:`GANPair`, one generator/discriminator
+  couple with its optimizers and loss; exposes the per-batch training steps
+  the cellular algorithm schedules.
+* :mod:`repro.gan.sampling` — latent-space sampling and batched generation.
+"""
+
+from repro.gan.networks import Discriminator, Generator, build_discriminator, build_generator
+from repro.gan.pair import GANPair, build_gan_pair
+from repro.gan.sampling import generate_images, sample_latent
+
+__all__ = [
+    "Generator",
+    "Discriminator",
+    "build_generator",
+    "build_discriminator",
+    "GANPair",
+    "build_gan_pair",
+    "sample_latent",
+    "generate_images",
+]

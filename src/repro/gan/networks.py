@@ -1,0 +1,84 @@
+"""Generator and discriminator MLPs (paper Table I).
+
+Generator: ``latent(64) -> 256 -> 256 -> 784`` with the configured hidden
+activation (``tanh`` in the paper) and a ``tanh`` output so images live in
+``[-1, 1]``.
+
+Discriminator: the mirror image ``784 -> 256 -> 256 -> 1``; it outputs a raw
+logit (no sigmoid) because all three Mustangs losses consume logits through
+numerically stable formulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NetworkSettings
+from repro.nn import Linear, Module, Sequential, Tensor, activation_module
+from repro.nn.init import xavier_normal
+
+__all__ = ["Generator", "Discriminator", "build_generator", "build_discriminator"]
+
+
+def _mlp(sizes: list[int], hidden_activation: str, rng: np.random.Generator,
+         final: Module | None) -> Sequential:
+    layers: list[Module] = []
+    for i in range(len(sizes) - 1):
+        layers.append(Linear(sizes[i], sizes[i + 1], rng, init=xavier_normal))
+        if i < len(sizes) - 2:
+            layers.append(activation_module(hidden_activation))
+    if final is not None:
+        layers.append(final)
+    return Sequential(*layers)
+
+
+class Generator(Module):
+    """Maps latent vectors ``(n, latent_size)`` to images ``(n, output_neurons)``."""
+
+    def __init__(self, settings: NetworkSettings, rng: np.random.Generator):
+        super().__init__()
+        self.settings = settings
+        sizes = (
+            [settings.latent_size]
+            + [settings.hidden_neurons] * settings.hidden_layers
+            + [settings.output_neurons]
+        )
+        self.net = _mlp(sizes, settings.activation, rng, final=activation_module("tanh"))
+
+    def forward(self, z: Tensor) -> Tensor:
+        if z.ndim != 2 or z.shape[1] != self.settings.latent_size:
+            raise ValueError(
+                f"latent batch must be (n, {self.settings.latent_size}), got {z.shape}"
+            )
+        return self.net(z)
+
+
+class Discriminator(Module):
+    """Maps images ``(n, output_neurons)`` to real-vs-fake logits ``(n, 1)``."""
+
+    def __init__(self, settings: NetworkSettings, rng: np.random.Generator):
+        super().__init__()
+        self.settings = settings
+        sizes = (
+            [settings.output_neurons]
+            + [settings.hidden_neurons] * settings.hidden_layers
+            + [1]
+        )
+        self.net = _mlp(sizes, settings.activation, rng, final=None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.settings.output_neurons:
+            raise ValueError(
+                f"image batch must be (n, {self.settings.output_neurons}), got {x.shape}"
+            )
+        return self.net(x)
+
+
+def build_generator(settings: NetworkSettings, rng: np.random.Generator) -> Generator:
+    """Construct a generator initialized from ``rng``."""
+    return Generator(settings, rng)
+
+
+def build_discriminator(settings: NetworkSettings, rng: np.random.Generator) -> Discriminator:
+    """Construct a discriminator initialized from ``rng``."""
+    return Discriminator(settings, rng)

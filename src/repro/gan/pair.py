@@ -1,0 +1,149 @@
+"""A generator/discriminator couple with its optimizers and loss.
+
+:class:`GANPair` owns the two networks, their optimizers (rebuilt whenever a
+genome is copied in from a neighbor — optimizer moments are *not* migrated,
+matching Lipizzaner) and the :class:`~repro.nn.losses.GANLoss` the cell was
+assigned.  It exposes exactly the operations the cellular trainer schedules:
+
+* :meth:`train_discriminator_step` / :meth:`train_generator_step` — one
+  gradient step each (the paper's profiled ``train`` routine),
+* :meth:`evaluate` — both losses on a batch without touching parameters
+  (used for fitness evaluation during selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.gan.networks import Discriminator, Generator
+from repro.gan.sampling import sample_latent
+from repro.nn import Tensor, loss_by_name, optimizer_by_name
+from repro.nn.autograd import no_grad
+from repro.nn.losses import GANLoss
+from repro.nn.optim import Optimizer
+
+__all__ = ["GANPair", "build_gan_pair"]
+
+
+class GANPair:
+    """One adversarial couple as trained inside a grid cell."""
+
+    def __init__(self, generator: Generator, discriminator: Discriminator,
+                 loss: GANLoss, optimizer_name: str, learning_rate: float):
+        self.generator = generator
+        self.discriminator = discriminator
+        self.loss = loss
+        self.optimizer_name = optimizer_name
+        self.g_optimizer: Optimizer = optimizer_by_name(
+            optimizer_name, generator.parameters(), learning_rate
+        )
+        self.d_optimizer: Optimizer = optimizer_by_name(
+            optimizer_name, discriminator.parameters(), learning_rate
+        )
+
+    # -- learning-rate plumbing (hyperparameter mutation target) -------------
+
+    @property
+    def learning_rate(self) -> float:
+        return self.g_optimizer.learning_rate
+
+    @learning_rate.setter
+    def learning_rate(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("learning rate must stay positive")
+        self.g_optimizer.learning_rate = value
+        self.d_optimizer.learning_rate = value
+
+    def reset_optimizers(self) -> None:
+        """Drop optimizer state, e.g. after parameters were overwritten."""
+        lr = self.learning_rate
+        self.g_optimizer = optimizer_by_name(
+            self.optimizer_name, self.generator.parameters(), lr
+        )
+        self.d_optimizer = optimizer_by_name(
+            self.optimizer_name, self.discriminator.parameters(), lr
+        )
+
+    # -- training steps --------------------------------------------------------
+
+    def train_discriminator_step(self, real_batch: np.ndarray, rng: np.random.Generator,
+                                 generator: Generator | None = None) -> float:
+        """One discriminator update on a real batch vs freshly generated fakes.
+
+        ``generator`` defaults to the pair's own, but the cellular algorithm
+        also trains the discriminator against *neighbor* generators, so any
+        generator can be passed as the adversary.
+        """
+        adversary = generator if generator is not None else self.generator
+        n = real_batch.shape[0]
+        with no_grad():
+            z = Tensor(sample_latent(n, adversary.settings.latent_size, rng))
+            fake = adversary(z).detach()
+        real_logits = self.discriminator(Tensor(real_batch))
+        fake_logits = self.discriminator(fake)
+        loss = self.loss.discriminator_loss(real_logits, fake_logits)
+        self.d_optimizer.zero_grad()
+        loss.backward()
+        self.d_optimizer.step()
+        return loss.item()
+
+    def train_generator_step(self, batch_size: int, rng: np.random.Generator,
+                             discriminator: Discriminator | None = None) -> float:
+        """One generator update against ``discriminator`` (default: own)."""
+        adversary = discriminator if discriminator is not None else self.discriminator
+        z = Tensor(sample_latent(batch_size, self.generator.settings.latent_size, rng))
+        fake = self.generator(z)
+        fake_logits = adversary(fake)
+        loss = self.loss.generator_loss(fake_logits)
+        self.g_optimizer.zero_grad()
+        # The adversary's parameters also collect gradients here; clear them
+        # afterwards instead of before so the generator sees a fresh tape.
+        loss.backward()
+        self.g_optimizer.step()
+        adversary.zero_grad()
+        return loss.item()
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, real_batch: np.ndarray, rng: np.random.Generator,
+                 generator: Generator | None = None,
+                 discriminator: Discriminator | None = None) -> tuple[float, float]:
+        """Return ``(discriminator_loss, generator_loss)`` on one batch, no updates.
+
+        Used for the all-pairs fitness evaluation of the sub-population; runs
+        entirely under :func:`~repro.nn.autograd.no_grad`.
+        """
+        gen = generator if generator is not None else self.generator
+        disc = discriminator if discriminator is not None else self.discriminator
+        n = real_batch.shape[0]
+        with no_grad():
+            z = Tensor(sample_latent(n, gen.settings.latent_size, rng))
+            fake = gen(z)
+            real_logits = disc(Tensor(real_batch))
+            fake_logits = disc(fake)
+            d_loss = self.loss.discriminator_loss(real_logits, fake_logits).item()
+            g_loss = self.loss.generator_loss(fake_logits).item()
+        return d_loss, g_loss
+
+
+def build_gan_pair(config: ExperimentConfig, rng: np.random.Generator,
+                   loss_name: str | None = None) -> GANPair:
+    """Construct a pair from the experiment configuration.
+
+    ``loss_name`` overrides the configured loss — the Mustangs variant draws
+    a different loss per cell from the pool.
+    """
+    generator = Generator(config.network, rng)
+    discriminator = Discriminator(config.network, rng)
+    name = loss_name if loss_name is not None else config.training.loss_function
+    if name == "mustangs":
+        raise ValueError("'mustangs' is a per-cell policy, not a loss; pass a concrete loss name")
+    loss = loss_by_name(name)
+    return GANPair(
+        generator,
+        discriminator,
+        loss,
+        config.mutation.optimizer,
+        config.mutation.initial_learning_rate,
+    )

@@ -1,0 +1,35 @@
+"""Latent-space sampling and batched generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gan.networks import Generator
+from repro.nn import Tensor
+from repro.nn.autograd import no_grad
+
+__all__ = ["sample_latent", "generate_images"]
+
+
+def sample_latent(n: int, latent_size: int, rng: np.random.Generator) -> np.ndarray:
+    """Standard-normal latent batch of shape ``(n, latent_size)``."""
+    if n < 1 or latent_size < 1:
+        raise ValueError("n and latent_size must be positive")
+    return rng.standard_normal((n, latent_size))
+
+
+def generate_images(generator: Generator, n: int, rng: np.random.Generator,
+                    batch: int = 512) -> np.ndarray:
+    """Generate ``n`` images without recording the autograd tape.
+
+    Generation happens in chunks of ``batch`` so the activation memory stays
+    bounded when the metrics pipeline asks for thousands of samples.
+    """
+    latent_size = generator.settings.latent_size
+    pieces: list[np.ndarray] = []
+    with no_grad():
+        for lo in range(0, n, batch):
+            count = min(batch, n - lo)
+            z = Tensor(sample_latent(count, latent_size, rng))
+            pieces.append(generator(z).numpy())
+    return np.concatenate(pieces, axis=0)

@@ -1,0 +1,45 @@
+"""Generative-quality metrics (the inception-score substitute).
+
+The paper selects the best neighborhood "according to some fitness value,
+e.g., inception score".  Inception-v3 makes no sense for 28x28 digits, so —
+as is standard for MNIST-scale work — a small classifier trained on the
+*real* dataset plays its role:
+
+* :func:`classifier_score` — ``exp(E[KL(p(y|x) || p(y))])`` over generated
+  samples, the exact inception-score formula with the domain classifier.
+* :func:`frechet_distance` — Fréchet distance between Gaussian fits of
+  real/generated features from the classifier's penultimate layer (FID).
+* :func:`mode_coverage` / :func:`total_variation_distance` — mode-collapse
+  diagnostics over the ten digit classes.
+"""
+
+from repro.metrics.classifier import DigitClassifier, train_digit_classifier
+from repro.metrics.dynamics import (
+    ConvergenceSummary,
+    fitness_curves,
+    genome_diversity_matrix,
+    learning_rate_trajectories,
+    mean_pairwise_distance,
+    summarize_convergence,
+)
+from repro.metrics.scores import (
+    classifier_score,
+    frechet_distance,
+    mode_coverage,
+    total_variation_distance,
+)
+
+__all__ = [
+    "DigitClassifier",
+    "train_digit_classifier",
+    "classifier_score",
+    "frechet_distance",
+    "mode_coverage",
+    "total_variation_distance",
+    "fitness_curves",
+    "learning_rate_trajectories",
+    "genome_diversity_matrix",
+    "mean_pairwise_distance",
+    "ConvergenceSummary",
+    "summarize_convergence",
+]

@@ -1,0 +1,109 @@
+"""Training-dynamics diagnostics: loss curves, diversity, convergence.
+
+Population diversity is the mechanism Lipizzaner/Mustangs rely on to escape
+mode collapse; these helpers quantify it from the artifacts both trainers
+already produce (per-cell :class:`~repro.coevolution.cell.CellReport` lists
+and final genomes) without touching the training loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coevolution.cell import CellReport
+from repro.coevolution.genome import Genome
+
+__all__ = [
+    "fitness_curves",
+    "learning_rate_trajectories",
+    "genome_diversity_matrix",
+    "mean_pairwise_distance",
+    "ConvergenceSummary",
+    "summarize_convergence",
+]
+
+
+def fitness_curves(cell_reports: list[list[CellReport]]) -> dict[str, np.ndarray]:
+    """Per-iteration best generator/discriminator fitness, cells x iterations.
+
+    Cells that stopped early (aborted runs) are padded with NaN so the
+    matrix stays rectangular.
+    """
+    if not cell_reports:
+        raise ValueError("no cell reports")
+    iterations = max((len(r) for r in cell_reports), default=0)
+    g = np.full((len(cell_reports), iterations), np.nan)
+    d = np.full((len(cell_reports), iterations), np.nan)
+    for row, reports in enumerate(cell_reports):
+        for col, report in enumerate(reports):
+            g[row, col] = report.best_generator_fitness
+            d[row, col] = report.best_discriminator_fitness
+    return {"generator": g, "discriminator": d}
+
+
+def learning_rate_trajectories(cell_reports: list[list[CellReport]]) -> np.ndarray:
+    """Learning rate per cell per iteration (NaN-padded)."""
+    iterations = max((len(r) for r in cell_reports), default=0)
+    out = np.full((len(cell_reports), iterations), np.nan)
+    for row, reports in enumerate(cell_reports):
+        for col, report in enumerate(reports):
+            out[row, col] = report.learning_rate
+    return out
+
+
+def genome_diversity_matrix(genomes: list[Genome]) -> np.ndarray:
+    """Pairwise L2 distances between genomes (symmetric, zero diagonal)."""
+    n = len(genomes)
+    if n == 0:
+        raise ValueError("no genomes")
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = genomes[i].distance_to(genomes[j])
+    return matrix
+
+
+def mean_pairwise_distance(genomes: list[Genome]) -> float:
+    """Mean off-diagonal genome distance — the grid's diversity scalar."""
+    n = len(genomes)
+    if n < 2:
+        return 0.0
+    matrix = genome_diversity_matrix(genomes)
+    return float(matrix.sum() / (n * (n - 1)))
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """End-of-run health indicators for one training run."""
+
+    final_generator_fitness_mean: float
+    final_generator_fitness_best: float
+    generator_fitness_improved: bool
+    genome_diversity: float
+    learning_rate_spread: float
+
+    def healthy(self) -> bool:
+        """Heuristic: fitness finite, some diversity retained."""
+        return (
+            np.isfinite(self.final_generator_fitness_mean)
+            and self.genome_diversity > 0.0
+        )
+
+
+def summarize_convergence(cell_reports: list[list[CellReport]],
+                          generator_genomes: list[Genome]) -> ConvergenceSummary:
+    """Condense a run's trajectory into a :class:`ConvergenceSummary`."""
+    curves = fitness_curves(cell_reports)["generator"]
+    finals = curves[:, -1]
+    first = np.nanmean(curves[:, 0])
+    last = np.nanmean(finals)
+    rates = learning_rate_trajectories(cell_reports)[:, -1]
+    return ConvergenceSummary(
+        final_generator_fitness_mean=float(last),
+        final_generator_fitness_best=float(np.nanmin(finals)),
+        generator_fitness_improved=bool(last <= first),
+        genome_diversity=mean_pairwise_distance(generator_genomes),
+        learning_rate_spread=float(np.nanmax(rates) - np.nanmin(rates)),
+    )

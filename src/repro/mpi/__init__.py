@@ -1,0 +1,40 @@
+"""Message-passing runtime with an mpi4py-style API (the MPI substitute).
+
+The paper parallelizes Lipizzaner with MPI (mpi4py) on a cluster.  This
+package provides the MPI subset the paper's implementation uses, built from
+scratch:
+
+* point-to-point ``send``/``recv``/``isend``/``irecv``/``probe``/``iprobe``
+  with tags and wildcards (pickled Python objects, like mpi4py's lowercase
+  methods);
+* collectives: ``bcast``, ``gather``, ``allgather``, ``scatter``,
+  ``reduce``, ``allreduce``, ``barrier``;
+* communicator management: ``Split`` (builds the paper's LOCAL and GLOBAL
+  communicators out of WORLD) and ``Create_cart`` (the Cartesian topology
+  the paper suggests via ``MPI_CART_CREATE``);
+* two transports with identical semantics: **threads** (one rank per thread,
+  for fast deterministic tests) and **processes** (one rank per OS process
+  via ``fork``, giving true multi-core parallelism — the configuration used
+  for all timing experiments).
+
+Entry point: :func:`repro.mpi.launcher.run_mpi` — the ``mpiexec`` of this
+runtime.
+"""
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, MAX_USER_TAG
+from repro.mpi.comm import CartComm, Comm, Status
+from repro.mpi.errors import MpiError, MpiTimeoutError, MpiWorkerError
+from repro.mpi.launcher import run_mpi
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX_USER_TAG",
+    "Comm",
+    "CartComm",
+    "Status",
+    "MpiError",
+    "MpiTimeoutError",
+    "MpiWorkerError",
+    "run_mpi",
+]

@@ -1,0 +1,235 @@
+"""Per-rank receive endpoint: mailbox pump and message matching.
+
+Every rank owns one :class:`Endpoint`.  A background *pump thread* drains
+the rank's transport mailbox into an in-memory buffer and notifies a
+condition variable; ``recv``/``probe`` then match on ``(context, source,
+tag)`` against that buffer.  This single-consumer design makes the endpoint
+safe for multiple user threads — exactly what the paper's slaves need, where
+the main thread (master communication) and the execution thread (training)
+share one MPI rank.
+
+Matching preserves MPI's non-overtaking guarantee: the buffer keeps arrival
+order and matching always takes the *earliest* matching envelope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.errors import MpiError, MpiTimeoutError
+
+__all__ = ["Envelope", "Endpoint", "SHUTDOWN"]
+
+#: Sentinel object understood by the pump thread as "stop".
+SHUTDOWN = ("__shutdown__",)
+
+
+@dataclass
+class Envelope:
+    """One message in flight.
+
+    ``context`` is the communicator's tree-structured tuple id (see
+    :class:`repro.mpi.comm.Comm`), keeping traffic of different
+    communicators from ever matching each other.
+    """
+
+    context: tuple[int, ...]
+    source: int
+    tag: int
+    payload: Any
+
+
+class _DestinationRelay:
+    """Outbound lane to one peer: a deque drained by a daemon sender thread.
+
+    ``send`` never blocks the caller.  The sender thread performs the
+    (possibly blocking, for pipe-backed process mailboxes) ``put``; a rank
+    whose peer died therefore keeps running — the paper's heartbeat/abort
+    path depends on exactly this.  Per-destination lanes with one thread
+    each preserve MPI's per-pair FIFO order.
+    """
+
+    __slots__ = ("put", "deque", "cond", "in_flight", "closing", "thread")
+
+    def __init__(self, name: str, put: Callable[[Any], None]):
+        from collections import deque
+
+        self.put = put
+        self.deque = deque()
+        self.cond = threading.Condition()
+        self.in_flight = False
+        self.closing = False
+        self.thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self.thread.start()
+
+    def send(self, item: Any) -> None:
+        with self.cond:
+            if self.closing:
+                raise MpiError("endpoint closed; cannot send")
+            self.deque.append(item)
+            self.cond.notify_all()
+
+    def _loop(self) -> None:
+        while True:
+            with self.cond:
+                while not self.deque and not self.closing:
+                    self.cond.wait()
+                if not self.deque and self.closing:
+                    self.cond.notify_all()
+                    return
+                item = self.deque.popleft()
+                self.in_flight = True
+            self.put(item)  # may block; never holds the lock
+            with self.cond:
+                self.in_flight = False
+                self.cond.notify_all()
+
+    def flush(self, deadline: float) -> bool:
+        """Wait until drained or ``deadline``; True when fully flushed."""
+        with self.cond:
+            self.closing = True
+            self.cond.notify_all()
+            while self.deque or self.in_flight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self.cond.wait(timeout=min(remaining, 0.1))
+            return True
+
+
+class Endpoint:
+    """Receive side of one rank; also routes sends to peer mailboxes."""
+
+    def __init__(self, rank: int, inbox, peers: dict[int, Callable[[Any], None]],
+                 puts_block: bool = False, flush_timeout: float = 10.0):
+        """``inbox`` must expose blocking ``get()``; ``peers`` maps global
+        rank to a callable enqueueing into that rank's mailbox.
+
+        ``puts_block=True`` (process transport: pipe-backed mailboxes with
+        finite kernel buffers) routes sends through per-destination relays
+        so user threads never block inside a send.  In-process transports
+        put directly.
+        """
+        self.rank = rank
+        self._inbox = inbox
+        self._peers = peers
+        self._puts_block = puts_block
+        self._flush_timeout = flush_timeout
+        self._relays: dict[int, _DestinationRelay] = {}
+        self._relay_lock = threading.Lock()
+        self._buffer: list[Envelope] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._pump = threading.Thread(
+            target=self._pump_loop, name=f"mpi-pump-{rank}", daemon=True
+        )
+        self._pump.start()
+
+    # -- pump ------------------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        while True:
+            item = self._inbox.get()
+            if item == SHUTDOWN:
+                with self._cond:
+                    self._closed = True
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._buffer.append(item)
+                self._cond.notify_all()
+
+    # -- send ------------------------------------------------------------------
+
+    def send_to(self, global_rank: int, envelope: Envelope) -> None:
+        try:
+            put = self._peers[global_rank]
+        except KeyError:
+            raise MpiError(f"unknown destination rank {global_rank}") from None
+        if not self._puts_block:
+            put(envelope)
+            return
+        with self._relay_lock:
+            relay = self._relays.get(global_rank)
+            if relay is None:
+                relay = _DestinationRelay(
+                    f"mpi-send-{self.rank}->{global_rank}", put
+                )
+                self._relays[global_rank] = relay
+        relay.send(envelope)
+
+    # -- receive ------------------------------------------------------------------
+
+    @staticmethod
+    def _matches(env: Envelope, context: tuple, source: int, tag: int) -> bool:
+        if env.context != context:
+            return False
+        if source != ANY_SOURCE and env.source != source:
+            return False
+        if tag != ANY_TAG and env.tag != tag:
+            return False
+        return True
+
+    def recv(self, context: tuple, source: int, tag: int,
+             timeout: float | None = None) -> Envelope:
+        """Block until a matching envelope arrives (earliest-first)."""
+        if timeout is not None and timeout < 0:
+            raise ValueError("timeout must be None or >= 0")
+        end = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                for i, env in enumerate(self._buffer):
+                    if self._matches(env, context, source, tag):
+                        return self._buffer.pop(i)
+                if self._closed:
+                    raise MpiError(f"rank {self.rank}: endpoint closed while receiving")
+                if end is None:
+                    self._cond.wait()
+                else:
+                    remaining = end - time.monotonic()
+                    if remaining <= 0:
+                        raise MpiTimeoutError(
+                            f"rank {self.rank}: recv(context={context}, source={source}, "
+                            f"tag={tag}) timed out after {timeout}s"
+                        )
+                    self._cond.wait(timeout=remaining)
+
+    def iprobe(self, context: tuple, source: int, tag: int) -> Envelope | None:
+        """Non-blocking probe: return the earliest match without removing it."""
+        with self._cond:
+            for env in self._buffer:
+                if self._matches(env, context, source, tag):
+                    return env
+        return None
+
+    def pending(self, context: tuple) -> int:
+        """Number of buffered envelopes for one communicator (diagnostics)."""
+        with self._cond:
+            return sum(1 for env in self._buffer if env.context == context)
+
+    # -- shutdown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush outbound lanes, then stop the pump thread (idempotent).
+
+        Messages still undeliverable after the flush timeout (their
+        destination died and its pipe is full) are abandoned — their daemon
+        sender threads die with the process.
+        """
+        with self._cond:
+            if self._closed:
+                return
+        deadline = time.monotonic() + self._flush_timeout
+        with self._relay_lock:
+            relays = list(self._relays.values())
+        for relay in relays:
+            relay.flush(deadline)
+        try:
+            self._peers[self.rank](SHUTDOWN)
+        except (KeyError, OSError, ValueError):
+            pass
+        self._pump.join(timeout=5.0)

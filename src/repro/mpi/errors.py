@@ -1,0 +1,25 @@
+"""Error types raised by the message-passing runtime."""
+
+from __future__ import annotations
+
+__all__ = ["MpiError", "MpiTimeoutError", "MpiWorkerError"]
+
+
+class MpiError(RuntimeError):
+    """Base class for runtime failures."""
+
+
+class MpiTimeoutError(MpiError):
+    """A blocking operation (or the whole job) exceeded its deadline."""
+
+
+class MpiWorkerError(MpiError):
+    """One or more ranks raised; carries their formatted tracebacks."""
+
+    def __init__(self, failures: dict[int, str]):
+        self.failures = dict(failures)
+        summary = "; ".join(f"rank {rank}" for rank in sorted(self.failures))
+        details = "\n\n".join(
+            f"--- rank {rank} ---\n{tb}" for rank, tb in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} rank(s) failed ({summary})\n{details}")

@@ -1,0 +1,82 @@
+"""Job launcher — the ``mpiexec`` of this runtime.
+
+:func:`run_mpi` starts ``size`` ranks (threads or forked processes), builds
+each rank's WORLD communicator, runs the user function and returns the
+per-rank results in rank order.  Failures in any rank surface as
+:class:`~repro.mpi.errors.MpiWorkerError` with full tracebacks; a global
+``timeout`` turns distributed deadlocks into clean
+:class:`~repro.mpi.errors.MpiTimeoutError` instead of hung test suites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.mpi.comm import Comm
+from repro.mpi.constants import WORLD_CONTEXT
+from repro.mpi.endpoint import Endpoint
+from repro.mpi.errors import MpiTimeoutError, MpiWorkerError
+from repro.mpi.transport import make_transport
+
+__all__ = ["run_mpi"]
+
+
+def run_mpi(size: int, fn: Callable[..., Any], args: Sequence[Any] = (),
+            backend: str = "process", timeout: float | None = 300.0,
+            allow_failures: bool = False) -> list[Any]:
+    """Run ``fn(comm, *args)`` on every rank; return values in rank order.
+
+    Parameters
+    ----------
+    size:
+        World size (the paper's "number of tasks": 1 master + m*m slaves).
+    fn:
+        The per-rank program.  Receives the WORLD :class:`Comm` first.
+        With the process backend it must be picklable-by-fork (defined at
+        import time; closures are fine since fork inherits memory).
+    backend:
+        ``"process"`` (true parallelism, used for all measurements) or
+        ``"threaded"`` (deterministic in-process execution for tests).
+    timeout:
+        Seconds to wait for all ranks; ``None`` waits forever.
+    allow_failures:
+        When True, failed ranks yield ``None`` in the result list instead
+        of raising (their tracebacks are attached to the list as the
+        ``failures`` attribute via :class:`RankResults`).  Used by the
+        fault-tolerance path, where an injected crash is expected.
+    """
+    transport = make_transport(backend, size)
+    putters = transport.peer_putters()
+
+    def worker(rank: int) -> Any:
+        endpoint = Endpoint(rank, transport.mailboxes[rank], putters,
+                            puts_block=transport.puts_block)
+        try:
+            world = Comm(endpoint, WORLD_CONTEXT, range(size))
+            return fn(world, *args)
+        finally:
+            endpoint.close()
+
+    transport.start(worker)
+    try:
+        outcomes = transport.collect(timeout)
+    except TimeoutError as exc:
+        transport.shutdown()
+        raise MpiTimeoutError(f"job did not finish within {timeout}s") from exc
+    transport.shutdown()
+
+    failures = {o.rank: o.error for o in outcomes if o.failed}
+    if failures and not allow_failures:
+        raise MpiWorkerError(failures)
+    by_rank = RankResults([None] * size)
+    by_rank.failures = failures
+    for outcome in outcomes:
+        if not outcome.failed:
+            by_rank[outcome.rank] = outcome.value
+    return by_rank
+
+
+class RankResults(list):
+    """Per-rank results; ``failures`` maps failed ranks to tracebacks."""
+
+    failures: dict[int, str]

@@ -1,0 +1,191 @@
+"""Transports: how rank mailboxes are realized.
+
+Two implementations with identical semantics:
+
+* :class:`ThreadTransport` — every rank is a thread in this process;
+  mailboxes are ``queue.SimpleQueue`` (no pickling, objects move by
+  reference).  Fast start-up and fully deterministic for tests, but compute
+  shares one GIL — which is exactly what the backend ablation benchmark
+  demonstrates.
+* :class:`ProcessTransport` — every rank is a forked OS process; mailboxes
+  are ``multiprocessing.SimpleQueue`` (OS pipes + pickle).  Gives the true
+  multi-core parallelism used in all timing experiments; the fork start
+  method lets children inherit the queue handles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.mpi.endpoint import SHUTDOWN
+
+__all__ = ["ThreadTransport", "ProcessTransport", "WorkerOutcome"]
+
+
+class WorkerOutcome:
+    """What a rank produced: a return value or a formatted traceback."""
+
+    __slots__ = ("rank", "value", "error")
+
+    def __init__(self, rank: int, value: Any = None, error: str | None = None):
+        self.rank = rank
+        self.value = value
+        self.error = error
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+class ThreadTransport:
+    """Ranks as threads; in-process queues as mailboxes."""
+
+    name = "threaded"
+    #: In-memory queues never block on put; endpoints send directly.
+    puts_block = False
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.mailboxes = [queue.SimpleQueue() for _ in range(size)]
+        self.results: "queue.SimpleQueue[WorkerOutcome]" = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+
+    def peer_putters(self) -> dict[int, Callable[[Any], None]]:
+        return {rank: mailbox.put for rank, mailbox in enumerate(self.mailboxes)}
+
+    def start(self, worker: Callable[[int], None]) -> None:
+        for rank in range(self.size):
+            thread = threading.Thread(
+                target=self._run_worker, args=(worker, rank),
+                name=f"mpi-rank-{rank}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _run_worker(self, worker: Callable[[int], Any], rank: int) -> None:
+        try:
+            value = worker(rank)
+            self.results.put(WorkerOutcome(rank, value=value))
+        except BaseException:
+            self.results.put(WorkerOutcome(rank, error=traceback.format_exc()))
+
+    def collect(self, timeout: float | None) -> list[WorkerOutcome]:
+        outcomes = []
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for _ in range(self.size):
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            try:
+                outcomes.append(self.results.get(timeout=remaining))
+            except queue.Empty:
+                raise TimeoutError("timed out waiting for worker results") from None
+        return outcomes
+
+    def shutdown(self) -> None:
+        for mailbox in self.mailboxes:
+            mailbox.put(SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+
+class ProcessTransport:
+    """Ranks as forked processes; multiprocessing queues as mailboxes."""
+
+    name = "process"
+
+    #: Pipe-backed mailboxes have finite kernel buffers: a put can block
+    #: once a dead rank's pipe fills.  Endpoints therefore route sends
+    #: through non-blocking per-destination relay threads.
+    puts_block = True
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self._ctx = multiprocessing.get_context("fork")
+        # SimpleQueue: a plain pipe + lock; one pickling hop, no feeder
+        # thread of its own (the Endpoint relay provides the async layer).
+        self.mailboxes = [self._ctx.SimpleQueue() for _ in range(size)]
+        self.results = self._ctx.SimpleQueue()
+        self._processes: list[multiprocessing.process.BaseProcess] = []
+
+    def peer_putters(self) -> dict[int, Callable[[Any], None]]:
+        return {rank: mailbox.put for rank, mailbox in enumerate(self.mailboxes)}
+
+    def start(self, worker: Callable[[int], None]) -> None:
+        for rank in range(self.size):
+            process = self._ctx.Process(
+                target=self._run_worker, args=(worker, rank),
+                name=f"mpi-rank-{rank}", daemon=True,
+            )
+            self._processes.append(process)
+            process.start()
+
+    def _run_worker(self, worker: Callable[[int], Any], rank: int) -> None:
+        try:
+            value = worker(rank)
+            self.results.put(WorkerOutcome(rank, value=value))
+        except BaseException:
+            self.results.put(WorkerOutcome(rank, error=traceback.format_exc()))
+
+    def collect(self, timeout: float | None) -> list[WorkerOutcome]:
+        """Wait for one outcome per rank.
+
+        A rank killed before posting (fault injection, OOM kill, ...) is
+        detected through its exit code and synthesized as a failed outcome —
+        otherwise one dead slave would hang the whole job collection.
+        ``multiprocessing.SimpleQueue`` has no timeout, so the underlying
+        pipe reader is polled directly.
+        """
+        outcomes: dict[int, WorkerOutcome] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(outcomes) < self.size:
+            if self.results._reader.poll(0.25):
+                outcome: WorkerOutcome = self.results.get()
+                outcomes[outcome.rank] = outcome
+                continue
+            for rank, process in enumerate(self._processes):
+                if rank in outcomes or process.exitcode is None:
+                    continue
+                # Exited without a buffered result? Give the pipe one last
+                # grace poll, then declare the rank dead.
+                if self.results._reader.poll(0.2):
+                    break
+                outcomes[rank] = WorkerOutcome(
+                    rank,
+                    error=(f"process exited with code {process.exitcode} "
+                           "before posting a result"),
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("timed out waiting for worker results")
+        return [outcomes[rank] for rank in range(self.size)]
+
+    def shutdown(self) -> None:
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def kill_rank(self, rank: int) -> None:
+        """Forcibly kill one rank (fault-injection tests)."""
+        process = self._processes[rank]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+
+
+def make_transport(backend: str, size: int):
+    """Factory used by the launcher."""
+    if backend == "threaded":
+        return ThreadTransport(size)
+    if backend == "process":
+        return ProcessTransport(size)
+    raise ValueError(f"unknown backend {backend!r}; expected 'threaded' or 'process'")

@@ -1,0 +1,442 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+Design
+------
+A :class:`Tensor` wraps a ``numpy.ndarray`` plus an optional gradient.  Every
+differentiable operation eagerly computes its result and records, on the
+result tensor, its parent tensors together with one vector-Jacobian product
+(VJP) closure per parent.  :meth:`Tensor.backward` topologically sorts this
+tape iteratively (deep MLP graphs would overflow Python's recursion limit)
+and accumulates gradients leaf-ward.
+
+Performance notes (following the HPC guides): all math is vectorized NumPy;
+gradients are accumulated **in place** with ``+=``; broadcasting in the
+forward pass is undone in the backward pass by :func:`_unbroadcast`
+(sum-reduction over the broadcast axes) without intermediate copies where
+possible; evaluation-only code paths run under :func:`no_grad` so no tape is
+recorded at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "concatenate", "stack"]
+
+_DEFAULT_DTYPE = np.float64
+
+Vjp = Callable[[np.ndarray], "np.ndarray | None"]
+
+
+class _GradMode(threading.local):
+    """Thread-local switch controlling whether the tape is recorded.
+
+    Thread-local matters here: the slave process trains on its *execution
+    thread* while the *main thread* answers the master's status requests
+    (paper Section III-B); the two must not share grad-mode state.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return _grad_mode.enabled
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape recording (e.g. for fitness evaluation)."""
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` to ``shape``: the adjoint of NumPy broadcasting.
+
+    Broadcasting either prepends axes or stretches size-1 axes; its adjoint
+    is summation over exactly those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def _as_array(value, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value if value.dtype == dtype else value.astype(dtype)
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_vjps")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._vjps: tuple[Vjp, ...] | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def zeros(shape: Sequence[int] | int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+
+    @staticmethod
+    def ones(shape: Sequence[int] | int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._vjps is None
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient in place (lazy allocation)."""
+        if self.grad is not None:
+            self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- graph construction ----------------------------------------------------
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], vjps: tuple[Vjp, ...]) -> "Tensor":
+        """Create the result of an op, recording the tape if grad is enabled."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._vjps = vjps
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ``1`` for scalar outputs (the usual loss case).
+        Gradients accumulate into ``.grad`` of leaf tensors that require grad;
+        the tape is freed afterwards so intermediate buffers can be collected.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar")
+            seed = np.ones_like(self.data)
+        else:
+            seed = _as_array(grad)
+            if seed.shape != self.data.shape:
+                raise ValueError(f"gradient shape {seed.shape} != tensor shape {self.data.shape}")
+
+        # Iterative post-order DFS for a topological order of the tape.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): seed}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._vjps is None:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = np.zeros_like(node.data)
+                node.grad += _unbroadcast(node_grad, node.data.shape)
+                continue
+            for parent, vjp in zip(node._parents, node._vjps):
+                if not parent.requires_grad:
+                    continue
+                contrib = vjp(node_grad)
+                if contrib is None:
+                    continue
+                contrib = _unbroadcast(contrib, parent.data.shape)
+                slot = grads.get(id(parent))
+                if slot is None:
+                    # Own the buffer before later in-place accumulation: the
+                    # VJP may have returned `node_grad` itself or a view.
+                    if contrib is node_grad or contrib.base is not None or not contrib.flags.owndata:
+                        contrib = contrib.copy()
+                    grads[id(parent)] = contrib
+                else:
+                    slot += contrib
+
+        # Release the tape (breaks reference cycles, frees activations).
+        for node in topo:
+            if node._vjps is not None:
+                node._parents = ()
+                node._vjps = None
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        return Tensor._make(self.data + o.data, (self, o), (lambda g: g, lambda g: g))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        return Tensor._make(self.data - o.data, (self, o), (lambda g: g, lambda g: -g))
+
+    def __rsub__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        return o.__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        a, b = self.data, o.data
+        return Tensor._make(a * b, (self, o), (lambda g: g * b, lambda g: g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        a, b = self.data, o.data
+        out = a / b
+        return Tensor._make(out, (self, o), (lambda g: g / b, lambda g: -g * out / b))
+
+    def __rtruediv__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        return o.__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), (lambda g: -g,))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        p = float(exponent)
+        a = self.data
+        out = a ** p
+        return Tensor._make(out, (self,), (lambda g: g * p * a ** (p - 1.0),))
+
+    def __matmul__(self, other) -> "Tensor":
+        o = other if isinstance(other, Tensor) else Tensor(other)
+        a, b = self.data, o.data
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("matmul supports 2-D operands only")
+        return Tensor._make(a @ b, (self, o), (lambda g: g @ b.T, lambda g: a.T @ g))
+
+    # -- elementwise functions ---------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+        return Tensor._make(out, (self,), (lambda g: g * out,))
+
+    def log(self) -> "Tensor":
+        a = self.data
+        return Tensor._make(np.log(a), (self,), (lambda g: g / a,))
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+        return Tensor._make(out, (self,), (lambda g: g * 0.5 / out,))
+
+    def abs(self) -> "Tensor":
+        a = self.data
+        return Tensor._make(np.abs(a), (self,), (lambda g: g * np.sign(a),))
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+        return Tensor._make(out, (self,), (lambda g: g * (1.0 - out * out),))
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic: scipy-style piecewise via np.where on
+        # exp of the negative magnitude.
+        a = self.data
+        out = np.empty_like(a)
+        pos = a >= 0
+        neg = ~pos
+        out[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
+        ea = np.exp(a[neg])
+        out[neg] = ea / (1.0 + ea)
+        return Tensor._make(out, (self,), (lambda g: g * out * (1.0 - out),))
+
+    def relu(self) -> "Tensor":
+        a = self.data
+        mask = a > 0
+        return Tensor._make(a * mask, (self,), (lambda g: g * mask,))
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        a = self.data
+        scale = np.where(a > 0, 1.0, negative_slope)
+        return Tensor._make(a * scale, (self,), (lambda g: g * scale,))
+
+    def softplus(self) -> "Tensor":
+        """Numerically stable ``log(1 + exp(x))``; gradient is ``sigmoid(x)``."""
+        a = self.data
+        out = np.maximum(a, 0.0) + np.log1p(np.exp(-np.abs(a)))
+
+        def vjp(g: np.ndarray) -> np.ndarray:
+            s = np.empty_like(a)
+            pos = a >= 0
+            neg = ~pos
+            s[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
+            ea = np.exp(a[neg])
+            s[neg] = ea / (1.0 + ea)
+            return g * s
+
+        return Tensor._make(out, (self,), (vjp,))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        a = self.data
+        mask = (a >= low) & (a <= high)
+        return Tensor._make(np.clip(a, low, high), (self,), (lambda g: g * mask,))
+
+    # -- reductions ---------------------------------------------------------------
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        a = self.data
+        out = a.sum(axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                return np.broadcast_to(g, a.shape)
+            if keepdims:
+                return np.broadcast_to(g, a.shape)
+            g_expanded = np.expand_dims(g, axis)
+            return np.broadcast_to(g_expanded, a.shape)
+
+        return Tensor._make(np.asarray(out), (self,), (vjp,))
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        a = self.data
+        if axis is None:
+            count = a.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([a.shape[ax] for ax in axis]))
+        else:
+            count = a.shape[axis]
+        scaled = self.sum(axis=axis, keepdims=keepdims)
+        return scaled * (1.0 / count)
+
+    # -- shape manipulation ---------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self.data
+        return Tensor._make(a.reshape(shape), (self,), (lambda g: g.reshape(a.shape),))
+
+    @property
+    def T(self) -> "Tensor":
+        return Tensor._make(self.data.T, (self,), (lambda g: g.T,))
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self.data
+        out = a[index]
+
+        def vjp(g: np.ndarray) -> np.ndarray:
+            full = np.zeros_like(a)
+            np.add.at(full, index, g)
+            return full
+
+        return Tensor._make(np.asarray(out), (self,), (vjp,))
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.concatenate`` over a sequence of tensors."""
+    datas = [t.data for t in tensors]
+    out = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_vjp(i: int) -> Vjp:
+        lo, hi = offsets[i], offsets[i + 1]
+
+        def vjp(g: np.ndarray) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(lo, hi)
+            return g[tuple(slicer)]
+
+        return vjp
+
+    return Tensor._make(out, tuple(tensors), tuple(make_vjp(i) for i in range(len(tensors))))
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack``."""
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_vjp(i: int) -> Vjp:
+        def vjp(g: np.ndarray) -> np.ndarray:
+            return np.take(g, i, axis=axis)
+
+        return vjp
+
+    return Tensor._make(out, tuple(tensors), tuple(make_vjp(i) for i in range(len(tensors))))
+
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)

@@ -1,0 +1,93 @@
+"""Numerically stable composite operations built on the autograd primitives.
+
+These are the stable formulations the GAN losses need.  Everything here
+returns :class:`~repro.nn.autograd.Tensor` and is differentiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = [
+    "sigmoid",
+    "log_sigmoid",
+    "softplus",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_with_logits",
+]
+
+
+def _as_tensor(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+def sigmoid(x) -> Tensor:
+    """Logistic function ``1 / (1 + exp(-x))`` (stable)."""
+    return _as_tensor(x).sigmoid()
+
+
+def softplus(x) -> Tensor:
+    """``log(1 + exp(x))`` computed without overflow."""
+    return _as_tensor(x).softplus()
+
+
+def log_sigmoid(x) -> Tensor:
+    """``log(sigmoid(x)) = -softplus(-x)`` (stable for large ``|x|``)."""
+    return -((-_as_tensor(x)).softplus())
+
+
+def binary_cross_entropy_with_logits(logits, targets) -> Tensor:
+    """Mean BCE between ``sigmoid(logits)`` and ``targets``, computed stably.
+
+    Uses the identity ``BCE = softplus(x) - x * t`` (elementwise) which never
+    evaluates ``log`` near zero.  ``targets`` may be a scalar (all-real /
+    all-fake labels, the GAN case) or an array broadcastable to ``logits``.
+    """
+    x = _as_tensor(logits)
+    t = _as_tensor(targets)
+    per_element = x.softplus() - x * t
+    return per_element.mean()
+
+
+def mse_loss(prediction, target) -> Tensor:
+    """Mean squared error (the least-squares GAN criterion)."""
+    p = _as_tensor(prediction)
+    t = _as_tensor(target)
+    diff = p - t
+    return (diff * diff).mean()
+
+
+def softmax(logits, axis: int = -1) -> Tensor:
+    """Stable softmax along ``axis``."""
+    x = _as_tensor(logits)
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits, axis: int = -1) -> Tensor:
+    """Stable ``log(softmax(x))`` via the log-sum-exp trick."""
+    x = _as_tensor(logits)
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    lse = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - lse
+
+
+def cross_entropy_with_logits(logits, labels) -> Tensor:
+    """Mean categorical cross-entropy for integer ``labels``.
+
+    Used to train the feature classifier behind the inception-score
+    substitute (see :mod:`repro.metrics`).
+    """
+    x = _as_tensor(logits)
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    logp = log_softmax(x, axis=-1)
+    picked = logp[np.arange(labels.shape[0]), labels]
+    return -(picked.mean())

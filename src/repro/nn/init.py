@@ -1,0 +1,54 @@
+"""Parameter initializers.
+
+Each initializer takes an explicit :class:`numpy.random.Generator` — the
+whole project threads RNGs explicitly so distributed runs are reproducible
+(each grid cell derives its generator from the experiment seed and its cell
+index via ``numpy.random.SeedSequence.spawn``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normal_init", "xavier_uniform", "xavier_normal", "kaiming_normal", "zeros_init"]
+
+
+def normal_init(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Gaussian init with fixed standard deviation (DCGAN-style default)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform init; assumes ``shape == (fan_in, fan_out)``."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal init; assumes ``shape == (fan_in, fan_out)``."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+    """He init for (leaky-)ReLU layers; assumes ``shape == (fan_in, fan_out)``."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0 / (1.0 + negative_slope ** 2))
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros_init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,115 @@
+"""The three GAN loss formulations used by Lipizzaner/Mustangs.
+
+Mustangs [6] extends Lipizzaner [5] by letting each grid cell train with a
+loss function drawn from a pool, increasing genome diversity.  The pool is
+the same trio used in the Mustangs paper:
+
+* :class:`BCELoss` — the original minimax GAN objective [3],
+* :class:`LeastSquaresLoss` — the LSGAN objective (MSE against labels),
+* :class:`HeuristicLoss` — the non-saturating heuristic where the generator
+  maximizes ``log D(G(z))`` instead of minimizing ``log(1 - D(G(z)))``.
+
+All losses operate on **discriminator logits** (pre-sigmoid) so they can use
+the numerically stable formulations in :mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+__all__ = [
+    "GANLoss",
+    "BCELoss",
+    "LeastSquaresLoss",
+    "HeuristicLoss",
+    "MUSTANGS_LOSSES",
+    "loss_by_name",
+]
+
+
+class GANLoss:
+    """Interface: a pair of objectives for the two adversaries.
+
+    ``discriminator_loss`` receives the discriminator's logits on a real
+    batch and on a fake batch and returns the scalar to minimize;
+    ``generator_loss`` receives the discriminator's logits on the
+    generator's output and returns the scalar the *generator* minimizes.
+    """
+
+    name: str = "abstract"
+
+    def discriminator_loss(self, real_logits: Tensor, fake_logits: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def generator_loss(self, fake_logits: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+class BCELoss(GANLoss):
+    """Original GAN objective: ``min_G max_D E[log D(x)] + E[log(1-D(G(z)))]``.
+
+    The generator term is the *saturating* form ``E[log(1 - D(G(z)))]``,
+    minimized directly (equivalently: BCE of fake logits against the
+    fake-label 0, negated).
+    """
+
+    name = "bce"
+
+    def discriminator_loss(self, real_logits: Tensor, fake_logits: Tensor) -> Tensor:
+        real_term = F.binary_cross_entropy_with_logits(real_logits, 1.0)
+        fake_term = F.binary_cross_entropy_with_logits(fake_logits, 0.0)
+        return real_term + fake_term
+
+    def generator_loss(self, fake_logits: Tensor) -> Tensor:
+        # minimize E[log(1 - D(G(z)))]  ==  -BCE(fake_logits, 0)
+        return -(F.binary_cross_entropy_with_logits(fake_logits, 0.0))
+
+
+class HeuristicLoss(GANLoss):
+    """Non-saturating heuristic: the generator minimizes ``-E[log D(G(z))]``.
+
+    The discriminator objective matches :class:`BCELoss`; only the generator
+    side differs, avoiding the vanishing-gradient regime early in training.
+    """
+
+    name = "heuristic"
+
+    def discriminator_loss(self, real_logits: Tensor, fake_logits: Tensor) -> Tensor:
+        real_term = F.binary_cross_entropy_with_logits(real_logits, 1.0)
+        fake_term = F.binary_cross_entropy_with_logits(fake_logits, 0.0)
+        return real_term + fake_term
+
+    def generator_loss(self, fake_logits: Tensor) -> Tensor:
+        return F.binary_cross_entropy_with_logits(fake_logits, 1.0)
+
+
+class LeastSquaresLoss(GANLoss):
+    """LSGAN: squared error of ``sigmoid(logits)`` against the target labels."""
+
+    name = "mse"
+
+    def discriminator_loss(self, real_logits: Tensor, fake_logits: Tensor) -> Tensor:
+        real_term = F.mse_loss(real_logits.sigmoid(), 1.0)
+        fake_term = F.mse_loss(fake_logits.sigmoid(), 0.0)
+        return real_term + fake_term
+
+    def generator_loss(self, fake_logits: Tensor) -> Tensor:
+        return F.mse_loss(fake_logits.sigmoid(), 1.0)
+
+
+#: The Mustangs loss pool, in the order used for per-cell random assignment.
+MUSTANGS_LOSSES: tuple[type[GANLoss], ...] = (BCELoss, LeastSquaresLoss, HeuristicLoss)
+
+_BY_NAME = {cls.name: cls for cls in MUSTANGS_LOSSES}
+
+
+def loss_by_name(name: str) -> GANLoss:
+    """Instantiate a loss from its configuration name (``bce``/``mse``/``heuristic``)."""
+    try:
+        return _BY_NAME[name]()
+    except KeyError:
+        raise ValueError(f"unknown GAN loss {name!r}; known: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,189 @@
+"""Gradient-descent optimizers: Adam (Table I default), SGD, RMSprop.
+
+Optimizers hold per-parameter state in preallocated buffers and update
+parameters **in place** (``param.data`` is mutated) so that no reallocation
+happens inside the training loop — the hot path of the whole system.
+
+The learning rate is a mutable attribute: the coevolutionary algorithm's
+hyperparameter mutation (Table I: Gaussian noise, rate 1e-4, probability
+0.5) adjusts ``optimizer.learning_rate`` between epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "optimizer_by_name"]
+
+
+class Optimizer:
+    """Base class storing the parameter list and the mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float):
+        self.parameters: list[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # -- state (de)serialization; used when genomes migrate between cells ----
+
+    def state_arrays(self) -> dict[str, list[np.ndarray] | float | int]:
+        """Return a picklable snapshot of the optimizer state."""
+        return {"learning_rate": self.learning_rate}
+
+    def load_state_arrays(self, state: dict) -> None:
+        self.learning_rate = float(state["learning_rate"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    name = "sgd"
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float, momentum: float = 0.0):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters] if momentum else None
+
+    def step(self) -> None:
+        lr = self.learning_rate
+        if self._velocity is None:
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.data -= lr * p.grad
+            return
+        mu = self.momentum
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            v *= mu
+            v += p.grad
+            p.data -= lr * v
+
+    def state_arrays(self) -> dict:
+        state = super().state_arrays()
+        state["momentum"] = self.momentum
+        if self._velocity is not None:
+            state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_arrays(self, state: dict) -> None:
+        super().load_state_arrays(state)
+        if "velocity" in state and self._velocity is not None:
+            for v, saved in zip(self._velocity, state["velocity"]):
+                v[...] = saved
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015) — the paper's optimizer."""
+
+    name = "adam"
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(parameters, learning_rate)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        # Fold both bias corrections into one scalar step size.
+        corrected_lr = self.learning_rate * np.sqrt(1.0 - b2 ** self.t) / (1.0 - b1 ** self.t)
+        eps = self.eps
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            g = p.grad
+            if g is None:
+                continue
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            p.data -= corrected_lr * m / (np.sqrt(v) + eps)
+
+    def state_arrays(self) -> dict:
+        state = super().state_arrays()
+        state.update(
+            t=self.t,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+            betas=(self.beta1, self.beta2),
+            eps=self.eps,
+        )
+        return state
+
+    def load_state_arrays(self, state: dict) -> None:
+        super().load_state_arrays(state)
+        self.t = int(state["t"])
+        for m, saved in zip(self._m, state["m"]):
+            m[...] = saved
+        for v, saved in zip(self._v, state["v"]):
+            v[...] = saved
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton), the optimizer used by the original Lipizzaner code."""
+
+    name = "rmsprop"
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float,
+                 alpha: float = 0.99, eps: float = 1e-8):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must be in [0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr, alpha, eps = self.learning_rate, self.alpha, self.eps
+        for p, sq in zip(self.parameters, self._sq):
+            g = p.grad
+            if g is None:
+                continue
+            sq *= alpha
+            sq += (1.0 - alpha) * (g * g)
+            p.data -= lr * g / (np.sqrt(sq) + eps)
+
+    def state_arrays(self) -> dict:
+        state = super().state_arrays()
+        state["sq"] = [s.copy() for s in self._sq]
+        return state
+
+    def load_state_arrays(self, state: dict) -> None:
+        super().load_state_arrays(state)
+        for s, saved in zip(self._sq, state["sq"]):
+            s[...] = saved
+
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam, "rmsprop": RMSprop}
+
+
+def optimizer_by_name(name: str, parameters: Sequence[Tensor], learning_rate: float) -> Optimizer:
+    """Instantiate the optimizer named in the configuration (Table I)."""
+    try:
+        cls = _OPTIMIZERS[name]
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name!r}; known: {sorted(_OPTIMIZERS)}") from None
+    return cls(parameters, learning_rate)

@@ -1,0 +1,82 @@
+"""Flattening module parameters to/from genome vectors.
+
+Grid cells exchange *genomes*: the flat parameter vector of a network plus
+its hyperparameters.  The paper's profiling (Table IV) has a dedicated
+"update genomes" routine — copying neighbor parameters into the local
+sub-population — which in this implementation is exactly
+:func:`vector_to_parameters` over the arrays gathered through MPI.
+
+Flattening order is the deterministic ``named_parameters()`` order, so two
+structurally identical networks round-trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.modules import Module
+
+__all__ = [
+    "parameters_to_vector",
+    "vector_to_parameters",
+    "state_dict",
+    "load_state_dict",
+    "count_parameters",
+]
+
+
+def count_parameters(module: Module) -> int:
+    """Total number of scalar parameters in ``module``."""
+    return sum(p.size for p in module.parameters())
+
+
+def parameters_to_vector(module: Module, out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate all parameters into one flat float64 vector.
+
+    ``out`` may be a preallocated buffer of the right size (the distributed
+    runner reuses one buffer per neighbor to avoid per-iteration allocation).
+    """
+    total = count_parameters(module)
+    if out is None:
+        out = np.empty(total, dtype=np.float64)
+    elif out.shape != (total,):
+        raise ValueError(f"buffer shape {out.shape} != ({total},)")
+    offset = 0
+    for p in module.parameters():
+        n = p.size
+        out[offset:offset + n] = p.data.ravel()
+        offset += n
+    return out
+
+
+def vector_to_parameters(vector: np.ndarray, module: Module) -> None:
+    """Write a flat vector back into the module's parameters (in place)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    total = count_parameters(module)
+    if vector.shape != (total,):
+        raise ValueError(f"vector shape {vector.shape} != ({total},)")
+    offset = 0
+    for p in module.parameters():
+        n = p.size
+        p.data[...] = vector[offset:offset + n].reshape(p.data.shape)
+        offset += n
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Name → copied array mapping, mirroring ``torch.nn.Module.state_dict``."""
+    return {name: p.data.copy() for name, p in module.named_parameters()}
+
+
+def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
+    """Load arrays produced by :func:`state_dict` (strict: names must match)."""
+    own = dict(module.named_parameters())
+    missing = set(own) - set(state)
+    unexpected = set(state) - set(own)
+    if missing or unexpected:
+        raise KeyError(f"state dict mismatch; missing={sorted(missing)} unexpected={sorted(unexpected)}")
+    for name, param in own.items():
+        value = np.asarray(state[name], dtype=np.float64)
+        if value.shape != param.data.shape:
+            raise ValueError(f"shape mismatch for {name}: {value.shape} != {param.data.shape}")
+        param.data[...] = value

@@ -1,0 +1,289 @@
+"""``CommManager``: every inter-process interaction behind one interface.
+
+The paper replaces Lipizzaner's ``node-comm`` (a client/server layer where
+every slave binds a port) with a ``comm-manager`` class that "implements all
+communications and synchronization in an abstract way, using underlying MPI
+functions".  :class:`CommManager` is that abstract interface;
+:class:`MpiCommManager` is the MPI implementation over :mod:`repro.mpi`.
+
+Three communication contexts, exactly as in Section III-D:
+
+* **WORLD** — job setup, run-task messages, status control, results;
+* **LOCAL** — only the active slaves; carries the per-iteration genome
+  exchange (the profiled ``gather`` routine) without involving the master;
+* **GLOBAL** — master + all slaves; final collective operations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.mpi import ANY_SOURCE, Comm, MpiTimeoutError, Status
+from repro.parallel.grid import Grid
+from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply, Tags
+from repro.profiling import NULL_TIMER, RoutineTimer
+
+__all__ = ["CommManager", "MpiCommManager", "ExchangeAborted", "EXCHANGE_MODES"]
+
+EXCHANGE_MODES = ("neighbors", "allgather", "async")
+
+
+class ExchangeAborted(RuntimeError):
+    """Raised inside the execution thread when the master aborted the job."""
+
+
+class CommManager:
+    """Abstract communication interface (transport-agnostic).
+
+    The ``Grid`` never touches this class and this class never inspects
+    grid internals beyond the public topology queries — the decoupling the
+    paper calls out explicitly.
+    """
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_master(self) -> bool:
+        return self.rank == 0
+
+    # -- setup phase ------------------------------------------------------------
+
+    def send_node_info(self, info: NodeInfo) -> None:
+        raise NotImplementedError
+
+    def collect_node_info(self) -> list[NodeInfo]:
+        raise NotImplementedError
+
+    def send_run_task(self, slave_rank: int, task: RunTask) -> None:
+        raise NotImplementedError
+
+    def wait_for_run_task(self) -> RunTask:
+        raise NotImplementedError
+
+    def build_contexts(self, is_active_slave: bool) -> None:
+        """Collectively derive the LOCAL and GLOBAL communicators."""
+        raise NotImplementedError
+
+    # -- heartbeat / control ------------------------------------------------------
+
+    def request_status(self, slave_rank: int) -> None:
+        raise NotImplementedError
+
+    def poll_status_request(self) -> bool:
+        raise NotImplementedError
+
+    def reply_status(self, reply: StatusReply) -> None:
+        raise NotImplementedError
+
+    def drain_status_replies(self) -> list[StatusReply]:
+        raise NotImplementedError
+
+    def send_abort(self, slave_rank: int) -> None:
+        raise NotImplementedError
+
+    def poll_abort(self) -> bool:
+        raise NotImplementedError
+
+    # -- training-time exchange ------------------------------------------------------
+
+    def exchange_genomes(self, grid: Grid, cell_index: int, payload: ExchangePayload,
+                         mode: str, timer: RoutineTimer = NULL_TIMER,
+                         abort_event: threading.Event | None = None,
+                         ) -> dict[int, ExchangePayload]:
+        raise NotImplementedError
+
+    # -- results ------------------------------------------------------------------------
+
+    def send_result(self, result: SlaveResult) -> None:
+        raise NotImplementedError
+
+    def try_collect_result(self, timeout: float) -> SlaveResult | None:
+        raise NotImplementedError
+
+
+class MpiCommManager(CommManager):
+    """The MPI implementation used by both the master and the slaves."""
+
+    def __init__(self, world: Comm):
+        self.world = world
+        self.local: Comm | None = None
+        self.global_: Comm | None = None
+        #: latest genome payload seen per neighbor cell (async mode cache).
+        self._async_cache: dict[int, ExchangePayload] = {}
+
+    # -- identity -------------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.world.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self.world.Get_size()
+
+    # -- setup phase -------------------------------------------------------------------
+
+    def send_node_info(self, info: NodeInfo) -> None:
+        self.world.send(info, dest=0, tag=Tags.NODE_INFO)
+
+    def collect_node_info(self) -> list[NodeInfo]:
+        infos = []
+        for _ in range(self.size - 1):
+            infos.append(self.world.recv(source=ANY_SOURCE, tag=Tags.NODE_INFO))
+        infos.sort(key=lambda i: i.rank)
+        return infos
+
+    def send_run_task(self, slave_rank: int, task: RunTask) -> None:
+        self.world.send(task, dest=slave_rank, tag=Tags.RUN_TASK)
+
+    def wait_for_run_task(self) -> RunTask:
+        return self.world.recv(source=0, tag=Tags.RUN_TASK)
+
+    def build_contexts(self, is_active_slave: bool) -> None:
+        """LOCAL = active slaves only; GLOBAL = everyone (a WORLD duplicate).
+
+        Collective over WORLD — the master participates with ``color=None``
+        in the LOCAL split (MPI_UNDEFINED), receiving no LOCAL communicator.
+        """
+        color = 1 if is_active_slave else None
+        self.local = self.world.Split(color=color, key=self.rank)
+        self.global_ = self.world.Dup()
+
+    # -- heartbeat / control -------------------------------------------------------------
+
+    def request_status(self, slave_rank: int) -> None:
+        self.world.send(None, dest=slave_rank, tag=Tags.STATUS_REQUEST)
+
+    def poll_status_request(self) -> bool:
+        if self.world.iprobe(source=0, tag=Tags.STATUS_REQUEST):
+            self.world.recv(source=0, tag=Tags.STATUS_REQUEST)
+            return True
+        return False
+
+    def reply_status(self, reply: StatusReply) -> None:
+        self.world.send(reply, dest=0, tag=Tags.STATUS_REPLY)
+
+    def drain_status_replies(self) -> list[StatusReply]:
+        replies = []
+        while self.world.iprobe(source=ANY_SOURCE, tag=Tags.STATUS_REPLY):
+            replies.append(self.world.recv(source=ANY_SOURCE, tag=Tags.STATUS_REPLY))
+        return replies
+
+    def send_abort(self, slave_rank: int) -> None:
+        self.world.send(None, dest=slave_rank, tag=Tags.ABORT)
+
+    def poll_abort(self) -> bool:
+        if self.world.iprobe(source=0, tag=Tags.ABORT):
+            self.world.recv(source=0, tag=Tags.ABORT)
+            return True
+        return False
+
+    # -- training-time exchange -------------------------------------------------------------
+
+    def _local_rank_of_cell(self, grid: Grid, cell: int) -> int:
+        """LOCAL ranks follow WORLD order, so slave of cell i has LOCAL rank i."""
+        assert self.local is not None, "build_contexts must run before exchanging"
+        return cell  # slaves are WORLD ranks 1..N in cell order; LOCAL keeps order
+
+    def exchange_genomes(self, grid: Grid, cell_index: int, payload: ExchangePayload,
+                         mode: str, timer: RoutineTimer = NULL_TIMER,
+                         abort_event: threading.Event | None = None,
+                         ) -> dict[int, ExchangePayload]:
+        """One iteration of neighbor exchange; returns cell -> payload.
+
+        * ``neighbors`` — point-to-point with the overlapping neighborhoods
+          (synchronous: blocks for all four neighbors, honoring an abort).
+        * ``allgather`` — collective over LOCAL, paper-style; every slave
+          receives every center and keeps its neighbors'.
+        * ``async`` — send and drain whatever already arrived; missing
+          neighbors fall back to their latest known genome (stale exchange).
+        """
+        if mode not in EXCHANGE_MODES:
+            raise ValueError(f"unknown exchange mode {mode!r}; known: {EXCHANGE_MODES}")
+        if mode == "allgather":
+            return self._exchange_allgather(grid, cell_index, payload, timer)
+        if mode == "async":
+            return self._exchange_async(grid, cell_index, payload, timer)
+        return self._exchange_neighbors(grid, cell_index, payload, timer, abort_event)
+
+    @staticmethod
+    def _exchange_tag(iteration: int) -> int:
+        """Per-iteration tag: a fast neighbor's round-(k+1) message can never
+        match a round-k receive, which would otherwise skew the message
+        accounting when cells drift by one iteration."""
+        return int(Tags.EXCHANGE) * 1000 + iteration
+
+    def _exchange_neighbors(self, grid: Grid, cell_index: int, payload: ExchangePayload,
+                            timer: RoutineTimer, abort_event: threading.Event | None,
+                            ) -> dict[int, ExchangePayload]:
+        assert self.local is not None
+        tag = self._exchange_tag(payload.iteration)
+        with timer.section("gather"):
+            # Send my center along every *incoming* edge (cells that list me
+            # as neighbor), then receive one message per outgoing edge.
+            for consumer in grid.incoming_neighbors(cell_index):
+                self.local.send(payload, dest=self._local_rank_of_cell(grid, consumer),
+                                tag=tag)
+            needed = list(grid.neighbor_cells(cell_index))
+            received: dict[int, ExchangePayload] = {}
+            pending = len(needed)  # duplicates (2x2 wraparound) count twice
+            while pending > 0:
+                if abort_event is not None and abort_event.is_set():
+                    raise ExchangeAborted(f"cell {cell_index}: abort during exchange")
+                try:
+                    message: ExchangePayload = self.local.recv(
+                        source=ANY_SOURCE, tag=tag, timeout=0.25
+                    )
+                except MpiTimeoutError:
+                    continue
+                received[message.cell_index] = message
+                pending -= 1
+        return received
+
+    def _exchange_allgather(self, grid: Grid, cell_index: int, payload: ExchangePayload,
+                            timer: RoutineTimer) -> dict[int, ExchangePayload]:
+        assert self.local is not None
+        with timer.section("gather"):
+            everything: list[ExchangePayload] = self.local.allgather(payload)
+            wanted = set(grid.neighbor_cells(cell_index))
+            return {p.cell_index: p for p in everything if p.cell_index in wanted}
+
+    def _exchange_async(self, grid: Grid, cell_index: int, payload: ExchangePayload,
+                        timer: RoutineTimer) -> dict[int, ExchangePayload]:
+        from repro.mpi import ANY_TAG  # LOCAL carries only exchange traffic
+
+        assert self.local is not None
+        with timer.section("gather"):
+            for consumer in grid.incoming_neighbors(cell_index):
+                self.local.send(payload, dest=self._local_rank_of_cell(grid, consumer),
+                                tag=self._exchange_tag(payload.iteration))
+            # Drain whatever is already here; never block.
+            while self.local.iprobe(source=ANY_SOURCE, tag=ANY_TAG):
+                message: ExchangePayload = self.local.recv(
+                    source=ANY_SOURCE, tag=ANY_TAG
+                )
+                cached = self._async_cache.get(message.cell_index)
+                if cached is None or message.iteration >= cached.iteration:
+                    self._async_cache[message.cell_index] = message
+            wanted = set(grid.neighbor_cells(cell_index))
+            return {c: p for c, p in self._async_cache.items() if c in wanted}
+
+    # -- results ------------------------------------------------------------------------------
+
+    def send_result(self, result: SlaveResult) -> None:
+        self.world.send(result, dest=0, tag=Tags.RESULT)
+
+    def try_collect_result(self, timeout: float) -> SlaveResult | None:
+        try:
+            return self.world.recv(source=ANY_SOURCE, tag=Tags.RESULT, timeout=timeout)
+        except MpiTimeoutError:
+            return None

@@ -1,0 +1,139 @@
+"""The execution-level ``Grid`` class (the paper's replacement for
+Lipizzaner's ``neighbourhood``).
+
+Each slave holds a ``Grid`` describing the whole training grid, the mapping
+between cells and MPI ranks, and — the feature the paper highlights — a
+*dynamically modifiable* neighborhood structure: ``rewire`` changes a cell's
+neighbor list at run time, "allow[ing] exploring different patterns for
+training and learning".
+
+``Grid`` deliberately does **not** depend on :class:`~repro.parallel.comm_manager.CommManager`
+("class grid does not depend on comm-manager.  The implementation is
+decoupled, so different modules for communication can be applied"): it only
+answers topology questions; the comm-manager moves the bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.coevolution.grid import ToroidalGrid
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """Topology view shared by the master and every slave."""
+
+    def __init__(self, rows: int, cols: int, first_slave_rank: int = 1,
+                 overrides: dict[int, list[int]] | None = None):
+        self.topology = ToroidalGrid(rows, cols)
+        if first_slave_rank < 0:
+            raise ValueError("first_slave_rank must be >= 0")
+        self.first_slave_rank = first_slave_rank
+        #: Dynamic neighborhood overrides: cell index -> neighbor cell list.
+        self._overrides: dict[int, list[int]] = {}
+        for cell, neighbors in (overrides or {}).items():
+            self.rewire(cell, neighbors)
+
+    # -- cell/rank mapping --------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.topology.rows
+
+    @property
+    def cols(self) -> int:
+        return self.topology.cols
+
+    @property
+    def cell_count(self) -> int:
+        return self.topology.cell_count
+
+    def rank_of_cell(self, cell_index: int) -> int:
+        if not 0 <= cell_index < self.cell_count:
+            raise ValueError(f"cell index {cell_index} outside grid")
+        return cell_index + self.first_slave_rank
+
+    def cell_of_rank(self, rank: int) -> int:
+        cell = rank - self.first_slave_rank
+        if not 0 <= cell < self.cell_count:
+            raise ValueError(f"rank {rank} maps to no cell")
+        return cell
+
+    def slave_ranks(self) -> list[int]:
+        return [self.rank_of_cell(c) for c in range(self.cell_count)]
+
+    # -- neighborhoods --------------------------------------------------------------
+
+    def neighbor_cells(self, cell_index: int) -> list[int]:
+        """Non-center neighbors of a cell (W, N, E, S unless rewired)."""
+        override = self._overrides.get(cell_index)
+        if override is not None:
+            return list(override)
+        return self.topology.neighbors_of(cell_index)
+
+    def neighbor_ranks(self, cell_index: int) -> list[int]:
+        return [self.rank_of_cell(c) for c in self.neighbor_cells(cell_index)]
+
+    def neighborhood_size(self, cell_index: int) -> int:
+        """Sub-population size s for a cell (center + neighbors)."""
+        return 1 + len(self.neighbor_cells(cell_index))
+
+    # -- dynamic modification (the new capability) ------------------------------------
+
+    def rewire(self, cell_index: int, neighbors: list[int]) -> None:
+        """Replace one cell's neighbor list at run time.
+
+        Validates indices but deliberately allows asymmetric structures —
+        the exchange layer sends along *incoming* edges computed via
+        :meth:`incoming_neighbors`, so any digraph is executable.
+        """
+        if not 0 <= cell_index < self.cell_count:
+            raise ValueError(f"cell index {cell_index} outside grid")
+        checked = []
+        for n in neighbors:
+            if not 0 <= n < self.cell_count:
+                raise ValueError(f"neighbor index {n} outside grid")
+            if n == cell_index:
+                raise ValueError("a cell cannot neighbor itself (it is already the center)")
+            checked.append(int(n))
+        self._overrides[cell_index] = checked
+
+    def reset_neighborhoods(self) -> None:
+        """Drop all overrides, returning to the paper's Moore-5 structure."""
+        self._overrides.clear()
+
+    def incoming_neighbors(self, cell_index: int) -> list[int]:
+        """Cells that list ``cell_index`` as a neighbor (multiset).
+
+        With the default symmetric structure this equals
+        ``neighbor_cells`` — the overlap reciprocity of the torus; with
+        rewired (asymmetric) structures they differ, and the exchange layer
+        must send to exactly these cells.
+        """
+        incoming: list[int] = []
+        for other in range(self.cell_count):
+            if other == cell_index:
+                continue
+            incoming.extend(other for n in self.neighbor_cells(other) if n == cell_index)
+        return incoming
+
+    # -- (de)serialization (sent inside RunTask) ----------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "first_slave_rank": self.first_slave_rank,
+            "overrides": {cell: list(ns) for cell, ns in self._overrides.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Grid":
+        return cls(
+            rows=payload["rows"],
+            cols=payload["cols"],
+            first_slave_rank=payload["first_slave_rank"],
+            overrides={int(k): list(v) for k, v in payload["overrides"].items()},
+        )

@@ -1,0 +1,161 @@
+"""The master process (paper Section III-B and Fig. 3).
+
+Start-up duties, in the paper's order: (i) gather information about the
+computing infrastructure (node-info messages from every slave, plus the
+simulated platform model), (ii) decide in which node each slave executes,
+(iii) assign workload balancing the per-node load, (iv) share the parameter
+configuration with all slaves.  It then launches the slaves (run-task
+messages), monitors them through the heartbeat thread, and — once they
+finish — gathers their local results and performs the reduction phase,
+returning the best generative model found.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterPlatform, cluster_uy, place_tasks
+from repro.config import ExperimentConfig
+from repro.parallel.comm_manager import CommManager
+from repro.parallel.grid import Grid
+from repro.parallel.heartbeat import HeartbeatMonitor
+from repro.parallel.messages import NodeInfo, RunTask, SlaveResult
+from repro.parallel.tracing import EventTrace
+
+__all__ = ["MasterProcess", "MasterOutcome"]
+
+
+class MasterOutcome:
+    """What the master returns: per-cell results plus liveness bookkeeping."""
+
+    def __init__(self, results: dict[int, SlaveResult], dead_ranks: list[int],
+                 node_info: list[NodeInfo], placement: dict[int, str],
+                 trace: EventTrace, wall_time_s: float):
+        self.results = results
+        self.dead_ranks = dead_ranks
+        self.node_info = node_info
+        self.placement = placement
+        self.trace = trace
+        self.wall_time_s = wall_time_s
+
+    @property
+    def complete(self) -> bool:
+        return not self.dead_ranks
+
+
+class MasterProcess:
+    """One master rank; drive with :meth:`run`."""
+
+    def __init__(self, comm: CommManager, config: ExperimentConfig, *,
+                 platform: ClusterPlatform | None = None,
+                 exchange_mode: str = "neighbors", profile: bool = False,
+                 trace: bool = False, fault_at: dict[int, int] | None = None,
+                 heartbeat_interval_s: float | None = None,
+                 miss_limit: int = 8):
+        self.comm = comm
+        self.config = config
+        self.platform = platform if platform is not None else cluster_uy()
+        self.exchange_mode = exchange_mode
+        self.profile = profile
+        self.trace_enabled = trace
+        self.fault_at = dict(fault_at or {})
+        self.heartbeat_interval_s = (
+            heartbeat_interval_s
+            if heartbeat_interval_s is not None
+            else config.execution.heartbeat_interval_s
+        )
+        self.miss_limit = miss_limit
+        self.trace = EventTrace(actor="master", enabled=trace)
+
+    def run(self) -> MasterOutcome:
+        comm = self.comm
+        config = self.config
+        start = time.perf_counter()
+        rows, cols = config.coevolution.grid_rows, config.coevolution.grid_cols
+        grid = Grid(rows, cols, first_slave_rank=1)
+        slave_ranks = grid.slave_ranks()
+
+        # (i) Gather infrastructure information.
+        node_info = comm.collect_node_info()
+        self.trace.record("node info gathered", f"{len(node_info)} slaves")
+
+        # (ii)+(iii) Placement on the (simulated) platform, balanced load.
+        plan = place_tasks(self.platform, tasks=len(slave_ranks) + 1)
+        placement = {0: plan.task_nodes[0]}
+        for i, rank in enumerate(slave_ranks):
+            placement[rank] = plan.task_nodes[i + 1]
+        self.trace.record("placement decided",
+                          f"{len(plan.tasks_per_node())} nodes, max load {plan.max_load()}")
+
+        # (iv) Share the parameter configuration; launch the slaves.
+        config_json = config.to_json()
+        for rank in slave_ranks:
+            cell_index = grid.cell_of_rank(rank)
+            comm.send_run_task(rank, RunTask(
+                config_json=config_json,
+                cell_index=cell_index,
+                grid_payload=grid.to_payload(),
+                assigned_node=placement[rank],
+                exchange_mode=self.exchange_mode,
+                profile=self.profile,
+                trace=self.trace_enabled,
+                fault_at_iteration=self.fault_at.get(cell_index),
+            ))
+        self.trace.record("run tasks sent", f"{len(slave_ranks)} slaves")
+
+        # Join the collective context derivation (LOCAL excludes the master).
+        comm.build_contexts(is_active_slave=False)
+
+        # Background monitoring (Fig. 3: "Create heartbeat thread").
+        self.trace.record("create heartbeat thread")
+        monitor = HeartbeatMonitor(
+            comm, slave_ranks,
+            interval_s=self.heartbeat_interval_s, miss_limit=self.miss_limit,
+        )
+        monitor.start()
+
+        # Main thread: collect results as slaves finish.
+        results: dict[int, SlaveResult] = {}
+        aborted = False
+        try:
+            while True:
+                result = comm.try_collect_result(timeout=0.1)
+                if result is not None:
+                    results[result.cell_index] = result
+                    monitor.mark_finished(result.rank)
+                    self.trace.record("result received", f"cell {result.cell_index}")
+                if monitor.deaths_detected.is_set() and not aborted:
+                    # Failure detected: gracefully abort the survivors.
+                    aborted = True
+                    dead = set(monitor.dead_ranks())
+                    self.trace.record("slave failure detected",
+                                      ", ".join(str(r) for r in sorted(dead)))
+                    for rank in slave_ranks:
+                        if rank not in dead:
+                            comm.send_abort(rank)
+                if len(results) == len(slave_ranks):
+                    break
+                if monitor.all_accounted():
+                    # Everyone is finished or dead; drain stragglers briefly.
+                    result = comm.try_collect_result(timeout=1.0)
+                    if result is not None:
+                        results[result.cell_index] = result
+                        monitor.mark_finished(result.rank)
+                        continue
+                    break
+        finally:
+            monitor.stop()
+
+        # Reduction phase happens in the runner (it has the metric context);
+        # the master returns everything it gathered.
+        self.trace.record("final results gathered", f"{len(results)} cells")
+        return MasterOutcome(
+            results=results,
+            dead_ranks=monitor.dead_ranks(),
+            node_info=node_info,
+            placement=placement,
+            trace=self.trace,
+            wall_time_s=time.perf_counter() - start,
+        )

@@ -1,0 +1,98 @@
+"""Message types and tags of the master-slave protocol.
+
+All payloads are plain dataclasses of picklable fields so they cross the
+process transport unchanged.  Tags partition WORLD traffic by purpose; the
+genome exchange between slaves runs on the separate LOCAL communicator and
+therefore reuses a single tag without interference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.coevolution.cell import CellReport
+from repro.coevolution.genome import Genome
+from repro.profiling import TimerSnapshot
+
+__all__ = ["Tags", "NodeInfo", "RunTask", "StatusReply", "SlaveResult", "ExchangePayload"]
+
+
+class Tags(enum.IntEnum):
+    """WORLD-communicator tags (LOCAL uses only EXCHANGE)."""
+
+    NODE_INFO = 1
+    RUN_TASK = 2
+    STATUS_REQUEST = 3
+    STATUS_REPLY = 4
+    RESULT = 5
+    ABORT = 6
+    EXCHANGE = 7
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """First message of every slave: where it runs (paper Fig. 3,
+    "Send node name to master")."""
+
+    rank: int
+    node_name: str
+    pid: int
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """Master -> slave: the workload assignment starting execution.
+
+    Carries the full experiment configuration (serialized, so one broadcast
+    parameterizes every slave identically — Section III-B), the slave's cell
+    index, its grid view, and execution options.
+    """
+
+    config_json: str
+    cell_index: int
+    grid_payload: dict[str, Any]
+    assigned_node: str
+    exchange_mode: str = "neighbors"
+    profile: bool = False
+    trace: bool = False
+    fault_at_iteration: int | None = None
+    """Raise inside the execution thread at this iteration (fault-injection tests)."""
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    """Slave -> master heartbeat answer: current state of the process."""
+
+    rank: int
+    state: str
+    iteration: int
+    timestamp: float
+
+
+@dataclass
+class SlaveResult:
+    """Slave -> master at the end of training (the gathered local results)."""
+
+    rank: int
+    cell_index: int
+    generator_genome: Genome
+    discriminator_genome: Genome
+    mixture_weights: np.ndarray
+    reports: list[CellReport] = field(default_factory=list)
+    timer: TimerSnapshot | None = None
+    trace_events: list[Any] = field(default_factory=list)
+    aborted: bool = False
+
+
+@dataclass(frozen=True)
+class ExchangePayload:
+    """Slave <-> slave (LOCAL): one cell's center genomes for one iteration."""
+
+    cell_index: int
+    iteration: int
+    generator_genome: Genome
+    discriminator_genome: Genome

@@ -1,0 +1,167 @@
+"""One-call distributed training: the ``mpiexec`` entry of the system.
+
+:class:`DistributedRunner` assembles the whole job — one master rank plus
+one slave rank per grid cell — over the process backend (true multi-core
+parallelism; all paper measurements) or the threaded backend (deterministic
+tests).  The dataset is rendered **once** in the parent before launch; the
+fork start method then shares those pages copy-on-write with every slave,
+which is the memory-efficiency behavior the paper credits for its
+superlinear small-grid speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster import ClusterPlatform
+from repro.config import ExperimentConfig
+from repro.coevolution.cell import CellReport
+from repro.coevolution.genome import Genome
+from repro.coevolution.sequential import TrainingResult, build_training_dataset
+from repro.data.dataset import ArrayDataset
+from repro.mpi import run_mpi
+from repro.mpi.errors import MpiWorkerError
+from repro.parallel.comm_manager import MpiCommManager
+from repro.parallel.master import MasterOutcome, MasterProcess
+from repro.parallel.messages import SlaveResult
+from repro.parallel.slave import SlaveProcess
+from repro.parallel.tracing import EventTrace
+from repro.profiling import TimerSnapshot, merge_snapshots
+from repro.runtime import pin_blas_threads
+
+__all__ = ["DistributedRunner", "DistributedResult"]
+
+
+@dataclass
+class DistributedResult:
+    """Everything a distributed run produced."""
+
+    training: TrainingResult
+    outcome_placement: dict[int, str]
+    dead_ranks: list[int] = field(default_factory=list)
+    traces: list[EventTrace] = field(default_factory=list)
+    slave_timers: list[TimerSnapshot] = field(default_factory=list)
+    master_wall_time_s: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return not self.dead_ranks
+
+    def distributed_profile(self) -> TimerSnapshot:
+        """Wall-clock view of the four routines: max across concurrent slaves."""
+        return merge_snapshots(self.slave_timers, parallel=True)
+
+    def total_work_profile(self) -> TimerSnapshot:
+        """CPU-work view: per-routine sum over all slaves."""
+        return merge_snapshots(self.slave_timers, parallel=False)
+
+
+class DistributedRunner:
+    """Configure once, then :meth:`run`."""
+
+    def __init__(self, config: ExperimentConfig, *, backend: str | None = None,
+                 exchange_mode: str = "neighbors", profile: bool = False,
+                 trace: bool = False, platform: ClusterPlatform | None = None,
+                 fault_at: dict[int, int] | None = None,
+                 heartbeat_interval_s: float | None = None,
+                 miss_limit: int = 8, timeout_s: float = 600.0,
+                 dataset: ArrayDataset | None = None):
+        self.config = config
+        self.backend = backend if backend is not None else config.execution.backend
+        if self.backend not in ("process", "threaded"):
+            raise ValueError(
+                f"distributed runner needs 'process' or 'threaded', got {self.backend!r} "
+                "(use coevolution.SequentialTrainer for the single-core version)"
+            )
+        self.exchange_mode = exchange_mode
+        self.profile = profile
+        self.trace = trace
+        self.platform = platform
+        self.fault_at = fault_at
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.miss_limit = miss_limit
+        self.timeout_s = timeout_s
+        self.dataset = dataset
+
+    def run(self) -> DistributedResult:
+        # One rank = one core (paper Table II); ranks inherit the pin via fork.
+        pin_blas_threads(1)
+        config = self.config
+        size = config.coevolution.cells + 1
+        # Render once in the parent: slaves inherit the pages via fork
+        # (process backend) or share the object directly (threaded backend).
+        dataset = self.dataset if self.dataset is not None else build_training_dataset(config)
+
+        master_kwargs = dict(
+            platform=self.platform,
+            exchange_mode=self.exchange_mode,
+            profile=self.profile,
+            trace=self.trace,
+            fault_at=self.fault_at,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            miss_limit=self.miss_limit,
+        )
+
+        def entry(world):
+            comm = MpiCommManager(world)
+            if world.Get_rank() == 0:
+                return MasterProcess(comm, config, **master_kwargs).run()
+            return SlaveProcess(comm, dataset).run()
+
+        start = time.perf_counter()
+        fault_tolerant = bool(self.fault_at)
+        outcomes = run_mpi(size, entry, backend=self.backend, timeout=self.timeout_s,
+                           allow_failures=fault_tolerant)
+        master_outcome: MasterOutcome | None = outcomes[0]
+        if master_outcome is None:
+            raise MpiWorkerError(getattr(outcomes, "failures", {0: "master failed"}))
+        wall = time.perf_counter() - start
+        return self._reduce(master_outcome, wall)
+
+    # -- reduction phase -------------------------------------------------------------
+
+    def _reduce(self, outcome: MasterOutcome, wall_time_s: float) -> DistributedResult:
+        """The paper's reduction: merge per-slave results into one artifact."""
+        cells = self.config.coevolution.cells
+        genomes: list[tuple[Genome, Genome] | None] = [None] * cells
+        mixtures: list[np.ndarray | None] = [None] * cells
+        reports: list[list[CellReport]] = [[] for _ in range(cells)]
+        timers: list[TimerSnapshot] = []
+        traces: list[EventTrace] = [outcome.trace]
+        for cell_index, result in sorted(outcome.results.items()):
+            genomes[cell_index] = (result.generator_genome, result.discriminator_genome)
+            mixtures[cell_index] = result.mixture_weights
+            reports[cell_index] = result.reports
+            if result.timer is not None:
+                timers.append(result.timer)
+            if result.trace_events:
+                traces.append(EventTrace(actor=f"slave-{result.rank}",
+                                         events=list(result.trace_events)))
+
+        present = [g for g in genomes if g is not None]
+        if not present:
+            raise RuntimeError("no slave delivered results; nothing to reduce")
+        # Fill holes (dead slaves) with the best available center so the
+        # result object stays rectangular; holes are recorded in dead_ranks.
+        filler = present[0]
+        training = TrainingResult(
+            config=self.config,
+            center_genomes=[g if g is not None else filler for g in genomes],
+            mixture_weights=[
+                m if m is not None else np.full(5, 0.2) for m in mixtures
+            ],
+            cell_reports=reports,
+            wall_time_s=wall_time_s,
+            timer_snapshots=timers,
+        )
+        return DistributedResult(
+            training=training,
+            outcome_placement=outcome.placement,
+            dead_ranks=outcome.dead_ranks,
+            traces=traces,
+            slave_timers=timers,
+            master_wall_time_s=outcome.wall_time_s,
+        )

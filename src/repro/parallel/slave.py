@@ -1,0 +1,204 @@
+"""The slave process (paper Section III-B, Figs. 2 and 3).
+
+Two threads, exactly as the paper describes:
+
+* the **main thread** is the communication interface to the master — it
+  answers status (heartbeat) requests with the slave's current state and
+  watches for an abort order;
+* the **execution thread** performs the GAN training: per iteration it
+  exchanges center genomes with its neighbors through the comm-manager
+  (the profiled ``gather``) and runs the cell step.
+
+Lifecycle (Fig. 2): the slave starts ``inactive``, becomes ``processing``
+when the *run task* message arrives, and ``finished`` after the last
+iteration, at which point it ships its local results to the master.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+from repro.config import ExperimentConfig
+from repro.coevolution.cell import Cell
+from repro.coevolution.genome import Genome
+from repro.data.dataset import ArrayDataset
+from repro.parallel.comm_manager import CommManager, ExchangeAborted
+from repro.parallel.grid import Grid
+from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply
+from repro.parallel.states import SlaveStateMachine
+from repro.parallel.tracing import EventTrace
+from repro.profiling import NULL_TIMER, RoutineTimer
+
+__all__ = ["SlaveProcess", "InjectedFault"]
+
+
+class InjectedFault(RuntimeError):
+    """Deliberate crash requested by a fault-injection run task."""
+
+
+class SlaveProcess:
+    """One slave rank; drive with :meth:`run`."""
+
+    def __init__(self, comm: CommManager, dataset: ArrayDataset,
+                 poll_interval_s: float = 0.005):
+        self.comm = comm
+        self.dataset = dataset
+        self.poll_interval_s = poll_interval_s
+        self.machine = SlaveStateMachine()
+        self.abort_event = threading.Event()
+        self.trace = EventTrace(actor=f"slave-{comm.rank}", enabled=False)
+        self._iteration = 0
+        self._iteration_lock = threading.Lock()
+        self._execution_error: BaseException | None = None
+
+    # -- public entry point -------------------------------------------------------
+
+    def run(self) -> SlaveResult:
+        """Full slave lifecycle; returns the result it also sent the master."""
+        comm = self.comm
+        # 1. Introduce ourselves (Fig. 3: "Send node name to master").
+        comm.send_node_info(NodeInfo(comm.rank, socket.gethostname(), os.getpid()))
+        # 2. Wait for the workload (state: inactive).
+        task = comm.wait_for_run_task()
+        self.trace.enabled = task.trace
+        self.trace.record("run task received", f"cell {task.cell_index}")
+        self.machine.start_processing()
+        # 3. Join the LOCAL/GLOBAL communication contexts (collective).
+        comm.build_contexts(is_active_slave=True)
+        # 4. Launch the execution thread (Fig. 3: "Create execution thread").
+        config = ExperimentConfig.from_json(task.config_json)
+        grid = Grid.from_payload(task.grid_payload)
+        timer = RoutineTimer() if task.profile else NULL_TIMER
+        result_box: dict[str, SlaveResult] = {}
+        execution = threading.Thread(
+            target=self._execution_main,
+            args=(task, config, grid, timer, result_box),
+            name=f"slave-{comm.rank}-exec",
+            daemon=True,
+        )
+        execution.start()
+        # 5. Main thread: the master's communication interface.
+        while execution.is_alive():
+            self._serve_master_once()
+            time.sleep(self.poll_interval_s)
+        execution.join()
+        if self._execution_error is not None and not isinstance(
+                self._execution_error, ExchangeAborted):
+            raise self._execution_error
+        # 6. Finished: ship results (Fig. 3: "Send results to master").
+        self.machine.finish()
+        result = result_box["result"]
+        self.trace.record("send results to master")
+        result.trace_events = list(self.trace.events)  # include the send event
+        comm.send_result(result)
+        # Answer any still-in-flight status request so the heartbeat sees a
+        # clean FINISHED before this rank exits.
+        self._serve_master_once()
+        return result
+
+    # -- main-thread duties -----------------------------------------------------------
+
+    def _serve_master_once(self) -> None:
+        if self.comm.poll_abort():
+            self.abort_event.set()
+            self.trace.record("abort received")
+        while self.comm.poll_status_request():
+            with self._iteration_lock:
+                iteration = self._iteration
+            self.comm.reply_status(
+                StatusReply(
+                    rank=self.comm.rank,
+                    state=self.machine.state.value,
+                    iteration=iteration,
+                    timestamp=time.time(),
+                )
+            )
+
+    # -- execution thread ----------------------------------------------------------------
+
+    def _execution_main(self, task: RunTask, config: ExperimentConfig, grid: Grid,
+                        timer: RoutineTimer, result_box: dict) -> None:
+        try:
+            result = self._train(task, config, grid, timer)
+        except ExchangeAborted as exc:
+            self._execution_error = exc
+            result = self._partial_result(task, timer, aborted=True)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the main thread
+            self._execution_error = exc
+            return
+        result_box["result"] = result
+
+    def _train(self, task: RunTask, config: ExperimentConfig, grid: Grid,
+               timer: RoutineTimer) -> SlaveResult:
+        cell_index = task.cell_index
+        self.trace.record("assemble execution grid", f"{grid.rows}x{grid.cols}")
+        cell = Cell(config, cell_index, self.dataset,
+                    neighborhood_size=grid.neighborhood_size(cell_index))
+        self._cell = cell
+        self.trace.record("start training")
+        for iteration in range(config.coevolution.iterations):
+            if self.abort_event.is_set():
+                raise ExchangeAborted(f"cell {cell_index}: abort before iteration {iteration}")
+            if task.fault_at_iteration is not None and iteration == task.fault_at_iteration:
+                raise InjectedFault(
+                    f"slave {self.comm.rank} crashing at iteration {iteration} as requested"
+                )
+            own_g, own_d = cell.center_genomes()
+            payload = ExchangePayload(cell_index, iteration, own_g, own_d)
+            self.trace.record("get results from neighbours", f"iteration {iteration}")
+            received = self.comm.exchange_genomes(
+                grid, cell_index, payload, task.exchange_mode, timer, self.abort_event
+            )
+            neighbors = self._order_neighbors(grid, cell_index, received, cell)
+            self.trace.record("train one iteration", f"iteration {iteration}")
+            cell.step(neighbors, timer)
+            with self._iteration_lock:
+                self._iteration = iteration + 1
+        return self._final_result(task, cell, timer)
+
+    @staticmethod
+    def _order_neighbors(grid: Grid, cell_index: int,
+                         received: dict[int, ExchangePayload],
+                         cell: Cell) -> list[tuple[Genome, Genome]]:
+        """Arrange received genomes in the cell's canonical neighbor order.
+
+        Missing neighbors (async mode before their first message) fall back
+        to the cell's *own* center, matching the initial sub-population
+        state; the cell treats them as stale entries.
+        """
+        ordered = []
+        for neighbor_cell in grid.neighbor_cells(cell_index):
+            payload = received.get(neighbor_cell)
+            if payload is None:
+                own_g, own_d = cell.center_genomes()
+                ordered.append((own_g, own_d))
+            else:
+                ordered.append((payload.generator_genome, payload.discriminator_genome))
+        return ordered
+
+    # -- results --------------------------------------------------------------------------
+
+    def _final_result(self, task: RunTask, cell: Cell, timer: RoutineTimer) -> SlaveResult:
+        g_genome, d_genome = cell.center_genomes()
+        return SlaveResult(
+            rank=self.comm.rank,
+            cell_index=task.cell_index,
+            generator_genome=g_genome,
+            discriminator_genome=d_genome,
+            mixture_weights=cell.mixture.weights.copy(),
+            reports=cell.reports,
+            timer=timer.snapshot() if timer is not NULL_TIMER else None,
+            trace_events=list(self.trace.events),
+        )
+
+    def _partial_result(self, task: RunTask, timer: RoutineTimer, *,
+                        aborted: bool) -> SlaveResult:
+        cell = getattr(self, "_cell", None)
+        if cell is None:  # pragma: no cover - abort raced the cell construction
+            raise RuntimeError("aborted before the cell was constructed")
+        result = self._final_result(task, cell, timer)
+        result.aborted = aborted
+        return result

@@ -1,0 +1,78 @@
+"""The slave state machine of the paper's Fig. 2.
+
+Slaves have exactly three states:
+
+* ``inactive`` — no workload received yet;
+* ``processing`` — performing the assigned training;
+* ``finished`` — done, waiting for the master to gather results.
+
+Transitions: ``inactive -> processing`` on a *run task* message and
+``processing -> finished`` after the last training iteration.  The state
+machine records its transition history so the Fig. 2 experiment can print
+the observed diagram and tests can assert illegal transitions are rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SlaveState", "SlaveStateMachine", "IllegalTransition", "TRANSITIONS"]
+
+
+class SlaveState(enum.Enum):
+    INACTIVE = "inactive"
+    PROCESSING = "processing"
+    FINISHED = "finished"
+
+
+#: The legal transitions and the events that trigger them (paper Fig. 2).
+TRANSITIONS: dict[tuple[SlaveState, SlaveState], str] = {
+    (SlaveState.INACTIVE, SlaveState.PROCESSING): "run task message",
+    (SlaveState.PROCESSING, SlaveState.FINISHED): "last iteration performed",
+}
+
+
+class IllegalTransition(RuntimeError):
+    """Raised on a transition not present in the paper's Fig. 2."""
+
+
+@dataclass
+class Transition:
+    source: SlaveState
+    target: SlaveState
+    event: str
+    at: float = field(default_factory=time.monotonic)
+
+
+class SlaveStateMachine:
+    """Thread-safe state holder shared by a slave's two threads."""
+
+    def __init__(self) -> None:
+        self._state = SlaveState.INACTIVE
+        self._lock = threading.Lock()
+        self.history: list[Transition] = []
+
+    @property
+    def state(self) -> SlaveState:
+        with self._lock:
+            return self._state
+
+    def to(self, target: SlaveState) -> None:
+        with self._lock:
+            key = (self._state, target)
+            event = TRANSITIONS.get(key)
+            if event is None:
+                raise IllegalTransition(f"{self._state.value} -> {target.value}")
+            self.history.append(Transition(self._state, target, event))
+            self._state = target
+
+    def start_processing(self) -> None:
+        """``inactive -> processing`` (run task received)."""
+        self.to(SlaveState.PROCESSING)
+
+    def finish(self) -> None:
+        """``processing -> finished`` (last iteration performed)."""
+        self.to(SlaveState.FINISHED)

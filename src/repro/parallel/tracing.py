@@ -1,0 +1,62 @@
+"""Execution-event tracing (reproduces the flow of the paper's Fig. 3).
+
+Master and slaves append timestamped events at every protocol step; slave
+traces travel to the master inside :class:`~repro.parallel.messages.SlaveResult`
+and are merged into one global, time-ordered trace.  The Fig. 3 experiment
+prints that merged trace, which follows the paper's flow diagram:
+
+    master: create heartbeat thread        slave: send node name to master
+    master: send run task                  slave: assemble execution grid
+    ...                                    slave: train one iteration
+                                           slave: get results from neighbours
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of the protocol, as drawn in Fig. 3."""
+
+    at: float
+    actor: str
+    event: str
+    detail: str = ""
+
+    def format(self, t0: float = 0.0) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{self.at - t0:9.4f}s] {self.actor:<10} {self.event}{suffix}"
+
+
+@dataclass
+class EventTrace:
+    """An append-only event log for one actor (picklable)."""
+
+    actor: str
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: str, detail: str = "") -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time.time(), self.actor, event, detail))
+
+    @staticmethod
+    def merged(traces: list["EventTrace"]) -> list[TraceEvent]:
+        """All events of all actors in global time order."""
+        events: list[TraceEvent] = []
+        for trace in traces:
+            events.extend(trace.events)
+        return sorted(events, key=lambda e: e.at)
+
+    @staticmethod
+    def format_merged(traces: list["EventTrace"]) -> str:
+        events = EventTrace.merged(traces)
+        if not events:
+            return "(empty trace)"
+        t0 = events[0].at
+        return "\n".join(event.format(t0) for event in events)

@@ -1,0 +1,24 @@
+"""Routine-level profiling (paper Table IV / Fig. 4).
+
+The paper profiles four dominant routines of the training loop — ``gather``
+(MPI allgather of neighbor results), ``train`` (gradient steps), ``update
+genomes`` (copying gathered parameters into the sub-population) and
+``mutate`` (hyperparameter + mixture mutation) — and compares single-core
+vs distributed times.  :class:`RoutineTimer` collects exactly those wall
+times; :mod:`repro.profiling.report` formats them into the paper's table
+and bar-chart series.
+"""
+
+from repro.profiling.timer import NULL_TIMER, RoutineTimer, TimerSnapshot, merge_snapshots
+from repro.profiling.report import ProfileRow, profile_rows, format_table4, format_fig4_series
+
+__all__ = [
+    "RoutineTimer",
+    "TimerSnapshot",
+    "NULL_TIMER",
+    "merge_snapshots",
+    "ProfileRow",
+    "profile_rows",
+    "format_table4",
+    "format_fig4_series",
+]

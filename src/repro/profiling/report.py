@@ -1,0 +1,81 @@
+"""Formatting profiles into the paper's Table IV and Fig. 4 series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.timer import PAPER_ROUTINES, TimerSnapshot
+
+__all__ = ["ProfileRow", "profile_rows", "format_table4", "format_fig4_series"]
+
+#: Display names used by the paper's Table IV, keyed by internal routine name.
+DISPLAY_NAMES = {
+    "gather": "gather",
+    "train": "train",
+    "update_genomes": "update genomes",
+    "mutate": "mutate",
+}
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One row of Table IV."""
+
+    routine: str
+    single_core_s: float
+    distributed_s: float
+
+    @property
+    def acceleration(self) -> float:
+        """Relative time reduction vs single core (the paper's 'acceleration')."""
+        if self.single_core_s <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.distributed_s / self.single_core_s)
+
+    @property
+    def speedup(self) -> float:
+        if self.distributed_s <= 0:
+            return float("inf")
+        return self.single_core_s / self.distributed_s
+
+
+def profile_rows(single: TimerSnapshot, distributed: TimerSnapshot) -> list[ProfileRow]:
+    """Build Table IV rows (four routines + overall) from two snapshots."""
+    rows = [
+        ProfileRow(
+            routine=DISPLAY_NAMES[name],
+            single_core_s=single.seconds(name),
+            distributed_s=distributed.seconds(name),
+        )
+        for name in PAPER_ROUTINES
+    ]
+    rows.append(
+        ProfileRow(
+            routine="overall",
+            single_core_s=sum(r.single_core_s for r in rows),
+            distributed_s=sum(r.distributed_s for r in rows),
+        )
+    )
+    return rows
+
+
+def format_table4(rows: list[ProfileRow], unit: str = "s") -> str:
+    """Render rows in the layout of the paper's Table IV."""
+    header = f"{'routine':<16} {'single core':>12} {'distributed':>12} {'acceleration':>13} {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.routine:<16} {row.single_core_s:>10.2f}{unit} {row.distributed_s:>10.2f}{unit}"
+            f" {row.acceleration * 100:>12.1f}% {row.speedup:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_fig4_series(rows: list[ProfileRow]) -> dict[str, list]:
+    """The two bar series of the paper's Fig. 4 (same data as Table IV)."""
+    routines = [r.routine for r in rows if r.routine != "overall"]
+    return {
+        "routines": routines,
+        "single_core": [r.single_core_s for r in rows if r.routine != "overall"],
+        "distributed": [r.distributed_s for r in rows if r.routine != "overall"],
+    }

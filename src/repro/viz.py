@@ -1,0 +1,91 @@
+"""Terminal visualization helpers (no plotting dependencies).
+
+The examples and the figure regenerators render everything as text:
+generated digits as ASCII art, fitness trajectories as sparklines, the
+Fig. 4 comparison as horizontal bars.  Consolidated here so every consumer
+renders identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_image", "ascii_image_row", "sparkline", "horizontal_bars"]
+
+_SHADES = " .:-=+*#%@"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_image(image: np.ndarray, side: int | None = None, *,
+                value_range: tuple[float, float] = (-1.0, 1.0)) -> str:
+    """Render a flat grayscale image as ASCII art.
+
+    ``value_range`` maps pixel values to ink density (defaults to the
+    generator's tanh range).  Rows are subsampled 2:1 because terminal
+    cells are roughly twice as tall as wide.
+    """
+    flat = np.asarray(image, dtype=np.float64).ravel()
+    if side is None:
+        side = int(round(np.sqrt(flat.size)))
+    if side * side != flat.size:
+        raise ValueError(f"image of {flat.size} pixels is not {side}x{side}")
+    lo, hi = value_range
+    if hi <= lo:
+        raise ValueError("value_range must be increasing")
+    grid = np.clip((flat.reshape(side, side) - lo) / (hi - lo), 0.0, 1.0)
+    rows = []
+    for r in range(0, side, 2):
+        rows.append("".join(_SHADES[min(9, int(v * 9.999))] for v in grid[r]))
+    return "\n".join(rows)
+
+
+def ascii_image_row(images: np.ndarray, side: int | None = None, *,
+                    value_range: tuple[float, float] = (-1.0, 1.0),
+                    gap: str = "  ") -> str:
+    """Render several images side by side (one terminal block)."""
+    blocks = [ascii_image(img, side, value_range=value_range).splitlines()
+              for img in images]
+    if not blocks:
+        return ""
+    height = max(len(b) for b in blocks)
+    width = len(blocks[0][0]) if blocks[0] else 0
+    lines = []
+    for row in range(height):
+        lines.append(gap.join(
+            (block[row] if row < len(block) else " " * width) for block in blocks
+        ))
+    return "\n".join(lines)
+
+
+def sparkline(values) -> str:
+    """One-line block-character chart; NaNs render as spaces."""
+    values = np.asarray(values, dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return "(no data)"
+    lo, hi = float(finite.min()), float(finite.max())
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values:
+        if not np.isfinite(v):
+            out.append(" ")
+        else:
+            out.append(_BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def horizontal_bars(labels, values, *, width: int = 46, unit: str = "s") -> str:
+    """Aligned horizontal bar chart (the Fig. 4 rendering)."""
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("one value per label required")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    maximum = max(values, default=0.0) or 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / maximum))
+        lines.append(f"{label:<{label_width}} {value:10.2f}{unit} |{'#' * filled}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+BLAS is pinned to one thread before anything imports heavy NumPy paths so
+test timings stay stable and distributed tests are not poisoned by thread
+oversubscription (see :mod:`repro.runtime`).
+"""
+
+import os
+
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+
+import numpy as np
+import pytest
+
+from repro.config import paper_table1_config
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import load_synthetic_mnist
+from repro.data.transforms import to_tanh_range
+from repro.runtime import pin_blas_threads
+
+pin_blas_threads(1)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def cache_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    return path
+
+
+def make_quick_config(rows=2, cols=2, *, iterations=2, seed=42,
+                      dataset_size=400, batch_size=20, batches=2):
+    """A seconds-scale configuration preserving Table I structure."""
+    import dataclasses
+
+    scaled = paper_table1_config(rows, cols).scaled(
+        iterations=iterations,
+        dataset_size=dataset_size,
+        batch_size=batch_size,
+        batches_per_iteration=batches,
+    )
+    return dataclasses.replace(scaled, seed=seed)
+
+
+@pytest.fixture()
+def quick_config():
+    return make_quick_config()
+
+
+@pytest.fixture(scope="session")
+def small_raw_dataset(cache_dir):
+    """400 rendered synthetic digits, session-cached."""
+    return load_synthetic_mnist(400, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_raw_dataset):
+    """The same digits in the tanh range, wrapped for training."""
+    return ArrayDataset(to_tanh_range(small_raw_dataset.images),
+                        small_raw_dataset.labels)
+
+
+@pytest.fixture(scope="session")
+def metric_classifier(small_raw_dataset):
+    """A classifier trained once per session for metric tests."""
+    from repro.metrics import train_digit_classifier
+
+    rng = np.random.default_rng(7)
+    images = to_tanh_range(small_raw_dataset.images)
+    return train_digit_classifier(images, small_raw_dataset.labels, rng, epochs=8)

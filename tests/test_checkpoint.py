@@ -1,0 +1,128 @@
+"""Tests for training checkpoints (survive the 96-hour wall-time limit)."""
+
+import numpy as np
+import pytest
+
+from repro.coevolution import (
+    SequentialTrainer,
+    TrainingCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.coevolution.genome import Genome
+from tests.conftest import make_quick_config
+
+
+@pytest.fixture()
+def trained_trainer(small_dataset):
+    config = make_quick_config(2, 2, iterations=4)
+    trainer = SequentialTrainer(config, small_dataset)
+    trainer.run(iterations=2)  # halfway through the configured 4
+    return trainer
+
+
+class TestSnapshot:
+    def test_from_trainer(self, trained_trainer):
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        assert checkpoint.iteration == 2
+        assert checkpoint.remaining_iterations == 2
+        assert len(checkpoint.center_genomes) == 4
+        assert all(w.shape == (5,) for w in checkpoint.mixture_weights)
+
+    def test_validation_wrong_cell_count(self, trained_trainer):
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        with pytest.raises(ValueError, match="genomes"):
+            TrainingCheckpoint(
+                config=checkpoint.config,
+                iteration=1,
+                center_genomes=checkpoint.center_genomes[:2],
+                mixture_weights=checkpoint.mixture_weights[:2],
+            )
+
+    def test_validation_negative_iteration(self, trained_trainer):
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        with pytest.raises(ValueError, match="iteration"):
+            TrainingCheckpoint(
+                config=checkpoint.config,
+                iteration=-1,
+                center_genomes=checkpoint.center_genomes,
+                mixture_weights=checkpoint.mixture_weights,
+            )
+
+
+class TestFileRoundTrip:
+    def test_save_load_identical(self, trained_trainer, tmp_path):
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        path = tmp_path / "run.ckpt.npz"
+        save_checkpoint(path, checkpoint)
+        loaded = load_checkpoint(path)
+        assert loaded.iteration == checkpoint.iteration
+        assert loaded.config == checkpoint.config
+        for (g1, d1), (g2, d2) in zip(checkpoint.center_genomes, loaded.center_genomes):
+            np.testing.assert_array_equal(g1.parameters, g2.parameters)
+            np.testing.assert_array_equal(d1.parameters, d2.parameters)
+            assert g1.learning_rate == g2.learning_rate
+            assert g1.loss_name == g2.loss_name
+        for w1, w2 in zip(checkpoint.mixture_weights, loaded.mixture_weights):
+            np.testing.assert_array_equal(w1, w2)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_atomic_write_leaves_no_tmp(self, trained_trainer, tmp_path):
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        path = tmp_path / "run.ckpt.npz"
+        save_checkpoint(path, checkpoint)
+        leftovers = [p for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+
+class TestResume:
+    def test_resume_runs_remaining_iterations(self, trained_trainer, small_dataset,
+                                              tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        save_checkpoint(path, TrainingCheckpoint.from_trainer(trained_trainer))
+        resumed = SequentialTrainer.from_checkpoint(load_checkpoint(path), small_dataset)
+        assert resumed.start_iteration == 2
+        result = resumed.run()  # runs only the remaining 2 of 4 iterations
+        assert all(len(reports) == 2 for reports in result.cell_reports)
+        # Cells continue counting from the checkpointed iteration.
+        assert all(cell.iteration == 4 for cell in resumed.cells)
+
+    def test_resume_starts_from_checkpointed_genomes(self, trained_trainer,
+                                                     small_dataset, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        save_checkpoint(path, checkpoint)
+        resumed = SequentialTrainer.from_checkpoint(load_checkpoint(path), small_dataset)
+        for cell, (g, _) in zip(resumed.cells, checkpoint.center_genomes):
+            restored, _ = cell.center_genomes()
+            np.testing.assert_array_equal(restored.parameters, g.parameters)
+
+    def test_resume_is_deterministic(self, trained_trainer, small_dataset, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        save_checkpoint(path, TrainingCheckpoint.from_trainer(trained_trainer))
+
+        def resume_and_finish():
+            trainer = SequentialTrainer.from_checkpoint(
+                load_checkpoint(path), small_dataset
+            )
+            result = trainer.run()
+            return result.center_genomes[0][0].parameters
+
+        np.testing.assert_array_equal(resume_and_finish(), resume_and_finish())
+
+    def test_restore_adopts_genome_loss(self, small_dataset):
+        config = make_quick_config(2, 2, iterations=2)
+        trainer = SequentialTrainer(config, small_dataset)
+        cell = trainer.cells[0]
+        g, d = cell.center_genomes()
+        g.loss_name = "mse"
+        d.loss_name = "mse"
+        cell.restore(g, d, np.full(5, 0.2), iteration=1)
+        assert cell.loss_name == "mse"
+        assert cell.center.loss.name == "mse"
+        assert cell.iteration == 1

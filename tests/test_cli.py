@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_grid_parsing(self):
+        args = build_parser().parse_args(["run", "--grid", "3x4"])
+        assert args.grid == (3, 4)
+
+    def test_grid_parsing_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--grid", "three-by-three"])
+
+    def test_grid_parsing_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--grid", "0x3"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.backend == "process"
+        assert args.loss == "bce"
+        assert args.exchange == "neighbors"
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "Cluster-UY" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["fig", "1"]) == 0
+        assert "FIG. 1" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig", "2"]) == 0
+        assert "FIG. 2" in capsys.readouterr().out
+
+    def test_run_sequential_tiny(self, capsys, cache_dir):
+        code = main([
+            "run", "--grid", "2x2", "--backend", "sequential",
+            "--iterations", "1", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best cell:" in out
+
+    def test_run_threaded_tiny(self, capsys, cache_dir):
+        code = main([
+            "run", "--grid", "2x2", "--backend", "threaded",
+            "--iterations", "1", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+        ])
+        assert code == 0
+
+    def test_run_with_checkpoint_then_resume(self, capsys, cache_dir, tmp_path):
+        ckpt = str(tmp_path / "cli.ckpt.npz")
+        code = main([
+            "run", "--grid", "2x2", "--backend", "sequential",
+            "--iterations", "2", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+            "--checkpoint", ckpt,
+        ])
+        assert code == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        # A finished run resumes with zero remaining iterations.
+        code = main(["resume", ckpt])
+        assert code == 0
+        assert "0 remaining" in capsys.readouterr().out
+
+    def test_run_mustangs_loss(self, capsys, cache_dir):
+        code = main([
+            "run", "--grid", "2x2", "--backend", "sequential",
+            "--iterations", "1", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+            "--loss", "mustangs",
+        ])
+        assert code == 0

@@ -1,0 +1,196 @@
+"""Tests for the simulated platform, scheduler, and placement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BestEffortScheduler,
+    ComputeNode,
+    ResourceRequest,
+    cluster_uy,
+    place_tasks,
+    table2_resources,
+)
+from repro.cluster.scheduler import JobState
+
+
+class TestComputeNode:
+    def test_occupancy_accounting(self):
+        node = ComputeNode("n", cores=4, memory_mb=1000, storage_gb=10)
+        node.occupy(2, 500)
+        assert node.free_cores == 2 and node.free_memory_mb == 500
+        node.release(2, 500)
+        assert node.free_cores == 4
+
+    def test_over_occupancy_rejected(self):
+        node = ComputeNode("n", cores=2, memory_mb=100, storage_gb=10)
+        with pytest.raises(ValueError):
+            node.occupy(3, 10)
+        with pytest.raises(ValueError):
+            node.occupy(1, 200)
+
+    def test_over_release_rejected(self):
+        node = ComputeNode("n", cores=2, memory_mb=100, storage_gb=10)
+        with pytest.raises(ValueError):
+            node.release(1, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeNode("n", cores=0, memory_mb=100, storage_gb=1)
+
+
+class TestClusterUy:
+    def test_paper_specs(self):
+        platform = cluster_uy()
+        assert len(platform.nodes) == 30
+        assert all(n.cores == 40 for n in platform.nodes)
+        assert all(n.memory_mb == 128 * 1024 for n in platform.nodes)
+        assert all(n.storage_gb == 300 for n in platform.nodes)
+        assert platform.total_cores == 1200
+
+    def test_busy_fraction(self):
+        platform = cluster_uy(busy_fraction=0.5)
+        assert all(n.busy_cores == 20 for n in platform.nodes)
+
+    def test_busy_fraction_randomized(self):
+        platform = cluster_uy(busy_fraction=0.5, rng=np.random.default_rng(0))
+        busies = {n.busy_cores for n in platform.nodes}
+        assert len(busies) > 1  # not all identical
+
+    def test_unique_names_enforced(self):
+        platform = cluster_uy(servers=3)
+        names = [n.name for n in platform.nodes]
+        assert len(set(names)) == 3
+
+    def test_node_lookup(self):
+        platform = cluster_uy(servers=2)
+        assert platform.node("node01").name == "node01"
+        with pytest.raises(KeyError):
+            platform.node("nodeXX")
+
+
+class TestScheduler:
+    def test_job_starts_when_resources_free(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1))
+        job = scheduler.submit(
+            ResourceRequest(tasks=5, memory_mb_per_task=1844, time_limit_hours=96),
+            runtime_hours=2.0,
+        )
+        assert job.state is JobState.RUNNING
+        assert job.allocation is not None
+        assert len(job.allocation.task_nodes) == 5
+
+    def test_job_queues_when_full(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1, busy_fraction=0.975))
+        # 1 free core; ask for 5.
+        job = scheduler.submit(
+            ResourceRequest(tasks=5, memory_mb_per_task=100, time_limit_hours=1),
+            runtime_hours=1.0,
+        )
+        assert job.state is JobState.PENDING
+
+    def test_fifo_no_backfill(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1))
+        big = scheduler.submit(
+            ResourceRequest(tasks=40, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=5.0,
+        )
+        blocked = scheduler.submit(
+            ResourceRequest(tasks=40, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=1.0,
+        )
+        small = scheduler.submit(
+            ResourceRequest(tasks=1, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=1.0,
+        )
+        assert big.state is JobState.RUNNING
+        assert blocked.state is JobState.PENDING
+        assert small.state is JobState.PENDING  # strict FIFO: no jumping ahead
+
+    def test_completion_releases_and_starts_next(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1))
+        first = scheduler.submit(
+            ResourceRequest(tasks=40, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=2.0,
+        )
+        second = scheduler.submit(
+            ResourceRequest(tasks=40, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=1.0,
+        )
+        finished = scheduler.advance(2.0)
+        assert first in finished and first.state is JobState.COMPLETED
+        assert second.state is JobState.RUNNING
+        scheduler.advance(1.0)
+        assert second.state is JobState.COMPLETED
+        assert scheduler.platform.free_cores == 40
+
+    def test_time_limit_kills_job(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1))
+        job = scheduler.submit(
+            ResourceRequest(tasks=1, memory_mb_per_task=100, time_limit_hours=1.0),
+            runtime_hours=50.0,
+        )
+        scheduler.advance(1.5)
+        assert job.state is JobState.TIMEOUT
+        assert scheduler.platform.free_cores == 40
+
+    def test_advance_accumulates_clock(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1))
+        scheduler.advance(3.0)
+        assert scheduler.clock_hours == pytest.approx(3.0)
+
+    def test_cancel_pending(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1, busy_fraction=0.975))
+        job = scheduler.submit(
+            ResourceRequest(tasks=10, memory_mb_per_task=100, time_limit_hours=1),
+            runtime_hours=1.0,
+        )
+        scheduler.cancel(job)
+        assert job.state is JobState.CANCELLED
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            ResourceRequest(tasks=0, memory_mb_per_task=1, time_limit_hours=1)
+        with pytest.raises(ValueError):
+            ResourceRequest(tasks=1, memory_mb_per_task=1, time_limit_hours=0)
+
+
+class TestPlacement:
+    def test_balanced_round_robin(self):
+        platform = cluster_uy(servers=5)
+        plan = place_tasks(platform, tasks=10)
+        # Emptiest-first round robin over 5 equal nodes -> 2 tasks each.
+        assert plan.max_load() == 2
+        assert len(plan.tasks_per_node()) == 5
+
+    def test_prefers_empty_nodes(self):
+        platform = cluster_uy(servers=3)
+        platform.nodes[0].occupy(39, 0)
+        platform.nodes[1].occupy(20, 0)
+        plan = place_tasks(platform, tasks=3)
+        counts = plan.tasks_per_node()
+        # node2 (empty) must get at least as many as the others.
+        assert counts.get("node02", 0) >= counts.get("node00", 0)
+
+    def test_respects_memory_capacity(self):
+        platform = cluster_uy(servers=1)
+        # Each task wants 64 GB -> node fits only 2.
+        with pytest.raises(ValueError):
+            place_tasks(platform, tasks=3, memory_mb_per_task=64 * 1024)
+
+    def test_insufficient_capacity_raises(self):
+        platform = cluster_uy(servers=1)
+        with pytest.raises(ValueError):
+            place_tasks(platform, tasks=41)
+
+    def test_table2_paper_cores(self):
+        assert table2_resources(2, 2)["cores"] == 5
+        assert table2_resources(3, 3)["cores"] == 10
+        assert table2_resources(4, 4)["cores"] == 17
+
+    def test_table2_paper_memory(self):
+        assert table2_resources(2, 2)["memory_mb"] == 9216
+        assert table2_resources(3, 3)["memory_mb"] == 18432
+        # The paper rounds the 4x4 request up to 32 GB; the formula gives
+        # the exact ceil-to-GB figure just below it.
+        assert abs(table2_resources(4, 4)["memory_mb"] - 32768) <= 1024

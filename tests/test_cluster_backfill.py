@@ -1,0 +1,82 @@
+"""Tests for the scheduler's backfill mode."""
+
+import pytest
+
+from repro.cluster import BestEffortScheduler, ResourceRequest, cluster_uy
+from repro.cluster.scheduler import JobState
+
+
+def big_request(time_limit=10.0):
+    return ResourceRequest(tasks=40, memory_mb_per_task=100, time_limit_hours=time_limit)
+
+
+def small_request(time_limit=10.0):
+    return ResourceRequest(tasks=1, memory_mb_per_task=100, time_limit_hours=time_limit)
+
+
+class TestBackfill:
+    def test_backfill_lets_small_job_jump(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1), backfill=True)
+        running = scheduler.submit(big_request(), runtime_hours=5.0)
+        blocked = scheduler.submit(big_request(), runtime_hours=1.0)
+        small = scheduler.submit(small_request(), runtime_hours=1.0)
+        assert running.state is JobState.RUNNING
+        assert blocked.state is JobState.PENDING
+        # Without backfill this stays pending (see test_cluster.py); with
+        # backfill the one-core job starts... but the node is fully
+        # occupied by the big job, so it still cannot.
+        assert small.state is JobState.PENDING
+
+    def test_backfill_uses_leftover_cores(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1), backfill=True)
+        # 30 cores used; head job needs 40 and blocks; small job fits in 10.
+        first = scheduler.submit(
+            ResourceRequest(tasks=30, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=5.0,
+        )
+        head = scheduler.submit(big_request(), runtime_hours=1.0)
+        small = scheduler.submit(small_request(), runtime_hours=1.0)
+        assert first.state is JobState.RUNNING
+        assert head.state is JobState.PENDING
+        assert small.state is JobState.RUNNING  # backfilled
+
+    def test_fifo_mode_never_backfills(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1), backfill=False)
+        scheduler.submit(
+            ResourceRequest(tasks=30, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=5.0,
+        )
+        head = scheduler.submit(big_request(), runtime_hours=1.0)
+        small = scheduler.submit(small_request(), runtime_hours=1.0)
+        assert head.state is JobState.PENDING
+        assert small.state is JobState.PENDING
+
+    def test_backfilled_job_completes_and_head_eventually_runs(self):
+        scheduler = BestEffortScheduler(cluster_uy(servers=1), backfill=True)
+        first = scheduler.submit(
+            ResourceRequest(tasks=30, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=2.0,
+        )
+        head = scheduler.submit(big_request(), runtime_hours=1.0)
+        small = scheduler.submit(small_request(), runtime_hours=0.5)
+        scheduler.advance(0.5)
+        assert small.state is JobState.COMPLETED
+        scheduler.advance(1.5)  # first finishes at t=2.0
+        assert first.state is JobState.COMPLETED
+        assert head.state is JobState.RUNNING
+        scheduler.advance(1.0)
+        assert head.state is JobState.COMPLETED
+
+    def test_backfill_preserves_resource_accounting(self):
+        platform = cluster_uy(servers=1)
+        scheduler = BestEffortScheduler(platform, backfill=True)
+        scheduler.submit(
+            ResourceRequest(tasks=30, memory_mb_per_task=100, time_limit_hours=10),
+            runtime_hours=1.0,
+        )
+        scheduler.submit(big_request(), runtime_hours=1.0)
+        scheduler.submit(small_request(), runtime_hours=1.0)
+        # 30 + 1 backfilled = 31 cores busy.
+        assert platform.free_cores == 9
+        scheduler.advance(10.0)
+        assert platform.free_cores == 40

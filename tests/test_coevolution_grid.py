@@ -1,0 +1,128 @@
+"""Tests for the toroidal grid geometry (paper Fig. 1 structure)."""
+
+import pytest
+
+from repro.coevolution.grid import ToroidalGrid, moore_neighborhood, von_neumann_neighborhood
+
+
+class TestMooreNeighborhood:
+    def test_paper_example_interior(self):
+        # N(1,1) on the 4x4 grid of Fig. 1.
+        hood = moore_neighborhood(1, 1, 4, 4)
+        assert hood == [(1, 1), (1, 0), (0, 1), (1, 2), (2, 1)]
+
+    def test_paper_example_wrapping(self):
+        # N(1,3) wraps east to column 0.
+        hood = moore_neighborhood(1, 3, 4, 4)
+        assert hood == [(1, 3), (1, 2), (0, 3), (1, 0), (2, 3)]
+
+    def test_center_first(self):
+        assert moore_neighborhood(2, 2, 5, 5)[0] == (2, 2)
+
+    def test_size_is_five(self):
+        assert len(moore_neighborhood(0, 0, 4, 4)) == 5
+
+    def test_corner_wraps_both_axes(self):
+        hood = moore_neighborhood(0, 0, 3, 3)
+        assert (0, 2) in hood  # west wrap
+        assert (2, 0) in hood  # north wrap
+
+    def test_2x2_duplicates(self):
+        # On 2x2 the W and E neighbors coincide, as do N and S.
+        hood = moore_neighborhood(0, 0, 2, 2)
+        assert hood == [(0, 0), (0, 1), (1, 0), (0, 1), (1, 0)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            moore_neighborhood(4, 0, 4, 4)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            moore_neighborhood(0, 0, 0, 4)
+
+
+class TestVonNeumann:
+    def test_radius_1_matches_moore5(self):
+        assert set(von_neumann_neighborhood(1, 1, 4, 4, radius=1)) == set(
+            moore_neighborhood(1, 1, 4, 4)
+        )
+
+    def test_radius_0_is_center_only(self):
+        assert von_neumann_neighborhood(2, 2, 5, 5, radius=0) == [(2, 2)]
+
+    def test_radius_2_size(self):
+        # Manhattan ball of radius 2 on a big torus: 1 + 4 + 8 = 13 cells.
+        assert len(von_neumann_neighborhood(3, 3, 9, 9, radius=2)) == 13
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            von_neumann_neighborhood(0, 0, 3, 3, radius=-1)
+
+
+class TestToroidalGrid:
+    @pytest.fixture()
+    def grid(self):
+        return ToroidalGrid(4, 4)
+
+    def test_cell_count(self, grid):
+        assert grid.cell_count == 16
+
+    def test_index_coord_roundtrip(self, grid):
+        for index in range(grid.cell_count):
+            row, col = grid.coords_of(index)
+            assert grid.index_of(row, col) == index
+
+    def test_row_major_layout(self, grid):
+        assert grid.coords_of(0) == (0, 0)
+        assert grid.coords_of(5) == (1, 1)
+        assert grid.index_of(1, 1) == 5
+
+    def test_bounds_checks(self, grid):
+        with pytest.raises(ValueError):
+            grid.coords_of(16)
+        with pytest.raises(ValueError):
+            grid.index_of(4, 0)
+
+    def test_neighbors_of_excludes_center(self, grid):
+        assert 5 not in grid.neighbors_of(5)
+        assert len(grid.neighbors_of(5)) == 4
+
+    def test_neighborhood_indices_order(self, grid):
+        # center, W, N, E, S for cell (1,1)=5 on 4x4
+        assert grid.neighborhood_indices(5) == [5, 4, 1, 6, 9]
+
+    def test_overlap_reciprocity(self):
+        """j in N(i) iff i in N(j) — the torus symmetry the exchange uses."""
+        for rows, cols in ((3, 3), (4, 4), (3, 5)):
+            grid = ToroidalGrid(rows, cols)
+            for i in range(grid.cell_count):
+                for j in grid.neighborhood_indices(i):
+                    assert i in grid.neighborhood_indices(j)
+
+    def test_overlapping_neighborhoods_equals_own(self):
+        grid = ToroidalGrid(4, 4)
+        for i in range(grid.cell_count):
+            assert sorted(grid.overlapping_neighborhoods(i)) == sorted(
+                set(grid.neighborhood_indices(i))
+            )
+
+    def test_every_cell_in_five_neighborhoods(self):
+        grid = ToroidalGrid(4, 4)
+        appearance = [0] * grid.cell_count
+        for i in range(grid.cell_count):
+            for j in set(grid.neighborhood_indices(i)):
+                appearance[j] += 1
+        assert all(count == 5 for count in appearance)
+
+    def test_degenerate_overlap_flag(self):
+        assert ToroidalGrid(2, 2).degenerate_overlap()
+        assert not ToroidalGrid(3, 3).degenerate_overlap()
+
+    def test_all_coords(self, grid):
+        coords = grid.all_coords()
+        assert len(coords) == 16 and coords[0] == (0, 0) and coords[-1] == (3, 3)
+
+    def test_rectangular_grid(self):
+        grid = ToroidalGrid(2, 5)
+        assert grid.cell_count == 10
+        assert grid.coords_of(7) == (1, 2)

@@ -1,0 +1,241 @@
+"""Tests for genomes, selection, mutation, mixture, and fitness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.config import paper_table1_config
+from repro.coevolution.fitness import evaluate_subpopulations
+from repro.coevolution.genome import Genome, genome_from_pair, pair_from_genomes
+from repro.coevolution.mixture import MixtureWeights, evolve_mixture, sample_mixture
+from repro.coevolution.mutation import MIN_LEARNING_RATE, mutate_learning_rate
+from repro.coevolution.selection import rank_by_fitness, tournament_select
+from repro.gan import build_gan_pair
+from repro.nn.serialize import parameters_to_vector
+
+
+@pytest.fixture()
+def config():
+    return paper_table1_config(2, 2)
+
+
+class TestGenome:
+    def test_pair_roundtrip(self, config, rng):
+        pair = build_gan_pair(config, rng)
+        pair.learning_rate = 0.00042
+        g_genome, d_genome = genome_from_pair(pair)
+        rebuilt = pair_from_genomes(g_genome, d_genome, config, np.random.default_rng(1))
+        np.testing.assert_array_equal(
+            parameters_to_vector(pair.generator), parameters_to_vector(rebuilt.generator)
+        )
+        np.testing.assert_array_equal(
+            parameters_to_vector(pair.discriminator),
+            parameters_to_vector(rebuilt.discriminator),
+        )
+        assert rebuilt.learning_rate == pytest.approx(0.00042)
+        assert rebuilt.loss.name == pair.loss.name
+
+    def test_copy_is_deep(self):
+        genome = Genome(np.ones(4), 0.001, "bce")
+        clone = genome.copy()
+        clone.parameters[0] = 5.0
+        assert genome.parameters[0] == 1.0
+
+    def test_write_into(self, config, rng):
+        pair = build_gan_pair(config, rng)
+        g_genome, _ = genome_from_pair(pair)
+        g_genome.parameters[:] = 0.0
+        g_genome.write_into(pair.generator)
+        assert np.all(parameters_to_vector(pair.generator) == 0)
+
+    def test_distance(self):
+        a = Genome(np.zeros(3), 0.001, "bce")
+        b = Genome(np.array([3.0, 4.0, 0.0]), 0.001, "bce")
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Genome(np.zeros(3), 0.001, "bce").distance_to(Genome(np.zeros(4), 0.001, "bce"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Genome(np.zeros((2, 2)), 0.001, "bce")
+        with pytest.raises(ValueError):
+            Genome(np.zeros(3), 0.0, "bce")
+
+
+class TestTournament:
+    def test_picks_the_best_of_full_tournament(self, rng):
+        fitness = [3.0, 1.0, 2.0]
+        winner = tournament_select(fitness, rng, tournament_size=3)
+        assert winner == 1
+
+    def test_size_capped_at_population(self, rng):
+        assert tournament_select([5.0], rng, tournament_size=10) == 0
+
+    def test_winner_never_dominated_by_both_competitors(self):
+        """k=2: the winner is never the strictly worse of the sampled pair."""
+        fitness = [4.0, 2.0, 9.0, 1.0, 7.0]
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            winner = tournament_select(fitness, rng, tournament_size=2)
+            worst = max(range(5), key=lambda i: fitness[i])
+            assert winner != worst or len(set(fitness)) == 1
+
+    def test_selection_pressure(self):
+        """The best individual wins more often than uniform chance."""
+        fitness = [1.0, 2.0, 3.0, 4.0, 5.0]
+        rng = np.random.default_rng(1)
+        wins = sum(tournament_select(fitness, rng, 2) == 0 for _ in range(2000))
+        assert wins / 2000 > 1.5 / 5  # uniform would be 0.2; k=2 gives ~0.36
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select([], rng)
+
+    def test_bad_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select([1.0], rng, tournament_size=0)
+
+    def test_rank_by_fitness(self):
+        assert rank_by_fitness([3.0, 1.0, 2.0, 1.0]) == [1, 3, 2, 0]
+
+
+class TestLearningRateMutation:
+    def test_probability_zero_never_mutates(self, rng):
+        for _ in range(50):
+            assert mutate_learning_rate(
+                0.001, rng, mutation_rate=0.1, mutation_probability=0.0
+            ) == 0.001
+
+    def test_probability_one_always_mutates(self, rng):
+        values = {
+            mutate_learning_rate(0.001, rng, mutation_rate=1e-4, mutation_probability=1.0)
+            for _ in range(20)
+        }
+        assert len(values) == 20
+
+    def test_stays_positive(self, rng):
+        for _ in range(200):
+            out = mutate_learning_rate(
+                1e-7, rng, mutation_rate=0.1, mutation_probability=1.0
+            )
+            assert out >= MIN_LEARNING_RATE
+
+    def test_mutation_magnitude(self):
+        """Mutations follow N(0, rate): sample std close to the rate."""
+        rng = np.random.default_rng(2)
+        deltas = [
+            mutate_learning_rate(1.0, rng, mutation_rate=1e-4, mutation_probability=1.0) - 1.0
+            for _ in range(3000)
+        ]
+        assert np.std(deltas) == pytest.approx(1e-4, rel=0.1)
+
+    def test_expected_mutation_frequency(self):
+        rng = np.random.default_rng(3)
+        mutated = sum(
+            mutate_learning_rate(1.0, rng, mutation_rate=1e-4, mutation_probability=0.5) != 1.0
+            for _ in range(2000)
+        )
+        assert 0.4 < mutated / 2000 < 0.6
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            mutate_learning_rate(0.0, rng, mutation_rate=1e-4, mutation_probability=0.5)
+        with pytest.raises(ValueError):
+            mutate_learning_rate(1.0, rng, mutation_rate=-1.0, mutation_probability=0.5)
+        with pytest.raises(ValueError):
+            mutate_learning_rate(1.0, rng, mutation_rate=1e-4, mutation_probability=1.5)
+
+
+class TestMixture:
+    def test_uniform(self):
+        mix = MixtureWeights.uniform(5)
+        np.testing.assert_allclose(mix.weights, np.full(5, 0.2))
+
+    def test_normalization_on_construction(self):
+        mix = MixtureWeights(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(mix.weights, [0.25, 0.75])
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            MixtureWeights(np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError):
+            MixtureWeights(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            MixtureWeights(np.array([]))
+
+    def test_mutated_remains_distribution(self, rng):
+        mix = MixtureWeights.uniform(5)
+        for _ in range(100):
+            mix = mix.mutated(rng, scale=0.05)
+            assert mix.weights.sum() == pytest.approx(1.0)
+            assert np.all(mix.weights >= 0)
+
+    def test_mutation_scale_controls_step(self):
+        parent = MixtureWeights.uniform(5)
+        small = parent.mutated(np.random.default_rng(0), scale=0.001)
+        large = parent.mutated(np.random.default_rng(0), scale=0.3)
+        assert np.abs(large.weights - 0.2).max() > np.abs(small.weights - 0.2).max()
+
+    def test_evolve_keeps_better_offspring(self, rng):
+        mix = MixtureWeights(np.array([0.9, 0.1]))
+        # fitness: distance from the ideal [0.5, 0.5] — offspring closer wins
+        fitness = lambda m: float(np.abs(m.weights - 0.5).sum())
+        evolved, fit = evolve_mixture(mix, fitness, rng, scale=0.05)
+        assert fit <= fitness(mix)
+
+    def test_evolve_converges_toward_target(self):
+        rng = np.random.default_rng(4)
+        mix = MixtureWeights(np.array([0.99, 0.005, 0.005]))
+        fitness = lambda m: float(np.abs(m.weights - 1 / 3).sum())
+        for _ in range(300):
+            mix, _ = evolve_mixture(mix, fitness, rng, scale=0.02)
+        assert np.abs(mix.weights - 1 / 3).max() < 0.1
+
+    def test_sample_mixture_respects_weights(self, config, rng):
+        pairs = [build_gan_pair(config, np.random.default_rng(i)) for i in range(2)]
+        generators = [p.generator for p in pairs]
+        only_first = MixtureWeights(np.array([1.0, 0.0]))
+        samples = sample_mixture(generators, only_first, 8, rng)
+        assert samples.shape == (8, 784)
+
+    def test_sample_mixture_arity_check(self, config, rng):
+        pair = build_gan_pair(config, rng)
+        with pytest.raises(ValueError):
+            sample_mixture([pair.generator], MixtureWeights.uniform(2), 4, rng)
+
+
+class TestFitnessTable:
+    def test_all_pairs_shape(self, config, rng):
+        pairs = [build_gan_pair(config, np.random.default_rng(i)) for i in range(3)]
+        generators = [p.generator for p in pairs]
+        discriminators = [p.discriminator for p in pairs]
+        batch = rng.uniform(-1, 1, size=(10, 784))
+        table = evaluate_subpopulations(generators, discriminators,
+                                        pairs[0].loss, batch, rng)
+        assert table.g_losses.shape == (3, 3)
+        assert table.d_losses.shape == (3, 3)
+        assert np.all(np.isfinite(table.g_losses))
+        assert np.all(np.isfinite(table.d_losses))
+
+    def test_fitness_aggregation(self, config, rng):
+        pairs = [build_gan_pair(config, np.random.default_rng(i)) for i in range(2)]
+        batch = rng.uniform(-1, 1, size=(6, 784))
+        table = evaluate_subpopulations([p.generator for p in pairs],
+                                        [p.discriminator for p in pairs],
+                                        pairs[0].loss, batch, rng)
+        np.testing.assert_allclose(table.generator_fitness, table.g_losses.mean(axis=1))
+        np.testing.assert_allclose(table.discriminator_fitness, table.d_losses.mean(axis=0))
+        assert 0 <= table.best_generator < 2
+        assert 0 <= table.best_discriminator < 2
+
+    def test_empty_population_rejected(self, config, rng):
+        with pytest.raises(ValueError):
+            evaluate_subpopulations([], [], None, rng.normal(size=(4, 784)), rng)
+
+    def test_evaluation_does_not_mutate_networks(self, config, rng):
+        pair = build_gan_pair(config, rng)
+        before = parameters_to_vector(pair.generator).copy()
+        evaluate_subpopulations([pair.generator], [pair.discriminator],
+                                pair.loss, rng.uniform(-1, 1, size=(5, 784)), rng)
+        np.testing.assert_array_equal(before, parameters_to_vector(pair.generator))

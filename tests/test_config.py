@@ -1,0 +1,143 @@
+"""Tests for the configuration dataclasses (Table I)."""
+
+import pytest
+
+from repro.config import (
+    CoevolutionSettings,
+    ExecutionSettings,
+    ExperimentConfig,
+    HyperparameterMutationSettings,
+    NetworkSettings,
+    TrainingSettings,
+    default_config,
+    paper_table1_config,
+)
+from repro.config.settings import ConfigError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = paper_table1_config()
+        assert config.network.latent_size == 64
+        assert config.network.hidden_layers == 2
+        assert config.network.hidden_neurons == 256
+        assert config.network.output_neurons == 784
+        assert config.network.activation == "tanh"
+        assert config.coevolution.iterations == 200
+        assert config.coevolution.population_size == 1
+        assert config.coevolution.tournament_size == 2
+        assert config.coevolution.mixture_mutation_scale == 0.01
+        assert config.mutation.optimizer == "adam"
+        assert config.mutation.initial_learning_rate == 0.0002
+        assert config.mutation.mutation_rate == 0.0001
+        assert config.mutation.mutation_probability == 0.5
+        assert config.training.batch_size == 100
+        assert config.training.skip_discriminator_steps == 1
+        assert config.execution.time_limit_hours == 96.0
+        assert config.execution.temporary_storage_gb == 40
+        assert config.dataset_size == 60_000
+
+    def test_tasks_equal_cells_plus_master(self):
+        for rows, cols in ((2, 2), (3, 3), (4, 4)):
+            config = paper_table1_config(rows, cols)
+            assert config.execution.number_of_tasks == rows * cols + 1
+
+    def test_image_side(self):
+        assert NetworkSettings().image_side == 28
+
+    def test_default_config_is_scaled(self):
+        config = default_config()
+        assert config.coevolution.iterations < 200
+        assert config.dataset_size < 60_000
+        # Structure unchanged:
+        assert config.network == NetworkSettings()
+
+
+class TestValidation:
+    def test_bad_activation(self):
+        with pytest.raises(ConfigError):
+            NetworkSettings(activation="softsign")
+
+    def test_bad_grid(self):
+        with pytest.raises(ConfigError):
+            CoevolutionSettings(grid_rows=0)
+
+    def test_bad_optimizer(self):
+        with pytest.raises(ConfigError):
+            HyperparameterMutationSettings(optimizer="lion")
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigError):
+            HyperparameterMutationSettings(mutation_probability=1.5)
+
+    def test_bad_loss(self):
+        with pytest.raises(ConfigError):
+            TrainingSettings(loss_function="wgan")
+
+    def test_bad_backend(self):
+        with pytest.raises(ConfigError):
+            ExecutionSettings(backend="gpu")
+
+    def test_task_count_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="number_of_tasks"):
+            ExperimentConfig(
+                coevolution=CoevolutionSettings(grid_rows=2, grid_cols=2),
+                execution=ExecutionSettings(number_of_tasks=9),
+            )
+
+    def test_dataset_smaller_than_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            paper_table1_config().scaled(iterations=1, dataset_size=10, batch_size=100)
+
+
+class TestDerivedAndTransforms:
+    def test_batches_per_epoch(self):
+        config = paper_table1_config()
+        assert config.batches_per_epoch == 600
+
+    def test_with_grid(self):
+        config = paper_table1_config(2, 2).with_grid(4, 4)
+        assert config.coevolution.grid_size == (4, 4)
+        assert config.execution.number_of_tasks == 17
+
+    def test_scaled_keeps_structure(self):
+        config = paper_table1_config().scaled(
+            iterations=5, dataset_size=1000, batch_size=50
+        )
+        assert config.coevolution.iterations == 5
+        assert config.training.batch_size == 50
+        assert config.network == NetworkSettings()
+
+    def test_grid_properties(self):
+        coev = CoevolutionSettings(grid_rows=3, grid_cols=4)
+        assert coev.cells == 12
+        assert coev.grid_size == (3, 4)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        config = paper_table1_config(3, 3)
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+
+    def test_roundtrip_of_scaled(self):
+        config = default_config(4, 4, seed=7)
+        clone = ExperimentConfig.from_json(config.to_json())
+        assert clone == config
+        assert clone.seed == 7
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown top-level"):
+            ExperimentConfig.from_dict({"bogus": 1})
+
+    def test_unknown_section_key_rejected(self):
+        payload = paper_table1_config().to_dict()
+        payload["network"]["bogus"] = 1
+        with pytest.raises(ConfigError, match="unknown keys"):
+            ExperimentConfig.from_dict(payload)
+
+    def test_section_must_be_mapping(self):
+        payload = paper_table1_config().to_dict()
+        payload["network"] = "nope"
+        with pytest.raises(ConfigError):
+            ExperimentConfig.from_dict(payload)

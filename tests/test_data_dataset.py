@@ -1,0 +1,130 @@
+"""Tests for ArrayDataset / DataLoader / split and the transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader, train_test_split
+from repro.data.transforms import flatten_images, from_tanh_range, to_tanh_range
+
+
+@pytest.fixture()
+def dataset(rng):
+    return ArrayDataset(rng.normal(size=(50, 8)), rng.integers(0, 10, size=50))
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self, dataset):
+        assert len(dataset) == 50
+        image, label = dataset[3]
+        assert image.shape == (8,)
+
+    def test_without_labels(self, rng):
+        ds = ArrayDataset(rng.normal(size=(5, 3)))
+        assert ds[2].shape == (3,)
+
+    def test_label_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 3)), np.zeros(4))
+
+    def test_subset(self, dataset):
+        sub = dataset.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.images[1], dataset.images[2])
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, dataset, rng):
+        loader = DataLoader(dataset, 16, rng)
+        batches = list(loader)
+        assert len(batches) == len(loader) == 3  # 50 // 16, drop_last
+        assert all(b.shape == (16, 8) for b in batches)
+
+    def test_drop_last_false_keeps_tail(self, dataset, rng):
+        loader = DataLoader(dataset, 16, rng, drop_last=False)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[-1].shape[0] == 2
+
+    def test_shuffle_covers_everything(self, dataset, rng):
+        loader = DataLoader(dataset, 10, rng)
+        seen = np.concatenate(list(loader))
+        assert seen.shape[0] == 50
+        # Every original row appears exactly once.
+        original = np.sort(dataset.images.sum(axis=1))
+        np.testing.assert_allclose(np.sort(seen.sum(axis=1)), original)
+
+    def test_epochs_reshuffle(self, dataset):
+        loader = DataLoader(dataset, 25, np.random.default_rng(0))
+        first = np.concatenate(list(loader))
+        second = np.concatenate(list(loader))
+        assert np.abs(first - second).max() > 0
+
+    def test_no_shuffle_preserves_order(self, dataset, rng):
+        loader = DataLoader(dataset, 10, rng, shuffle=False)
+        first = next(iter(loader))
+        np.testing.assert_array_equal(first, dataset.images[:10])
+
+    def test_deterministic_given_rng(self, dataset):
+        a = np.concatenate(list(DataLoader(dataset, 10, np.random.default_rng(4))))
+        b = np.concatenate(list(DataLoader(dataset, 10, np.random.default_rng(4))))
+        np.testing.assert_array_equal(a, b)
+
+    def test_batches_with_labels(self, dataset, rng):
+        loader = DataLoader(dataset, 10, rng)
+        images, labels = next(loader.batches_with_labels())
+        assert images.shape == (10, 8) and labels.shape == (10,)
+
+    def test_batches_with_labels_requires_labels(self, rng):
+        ds = ArrayDataset(rng.normal(size=(20, 3)))
+        loader = DataLoader(ds, 5, rng)
+        with pytest.raises(ValueError):
+            next(loader.batches_with_labels())
+
+    def test_batch_larger_than_dataset_rejected(self, dataset, rng):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, 51, rng)
+
+    def test_bad_batch_size(self, dataset, rng):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, 0, rng)
+
+
+class TestSplit:
+    def test_sizes(self, dataset, rng):
+        train, test = train_test_split(dataset, 1 / 7, rng)
+        assert len(test) == round(50 / 7)
+        assert len(train) + len(test) == 50
+
+    def test_disjoint(self, dataset, rng):
+        train, test = train_test_split(dataset, 0.2, rng)
+        train_keys = {row.tobytes() for row in train.images}
+        test_keys = {row.tobytes() for row in test.images}
+        assert not train_keys & test_keys
+
+    def test_bad_fraction(self, dataset, rng):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                train_test_split(dataset, bad, rng)
+
+
+class TestTransforms:
+    def test_tanh_range_bounds(self, rng):
+        x = rng.uniform(0, 1, size=(10, 4))
+        y = to_tanh_range(x)
+        assert y.min() >= -1 and y.max() <= 1
+
+    def test_inverse(self, rng):
+        x = rng.uniform(0, 1, size=(10, 4))
+        np.testing.assert_allclose(from_tanh_range(to_tanh_range(x)), x, atol=1e-12)
+
+    def test_flatten(self, rng):
+        x = rng.normal(size=(5, 28, 28))
+        assert flatten_images(x).shape == (5, 784)
+
+    def test_flatten_noop_on_flat(self, rng):
+        x = rng.normal(size=(5, 784))
+        assert flatten_images(x) is x
+
+    def test_flatten_rejects_4d(self, rng):
+        with pytest.raises(ValueError):
+            flatten_images(rng.normal(size=(2, 3, 4, 5)))

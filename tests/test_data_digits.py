@@ -1,0 +1,54 @@
+"""Tests for the digit stroke geometry."""
+
+import numpy as np
+import pytest
+
+from repro.data.digits import NUM_CLASSES, digit_segments
+
+
+class TestDigitSegments:
+    @pytest.mark.parametrize("digit", range(10))
+    def test_shape_and_bounds(self, digit):
+        segs = digit_segments(digit)
+        assert segs.ndim == 3 and segs.shape[1:] == (2, 2)
+        assert segs.shape[0] >= 2
+        # All control points stay inside the unit box with a small margin.
+        assert segs.min() >= 0.05 and segs.max() <= 0.95
+
+    @pytest.mark.parametrize("digit", range(10))
+    def test_segments_have_positive_length(self, digit):
+        segs = digit_segments(digit)
+        lengths = np.linalg.norm(segs[:, 1] - segs[:, 0], axis=1)
+        assert np.all(lengths > 1e-6)
+
+    def test_digits_are_distinct(self):
+        # No two glyphs share the same segment set.
+        fingerprints = {digit_segments(d).tobytes() for d in range(10)}
+        assert len(fingerprints) == NUM_CLASSES
+
+    def test_cache_returns_same_object(self):
+        assert digit_segments(3) is digit_segments(3)
+
+    def test_segments_immutable(self):
+        segs = digit_segments(0)
+        with pytest.raises(ValueError):
+            segs[0, 0, 0] = 99.0
+
+    @pytest.mark.parametrize("bad", [-1, 10, 42])
+    def test_invalid_digit_rejected(self, bad):
+        with pytest.raises(ValueError):
+            digit_segments(bad)
+
+    def test_closed_loops_for_0_and_8(self):
+        # 0 is one closed loop; 8 is two.  Closed = first point equals last.
+        for digit, loops in ((0, 1), (8, 2)):
+            segs = digit_segments(digit)
+            starts = segs[:, 0]
+            ends = segs[:, 1]
+            closures = sum(
+                1 for i in range(len(segs))
+                if not np.allclose(ends[i], starts[(i + 1) % len(segs)])
+            )
+            # closures counts discontinuities; a figure with n strokes has
+            # at most n discontinuities (the wrap of each loop is continuous).
+            assert closures <= loops

@@ -1,0 +1,87 @@
+"""Round-trip tests for the IDX (MNIST file format) reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.mnist_idx import (
+    IdxFormatError,
+    read_idx_file,
+    read_idx_images,
+    read_idx_labels,
+    write_idx_file,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", ["u1", "i1", "i2", "i4", "f4", "f8"])
+    def test_dtypes(self, rng, dtype):
+        array = (rng.normal(size=(4, 3)) * 10).astype(dtype)
+        buf = io.BytesIO()
+        write_idx_file(buf, array)
+        buf.seek(0)
+        out = read_idx_file(buf)
+        np.testing.assert_array_equal(out, array)
+
+    def test_3d_images(self, rng):
+        imgs = (rng.uniform(0, 255, size=(5, 28, 28))).astype(np.uint8)
+        buf = io.BytesIO()
+        write_idx_file(buf, imgs)
+        buf.seek(0)
+        np.testing.assert_array_equal(read_idx_file(buf), imgs)
+
+    def test_file_paths(self, tmp_path, rng):
+        path = tmp_path / "labels-idx1-ubyte"
+        labels = rng.integers(0, 10, size=20).astype(np.uint8)
+        write_idx_file(path, labels)
+        np.testing.assert_array_equal(read_idx_labels(path), labels)
+
+    def test_read_idx_images_normalizes(self, tmp_path):
+        path = tmp_path / "images-idx3-ubyte"
+        imgs = np.full((2, 28, 28), 255, dtype=np.uint8)
+        write_idx_file(path, imgs)
+        out = read_idx_images(path)
+        assert out.shape == (2, 784)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_native_byte_order_output(self, rng):
+        buf = io.BytesIO()
+        write_idx_file(buf, rng.normal(size=(3,)).astype(">f8"))
+        buf.seek(0)
+        out = read_idx_file(buf)
+        assert out.dtype.byteorder in ("=", "<", "|")
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(IdxFormatError, match="magic"):
+            read_idx_file(io.BytesIO(b"\x01\x00\x08\x01\x00\x00\x00\x01x"))
+
+    def test_unknown_dtype_code(self):
+        with pytest.raises(IdxFormatError, match="dtype"):
+            read_idx_file(io.BytesIO(b"\x00\x00\xff\x01\x00\x00\x00\x01x"))
+
+    def test_truncated_dims(self):
+        with pytest.raises(IdxFormatError, match="dimension"):
+            read_idx_file(io.BytesIO(b"\x00\x00\x08\x02\x00\x00\x00\x01"))
+
+    def test_truncated_payload(self):
+        with pytest.raises(IdxFormatError, match="payload"):
+            read_idx_file(io.BytesIO(b"\x00\x00\x08\x01\x00\x00\x00\x05xx"))
+
+    def test_write_unsupported_dtype(self):
+        with pytest.raises(IdxFormatError):
+            write_idx_file(io.BytesIO(), np.zeros(3, dtype=np.complex128))
+
+    def test_images_must_be_3d(self, tmp_path):
+        path = tmp_path / "bad"
+        write_idx_file(path, np.zeros(4, dtype=np.uint8))
+        with pytest.raises(IdxFormatError):
+            read_idx_images(path)
+
+    def test_labels_must_be_1d(self, tmp_path):
+        path = tmp_path / "bad"
+        write_idx_file(path, np.zeros((2, 2), dtype=np.uint8))
+        with pytest.raises(IdxFormatError):
+            read_idx_labels(path)

@@ -1,0 +1,101 @@
+"""Tests for the higher-dimensional shapes dataset (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import (
+    SHAPE_CLASSES,
+    SHAPES_PIXELS,
+    load_synthetic_shapes,
+    render_shapes,
+)
+
+
+class TestRenderShapes:
+    def test_shape_and_range(self, rng):
+        images = render_shapes(np.arange(10), rng)
+        assert images.shape == (10, SHAPES_PIXELS)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_dimensionality_is_higher_than_mnist(self):
+        assert SHAPES_PIXELS == 3072
+        assert SHAPES_PIXELS > 784
+
+    def test_ten_classes(self):
+        assert len(SHAPE_CLASSES) == 10
+        assert len(set(SHAPE_CLASSES)) == 10
+
+    def test_warm_cool_palettes_differ_in_channels(self, rng):
+        warm = render_shapes(np.zeros(8, dtype=int), rng)    # circle/warm
+        cool = render_shapes(np.ones(8, dtype=int), rng)     # circle/cool
+        warm_rgb = warm.reshape(8, 32, 32, 3).mean(axis=(0, 1, 2))
+        cool_rgb = cool.reshape(8, 32, 32, 3).mean(axis=(0, 1, 2))
+        assert warm_rgb[0] > cool_rgb[0]  # warm is redder
+        assert cool_rgb[2] > warm_rgb[2]  # cool is bluer
+
+    def test_classes_visually_distinct(self, rng):
+        per_class = 12
+        labels = np.repeat(np.arange(10), per_class)
+        images = render_shapes(labels, rng)
+        means = images.reshape(10, per_class, -1).mean(axis=1)
+        within = np.linalg.norm(
+            images.reshape(10, per_class, -1) - means[:, None, :], axis=2
+        ).mean()
+        between = np.mean([
+            np.linalg.norm(means[i] - means[j])
+            for i in range(10) for j in range(i + 1, 10)
+        ])
+        assert between > within
+
+    def test_determinism(self):
+        a = render_shapes(np.arange(5), np.random.default_rng(1))
+        b = render_shapes(np.arange(5), np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_labels(self, rng):
+        with pytest.raises(ValueError):
+            render_shapes(np.array([10]), rng)
+        with pytest.raises(ValueError):
+            render_shapes(np.array([[0]]), rng)
+
+
+class TestLoadSyntheticShapes:
+    def test_balanced(self):
+        images, labels = load_synthetic_shapes(100, seed=3)
+        counts = np.bincount(labels, minlength=10)
+        assert np.all(counts == 10)
+
+    def test_deterministic_per_seed(self):
+        a_images, a_labels = load_synthetic_shapes(40, seed=5)
+        b_images, b_labels = load_synthetic_shapes(40, seed=5)
+        np.testing.assert_array_equal(a_images, b_images)
+        np.testing.assert_array_equal(a_labels, b_labels)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            load_synthetic_shapes(0)
+
+
+class TestHigherDimensionalTraining:
+    def test_cellular_training_on_3072_dims(self, cache_dir):
+        """The future-work experiment: the identical trainer on 32x32x3."""
+        import dataclasses
+
+        from repro.config import paper_table1_config
+        from repro.coevolution import SequentialTrainer
+        from repro.data.dataset import ArrayDataset
+        from repro.data.transforms import to_tanh_range
+
+        base = paper_table1_config(2, 2).scaled(
+            iterations=1, dataset_size=100, batch_size=10, batches_per_iteration=1
+        )
+        network = dataclasses.replace(base.network, output_neurons=SHAPES_PIXELS)
+        config = dataclasses.replace(base, network=network, dataset_size=100)
+        images, labels = load_synthetic_shapes(100, seed=42)
+        dataset = ArrayDataset(to_tanh_range(images), labels)
+        result = SequentialTrainer(config, dataset).run()
+        assert len(result.center_genomes) == 4
+        # Genomes now carry the 3072-output network.
+        g, _ = result.center_genomes[0]
+        expected = 64 * 256 + 256 + 256 * 256 + 256 + 256 * SHAPES_PIXELS + SHAPES_PIXELS
+        assert g.size == expected

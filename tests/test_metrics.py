@@ -1,0 +1,126 @@
+"""Tests for the metric classifier and the quality scores."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import render_digits
+from repro.data.transforms import to_tanh_range
+from repro.metrics import (
+    classifier_score,
+    frechet_distance,
+    mode_coverage,
+    total_variation_distance,
+    train_digit_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def eval_sets():
+    """Balanced real set + single-mode set + noise set, in tanh range."""
+    rng = np.random.default_rng(123)
+    balanced_labels = np.arange(200) % 10
+    balanced = to_tanh_range(render_digits(balanced_labels, rng))
+    collapsed = to_tanh_range(render_digits(np.full(200, 3), rng))
+    noise = rng.uniform(-1, 1, size=(200, 784))
+    return balanced, collapsed, noise
+
+
+class TestClassifier:
+    def test_reaches_good_accuracy(self, metric_classifier, small_raw_dataset):
+        images = to_tanh_range(small_raw_dataset.images)
+        assert metric_classifier.accuracy(images, small_raw_dataset.labels) > 0.9
+
+    def test_predict_proba_is_distribution(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        proba = metric_classifier.predict_proba(balanced[:32])
+        assert proba.shape == (32, 10)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(32), rtol=1e-9)
+
+    def test_features_shape(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        feats = metric_classifier.features(balanced[:16])
+        assert feats.shape == (16, metric_classifier.hidden_size)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            train_digit_classifier(rng.normal(size=(4, 2, 2)), np.zeros(4), rng)
+
+
+class TestClassifierScore:
+    def test_real_data_scores_high(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        score = classifier_score(metric_classifier, balanced)
+        # Well above collapse (1.0); the exact value depends on how
+        # confident the small session classifier is.
+        assert score > 3.0
+
+    def test_collapse_scores_near_one(self, metric_classifier, eval_sets):
+        _, collapsed, _ = eval_sets
+        score = classifier_score(metric_classifier, collapsed)
+        assert score < 2.0
+
+    def test_real_beats_noise(self, metric_classifier, eval_sets):
+        balanced, _, noise = eval_sets
+        assert classifier_score(metric_classifier, balanced) > classifier_score(
+            metric_classifier, noise
+        )
+
+    def test_bounds(self, metric_classifier, eval_sets):
+        balanced, collapsed, noise = eval_sets
+        for batch in (balanced, collapsed, noise):
+            score = classifier_score(metric_classifier, batch)
+            assert 1.0 - 1e-9 <= score <= 10.0 + 1e-9
+
+    def test_needs_two_samples(self, metric_classifier, eval_sets):
+        with pytest.raises(ValueError):
+            classifier_score(metric_classifier, eval_sets[0][:1])
+
+
+class TestFrechetDistance:
+    def test_identical_sets_near_zero(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        fid = frechet_distance(metric_classifier, balanced, balanced.copy())
+        assert fid == pytest.approx(0.0, abs=1e-6)
+
+    def test_orders_quality(self, metric_classifier, eval_sets):
+        balanced, collapsed, noise = eval_sets
+        real_half, gen_half = balanced[:100], balanced[100:]
+        fid_real = frechet_distance(metric_classifier, real_half, gen_half)
+        fid_collapsed = frechet_distance(metric_classifier, real_half, collapsed)
+        fid_noise = frechet_distance(metric_classifier, real_half, noise)
+        assert fid_real < fid_collapsed
+        assert fid_real < fid_noise
+
+    def test_non_negative(self, metric_classifier, eval_sets):
+        balanced, _, noise = eval_sets
+        assert frechet_distance(metric_classifier, balanced, noise) >= 0
+
+    def test_needs_two_samples(self, metric_classifier, eval_sets):
+        with pytest.raises(ValueError):
+            frechet_distance(metric_classifier, eval_sets[0][:1], eval_sets[0])
+
+
+class TestModeDiagnostics:
+    def test_mode_coverage_full_on_balanced(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        assert mode_coverage(metric_classifier, balanced) >= 9
+
+    def test_mode_coverage_collapsed(self, metric_classifier, eval_sets):
+        _, collapsed, _ = eval_sets
+        # At a 5% occupancy threshold only the collapsed mode (plus at most
+        # one misclassification bucket) should register.
+        assert mode_coverage(metric_classifier, collapsed, min_fraction=0.05) <= 3
+
+    def test_tvd_balanced_low(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        assert total_variation_distance(metric_classifier, balanced) < 0.2
+
+    def test_tvd_collapsed_high(self, metric_classifier, eval_sets):
+        _, collapsed, _ = eval_sets
+        assert total_variation_distance(metric_classifier, collapsed) > 0.6
+
+    def test_tvd_against_explicit_reference(self, metric_classifier, eval_sets):
+        balanced, _, _ = eval_sets
+        reference = np.arange(200) % 10
+        tvd = total_variation_distance(metric_classifier, balanced, reference)
+        assert 0.0 <= tvd <= 1.0

@@ -1,0 +1,110 @@
+"""Tests for the training-dynamics diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.coevolution.cell import CellReport
+from repro.coevolution.genome import Genome
+from repro.metrics import (
+    fitness_curves,
+    genome_diversity_matrix,
+    learning_rate_trajectories,
+    mean_pairwise_distance,
+    summarize_convergence,
+)
+
+
+def make_report(iteration, g_fit, d_fit=0.5, lr=2e-4):
+    return CellReport(
+        iteration=iteration,
+        best_generator_fitness=g_fit,
+        best_discriminator_fitness=d_fit,
+        selected_generator=0,
+        selected_discriminator=0,
+        learning_rate=lr,
+        mixture_weights=np.full(5, 0.2),
+    )
+
+
+@pytest.fixture()
+def reports():
+    return [
+        [make_report(1, 1.0, lr=1e-4), make_report(2, 0.5, lr=2e-4)],
+        [make_report(1, 2.0, lr=3e-4), make_report(2, 1.0, lr=3e-4)],
+    ]
+
+
+class TestCurves:
+    def test_fitness_curves_shape(self, reports):
+        curves = fitness_curves(reports)
+        assert curves["generator"].shape == (2, 2)
+        np.testing.assert_allclose(curves["generator"], [[1.0, 0.5], [2.0, 1.0]])
+        assert curves["discriminator"].shape == (2, 2)
+
+    def test_ragged_reports_nan_padded(self):
+        ragged = [[make_report(1, 1.0)], [make_report(1, 2.0), make_report(2, 1.5)]]
+        curves = fitness_curves(ragged)["generator"]
+        assert np.isnan(curves[0, 1])
+        assert curves[1, 1] == 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fitness_curves([])
+
+    def test_learning_rate_trajectories(self, reports):
+        rates = learning_rate_trajectories(reports)
+        np.testing.assert_allclose(rates, [[1e-4, 2e-4], [3e-4, 3e-4]])
+
+
+class TestDiversity:
+    def test_matrix_symmetry(self):
+        genomes = [Genome(np.array([0.0, 0.0]), 1e-3, "bce"),
+                   Genome(np.array([3.0, 4.0]), 1e-3, "bce"),
+                   Genome(np.array([0.0, 1.0]), 1e-3, "bce")]
+        matrix = genome_diversity_matrix(genomes)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 1] == pytest.approx(5.0)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_mean_pairwise(self):
+        genomes = [Genome(np.array([0.0]), 1e-3, "bce"),
+                   Genome(np.array([2.0]), 1e-3, "bce")]
+        assert mean_pairwise_distance(genomes) == pytest.approx(2.0)
+
+    def test_single_genome_zero(self):
+        assert mean_pairwise_distance([Genome(np.zeros(3), 1e-3, "bce")]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            genome_diversity_matrix([])
+
+
+class TestConvergenceSummary:
+    def test_summary_fields(self, reports):
+        genomes = [Genome(np.array([0.0, 0.0]), 1e-4, "bce"),
+                   Genome(np.array([1.0, 0.0]), 3e-4, "bce")]
+        summary = summarize_convergence(reports, genomes)
+        assert summary.final_generator_fitness_mean == pytest.approx(0.75)
+        assert summary.final_generator_fitness_best == pytest.approx(0.5)
+        assert summary.generator_fitness_improved
+        assert summary.genome_diversity == pytest.approx(1.0)
+        assert summary.learning_rate_spread == pytest.approx(1e-4)
+        assert summary.healthy()
+
+    def test_collapsed_population_unhealthy(self, reports):
+        genomes = [Genome(np.zeros(2), 1e-4, "bce"),
+                   Genome(np.zeros(2), 1e-4, "bce")]
+        summary = summarize_convergence(reports, genomes)
+        assert summary.genome_diversity == 0.0
+        assert not summary.healthy()
+
+    def test_on_real_training_output(self, small_dataset):
+        from repro.coevolution import SequentialTrainer
+        from tests.conftest import make_quick_config
+
+        result = SequentialTrainer(make_quick_config(2, 2, iterations=2),
+                                   small_dataset).run()
+        genomes = [g for g, _ in result.center_genomes]
+        summary = summarize_convergence(result.cell_reports, genomes)
+        assert summary.healthy()
+        assert summary.genome_diversity > 0

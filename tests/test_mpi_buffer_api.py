@@ -1,0 +1,132 @@
+"""Tests for the buffer-style (uppercase) API, sendrecv, and alltoall."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_mpi
+
+BACKENDS = ("threaded", "process")
+
+
+def _send_recv_buffer(comm):
+    rank = comm.Get_rank()
+    if rank == 0:
+        comm.Send(np.arange(6, dtype=np.float64).reshape(2, 3), dest=1, tag=3)
+        return None
+    buffer = np.empty((2, 3), dtype=np.float64)
+    comm.Recv(buffer, source=0, tag=3)
+    return buffer.sum()
+
+
+def _recv_shape_mismatch(comm):
+    rank = comm.Get_rank()
+    if rank == 0:
+        comm.Send(np.zeros(4), dest=1, tag=1)
+        return True
+    buffer = np.empty(5)
+    with pytest.raises(ValueError, match="buffer mismatch"):
+        comm.Recv(buffer, source=0, tag=1)
+    return True
+
+
+def _bcast_in_place(comm):
+    rank = comm.Get_rank()
+    buffer = np.arange(4, dtype=np.float64) if rank == 0 else np.zeros(4)
+    comm.Bcast(buffer, root=0)
+    return buffer.tolist()
+
+
+def _allgather_buffer(comm):
+    rank = comm.Get_rank()
+    send = np.full(3, float(rank))
+    recv = np.empty((comm.Get_size(), 3))
+    comm.Allgather(send, recv)
+    return recv[:, 0].tolist()
+
+
+def _allgather_bad_recvbuf(comm):
+    send = np.zeros(3)
+    recv = np.empty((2, 3))  # size is 3 -> wrong leading dim
+    with pytest.raises(ValueError, match="recvbuf"):
+        comm.Allgather(send, recv)
+    return True
+
+
+def _ring_sendrecv(comm):
+    rank, size = comm.Get_rank(), comm.Get_size()
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    # Everyone sends right and receives from left simultaneously — the
+    # combined call cannot deadlock.
+    return comm.sendrecv(f"token-{rank}", dest=right, source=left,
+                         sendtag=2, recvtag=2)
+
+
+def _alltoall(comm):
+    rank, size = comm.Get_rank(), comm.Get_size()
+    outgoing = [f"{rank}->{dest}" for dest in range(size)]
+    return comm.alltoall(outgoing)
+
+
+def _alltoall_bad_arity(comm):
+    with pytest.raises(ValueError, match="alltoall"):
+        comm.alltoall([1])
+    return True
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBufferApi:
+    def test_send_recv_into_buffer(self, backend):
+        results = run_mpi(2, _send_recv_buffer, backend=backend, timeout=60)
+        assert results[1] == pytest.approx(15.0)
+
+    def test_bcast_in_place(self, backend):
+        results = run_mpi(3, _bcast_in_place, backend=backend, timeout=60)
+        assert all(r == [0.0, 1.0, 2.0, 3.0] for r in results)
+
+    def test_allgather_into_recvbuf(self, backend):
+        results = run_mpi(3, _allgather_buffer, backend=backend, timeout=60)
+        assert all(r == [0.0, 1.0, 2.0] for r in results)
+
+
+class TestBufferValidation:
+    def test_recv_shape_mismatch(self):
+        assert all(run_mpi(2, _recv_shape_mismatch, backend="threaded", timeout=30))
+
+    def test_allgather_recvbuf_shape(self):
+        assert all(run_mpi(3, _allgather_bad_recvbuf, backend="threaded", timeout=30))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSendrecvAlltoall:
+    def test_ring_shift(self, backend):
+        results = run_mpi(4, _ring_sendrecv, backend=backend, timeout=60)
+        assert results == [f"token-{(r - 1) % 4}" for r in range(4)]
+
+    def test_alltoall_personalized(self, backend):
+        results = run_mpi(3, _alltoall, backend=backend, timeout=60)
+        for rank, received in enumerate(results):
+            assert received == [f"{src}->{rank}" for src in range(3)]
+
+    def test_alltoall_arity(self, backend):
+        assert all(run_mpi(2, _alltoall_bad_arity, backend=backend, timeout=30))
+
+
+class TestBufferReusePattern:
+    def test_preallocated_buffer_across_rounds(self):
+        """The genome-exchange pattern: one buffer reused per iteration."""
+
+        def program(comm):
+            rank = comm.Get_rank()
+            buffer = np.empty(8)
+            sums = []
+            for round_no in range(5):
+                if rank == 0:
+                    comm.Send(np.full(8, float(round_no)), dest=1, tag=round_no)
+                else:
+                    comm.Recv(buffer, source=0, tag=round_no)
+                    sums.append(buffer.sum())
+            return sums
+
+        results = run_mpi(2, program, backend="threaded", timeout=30)
+        assert results[1] == [0.0, 8.0, 16.0, 24.0, 32.0]

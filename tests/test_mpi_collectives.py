@@ -1,0 +1,221 @@
+"""Collectives, communicator splitting, and Cartesian topologies."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_mpi
+
+BACKENDS = ("threaded", "process")
+
+
+def _bcast(comm):
+    data = {"cfg": [1, 2, 3]} if comm.Get_rank() == 0 else None
+    return comm.bcast(data, root=0)
+
+
+def _bcast_nonzero_root(comm):
+    data = "payload" if comm.Get_rank() == 2 else None
+    return comm.bcast(data, root=2)
+
+
+def _gather(comm):
+    return comm.gather(comm.Get_rank() ** 2, root=0)
+
+
+def _allgather(comm):
+    return comm.allgather(chr(ord("a") + comm.Get_rank()))
+
+
+def _scatter(comm):
+    items = [i * 10 for i in range(comm.Get_size())] if comm.Get_rank() == 0 else None
+    return comm.scatter(items, root=0)
+
+
+def _reduce(comm):
+    return comm.reduce(comm.Get_rank() + 1, op=operator.add, root=0)
+
+
+def _allreduce_max(comm):
+    return comm.allreduce(comm.Get_rank(), op=max)
+
+
+def _barrier_ordering(comm):
+    """After a barrier, every rank has seen every pre-barrier send."""
+    rank = comm.Get_rank()
+    comm.send(rank, dest=(rank + 1) % comm.Get_size(), tag=1)
+    comm.barrier()
+    left = (rank - 1) % comm.Get_size()
+    assert comm.iprobe(source=left, tag=1)
+    return comm.recv(source=left, tag=1)
+
+
+def _back_to_back_collectives(comm):
+    """Consecutive collectives must not cross-match."""
+    first = comm.allgather(("first", comm.Get_rank()))
+    second = comm.allgather(("second", comm.Get_rank()))
+    assert all(tag == "first" for tag, _ in first)
+    assert all(tag == "second" for tag, _ in second)
+    return True
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCollectives:
+    def test_bcast(self, backend):
+        results = run_mpi(4, _bcast, backend=backend, timeout=60)
+        assert all(r == {"cfg": [1, 2, 3]} for r in results)
+
+    def test_bcast_nonzero_root(self, backend):
+        results = run_mpi(4, _bcast_nonzero_root, backend=backend, timeout=60)
+        assert all(r == "payload" for r in results)
+
+    def test_gather(self, backend):
+        results = run_mpi(4, _gather, backend=backend, timeout=60)
+        assert results[0] == [0, 1, 4, 9]
+        assert all(r is None for r in results[1:])
+
+    def test_allgather(self, backend):
+        results = run_mpi(4, _allgather, backend=backend, timeout=60)
+        assert all(r == ["a", "b", "c", "d"] for r in results)
+
+    def test_scatter(self, backend):
+        results = run_mpi(4, _scatter, backend=backend, timeout=60)
+        assert results == [0, 10, 20, 30]
+
+    def test_reduce(self, backend):
+        results = run_mpi(4, _reduce, backend=backend, timeout=60)
+        assert results[0] == 10
+
+    def test_allreduce(self, backend):
+        results = run_mpi(4, _allreduce_max, backend=backend, timeout=60)
+        assert all(r == 3 for r in results)
+
+    def test_barrier_orders_sends(self, backend):
+        results = run_mpi(4, _barrier_ordering, backend=backend, timeout=60)
+        assert sorted(results) == [0, 1, 2, 3]
+
+    def test_sequenced_collectives(self, backend):
+        assert all(run_mpi(3, _back_to_back_collectives, backend=backend, timeout=60))
+
+
+def _scatter_wrong_arity(comm):
+    if comm.Get_rank() == 0:
+        with pytest.raises(ValueError):
+            comm.scatter([1, 2], root=0)  # size is 3
+    return True
+
+
+class TestCollectiveErrors:
+    def test_scatter_arity(self):
+        # Only rank 0 validates; others would block, so give them nothing to do.
+        def program(comm):
+            if comm.Get_rank() == 0:
+                with pytest.raises(ValueError):
+                    comm.scatter([1, 2], root=0)
+            return True
+
+        assert all(run_mpi(3, program, backend="threaded", timeout=30))
+
+
+def _split_evens_odds(comm):
+    rank = comm.Get_rank()
+    sub = comm.Split(color=rank % 2, key=rank)
+    members = sub.allgather(rank)
+    return (sub.Get_rank(), sub.Get_size(), members)
+
+
+def _split_with_undefined(comm):
+    rank = comm.Get_rank()
+    sub = comm.Split(color=None if rank == 0 else 1, key=rank)
+    if rank == 0:
+        assert sub is None
+        return "master-out"
+    return sub.allgather(rank)
+
+
+def _split_key_reorders(comm):
+    rank = comm.Get_rank()
+    # Reverse order via descending keys.
+    sub = comm.Split(color=0, key=-rank)
+    return (rank, sub.Get_rank())
+
+
+def _split_traffic_isolated(comm):
+    """Messages in a sub-communicator never leak into the parent."""
+    rank = comm.Get_rank()
+    sub = comm.Split(color=0, key=rank)
+    if rank == 0:
+        sub.send("sub-message", dest=1, tag=7)
+        comm.send("world-message", dest=1, tag=7)
+        return True
+    world_msg = comm.recv(source=0, tag=7)
+    sub_msg = sub.recv(source=0, tag=7)
+    return (world_msg, sub_msg)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSplit:
+    def test_evens_odds(self, backend):
+        results = run_mpi(5, _split_evens_odds, backend=backend, timeout=60)
+        assert results[0] == (0, 3, [0, 2, 4])
+        assert results[1] == (0, 2, [1, 3])
+        assert results[4] == (2, 3, [0, 2, 4])
+
+    def test_undefined_color(self, backend):
+        results = run_mpi(3, _split_with_undefined, backend=backend, timeout=60)
+        assert results[0] == "master-out"
+        assert results[1] == [1, 2]
+
+    def test_key_reorders(self, backend):
+        results = run_mpi(3, _split_key_reorders, backend=backend, timeout=60)
+        assert dict(results) == {0: 2, 1: 1, 2: 0}
+
+    def test_traffic_isolation(self, backend):
+        results = run_mpi(2, _split_traffic_isolated, backend=backend, timeout=60)
+        assert results[1] == ("world-message", "sub-message")
+
+
+def _cartesian(comm):
+    cart = comm.Create_cart((3, 3), periods=True)
+    rank = comm.Get_rank()
+    coords = cart.Get_coords(rank)
+    west_src, west_dst = cart.Shift(1, 1)
+    north_src, north_dst = cart.Shift(0, 1)
+    assert cart.Get_cart_rank(coords) == rank
+    return (coords, west_src, west_dst, north_src, north_dst)
+
+
+def _cartesian_nonperiodic(comm):
+    cart = comm.Create_cart((4,), periods=False)
+    return cart.Shift(0, 1)
+
+
+class TestCartesian:
+    def test_3x3_torus(self):
+        results = run_mpi(9, _cartesian, backend="threaded", timeout=60)
+        coords, west_src, west_dst, north_src, north_dst = results[4]  # center (1,1)
+        assert coords == (1, 1)
+        assert west_src == 3 and west_dst == 5
+        assert north_src == 1 and north_dst == 7
+        # wraparound at the west edge
+        coords0 = results[0][0]
+        assert coords0 == (0, 0)
+        assert results[0][1] == 2  # west neighbor of column 0 wraps to column 2
+
+    def test_nonperiodic_boundaries(self):
+        results = run_mpi(4, _cartesian_nonperiodic, backend="threaded", timeout=60)
+        assert results[0][0] is None      # no source left of rank 0
+        assert results[3][1] is None      # no dest right of rank 3
+
+    def test_dims_must_match_size(self):
+        def program(comm):
+            with pytest.raises(ValueError):
+                comm.Create_cart((2, 2))
+            # Everyone must still participate in the same number of
+            # collective rounds -> nothing else to do.
+            return True
+
+        # Create_cart validates before any communication, so all 3 ranks
+        # raise locally and return.
+        assert all(run_mpi(3, program, backend="threaded", timeout=30))

@@ -1,0 +1,328 @@
+"""Unit tests for the autograd engine: op semantics and gradient math."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, concatenate, is_grad_enabled, no_grad, stack, tensor
+
+
+def finite_difference(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn()
+        flat[i] = orig - eps
+        down = fn()
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, params: Tensor, atol=1e-7):
+    params.grad = None  # isolate from accumulation by earlier checks
+    loss = build_loss()
+    loss.backward()
+    auto = params.grad.copy()
+    numeric = finite_difference(lambda: build_loss().item(), params.data)
+    np.testing.assert_allclose(auto, numeric, atol=atol, rtol=1e-5)
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_tensor_helper(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        assert t.requires_grad
+
+    def test_zeros_ones(self):
+        assert np.all(Tensor.zeros((2, 3)).numpy() == 0)
+        assert np.all(Tensor.ones(4).numpy() == 1)
+
+    def test_item_requires_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_shares_data(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 9.0
+        assert t.data[0] == 9.0
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 9.0
+        assert t.data[0] == 1.0
+        assert c.requires_grad
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestGradMode:
+    def test_no_grad_disables_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._vjps is None
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestBackwardProtocol:
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_needs_scalar_without_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_with_wrong_seed_shape_raises(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        y = t * 2
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))
+
+    def test_gradients_accumulate_across_backwards(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        (t * 2.0).sum().backward()
+        assert t.grad[0] == pytest.approx(4.0)
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad[0] == 0.0
+
+    def test_shared_subexpression_gradient(self):
+        # y = x*x + x*x uses the same node twice
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        z = (y + y).sum()
+        z.backward()
+        assert x.grad[0] == pytest.approx(12.0)
+
+    def test_self_addition(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x + x).sum().backward()
+        assert x.grad[0] == pytest.approx(2.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-op chain would overflow a recursive topological sort.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradient(lambda: (x + 2.0).sum(), x)
+
+    def test_radd(self):
+        x = Tensor([1.0], requires_grad=True)
+        (2.0 + x).sum().backward()
+        assert x.grad[0] == 1.0
+
+    def test_sub(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradient(lambda: (x - 5.0).sum(), x)
+
+    def test_rsub(self):
+        x = Tensor([1.0], requires_grad=True)
+        (3.0 - x).sum().backward()
+        assert x.grad[0] == -1.0
+
+    def test_mul(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        other = rng.normal(size=(2, 3))
+        check_gradient(lambda: (x * other).sum(), x)
+
+    def test_div(self, rng):
+        x = Tensor(rng.normal(size=(4,)) + 3.0, requires_grad=True)
+        check_gradient(lambda: (x / 2.5).sum(), x)
+
+    def test_div_denominator_gradient(self, rng):
+        x = Tensor(rng.uniform(1.0, 2.0, size=(4,)), requires_grad=True)
+        check_gradient(lambda: (7.0 / x).sum(), x, atol=1e-5)
+
+    def test_neg(self):
+        x = Tensor([1.0, -2.0], requires_grad=True)
+        (-x).sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_pow(self, rng):
+        x = Tensor(rng.uniform(0.5, 2.0, size=(5,)), requires_grad=True)
+        check_gradient(lambda: (x ** 3).sum(), x, atol=1e-5)
+
+    def test_pow_tensor_exponent_rejected(self):
+        x = Tensor([1.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** Tensor([2.0])
+
+    def test_matmul(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        check_gradient(lambda: (a @ b).sum(), a)
+        check_gradient(lambda: (a @ b).sum(), b)
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)) @ Tensor(np.ones(3))
+
+    def test_broadcast_add_bias(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)))
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check_gradient(lambda: ((x + b) * (x + b)).sum(), b, atol=1e-5)
+
+    def test_broadcast_scalar(self, rng):
+        s = Tensor(np.array(2.0), requires_grad=True)
+        x = Tensor(rng.normal(size=(4, 4)))
+        check_gradient(lambda: (x * s).sum(), s, atol=1e-5)
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("op,domain", [
+        ("exp", (-2, 2)),
+        ("log", (0.5, 3.0)),
+        ("sqrt", (0.5, 4.0)),
+        ("tanh", (-3, 3)),
+        ("sigmoid", (-5, 5)),
+        ("softplus", (-5, 5)),
+        ("abs", (0.5, 3.0)),
+    ])
+    def test_unary_gradient(self, rng, op, domain):
+        x = Tensor(rng.uniform(*domain, size=(6,)), requires_grad=True)
+        check_gradient(lambda: getattr(x, op)().sum(), x, atol=1e-5)
+
+    def test_relu_gradient_masks_negatives(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu_gradient(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor([-1000.0, 1000.0])
+        y = x.sigmoid().numpy()
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.all(np.isfinite(y))
+
+    def test_softplus_extreme_values_stable(self):
+        x = Tensor([-1000.0, 1000.0])
+        y = x.softplus().numpy()
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1000.0)
+
+    def test_clip_gradient(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_all(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradient(lambda: x.sum(), x)
+
+    def test_sum_axis(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradient(lambda: (x.sum(axis=0) ** 2).sum(), x, atol=1e-5)
+
+    def test_sum_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y = x.sum(axis=1, keepdims=True)
+        assert y.shape == (3, 1)
+
+    def test_mean_value(self):
+        x = Tensor([[1.0, 3.0], [5.0, 7.0]])
+        assert x.mean().item() == pytest.approx(4.0)
+
+    def test_mean_gradient_scales(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_gradient(lambda: (x.mean(axis=1) ** 2).sum(), x, atol=1e-5)
+
+    def test_reshape_roundtrip_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_gradient(lambda: (x.reshape(3, 4) ** 2).sum(), x, atol=1e-5)
+
+    def test_transpose_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        other = Tensor(rng.normal(size=(2, 2)))  # fixed across finite-diff evals
+        check_gradient(lambda: (x.T @ other).sum(), x, atol=1e-5)
+
+    def test_getitem_gradient_scatter(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        x[np.array([0, 2])].sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0])
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        x[np.array([0, 0])].sum().backward()
+        assert x.grad[0] == pytest.approx(2.0)
+
+    def test_concatenate_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        loss = (concatenate([a, b], axis=0) ** 2).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+        np.testing.assert_allclose(b.grad, 2 * b.data)
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (stack([a, b]) ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+        np.testing.assert_allclose(b.grad, 2 * b.data)
+
+
+class TestMlpGradient:
+    def test_two_layer_network_against_finite_difference(self, rng):
+        w1 = Tensor(rng.normal(size=(4, 8)) * 0.5, requires_grad=True)
+        b1 = Tensor(np.zeros(8), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(8, 1)) * 0.5, requires_grad=True)
+        x = Tensor(rng.normal(size=(10, 4)))
+
+        def loss():
+            hidden = (x @ w1 + b1).tanh()
+            return ((hidden @ w2).sigmoid() ** 2).mean()
+
+        for param in (w1, b1, w2):
+            param.grad = None
+        check_gradient(loss, w1, atol=1e-6)
+        check_gradient(loss, b1, atol=1e-6)
+        check_gradient(loss, w2, atol=1e-6)

@@ -1,0 +1,114 @@
+"""Tests for the numerically stable composite ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+
+class TestSigmoidFamily:
+    def test_sigmoid_matches_reference(self, rng):
+        x = rng.normal(size=100)
+        expected = 1.0 / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(F.sigmoid(x).numpy(), expected, rtol=1e-12)
+
+    def test_log_sigmoid_stable_large_negative(self):
+        y = F.log_sigmoid(Tensor([-500.0])).numpy()
+        assert y[0] == pytest.approx(-500.0)
+
+    def test_log_sigmoid_stable_large_positive(self):
+        y = F.log_sigmoid(Tensor([500.0])).numpy()
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_softplus_identity(self, rng):
+        x = rng.normal(size=50) * 3
+        np.testing.assert_allclose(
+            F.softplus(x).numpy(), np.log1p(np.exp(x)), rtol=1e-10
+        )
+
+
+class TestBceWithLogits:
+    def test_matches_naive_formula_in_safe_range(self, rng):
+        logits = rng.normal(size=(20, 1))
+        targets = rng.integers(0, 2, size=(20, 1)).astype(float)
+        p = 1.0 / (1.0 + np.exp(-logits))
+        naive = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        ours = F.binary_cross_entropy_with_logits(Tensor(logits), Tensor(targets))
+        assert ours.item() == pytest.approx(naive, rel=1e-9)
+
+    def test_scalar_target_broadcast(self, rng):
+        logits = Tensor(rng.normal(size=(8, 1)))
+        all_ones = F.binary_cross_entropy_with_logits(logits, 1.0).item()
+        explicit = F.binary_cross_entropy_with_logits(
+            logits, Tensor(np.ones((8, 1)))
+        ).item()
+        assert all_ones == pytest.approx(explicit)
+
+    def test_extreme_logits_finite(self):
+        loss = F.binary_cross_entropy_with_logits(Tensor([[-1e4], [1e4]]), 1.0)
+        assert np.isfinite(loss.item())
+
+    def test_perfect_prediction_near_zero(self):
+        loss = F.binary_cross_entropy_with_logits(Tensor([[30.0]]), 1.0)
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradient_direction(self):
+        logits = Tensor([[0.0]], requires_grad=True)
+        F.binary_cross_entropy_with_logits(logits, 1.0).backward()
+        # d/dx [softplus(x) - x] = sigmoid(x) - 1 = -0.5 at 0
+        assert logits.grad[0, 0] == pytest.approx(-0.5)
+
+
+class TestMse:
+    def test_value(self):
+        loss = F.mse_loss(Tensor([[1.0, 2.0]]), Tensor([[3.0, 2.0]]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_zero_at_match(self, rng):
+        x = rng.normal(size=(4, 4))
+        assert F.mse_loss(Tensor(x), Tensor(x.copy())).item() == 0.0
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(6, 10)) * 5
+        probs = F.softmax(Tensor(logits)).numpy()
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6), rtol=1e-12)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        a = F.softmax(Tensor(logits)).numpy()
+        b = F.softmax(Tensor(logits + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_softmax_extreme_logits_stable(self):
+        probs = F.softmax(Tensor([[1000.0, 0.0, -1000.0]])).numpy()
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(5, 7))
+        logp = F.log_softmax(Tensor(logits)).numpy()
+        np.testing.assert_allclose(np.exp(logp), F.softmax(Tensor(logits)).numpy(),
+                                   rtol=1e-10)
+
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1]])))
+        labels = np.array([0])
+        assert F.cross_entropy_with_logits(logits, labels).item() == pytest.approx(
+            -np.log(0.7), rel=1e-9
+        )
+
+    def test_cross_entropy_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy_with_logits(Tensor(np.zeros((2, 3))), np.zeros((2, 1), dtype=int))
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 1, 2, 1])
+        F.cross_entropy_with_logits(logits, labels).backward()
+        probs = F.softmax(Tensor(logits.data)).numpy()
+        onehot = np.eye(3)[labels]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 4, atol=1e-10)

@@ -1,0 +1,46 @@
+"""Tests for parameter initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import kaiming_normal, normal_init, xavier_normal, xavier_uniform, zeros_init
+
+
+class TestInitializers:
+    def test_normal_std(self, rng):
+        w = normal_init((2000, 10), rng, std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_xavier_uniform_bounds(self, rng):
+        fan_in, fan_out = 30, 50
+        w = xavier_uniform((fan_in, fan_out), rng)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(w) <= limit)
+        assert np.abs(w).max() > 0.8 * limit  # actually fills the range
+
+    def test_xavier_normal_std(self, rng):
+        fan_in, fan_out = 100, 100
+        w = xavier_normal((fan_in, fan_out), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.1)
+
+    def test_kaiming_std(self, rng):
+        fan_in = 400
+        w = kaiming_normal((fan_in, 50), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.1)
+
+    def test_kaiming_leaky_slope_shrinks_gain(self, rng):
+        a = kaiming_normal((400, 50), rng, negative_slope=0.0).std()
+        b = kaiming_normal((400, 50), np.random.default_rng(0), negative_slope=1.0).std()
+        assert b < a
+
+    def test_zeros(self):
+        assert np.all(zeros_init((3, 3)) == 0)
+
+    def test_determinism_per_seed(self):
+        a = xavier_normal((5, 5), np.random.default_rng(3))
+        b = xavier_normal((5, 5), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_1d_shape_fans(self, rng):
+        w = xavier_normal((64,), rng)
+        assert w.shape == (64,)

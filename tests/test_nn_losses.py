@@ -1,0 +1,125 @@
+"""Tests for the three Mustangs GAN losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BCELoss, HeuristicLoss, LeastSquaresLoss, MUSTANGS_LOSSES, Tensor, loss_by_name
+from repro.nn import functional as F
+
+
+@pytest.fixture()
+def logits(rng):
+    real = Tensor(rng.normal(size=(16, 1)))
+    fake = Tensor(rng.normal(size=(16, 1)))
+    return real, fake
+
+
+class TestRegistry:
+    def test_pool_contents(self):
+        names = {cls.name for cls in MUSTANGS_LOSSES}
+        assert names == {"bce", "mse", "heuristic"}
+
+    @pytest.mark.parametrize("name,cls", [
+        ("bce", BCELoss), ("mse", LeastSquaresLoss), ("heuristic", HeuristicLoss),
+    ])
+    def test_loss_by_name(self, name, cls):
+        assert isinstance(loss_by_name(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown GAN loss"):
+            loss_by_name("wasserstein")
+
+
+class TestBce:
+    def test_discriminator_perfect_separation_low_loss(self):
+        loss = BCELoss().discriminator_loss(Tensor([[20.0]]), Tensor([[-20.0]]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_discriminator_fooled_high_loss(self):
+        loss = BCELoss().discriminator_loss(Tensor([[-20.0]]), Tensor([[20.0]]))
+        assert loss.item() > 10.0
+
+    def test_generator_saturating_form(self, logits):
+        _, fake = logits
+        # min log(1 - D(G(z))) == -BCE(fake, 0)
+        expected = -F.binary_cross_entropy_with_logits(fake, 0.0).item()
+        assert BCELoss().generator_loss(fake).item() == pytest.approx(expected)
+
+    def test_generator_wants_high_fake_logits(self):
+        low = BCELoss().generator_loss(Tensor([[-5.0]])).item()
+        high = BCELoss().generator_loss(Tensor([[5.0]])).item()
+        assert high < low
+
+
+class TestHeuristic:
+    def test_discriminator_same_as_bce(self, logits):
+        real, fake = logits
+        assert HeuristicLoss().discriminator_loss(real, fake).item() == pytest.approx(
+            BCELoss().discriminator_loss(real, fake).item()
+        )
+
+    def test_generator_non_saturating(self, logits):
+        _, fake = logits
+        expected = F.binary_cross_entropy_with_logits(fake, 1.0).item()
+        assert HeuristicLoss().generator_loss(fake).item() == pytest.approx(expected)
+
+    def test_generator_gradient_does_not_vanish_early(self):
+        # With a confident discriminator (very negative fake logits), the
+        # saturating BCE generator gradient vanishes; the heuristic's does not.
+        fake_bce = Tensor([[-8.0]], requires_grad=True)
+        BCELoss().generator_loss(fake_bce).backward()
+        fake_heu = Tensor([[-8.0]], requires_grad=True)
+        HeuristicLoss().generator_loss(fake_heu).backward()
+        assert abs(fake_heu.grad[0, 0]) > 100 * abs(fake_bce.grad[0, 0])
+
+
+class TestLeastSquares:
+    def test_discriminator_zero_at_perfect(self):
+        loss = LeastSquaresLoss().discriminator_loss(Tensor([[30.0]]), Tensor([[-30.0]]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_generator_zero_when_fooling(self):
+        assert LeastSquaresLoss().generator_loss(Tensor([[30.0]])).item() == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_value_is_probability_mse(self, rng):
+        fake = rng.normal(size=(8, 1))
+        p = 1 / (1 + np.exp(-fake))
+        expected = ((p - 1.0) ** 2).mean()
+        assert LeastSquaresLoss().generator_loss(Tensor(fake)).item() == pytest.approx(
+            expected, rel=1e-9
+        )
+
+
+class TestAdversarialConsistency:
+    """Invariants that must hold for every loss in the pool."""
+
+    @pytest.mark.parametrize("loss_cls", MUSTANGS_LOSSES)
+    def test_losses_are_finite(self, rng, loss_cls):
+        loss = loss_cls()
+        real = Tensor(rng.normal(size=(8, 1)) * 10)
+        fake = Tensor(rng.normal(size=(8, 1)) * 10)
+        assert np.isfinite(loss.discriminator_loss(real, fake).item())
+        assert np.isfinite(loss.generator_loss(fake).item())
+
+    @pytest.mark.parametrize("loss_cls", MUSTANGS_LOSSES)
+    def test_discriminator_prefers_separation(self, loss_cls):
+        loss = loss_cls()
+        good = loss.discriminator_loss(Tensor([[4.0]]), Tensor([[-4.0]])).item()
+        bad = loss.discriminator_loss(Tensor([[-4.0]]), Tensor([[4.0]])).item()
+        assert good < bad
+
+    @pytest.mark.parametrize("loss_cls", MUSTANGS_LOSSES)
+    def test_generator_prefers_fooling(self, loss_cls):
+        loss = loss_cls()
+        fooled = loss.generator_loss(Tensor([[4.0]])).item()
+        caught = loss.generator_loss(Tensor([[-4.0]])).item()
+        assert fooled < caught
+
+    @pytest.mark.parametrize("loss_cls", MUSTANGS_LOSSES)
+    def test_gradients_flow(self, rng, loss_cls):
+        loss = loss_cls()
+        fake = Tensor(rng.normal(size=(4, 1)), requires_grad=True)
+        loss.generator_loss(fake).backward()
+        assert fake.grad is not None and np.any(fake.grad != 0)

@@ -1,0 +1,106 @@
+"""Tests for Module/Linear/Sequential and activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    activation_module,
+)
+from repro.nn.modules import Identity
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 7, rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_forward_math(self, rng):
+        layer = Linear(2, 2, rng)
+        x = rng.normal(size=(5, 2))
+        expected = x @ layer.weight.numpy() + layer.bias.numpy()
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_parameters_require_grad(self, rng):
+        layer = Linear(3, 3, rng)
+        assert all(p.requires_grad for p in layer.parameters())
+
+    def test_custom_init(self, rng):
+        layer = Linear(3, 3, rng, init=lambda shape, r: np.zeros(shape))
+        assert np.all(layer.weight.numpy() == 0)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        net = Sequential(Linear(2, 3, rng), Tanh(), Linear(3, 1, rng))
+        x = rng.normal(size=(4, 2))
+        manual = np.tanh(x @ net.layers[0].weight.numpy() + net.layers[0].bias.numpy())
+        manual = manual @ net.layers[2].weight.numpy() + net.layers[2].bias.numpy()
+        np.testing.assert_allclose(net(Tensor(x)).numpy(), manual)
+
+    def test_len_and_iter(self, rng):
+        net = Sequential(Linear(2, 2, rng), Tanh())
+        assert len(net) == 2
+        assert [type(m).__name__ for m in net] == ["Linear", "Tanh"]
+
+    def test_named_parameters_are_unique_and_ordered(self, rng):
+        net = Sequential(Linear(2, 3, rng), Tanh(), Linear(3, 1, rng))
+        names = [name for name, _ in net.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+        assert names[0].startswith("layer0")
+
+    def test_nested_modules_traversal(self, rng):
+        inner = Sequential(Linear(2, 2, rng))
+        outer = Sequential(inner, Linear(2, 1, rng))
+        assert len(outer.parameters()) == 4
+        assert len(list(outer.modules())) >= 4
+
+    def test_zero_grad_resets_all(self, rng):
+        net = Sequential(Linear(2, 2, rng))
+        loss = (net(Tensor(rng.normal(size=(3, 2)))) ** 2).sum()
+        loss.backward()
+        assert net.parameters()[0].grad is not None
+        net.zero_grad()
+        assert np.all(net.parameters()[0].grad == 0)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("module,fn", [
+        (Tanh(), np.tanh),
+        (ReLU(), lambda x: np.maximum(x, 0)),
+        (Identity(), lambda x: x),
+    ])
+    def test_values(self, rng, module, fn):
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(module(Tensor(x)).numpy(), fn(x), rtol=1e-12)
+
+    def test_sigmoid_module(self, rng):
+        x = rng.normal(size=(4,))
+        np.testing.assert_allclose(
+            Sigmoid()(Tensor(x)).numpy(), 1 / (1 + np.exp(-x)), rtol=1e-12
+        )
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.3)(Tensor([-2.0, 2.0])).numpy()
+        np.testing.assert_allclose(out, [-0.6, 2.0])
+
+    def test_activation_module_factory(self):
+        assert isinstance(activation_module("tanh"), Tanh)
+        assert isinstance(activation_module("relu"), ReLU)
+        assert isinstance(activation_module("leaky_relu"), LeakyReLU)
+
+    def test_activation_module_unknown(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            activation_module("swish")

@@ -1,0 +1,230 @@
+"""Unit tests for MpiCommManager over small real worlds (threaded)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.coevolution.genome import Genome
+from repro.mpi import run_mpi
+from repro.parallel.comm_manager import EXCHANGE_MODES, ExchangeAborted, MpiCommManager
+from repro.parallel.grid import Grid
+from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply
+
+
+def make_payload(cell, iteration=0, size=8):
+    genome = Genome(np.full(size, float(cell)), 1e-3, "bce")
+    return ExchangePayload(cell, iteration, genome, genome.copy())
+
+
+class TestSetupPhase:
+    def test_node_info_collection(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                infos = comm.collect_node_info()
+                return [(i.rank, i.node_name) for i in infos]
+            comm.send_node_info(NodeInfo(comm.rank, f"host{comm.rank}", 0))
+            return None
+
+        results = run_mpi(4, program, backend="threaded", timeout=30)
+        assert results[0] == [(1, "host1"), (2, "host2"), (3, "host3")]
+
+    def test_run_task_roundtrip(self):
+        task = RunTask("{}", 0, Grid(1, 2).to_payload(), "node00")
+
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                comm.send_run_task(1, task)
+                comm.send_run_task(2, task)
+                return "sent"
+            return comm.wait_for_run_task().cell_index
+
+        results = run_mpi(3, program, backend="threaded", timeout=30)
+        assert results[1] == 0 and results[2] == 0
+
+    def test_build_contexts_local_excludes_master(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            comm.build_contexts(is_active_slave=not comm.is_master)
+            if comm.is_master:
+                return comm.local is None and comm.global_ is not None
+            return (comm.local.Get_size(), comm.global_.Get_size())
+
+        results = run_mpi(3, program, backend="threaded", timeout=30)
+        assert results[0] is True
+        assert results[1] == (2, 3)
+        assert results[2] == (2, 3)
+
+
+class TestHeartbeatPlumbing:
+    def test_status_request_reply_cycle(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                comm.request_status(1)
+                import time
+
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    replies = comm.drain_status_replies()
+                    if replies:
+                        return (replies[0].rank, replies[0].state)
+                return None
+            # Slave: poll until the request arrives, answer once.
+            import time
+
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if comm.poll_status_request():
+                    comm.reply_status(StatusReply(comm.rank, "processing", 3, 0.0))
+                    return "replied"
+            return None
+
+        results = run_mpi(2, program, backend="threaded", timeout=30)
+        assert results[0] == (1, "processing")
+        assert results[1] == "replied"
+
+    def test_abort_flag(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                comm.send_abort(1)
+                return None
+            import time
+
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if comm.poll_abort():
+                    return True
+            return False
+
+        results = run_mpi(2, program, backend="threaded", timeout=30)
+        assert results[1] is True
+
+    def test_poll_with_nothing_pending(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                return comm.drain_status_replies() == []
+            return (not comm.poll_status_request()) and (not comm.poll_abort())
+
+        assert all(run_mpi(2, program, backend="threaded", timeout=30))
+
+
+def _exchange_world(mode, grid_rows=2, grid_cols=2, iterations=1):
+    """All slaves exchange; returns per-slave dict of neighbor -> payload."""
+    grid_payload = Grid(grid_rows, grid_cols).to_payload()
+
+    def program(world):
+        comm = MpiCommManager(world)
+        comm.build_contexts(is_active_slave=not comm.is_master)
+        if comm.is_master:
+            return None
+        grid = Grid.from_payload(grid_payload)
+        cell = comm.rank - 1
+        out = None
+        for iteration in range(iterations):
+            received = comm.exchange_genomes(
+                grid, cell, make_payload(cell, iteration), mode
+            )
+            out = {c: p.generator_genome.parameters[0] for c, p in received.items()}
+            if mode == "async" and iteration < iterations - 1:
+                # Async never blocks; give in-flight messages the window the
+                # real training step provides before the next drain.
+                import time
+
+                time.sleep(0.05)
+        return out
+
+    size = grid_rows * grid_cols + 1
+    return run_mpi(size, program, backend="threaded", timeout=60)
+
+
+class TestExchangeModes:
+    def test_neighbors_mode_delivers_all_neighbors(self):
+        results = _exchange_world("neighbors")
+        grid = Grid(2, 2)
+        for rank in range(1, 5):
+            cell = rank - 1
+            expected = {c: float(c) for c in grid.neighbor_cells(cell)}
+            assert results[rank] == expected
+
+    def test_allgather_mode_equivalent(self):
+        assert _exchange_world("allgather") == _exchange_world("neighbors")
+
+    def test_neighbors_mode_3x3(self):
+        results = _exchange_world("neighbors", 3, 3)
+        grid = Grid(3, 3)
+        for rank in range(1, 10):
+            cell = rank - 1
+            assert set(results[rank]) == set(grid.neighbor_cells(cell))
+
+    def test_async_mode_eventually_delivers(self):
+        # After a couple of iterations the async cache holds all neighbors.
+        results = _exchange_world("async", iterations=3)
+        grid = Grid(2, 2)
+        for rank in range(1, 5):
+            assert set(results[rank]) == set(grid.neighbor_cells(rank - 1))
+
+    def test_unknown_mode_raises(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            comm.build_contexts(is_active_slave=not comm.is_master)
+            if comm.is_master:
+                return True
+            with pytest.raises(ValueError, match="unknown exchange mode"):
+                comm.exchange_genomes(Grid(1, 2), comm.rank - 1,
+                                      make_payload(comm.rank - 1), "bogus")
+            return True
+
+        assert all(run_mpi(3, program, backend="threaded", timeout=30))
+
+    def test_exchange_abort_raises(self):
+        """A set abort event interrupts a blocking neighbor exchange."""
+        def program(world):
+            comm = MpiCommManager(world)
+            comm.build_contexts(is_active_slave=not comm.is_master)
+            if comm.is_master:
+                return True
+            if comm.rank == 1:
+                # Cell 0 will wait forever: its neighbor (cell 1) never sends.
+                event = threading.Event()
+                event.set()
+                with pytest.raises(ExchangeAborted):
+                    comm.exchange_genomes(Grid(1, 2), 0, make_payload(0),
+                                          "neighbors", abort_event=event)
+            return True
+
+        assert all(run_mpi(3, program, backend="threaded", timeout=30))
+
+    def test_modes_registry(self):
+        assert EXCHANGE_MODES == ("neighbors", "allgather", "async")
+
+
+class TestResults:
+    def test_result_transfer(self, rng):
+        genome = Genome(rng.normal(size=8), 1e-3, "bce")
+        result = SlaveResult(1, 0, genome, genome.copy(), np.full(5, 0.2))
+
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                collected = comm.try_collect_result(timeout=5.0)
+                return collected.cell_index
+            comm.send_result(result)
+            return None
+
+        results = run_mpi(2, program, backend="threaded", timeout=30)
+        assert results[0] == 0
+
+    def test_collect_timeout_returns_none(self):
+        def program(world):
+            comm = MpiCommManager(world)
+            if comm.is_master:
+                return comm.try_collect_result(timeout=0.05)
+            return None
+
+        results = run_mpi(2, program, backend="threaded", timeout=30)
+        assert results[0] is None

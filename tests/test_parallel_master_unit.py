@@ -1,0 +1,155 @@
+"""Unit tests for MasterProcess against a scripted fake comm manager."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.coevolution.genome import Genome
+from repro.parallel.comm_manager import CommManager
+from repro.parallel.master import MasterProcess
+from repro.parallel.messages import NodeInfo, SlaveResult, StatusReply
+from tests.conftest import make_quick_config
+
+
+class ScriptedMasterComm(CommManager):
+    """Plays all slaves for a master under test."""
+
+    def __init__(self, config, *, silent_ranks=frozenset(), result_delay_s=0.0):
+        self.config = config
+        self.cells = config.coevolution.cells
+        self.silent_ranks = set(silent_ranks)
+        self.result_delay_s = result_delay_s
+        self.sent_tasks = {}
+        self.aborts_sent = []
+        self.contexts_built = False
+        self._result_queue: list[SlaveResult] = []
+        self._status_outbox: list[StatusReply] = []
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+
+    @property
+    def rank(self):
+        return 0
+
+    @property
+    def size(self):
+        return self.cells + 1
+
+    # setup ------------------------------------------------------------------
+    def collect_node_info(self):
+        return [NodeInfo(rank, f"host{rank}", 100 + rank)
+                for rank in range(1, self.size)]
+
+    def send_run_task(self, slave_rank, task):
+        self.sent_tasks[slave_rank] = task
+        if slave_rank in self.silent_ranks:
+            return  # this slave will never respond
+        genome = Genome(np.zeros(4), 1e-3, "bce")
+        result = SlaveResult(
+            rank=slave_rank,
+            cell_index=task.cell_index,
+            generator_genome=genome,
+            discriminator_genome=genome.copy(),
+            mixture_weights=np.full(5, 0.2),
+        )
+        with self._lock:
+            self._result_queue.append(result)
+
+    def build_contexts(self, is_active_slave):
+        self.contexts_built = True
+
+    # heartbeat -------------------------------------------------------------------
+    def request_status(self, slave_rank):
+        if slave_rank in self.silent_ranks:
+            return
+        with self._lock:
+            self._status_outbox.append(
+                StatusReply(slave_rank, "processing", 1, time.time())
+            )
+
+    def drain_status_replies(self):
+        with self._lock:
+            replies, self._status_outbox = self._status_outbox, []
+            return replies
+
+    def send_abort(self, slave_rank):
+        self.aborts_sent.append(slave_rank)
+
+    # results -----------------------------------------------------------------------
+    def try_collect_result(self, timeout):
+        if time.monotonic() - self._started_at < self.result_delay_s:
+            time.sleep(min(timeout, 0.01))
+            return None
+        with self._lock:
+            if self._result_queue:
+                return self._result_queue.pop(0)
+        time.sleep(min(timeout, 0.01))
+        return None
+
+
+@pytest.fixture()
+def config():
+    return make_quick_config(2, 2, iterations=1)
+
+
+class TestMasterHappyPath:
+    def test_collects_all_results(self, config):
+        comm = ScriptedMasterComm(config)
+        outcome = MasterProcess(comm, config, heartbeat_interval_s=0.02).run()
+        assert outcome.complete
+        assert sorted(outcome.results) == [0, 1, 2, 3]
+        assert comm.contexts_built
+        assert len(comm.sent_tasks) == 4
+
+    def test_run_tasks_carry_configuration(self, config):
+        comm = ScriptedMasterComm(config)
+        MasterProcess(comm, config, heartbeat_interval_s=0.02).run()
+        task = comm.sent_tasks[1]
+        assert task.cell_index == 0
+        from repro.config import ExperimentConfig
+
+        assert ExperimentConfig.from_json(task.config_json) == config
+        assert task.assigned_node.startswith("node")
+
+    def test_placement_covers_master_and_slaves(self, config):
+        comm = ScriptedMasterComm(config)
+        outcome = MasterProcess(comm, config, heartbeat_interval_s=0.02).run()
+        assert set(outcome.placement) == {0, 1, 2, 3, 4}
+
+    def test_node_info_gathered(self, config):
+        comm = ScriptedMasterComm(config)
+        outcome = MasterProcess(comm, config, heartbeat_interval_s=0.02).run()
+        assert [i.rank for i in outcome.node_info] == [1, 2, 3, 4]
+
+    def test_fault_at_forwarded_to_task(self, config):
+        comm = ScriptedMasterComm(config)
+        MasterProcess(comm, config, heartbeat_interval_s=0.02,
+                      fault_at={2: 5}).run()
+        assert comm.sent_tasks[3].fault_at_iteration == 5  # cell 2 -> rank 3
+        assert comm.sent_tasks[1].fault_at_iteration is None
+
+    def test_trace_records_protocol(self, config):
+        comm = ScriptedMasterComm(config)
+        outcome = MasterProcess(comm, config, heartbeat_interval_s=0.02,
+                                trace=True).run()
+        events = [e.event for e in outcome.trace.events]
+        for expected in ("node info gathered", "placement decided",
+                         "run tasks sent", "create heartbeat thread",
+                         "final results gathered"):
+            assert expected in events
+
+
+class TestMasterFailureHandling:
+    def test_silent_slave_declared_dead_and_survivors_aborted(self, config):
+        comm = ScriptedMasterComm(config, silent_ranks={2},
+                                  result_delay_s=0.4)
+        outcome = MasterProcess(comm, config, heartbeat_interval_s=0.02,
+                                miss_limit=3).run()
+        assert outcome.dead_ranks == [2]
+        assert not outcome.complete
+        # Abort went to the three survivors only.
+        assert sorted(comm.aborts_sent) == [1, 3, 4]
+        # The survivors' results still arrived.
+        assert sorted(outcome.results) == [0, 2, 3]

@@ -1,0 +1,101 @@
+"""Unit tests for the DistributedRunner's reduction phase and validation."""
+
+import numpy as np
+import pytest
+
+from repro.coevolution.genome import Genome
+from repro.parallel.master import MasterOutcome
+from repro.parallel.messages import SlaveResult
+from repro.parallel.runner import DistributedRunner
+from repro.parallel.tracing import EventTrace
+from repro.profiling import RoutineTimer
+from tests.conftest import make_quick_config
+
+
+def make_result(cell_index, rank, value=1.0, with_timer=False):
+    genome = Genome(np.full(6, value), 1e-3, "bce")
+    timer = None
+    if with_timer:
+        t = RoutineTimer()
+        t.add("train", value)
+        timer = t.snapshot()
+    return SlaveResult(
+        rank=rank,
+        cell_index=cell_index,
+        generator_genome=genome,
+        discriminator_genome=genome.copy(),
+        mixture_weights=np.full(5, 0.2),
+        timer=timer,
+    )
+
+
+def make_outcome(results, dead=()):
+    return MasterOutcome(
+        results=results,
+        dead_ranks=list(dead),
+        node_info=[],
+        placement={0: "node00"},
+        trace=EventTrace(actor="master", enabled=False),
+        wall_time_s=1.0,
+    )
+
+
+@pytest.fixture()
+def runner():
+    return DistributedRunner(make_quick_config(2, 2, iterations=1),
+                             backend="threaded")
+
+
+class TestReduction:
+    def test_complete_outcome(self, runner):
+        results = {i: make_result(i, i + 1, value=float(i)) for i in range(4)}
+        reduced = runner._reduce(make_outcome(results), wall_time_s=2.0)
+        assert reduced.complete
+        assert reduced.training.wall_time_s == 2.0
+        for cell in range(4):
+            g, _ = reduced.training.center_genomes[cell]
+            assert g.parameters[0] == float(cell)
+
+    def test_dead_slave_leaves_hole_filled_with_survivor(self, runner):
+        results = {i: make_result(i, i + 1, value=float(i)) for i in (0, 2, 3)}
+        reduced = runner._reduce(make_outcome(results, dead=[2]), wall_time_s=1.0)
+        assert not reduced.complete
+        assert reduced.dead_ranks == [2]
+        # The hole (cell 1) is filled with the first available genome so the
+        # result stays rectangular.
+        g_hole, _ = reduced.training.center_genomes[1]
+        assert g_hole.parameters[0] == 0.0
+
+    def test_no_results_raises(self, runner):
+        with pytest.raises(RuntimeError, match="nothing to reduce"):
+            runner._reduce(make_outcome({}), wall_time_s=1.0)
+
+    def test_timers_collected(self, runner):
+        results = {i: make_result(i, i + 1, value=float(i + 1), with_timer=True)
+                   for i in range(4)}
+        reduced = runner._reduce(make_outcome(results), wall_time_s=1.0)
+        assert len(reduced.slave_timers) == 4
+        # parallel merge = max; serial merge = sum
+        assert reduced.distributed_profile().seconds("train") == pytest.approx(4.0)
+        assert reduced.total_work_profile().seconds("train") == pytest.approx(10.0)
+
+    def test_traces_include_master_and_slaves(self, runner):
+        results = {0: make_result(0, 1)}
+        results[0].trace_events = [object()]  # non-empty marker
+        reduced = runner._reduce(make_outcome(results), wall_time_s=1.0)
+        actors = {t.actor for t in reduced.traces}
+        assert "master" in actors and "slave-1" in actors
+
+
+class TestValidation:
+    def test_sequential_backend_rejected(self):
+        with pytest.raises(ValueError, match="SequentialTrainer"):
+            DistributedRunner(make_quick_config(), backend="sequential")
+
+    def test_backend_defaults_to_config(self):
+        import dataclasses
+
+        config = make_quick_config()
+        execution = dataclasses.replace(config.execution, backend="threaded")
+        config = dataclasses.replace(config, execution=execution)
+        assert DistributedRunner(config).backend == "threaded"

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.autograd import Tensor
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+def finite_floats(min_value=-10.0, max_value=10.0):
+    return st.floats(min_value=min_value, max_value=max_value,
+                     allow_nan=False, allow_infinity=False, width=64)
+
+
+def small_arrays(min_value=-10.0, max_value=10.0):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=6),
+        elements=finite_floats(min_value, max_value),
+    )
+
+
+class TestAlgebraicIdentities:
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_add_neg_is_zero(self, x):
+        t = Tensor(x, requires_grad=True)
+        out = (t + (-t)).sum()
+        np.testing.assert_allclose(out.item(), 0.0, atol=1e-9)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_mul_one_identity(self, x):
+        t = Tensor(x)
+        np.testing.assert_array_equal((t * 1.0).numpy(), x)
+
+    @given(small_arrays(0.1, 10.0))
+    @settings(**SETTINGS)
+    def test_log_exp_roundtrip(self, x):
+        t = Tensor(x)
+        np.testing.assert_allclose(t.log().exp().numpy(), x, rtol=1e-9)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_tanh_bounded(self, x):
+        y = Tensor(x).tanh().numpy()
+        assert np.all(np.abs(y) <= 1.0)
+
+    @given(small_arrays(-50, 50))
+    @settings(**SETTINGS)
+    def test_sigmoid_in_unit_interval(self, x):
+        y = Tensor(x).sigmoid().numpy()
+        assert np.all((y >= 0) & (y <= 1))
+
+    @given(small_arrays(-30, 30))
+    @settings(**SETTINGS)
+    def test_softplus_nonnegative_and_above_x(self, x):
+        y = Tensor(x).softplus().numpy()
+        assert np.all(y >= 0)
+        assert np.all(y >= x - 1e-12)
+
+
+class TestGradientProperties:
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(small_arrays(), finite_floats(-5, 5))
+    @settings(**SETTINGS)
+    def test_linearity_of_gradient(self, x, scale):
+        t1 = Tensor(x.copy(), requires_grad=True)
+        (t1 * scale).sum().backward()
+        np.testing.assert_allclose(t1.grad, np.full_like(x, scale), rtol=1e-12)
+
+    @given(small_arrays(0.5, 5.0))
+    @settings(**SETTINGS)
+    def test_chain_rule_log(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.log().sum().backward()
+        np.testing.assert_allclose(t.grad, 1.0 / x, rtol=1e-10)
+
+    @given(small_arrays(-3, 3))
+    @settings(**SETTINGS)
+    def test_tanh_gradient_formula(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.tanh().sum().backward()
+        np.testing.assert_allclose(t.grad, 1 - np.tanh(x) ** 2, rtol=1e-10, atol=1e-12)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_gradient_accumulation_is_additive(self, x):
+        t = Tensor(x, requires_grad=True)
+        (t * 2.0).sum().backward()
+        first = t.grad.copy()
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, first + 3.0, rtol=1e-12)
+
+
+class TestReshapeTranspose:
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_reshape_preserves_sum_gradient(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.reshape(-1).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(arrays(np.float64, (3, 4), elements=finite_floats()))
+    @settings(**SETTINGS)
+    def test_double_transpose_identity(self, x):
+        t = Tensor(x)
+        np.testing.assert_array_equal(t.T.T.numpy(), x)

@@ -1,0 +1,149 @@
+"""Property-based tests for grid geometry, mixture evolution, selection,
+serialization and transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coevolution.grid import ToroidalGrid, von_neumann_neighborhood
+from repro.coevolution.mixture import MixtureWeights
+from repro.coevolution.selection import rank_by_fitness, tournament_select
+from repro.data.transforms import from_tanh_range, to_tanh_range
+from repro.nn import Linear, Sequential, Tanh
+from repro.nn.serialize import count_parameters, parameters_to_vector, vector_to_parameters
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+grid_dims = st.integers(min_value=1, max_value=7)
+
+
+class TestGridProperties:
+    @given(grid_dims, grid_dims)
+    @settings(**SETTINGS)
+    def test_neighborhood_reciprocity(self, rows, cols):
+        grid = ToroidalGrid(rows, cols)
+        for i in range(grid.cell_count):
+            for j in grid.neighborhood_indices(i):
+                assert i in grid.neighborhood_indices(j)
+
+    @given(grid_dims, grid_dims)
+    @settings(**SETTINGS)
+    def test_neighborhood_always_five_entries(self, rows, cols):
+        grid = ToroidalGrid(rows, cols)
+        for i in range(grid.cell_count):
+            assert len(grid.neighborhood_indices(i)) == 5
+
+    @given(grid_dims, grid_dims)
+    @settings(**SETTINGS)
+    def test_index_coord_bijection(self, rows, cols):
+        grid = ToroidalGrid(rows, cols)
+        seen = set()
+        for i in range(grid.cell_count):
+            coords = grid.coords_of(i)
+            assert grid.index_of(*coords) == i
+            seen.add(coords)
+        assert len(seen) == grid.cell_count
+
+    @given(grid_dims, grid_dims)
+    @settings(**SETTINGS)
+    def test_overlap_equals_own_neighborhood(self, rows, cols):
+        grid = ToroidalGrid(rows, cols)
+        for i in range(grid.cell_count):
+            assert sorted(grid.overlapping_neighborhoods(i)) == sorted(
+                set(grid.neighborhood_indices(i))
+            )
+
+    @given(st.integers(3, 9), st.integers(3, 9), st.integers(0, 3))
+    @settings(**SETTINGS)
+    def test_von_neumann_size_on_large_torus(self, rows, cols, radius):
+        # On a torus large enough to avoid self-wrapping collisions the
+        # Manhattan ball has 2r(r+1)+1 cells.
+        if rows > 2 * radius and cols > 2 * radius:
+            hood = von_neumann_neighborhood(0, 0, rows, cols, radius)
+            assert len(hood) == 2 * radius * (radius + 1) + 1
+
+
+class TestMixtureProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 8),
+               elements=st.floats(0.0, 10.0, allow_nan=False)),
+        st.floats(0.0, 0.5, allow_nan=False),
+        st.integers(0, 2 ** 31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_mutation_preserves_distribution(self, raw, scale, seed):
+        if raw.sum() <= 0:
+            raw = raw + 1.0
+        mix = MixtureWeights(raw)
+        mutated = mix.mutated(np.random.default_rng(seed), scale)
+        np.testing.assert_allclose(mutated.weights.sum(), 1.0, rtol=1e-9)
+        assert np.all(mutated.weights >= 0)
+
+    @given(st.integers(1, 10))
+    @settings(**SETTINGS)
+    def test_uniform_is_uniform(self, size):
+        mix = MixtureWeights.uniform(size)
+        np.testing.assert_allclose(mix.weights, np.full(size, 1.0 / size))
+
+
+class TestSelectionProperties:
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=12),
+        st.integers(1, 6),
+        st.integers(0, 2 ** 31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_winner_is_valid_index(self, fitnesses, k, seed):
+        winner = tournament_select(fitnesses, np.random.default_rng(seed), k)
+        assert 0 <= winner < len(fitnesses)
+
+    @given(
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=12),
+        st.integers(0, 2 ** 31 - 1),
+    )
+    @settings(**SETTINGS)
+    def test_full_tournament_returns_global_best(self, fitnesses, seed):
+        winner = tournament_select(
+            fitnesses, np.random.default_rng(seed), tournament_size=len(fitnesses)
+        )
+        assert fitnesses[winner] == min(fitnesses)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=12))
+    @settings(**SETTINGS)
+    def test_rank_sorted(self, fitnesses):
+        ranked = rank_by_fitness(fitnesses)
+        values = [fitnesses[i] for i in ranked]
+        assert values == sorted(values)
+        assert sorted(ranked) == list(range(len(fitnesses)))
+
+
+class TestSerializationProperties:
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_vector_roundtrip_bit_exact(self, seed, width_in, width_out):
+        rng = np.random.default_rng(seed)
+        net = Sequential(Linear(width_in, width_out, rng), Tanh(),
+                         Linear(width_out, 2, rng))
+        vec = parameters_to_vector(net)
+        assert vec.shape == (count_parameters(net),)
+        clone_rng = np.random.default_rng(seed + 1)
+        clone = Sequential(Linear(width_in, width_out, clone_rng), Tanh(),
+                           Linear(width_out, 2, clone_rng))
+        vector_to_parameters(vec, clone)
+        np.testing.assert_array_equal(vec, parameters_to_vector(clone))
+
+
+class TestTransformProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(1, 8)),
+                  elements=st.floats(0.0, 1.0, allow_nan=False)))
+    @settings(**SETTINGS)
+    def test_tanh_range_inverse(self, x):
+        np.testing.assert_allclose(from_tanh_range(to_tanh_range(x)), x, atol=1e-12)
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 8), st.integers(1, 8)),
+                  elements=st.floats(0.0, 1.0, allow_nan=False)))
+    @settings(**SETTINGS)
+    def test_tanh_range_bounds(self, x):
+        y = to_tanh_range(x)
+        assert np.all((y >= -1.0 - 1e-12) & (y <= 1.0 + 1e-12))

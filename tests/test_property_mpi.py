@@ -1,0 +1,86 @@
+"""Property-based tests for the message-passing runtime: collectives must
+behave like their sequential specifications for arbitrary payloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_mpi
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+payloads = st.recursive(
+    st.one_of(
+        st.integers(-1000, 1000),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+class TestCollectiveSpecs:
+    @given(st.lists(payloads, min_size=2, max_size=5))
+    @settings(**SETTINGS)
+    def test_allgather_returns_rank_ordered_inputs(self, values):
+        size = len(values)
+
+        def program(comm):
+            return comm.allgather(values[comm.Get_rank()])
+
+        results = run_mpi(size, program, backend="threaded", timeout=60)
+        for result in results:
+            assert result == values
+
+    @given(payloads, st.integers(2, 5))
+    @settings(**SETTINGS)
+    def test_bcast_replicates_root_value(self, value, size):
+        def program(comm):
+            data = value if comm.Get_rank() == 0 else None
+            return comm.bcast(data, root=0)
+
+        results = run_mpi(size, program, backend="threaded", timeout=60)
+        assert all(r == value for r in results)
+
+    @given(st.lists(st.integers(-100, 100), min_size=2, max_size=6))
+    @settings(**SETTINGS)
+    def test_reduce_matches_python_fold(self, values):
+        size = len(values)
+
+        def program(comm):
+            return comm.reduce(values[comm.Get_rank()], op=lambda a, b: a + b, root=0)
+
+        results = run_mpi(size, program, backend="threaded", timeout=60)
+        assert results[0] == sum(values)
+
+    @given(st.lists(payloads, min_size=2, max_size=5))
+    @settings(**SETTINGS)
+    def test_scatter_distributes_in_rank_order(self, values):
+        size = len(values)
+
+        def program(comm):
+            items = values if comm.Get_rank() == 0 else None
+            return comm.scatter(items, root=0)
+
+        results = run_mpi(size, program, backend="threaded", timeout=60)
+        assert list(results) == values
+
+    @given(st.integers(2, 5), st.integers(0, 2 ** 16))
+    @settings(**SETTINGS)
+    def test_gather_numpy_arrays(self, size, seed):
+        def program(comm):
+            rng = np.random.default_rng(seed + comm.Get_rank())
+            return comm.gather(rng.normal(size=4), root=0)
+
+        results = run_mpi(size, program, backend="threaded", timeout=60)
+        gathered = results[0]
+        assert len(gathered) == size
+        for rank, array in enumerate(gathered):
+            expected = np.random.default_rng(seed + rank).normal(size=4)
+            np.testing.assert_array_equal(array, expected)

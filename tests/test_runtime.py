@@ -1,0 +1,35 @@
+"""Tests for the BLAS pinning runtime controls."""
+
+import os
+
+import pytest
+
+from repro.runtime import blas_pin_active, pin_blas_threads
+
+
+class TestPinBlasThreads:
+    def test_sets_environment(self):
+        pin_blas_threads(1)
+        assert os.environ["OMP_NUM_THREADS"] == "1"
+        assert os.environ["OPENBLAS_NUM_THREADS"] == "1"
+
+    def test_applies_to_loaded_blas(self):
+        # NumPy is loaded in this process, so the ctypes path must succeed
+        # on any Linux box with OpenBLAS-backed NumPy (this repo's target).
+        assert pin_blas_threads(1) is True
+        assert blas_pin_active() == 1
+
+    def test_idempotent(self):
+        pin_blas_threads(1)
+        assert pin_blas_threads(1) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pin_blas_threads(0)
+
+    def test_repin_different_value(self):
+        try:
+            assert pin_blas_threads(2) is True
+            assert blas_pin_active() == 2
+        finally:
+            pin_blas_threads(1)

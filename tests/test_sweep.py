@@ -1,0 +1,115 @@
+"""Tests for the parameter-sweep harness."""
+
+import csv
+
+import pytest
+
+from repro.experiments.sweep import Sweep, SweepRow
+
+
+def constant_run(combo, repetition):
+    return {"value": combo["x"] * 10 + combo["y"]}
+
+
+def noisy_run(combo, repetition):
+    return {"value": float(repetition)}  # 0, 1, 2, ... per repetition
+
+
+class TestSweepConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sweep(name="s", parameters={}, run=constant_run)
+        with pytest.raises(ValueError):
+            Sweep(name="s", parameters={"x": []}, run=constant_run)
+        with pytest.raises(ValueError):
+            Sweep(name="s", parameters={"x": [1]}, run=constant_run, repetitions=0)
+
+    def test_combinations_cartesian(self):
+        sweep = Sweep(name="s", parameters={"x": [1, 2], "y": [3, 4]},
+                      run=constant_run)
+        combos = sweep.combinations()
+        assert len(combos) == 4
+        assert {"x": 1, "y": 3} in combos and {"x": 2, "y": 4} in combos
+
+
+class TestExecution:
+    def test_metrics_per_combination(self):
+        sweep = Sweep(name="s", parameters={"x": [1, 2], "y": [0]},
+                      run=constant_run)
+        rows = sweep.execute()
+        assert [r.metrics_mean["value"] for r in rows] == [10.0, 20.0]
+        assert all(r.metrics_std["value"] == 0.0 for r in rows)
+
+    def test_repetition_statistics(self):
+        sweep = Sweep(name="s", parameters={"x": [0]}, run=noisy_run,
+                      repetitions=3)
+        row = sweep.execute()[0]
+        assert row.metrics_mean["value"] == pytest.approx(1.0)  # mean(0,1,2)
+        assert row.metrics_std["value"] == pytest.approx(1.0)
+        assert row.repetitions == 3
+
+    def test_progress_callback(self):
+        seen = []
+        sweep = Sweep(name="scan", parameters={"x": [1, 2]},
+                      run=lambda combo, rep: {"v": float(combo["x"])},
+                      progress=seen.append)
+        sweep.execute()
+        assert len(seen) == 2 and all("scan" in s for s in seen)
+
+    def test_empty_metrics_rejected(self):
+        sweep = Sweep(name="s", parameters={"x": [1]},
+                      run=lambda combo, rep: {})
+        with pytest.raises(ValueError, match="no metrics"):
+            sweep.execute()
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = iter([{"a": 1.0}, {"b": 2.0}])
+        sweep = Sweep(name="s", parameters={"x": [1]},
+                      run=lambda combo, rep: next(calls), repetitions=2)
+        with pytest.raises(ValueError, match="inconsistent"):
+            sweep.execute()
+
+
+class TestCsv:
+    def test_write_and_read_back(self, tmp_path):
+        sweep = Sweep(name="s", parameters={"grid": [(2, 2), (3, 3)]},
+                      run=lambda combo, rep: {"cells": float(combo["grid"][0] ** 2)})
+        rows = sweep.execute()
+        path = tmp_path / "sweep.csv"
+        Sweep.write_csv(path, rows)
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == 2
+        assert parsed[0]["grid"] == "(2, 2)"
+        assert float(parsed[0]["cells_mean"]) == 4.0
+        assert "seconds" in parsed[0]
+
+    def test_write_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Sweep.write_csv(tmp_path / "x.csv", [])
+
+    def test_flat_row(self):
+        row = SweepRow(parameters={"x": 1}, metrics_mean={"m": 2.0},
+                       metrics_std={"m": 0.5}, repetitions=2, seconds=1.0)
+        flat = row.flat()
+        assert flat == {"x": 1, "m_mean": 2.0, "m_std": 0.5,
+                        "repetitions": 2, "seconds": 1.0}
+
+
+class TestSweepOverRealTrainer:
+    def test_grid_size_sweep(self, small_dataset):
+        """A miniature version of the paper's methodology as a sweep."""
+        from repro.coevolution import SequentialTrainer
+        from tests.conftest import make_quick_config
+
+        def measure(combo, repetition):
+            config = make_quick_config(*combo["grid"], iterations=1)
+            result = SequentialTrainer(config, small_dataset).run()
+            return {"wall_s": result.wall_time_s}
+
+        sweep = Sweep(name="grids", parameters={"grid": [(1, 2), (2, 2)]},
+                      run=measure)
+        rows = sweep.execute()
+        assert len(rows) == 2
+        # 4 cells cost more than 2 cells on one core.
+        assert rows[1].metrics_mean["wall_s"] > rows[0].metrics_mean["wall_s"]

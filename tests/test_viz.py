@@ -1,0 +1,87 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_image, ascii_image_row, horizontal_bars, sparkline
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        out = ascii_image(np.zeros(784))
+        lines = out.splitlines()
+        assert len(lines) == 14  # 28 rows subsampled 2:1
+        assert all(len(line) == 28 for line in lines)
+
+    def test_ink_mapping(self):
+        dark = ascii_image(np.full(4, -1.0), side=2)
+        bright = ascii_image(np.full(4, 1.0), side=2)
+        assert set(dark.replace("\n", "")) == {" "}
+        assert set(bright.replace("\n", "")) == {"@"}
+
+    def test_custom_range(self):
+        out = ascii_image(np.full(4, 1.0), side=2, value_range=(0.0, 1.0))
+        assert set(out.replace("\n", "")) == {"@"}
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros(10))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros(4), side=2, value_range=(1.0, 0.0))
+
+    def test_values_clipped(self):
+        out = ascii_image(np.array([5.0, -5.0, 0.0, 0.0]), side=2)
+        assert "@" in out  # overflow clamps to full ink, no crash
+
+
+class TestAsciiImageRow:
+    def test_side_by_side(self):
+        out = ascii_image_row(np.zeros((3, 16)), side=4)
+        lines = out.splitlines()
+        assert len(lines) == 2  # 4 rows / 2
+        # three 4-char blocks + two 2-char gaps
+        assert all(len(line) == 3 * 4 + 2 * 2 for line in lines)
+
+    def test_empty(self):
+        assert ascii_image_row(np.zeros((0, 16))) == ""
+
+
+class TestSparkline:
+    def test_monotonic_ramp(self):
+        out = sparkline([0, 1, 2, 3])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 4
+
+    def test_constant_series(self):
+        out = sparkline([5.0, 5.0, 5.0])
+        assert len(set(out)) == 1
+
+    def test_nan_renders_blank(self):
+        out = sparkline([0.0, np.nan, 1.0])
+        assert out[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "(no data)"
+
+
+class TestHorizontalBars:
+    def test_alignment_and_scaling(self):
+        out = horizontal_bars(["train", "gather"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[0].startswith("train ")
+
+    def test_zero_values(self):
+        out = horizontal_bars(["a"], [0.0])
+        assert out.count("#") == 0
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [-1.0])
