@@ -17,6 +17,9 @@ from repro.parallel import DistributedRunner
 
 from benchmarks.conftest import save_artifact
 
+# Multi-minute full-training run: excluded from the fast CI lane.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def workload():

@@ -18,6 +18,9 @@ from repro.experiments.workloads import bench_config
 
 from benchmarks.conftest import save_artifact
 
+# Multi-minute full-training run: excluded from the fast CI lane.
+pytestmark = pytest.mark.slow
+
 
 def _with_loss(config, loss_name):
     training = dataclasses.replace(config.training, loss_function=loss_name)

@@ -14,6 +14,9 @@ from repro.parallel import DistributedRunner
 
 from benchmarks.conftest import save_artifact
 
+# Multi-minute full-training run: excluded from the fast CI lane.
+pytestmark = pytest.mark.slow
+
 
 def test_ablation_5x5_scaling(benchmark, results_dir):
     config = bench_config(5, 5)

@@ -1,8 +1,12 @@
 """Bench: regenerate Fig. 4 (bar chart of the Table IV routine times)."""
 
+import pytest
 from repro.experiments import fig4
 
 from benchmarks.conftest import save_artifact
+
+# Multi-minute full-training run: excluded from the fast CI lane.
+pytestmark = pytest.mark.slow
 
 
 def test_fig4_series(benchmark, table4_rows, results_dir):

@@ -23,6 +23,9 @@ from repro.parallel import DistributedRunner
 
 from benchmarks.conftest import save_artifact
 
+# Multi-minute full-training run: excluded from the fast CI lane.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("rows,cols", PAPER_GRIDS, ids=["2x2", "3x3", "4x4"])
 def test_table3_grid(benchmark, artifact_store, rows, cols):

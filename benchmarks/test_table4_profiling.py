@@ -8,10 +8,14 @@ Shape assertions from the paper:
   * compute routines speed up far more than ``gather``.
 """
 
+import pytest
 from repro.experiments import table4
 from repro.profiling import format_table4
 
 from benchmarks.conftest import save_artifact
+
+# Multi-minute full-training run: excluded from the fast CI lane.
+pytestmark = pytest.mark.slow
 
 
 def _row(rows, name):

@@ -18,7 +18,10 @@ arXiv:2004.04633), including every substrate the paper depends on:
   distributed implementation (CommManager, Grid, heartbeats, two-thread
   slaves);
 * :mod:`repro.profiling` — the Table IV routine profiler;
-* :mod:`repro.experiments` — regenerators for every table and figure.
+* :mod:`repro.experiments` — regenerators for every table and figure;
+* :mod:`repro.serving` — batched, cached inference serving trained
+  generator ensembles (model registry, request-coalescing engine, sample
+  pool, stats-reporting server).
 
 Quickstart::
 
@@ -26,14 +29,22 @@ Quickstart::
 
     config = default_config(2, 2)           # 2x2 grid, laptop-scale workload
     result = DistributedRunner(config).run()  # 5 ranks: 1 master + 4 slaves
+
+Serving a finished run::
+
+    from repro import GeneratorServer
+
+    with GeneratorServer(result.to_servable()) as server:
+        images = server.request(64, seed=7).images
 """
 
 from repro.config import ExperimentConfig, default_config, paper_table1_config
 from repro.coevolution import SequentialTrainer, TrainingResult
 from repro.parallel import DistributedResult, DistributedRunner
 from repro.runtime import pin_blas_threads
+from repro.serving import GeneratorServer, ModelRegistry, ServableEnsemble
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExperimentConfig",
@@ -44,5 +55,8 @@ __all__ = [
     "DistributedRunner",
     "DistributedResult",
     "pin_blas_threads",
+    "ModelRegistry",
+    "ServableEnsemble",
+    "GeneratorServer",
     "__version__",
 ]

@@ -15,6 +15,12 @@ Commands
     Regenerate a paper table: ``python -m repro table 1|2|3|4``.
 ``fig``
     Regenerate a paper figure: ``python -m repro fig 1|2|3|4``.
+``serve``
+    Load a checkpoint into the serving stack and run a request-replay load
+    test: ``python -m repro serve --checkpoint out.npz --requests 200``.
+``sample``
+    One-shot generation from a checkpoint to ``.npz``:
+    ``python -m repro sample --checkpoint out.npz --n 64 --out images.npz``.
 """
 
 from __future__ import annotations
@@ -73,6 +79,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    serve = sub.add_parser("serve", help="serve a checkpoint: replay a "
+                                         "synthetic traffic trace and report")
+    serve.add_argument("--checkpoint", required=True, metavar="PATH")
+    serve.add_argument("--cell", type=int, default=0,
+                       help="grid cell whose mixture to serve (default 0)")
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument("--concurrency", type=int, default=8,
+                       help="client threads replaying the trace")
+    serve.add_argument("--request-size", type=int, default=8,
+                       help="mean images per request")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="engine worker threads")
+    serve.add_argument("--pool-capacity", type=int, default=1024,
+                       help="seedless sample pool size (0 disables)")
+    serve.add_argument("--seed", type=int, default=0)
+
+    sample = sub.add_parser("sample", help="one-shot generation from a "
+                                           "checkpoint to .npz")
+    sample.add_argument("--checkpoint", required=True, metavar="PATH")
+    sample.add_argument("--cell", type=int, default=0)
+    sample.add_argument("--n", type=int, default=64)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--out", required=True, metavar="PATH")
 
     return parser
 
@@ -198,12 +228,50 @@ def _cmd_fig(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving.loadtest import run_load_test
+
+    stats = run_load_test(
+        args.checkpoint,
+        cell=args.cell,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        request_size=args.request_size,
+        workers=args.workers,
+        pool_capacity=args.pool_capacity,
+        seed=args.seed,
+    )
+    print()
+    print(stats.report())
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    from repro.coevolution import load_checkpoint
+    from repro.runtime import pin_blas_threads
+    from repro.serving import ServableEnsemble
+
+    pin_blas_threads(1)  # gemm row-stability => reproducible samples
+    checkpoint = load_checkpoint(args.checkpoint)
+    print(checkpoint.summary())
+    ensemble = ServableEnsemble.from_checkpoint(checkpoint, cell=args.cell)
+    images = ensemble.sample(args.n, seed=args.seed)
+    # Images are stored flat, (n, side*side); image_side is the render hint.
+    np.savez_compressed(args.out, images=images,
+                        image_side=checkpoint.config.network.image_side)
+    print(f"{args.n} samples from cell {args.cell} (seed {args.seed}) "
+          f"written to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
     "resume": _cmd_resume,
     "table": _cmd_table,
     "fig": _cmd_fig,
+    "serve": _cmd_serve,
+    "sample": _cmd_sample,
 }
 
 

@@ -56,6 +56,18 @@ class TrainingCheckpoint:
     def remaining_iterations(self) -> int:
         return max(0, self.config.coevolution.iterations - self.iteration)
 
+    def summary(self) -> str:
+        """One line saying what this checkpoint holds — for CLI/registry logs."""
+        coev = self.config.coevolution
+        return (
+            f"checkpoint v{_FORMAT_VERSION}: grid {coev.grid_rows}x{coev.grid_cols} "
+            f"({coev.cells} cells), iteration {self.iteration}/{coev.iterations} "
+            f"({self.remaining_iterations} remaining)"
+        )
+
+    def __repr__(self) -> str:
+        return f"<TrainingCheckpoint {self.summary()}>"
+
     @classmethod
     def from_trainer(cls, trainer) -> "TrainingCheckpoint":
         """Snapshot a live :class:`SequentialTrainer`."""

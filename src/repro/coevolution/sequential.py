@@ -57,6 +57,14 @@ class TrainingResult:
                   for reports in self.cell_reports]
         return int(np.argmin(finals))
 
+    def to_servable(self, cell: int | None = None):
+        """Hand off to the serving layer: build a
+        :class:`~repro.serving.registry.ServableEnsemble` from this run's
+        final centers (``cell`` defaults to the fittest cell)."""
+        from repro.serving.registry import ServableEnsemble
+
+        return ServableEnsemble.from_training_result(self, cell=cell)
+
 
 class SequentialTrainer:
     """Train the whole grid in one process (the single-core baseline)."""

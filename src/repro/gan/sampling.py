@@ -12,9 +12,14 @@ __all__ = ["sample_latent", "generate_images"]
 
 
 def sample_latent(n: int, latent_size: int, rng: np.random.Generator) -> np.ndarray:
-    """Standard-normal latent batch of shape ``(n, latent_size)``."""
-    if n < 1 or latent_size < 1:
-        raise ValueError("n and latent_size must be positive")
+    """Standard-normal latent batch of shape ``(n, latent_size)``.
+
+    ``n == 0`` yields an empty batch — the serving layer's batching engine
+    legitimately produces zero-count shards when a mixture component draws
+    no samples.
+    """
+    if n < 0 or latent_size < 1:
+        raise ValueError("n must be >= 0 and latent_size positive")
     return rng.standard_normal((n, latent_size))
 
 
@@ -26,6 +31,10 @@ def generate_images(generator: Generator, n: int, rng: np.random.Generator,
     bounded when the metrics pipeline asks for thousands of samples.
     """
     latent_size = generator.settings.latent_size
+    if n <= 0:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return np.empty((0, generator.settings.output_neurons))
     pieces: list[np.ndarray] = []
     with no_grad():
         for lo in range(0, n, batch):

@@ -58,6 +58,11 @@ class DistributedResult:
         """CPU-work view: per-routine sum over all slaves."""
         return merge_snapshots(self.slave_timers, parallel=False)
 
+    def to_servable(self, cell: int | None = None):
+        """Hand the reduced result to the serving layer (see
+        :meth:`TrainingResult.to_servable`)."""
+        return self.training.to_servable(cell=cell)
+
 
 class DistributedRunner:
     """Configure once, then :meth:`run`."""

@@ -1,0 +1,70 @@
+"""Batched, cached inference for trained generator ensembles.
+
+Training ends where the paper ends — with the master's reduction returning
+the best generator mixture.  This package is the downstream half the
+ROADMAP's "serve heavy traffic" north star asks for: it turns training
+checkpoints into a production-style sampling service on the same NumPy
+stack.
+
+* :mod:`repro.serving.registry` — :class:`ServableEnsemble` (immutable
+  deployment view of one cell's generator mixture) and
+  :class:`ModelRegistry` (named versions, atomic hot-swap, eviction);
+* :mod:`repro.serving.engine` — :class:`BatchingEngine`, which coalesces
+  concurrent requests into large fused forward passes per mixture
+  component, amortizing cost exactly as the trainer batches latents;
+* :mod:`repro.serving.cache` — :class:`LRUSampleCache` for deterministic
+  replays and :class:`SamplePool`, a background-refilled ring buffer for
+  anonymous traffic;
+* :mod:`repro.serving.server` — :class:`GeneratorServer`, the front door
+  with backpressure, graceful shutdown and :class:`ServerStats`;
+* :mod:`repro.serving.compute` — the deterministic primitives both paths
+  share, which make coalesced results bit-identical to unbatched ones.
+
+Quickstart::
+
+    from repro import SequentialTrainer, default_config
+    from repro.serving import GeneratorServer
+
+    trainer = SequentialTrainer(default_config(2, 2))
+    ensemble = trainer.run().to_servable()
+    with GeneratorServer(ensemble) as server:
+        images = server.request(64, seed=7).images
+"""
+
+from repro.serving.api import (
+    SampleRequest,
+    SampleResponse,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServerStats,
+    ServingError,
+    UnknownVersionError,
+)
+from repro.serving.cache import CacheStats, LRUSampleCache, PoolStats, SamplePool
+from repro.serving.engine import BatchingEngine, EngineStats
+from repro.serving.loadtest import TraceEntry, replay, run_load_test, synthetic_trace
+from repro.serving.registry import ModelRegistry, ServableEnsemble
+from repro.serving.server import GeneratorServer
+
+__all__ = [
+    "SampleRequest",
+    "SampleResponse",
+    "ServerStats",
+    "ServingError",
+    "UnknownVersionError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "LRUSampleCache",
+    "SamplePool",
+    "CacheStats",
+    "PoolStats",
+    "BatchingEngine",
+    "EngineStats",
+    "ModelRegistry",
+    "ServableEnsemble",
+    "GeneratorServer",
+    "TraceEntry",
+    "synthetic_trace",
+    "replay",
+    "run_load_test",
+]

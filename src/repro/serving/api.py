@@ -1,0 +1,182 @@
+"""Public request/response surface of the serving subsystem.
+
+Plain dataclasses and exceptions only — no threads, no NumPy compute — so
+clients (CLI, benchmarks, tests) can depend on this module without pulling
+in the engine machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SampleRequest",
+    "SampleResponse",
+    "ServerStats",
+    "ServingError",
+    "UnknownVersionError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class of every serving-layer failure."""
+
+
+class UnknownVersionError(ServingError, KeyError):
+    """The registry holds no ensemble under the requested version."""
+
+    # KeyError.__str__ repr-quotes the message; keep it readable.
+    __str__ = RuntimeError.__str__
+
+
+class ServerClosedError(ServingError):
+    """The server was shut down; no further requests are accepted."""
+
+
+class ServerOverloadedError(ServingError):
+    """Backpressure: the bounded request queue is full — retry later."""
+
+
+@dataclass(frozen=True, eq=False)
+class SampleRequest:
+    """What a client asks for: ``n`` images, optionally pinned down.
+
+    ``seed`` makes the request deterministic (and LRU-cacheable): the same
+    ``(version, seed, n)`` always yields bit-identical images.  ``weights``
+    overrides the ensemble's evolved mixture for this request only — e.g. to
+    spotlight a single generator — and disables caching.
+
+    Equality and hashing are array-aware (dataclass-generated ``__eq__``
+    would crash on the ndarray field), so requests can be deduplicated or
+    used as dict keys by clients.
+    """
+
+    n: int
+    seed: int | None = None
+    version: str | None = None
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("n must be >= 0")
+        if self.seed is not None and self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.weights is not None:
+            # Private, frozen copy: the caller mutating its own array must
+            # not change what the engine serves (or this request's hash).
+            frozen = np.array(self.weights, dtype=np.float64, copy=True)
+            frozen.flags.writeable = False
+            object.__setattr__(self, "weights", frozen)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SampleRequest):
+            return NotImplemented
+        if (self.n, self.seed, self.version) != (other.n, other.seed,
+                                                 other.version):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        return self.weights is None or np.array_equal(self.weights,
+                                                      other.weights)
+
+    def __hash__(self) -> int:
+        weights_key = None if self.weights is None else self.weights.tobytes()
+        return hash((self.n, self.seed, self.version, weights_key))
+
+    @property
+    def deterministic(self) -> bool:
+        return self.seed is not None
+
+    @property
+    def cache_key(self) -> tuple | None:
+        """LRU key, or ``None`` when the request is not cacheable."""
+        if self.seed is None or self.weights is not None:
+            return None
+        return (self.version, self.seed, self.n)
+
+
+@dataclass
+class SampleResponse:
+    """Images plus where they came from."""
+
+    images: np.ndarray
+    version: str
+    cached: str | None = None
+    """``None`` (computed), ``"lru"`` or ``"pool"``."""
+    latency_s: float = 0.0
+
+    @property
+    def n(self) -> int:
+        return self.images.shape[0]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), q))
+
+
+@dataclass
+class ServerStats:
+    """Point-in-time operational snapshot of a :class:`GeneratorServer`."""
+
+    uptime_s: float = 0.0
+    requests: int = 0
+    rejected: int = 0
+    samples: int = 0
+    queue_depth: int = 0
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+    lru_hits: int = 0
+    lru_misses: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    engine_batches: int = 0
+    engine_requests: int = 0
+    versions: list[str] = field(default_factory=list)
+    active_version: str | None = None
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.samples / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.lru_hits + self.pool_hits
+        total = hits + self.lru_misses + self.pool_misses
+        return hits / total if total else 0.0
+
+    @property
+    def mean_coalesced_requests(self) -> float:
+        return (self.engine_requests / self.engine_batches
+                if self.engine_batches else 0.0)
+
+    def report(self) -> str:
+        """Human-readable multi-line summary (printed by ``repro serve``)."""
+        lines = [
+            "ServerStats",
+            f"  active version   : {self.active_version} "
+            f"(loaded: {', '.join(self.versions) or '-'})",
+            f"  uptime           : {self.uptime_s:.2f}s",
+            f"  requests         : {self.requests} served, {self.rejected} rejected",
+            f"  samples          : {self.samples}",
+            f"  throughput       : {self.throughput_rps:.1f} req/s, "
+            f"{self.samples_per_s:.1f} samples/s",
+            f"  latency          : p50 {self.p50_latency_s * 1e3:.2f}ms, "
+            f"p95 {self.p95_latency_s * 1e3:.2f}ms",
+            f"  queue depth      : {self.queue_depth}",
+            f"  cache hit rate   : {self.cache_hit_rate:.1%} "
+            f"(lru {self.lru_hits}/{self.lru_hits + self.lru_misses}, "
+            f"pool {self.pool_hits}/{self.pool_hits + self.pool_misses})",
+            f"  engine           : {self.engine_batches} batches, "
+            f"{self.mean_coalesced_requests:.2f} requests/batch",
+        ]
+        return "\n".join(lines)

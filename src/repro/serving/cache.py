@@ -1,0 +1,270 @@
+"""Serving caches: a deterministic LRU and a pre-generated sample pool.
+
+Two orthogonal caches sit in front of the batching engine:
+
+* :class:`LRUSampleCache` — exact-hit cache for *deterministic* requests
+  keyed on ``(version, seed, n)``.  Replayed seeds (dashboards, tests,
+  retries) are answered in O(1) without touching a generator.
+* :class:`SamplePool` — a ring buffer of *seedless* samples produced ahead
+  of demand by a background refill thread, the serving analogue of the
+  trainer pre-rendering its dataset.  Anonymous traffic pops from the pool
+  and only falls through to the engine on a miss.
+
+Both keep hit/miss statistics that surface in :class:`ServerStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.registry import ServableEnsemble
+
+__all__ = ["LRUSampleCache", "SamplePool", "CacheStats", "PoolStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUSampleCache:
+    """Bounded mapping ``(version, seed, n) -> images`` with LRU eviction.
+
+    Stored arrays are frozen (non-writeable) so one cached batch can be
+    handed to many clients without defensive copies.
+    """
+
+    def __init__(self, capacity: int = 256, max_bytes: int = 256 * 2 ** 20):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        with self._lock:
+            images = self._entries.get(key)
+            if images is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return images
+
+    def put(self, key: tuple, images: np.ndarray) -> None:
+        if images.nbytes > self.max_bytes:
+            return  # one giant batch must not flush (or overflow) the cache
+        # Copy before freezing: freezing the caller's own array in place
+        # would hand the inserting client read-only images.
+        frozen = np.array(images, copy=True)
+        frozen.flags.writeable = False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = frozen
+            self._bytes += frozen.nbytes
+            while len(self._entries) > self.capacity \
+                    or self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+
+    def invalidate(self, version: str | None = None) -> int:
+        """Drop all entries (or only one version's); returns the count."""
+        with self._lock:
+            if version is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._bytes = 0
+                return dropped
+            stale = [key for key in self._entries if key[0] == version]
+            for key in stale:
+                self._bytes -= self._entries[key].nbytes
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              size=len(self._entries), capacity=self.capacity)
+
+
+@dataclass
+class PoolStats:
+    hits: int = 0
+    misses: int = 0
+    refills: int = 0
+    generated: int = 0
+    served: int = 0
+    level: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SamplePool:
+    """Ring buffer of pre-generated samples with background refill.
+
+    ``take(n)`` either returns ``n`` samples in O(n) copy time (hit) or
+    ``None`` (miss; the caller falls back to the engine).  A refill thread
+    tops the buffer back up whenever the level drops below
+    ``low_watermark`` — so steady anonymous traffic is served entirely from
+    samples generated off the request path.
+    """
+
+    def __init__(self, ensemble: ServableEnsemble, *, capacity: int = 2048,
+                 refill_batch: int = 256, low_watermark: float = 0.5,
+                 seed: int = 0, autostart: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if refill_batch < 1:
+            raise ValueError("refill_batch must be >= 1")
+        if not 0.0 < low_watermark <= 1.0:
+            raise ValueError("low_watermark must be in (0, 1]")
+        self.ensemble = ensemble
+        self.capacity = capacity
+        self.refill_batch = refill_batch
+        self.low_watermark = low_watermark
+        self._rng = np.random.default_rng(seed)
+        self._buffer = np.empty((capacity, ensemble.output_neurons))
+        self._head = 0  # read position
+        self._count = 0
+        self._lock = threading.Lock()
+        self._need_refill = threading.Event()
+        self._closed = threading.Event()
+        self._stats = PoolStats(capacity=capacity)
+        self._thread: threading.Thread | None = None
+        if autostart:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._need_refill.set()
+        self._thread = threading.Thread(target=self._refill_loop,
+                                        name="sample-pool-refill", daemon=True)
+        self._thread.start()
+
+    def close(self, timeout: float = 10.0) -> None:
+        self._closed.set()
+        self._need_refill.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "SamplePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- consumption ----------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._count
+
+    def take(self, n: int) -> np.ndarray | None:
+        """Pop ``n`` samples, or ``None`` when the pool cannot cover them."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        with self._lock:
+            if n > self._count:
+                self._stats.misses += 1
+                # A miss is direct evidence demand exceeds the level; wake
+                # the refill thread even above the watermark.
+                self._need_refill.set()
+                return None
+            out = np.empty((n, self._buffer.shape[1]))
+            first = min(n, self.capacity - self._head)
+            out[:first] = self._buffer[self._head:self._head + first]
+            if n > first:
+                out[first:] = self._buffer[:n - first]
+            self._head = (self._head + n) % self.capacity
+            self._count -= n
+            self._stats.hits += 1
+            self._stats.served += n
+            self._wake_refill_locked()
+            return out
+
+    def _wake_refill_locked(self) -> None:
+        if self._count < self.low_watermark * self.capacity:
+            self._need_refill.set()
+
+    # -- production -----------------------------------------------------------
+
+    def refill(self, n: int | None = None) -> int:
+        """Generate up to ``n`` samples (default: one ``refill_batch``) into
+        the buffer; returns how many were added.  Called by the background
+        thread, or directly in tests (``autostart=False``)."""
+        want = n if n is not None else self.refill_batch
+        with self._lock:
+            free = self.capacity - self._count
+        count = min(want, free)
+        if count <= 0:
+            return 0
+        images = self.ensemble.sample(count, self._rng)
+        with self._lock:
+            free = self.capacity - self._count
+            count = min(count, free)
+            write = (self._head + self._count) % self.capacity
+            first = min(count, self.capacity - write)
+            self._buffer[write:write + first] = images[:first]
+            if count > first:
+                self._buffer[:count - first] = images[first:count]
+            self._count += count
+            self._stats.refills += 1
+            self._stats.generated += count
+        return count
+
+    def _refill_loop(self) -> None:
+        while not self._closed.is_set():
+            self._need_refill.wait()
+            if self._closed.is_set():
+                return
+            self._need_refill.clear()
+            while not self._closed.is_set():
+                with self._lock:
+                    below = self._count < self.capacity
+                if not below:
+                    break
+                if self.refill() == 0:
+                    break
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            snapshot = PoolStats(**vars(self._stats))
+            snapshot.level = self._count
+            return snapshot

@@ -1,0 +1,137 @@
+"""Request-replay load testing for the serving stack.
+
+Drives a :class:`GeneratorServer` with a synthetic traffic trace that mixes
+the three request classes real traffic contains — anonymous seedless
+requests (pool-eligible), a small set of *hot* deterministic seeds replayed
+over and over (LRU-eligible), and cold deterministic seeds (engine-bound) —
+from many concurrent client threads.  Used by ``python -m repro serve`` and
+by ``benchmarks/test_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.api import ServerOverloadedError, ServerStats
+
+__all__ = ["TraceEntry", "synthetic_trace", "replay", "run_load_test"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request of the replayed trace."""
+
+    n: int
+    seed: int | None = None
+
+
+def synthetic_trace(requests: int, rng: np.random.Generator, *,
+                    mean_size: int = 8, seedless_fraction: float = 0.5,
+                    hot_fraction: float = 0.3, hot_seeds: int = 16
+                    ) -> list[TraceEntry]:
+    """A shuffled mix of seedless, hot-seeded and cold-seeded requests.
+
+    Request sizes are geometric around ``mean_size`` (traffic is mostly
+    small requests with a long tail), never zero.  Hot requests draw their
+    ``(seed, n)`` from a pool of ``hot_seeds`` combinations so replays
+    collide in the LRU.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if mean_size < 1:
+        raise ValueError("mean_size must be >= 1")
+    if not 0 <= seedless_fraction + hot_fraction <= 1:
+        raise ValueError("fractions must sum to at most 1")
+    hot_pool = [(int(rng.integers(1000)),
+                 int(rng.geometric(1.0 / mean_size)))
+                for _ in range(hot_seeds)]
+    entries: list[TraceEntry] = []
+    for _ in range(requests):
+        kind = rng.random()
+        if kind < seedless_fraction:
+            entries.append(TraceEntry(n=int(rng.geometric(1.0 / mean_size))))
+        elif kind < seedless_fraction + hot_fraction:
+            seed, n = hot_pool[int(rng.integers(hot_seeds))]
+            entries.append(TraceEntry(n=n, seed=seed))
+        else:
+            entries.append(TraceEntry(n=int(rng.geometric(1.0 / mean_size)),
+                                      seed=int(rng.integers(10_000, 1 << 30))))
+    return entries
+
+
+def replay(server, trace: list[TraceEntry], *, concurrency: int = 8,
+           timeout: float = 120.0) -> dict:
+    """Replay ``trace`` from ``concurrency`` client threads.
+
+    Returns completion counters; overloaded (rejected) requests are counted
+    and dropped, like a client that gives up on a 503.  Any other failure is
+    counted under ``failed`` — the client keeps replaying its shard so one
+    server-side error cannot silently truncate the trace.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    shards = [trace[i::concurrency] for i in range(concurrency)]
+    counters = {"completed": 0, "rejected": 0, "failed": 0, "samples": 0}
+    lock = threading.Lock()
+
+    def client(shard: list[TraceEntry]) -> None:
+        for entry in shard:
+            try:
+                response = server.request(entry.n, seed=entry.seed,
+                                          timeout=timeout)
+            except ServerOverloadedError:
+                with lock:
+                    counters["rejected"] += 1
+                continue
+            except Exception as error:
+                with lock:
+                    counters["failed"] += 1
+                    counters["last_error"] = repr(error)
+                continue
+            with lock:
+                counters["completed"] += 1
+                counters["samples"] += response.n
+    threads = [threading.Thread(target=client, args=(shard,), daemon=True)
+               for shard in shards if shard]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return counters
+
+
+def run_load_test(checkpoint_path, *, cell: int = 0, requests: int = 200,
+                  concurrency: int = 8, request_size: int = 8,
+                  workers: int = 2, pool_capacity: int = 1024,
+                  seed: int = 0, verbose: bool = True) -> ServerStats:
+    """Checkpoint file in, :class:`ServerStats` out — the ``serve`` command."""
+    from repro.coevolution import load_checkpoint
+    from repro.serving.registry import ServableEnsemble
+    from repro.serving.server import GeneratorServer
+
+    checkpoint = load_checkpoint(checkpoint_path)
+    if verbose:
+        print(checkpoint.summary())
+    ensemble = ServableEnsemble.from_checkpoint(checkpoint, cell=cell)
+    rng = np.random.default_rng(seed)
+    trace = synthetic_trace(requests, rng, mean_size=request_size)
+    if verbose:
+        total = sum(entry.n for entry in trace)
+        print(f"replaying {len(trace)} requests ({total} samples) from "
+              f"{concurrency} clients against cell {cell}")
+    with GeneratorServer(ensemble, workers=workers,
+                         pool_capacity=pool_capacity, seed=seed) as server:
+        counters = replay(server, trace, concurrency=concurrency)
+        stats = server.stats()
+    if verbose:
+        print(f"completed {counters['completed']}, "
+              f"rejected {counters['rejected']}, "
+              f"failed {counters['failed']}, "
+              f"samples {counters['samples']}")
+        if counters["failed"]:
+            print(f"WARNING: {counters['failed']} requests failed "
+                  f"(last error: {counters.get('last_error')})")
+    return stats

@@ -74,3 +74,29 @@ def metric_classifier(small_raw_dataset):
     rng = np.random.default_rng(7)
     images = to_tanh_range(small_raw_dataset.images)
     return train_digit_classifier(images, small_raw_dataset.labels, rng, epochs=8)
+
+
+def make_random_checkpoint(config=None, *, seed=0, iteration=0):
+    """An untrained checkpoint with random center genomes — servable in
+    milliseconds, for serving-layer tests that don't need a real run."""
+    import numpy as np
+
+    from repro.coevolution.checkpoint import TrainingCheckpoint
+    from repro.coevolution.genome import Genome
+    from repro.gan.networks import Discriminator, Generator
+    from repro.nn.serialize import parameters_to_vector
+
+    if config is None:
+        config = make_quick_config()
+    rng = np.random.default_rng(seed)
+    g_size = parameters_to_vector(Generator(config.network, rng)).size
+    d_size = parameters_to_vector(Discriminator(config.network, rng)).size
+    cells = config.coevolution.cells
+    genomes = [
+        (Genome(rng.standard_normal(g_size) * 0.05, 2e-4, "bce"),
+         Genome(rng.standard_normal(d_size) * 0.05, 2e-4, "bce"))
+        for _ in range(cells)
+    ]
+    mixtures = [rng.dirichlet(np.ones(5)) for _ in range(cells)]
+    return TrainingCheckpoint(config=config, iteration=iteration,
+                              center_genomes=genomes, mixture_weights=mixtures)

@@ -49,6 +49,14 @@ class TestSnapshot:
                 mixture_weights=checkpoint.mixture_weights,
             )
 
+    def test_summary_and_repr(self, trained_trainer):
+        checkpoint = TrainingCheckpoint.from_trainer(trained_trainer)
+        summary = checkpoint.summary()
+        assert "grid 2x2 (4 cells)" in summary
+        assert "iteration 2/4" in summary
+        assert "2 remaining" in summary
+        assert summary in repr(checkpoint)
+
 
 class TestFileRoundTrip:
     def test_save_load_identical(self, trained_trainer, tmp_path):

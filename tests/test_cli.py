@@ -1,8 +1,20 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+
+from tests.conftest import make_random_checkpoint
+
+
+@pytest.fixture()
+def checkpoint_file(tmp_path):
+    from repro.coevolution.checkpoint import save_checkpoint
+
+    path = tmp_path / "model.npz"
+    save_checkpoint(path, make_random_checkpoint())
+    return str(path)
 
 
 class TestParser:
@@ -87,6 +99,27 @@ class TestCommands:
         code = main(["resume", ckpt])
         assert code == 0
         assert "0 remaining" in capsys.readouterr().out
+
+    def test_sample_writes_npz(self, capsys, tmp_path, checkpoint_file):
+        out = str(tmp_path / "images.npz")
+        code = main(["sample", "--checkpoint", checkpoint_file,
+                     "--n", "12", "--seed", "5", "--out", out])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "checkpoint v1" in printed  # the summary() satellite
+        with np.load(out) as archive:
+            assert archive["images"].shape == (12, 784)
+            assert int(archive["image_side"]) == 28
+
+    def test_serve_load_test_prints_report(self, capsys, checkpoint_file):
+        code = main(["serve", "--checkpoint", checkpoint_file,
+                     "--requests", "40", "--concurrency", "4",
+                     "--pool-capacity", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint v1" in out
+        assert "ServerStats" in out
+        assert "throughput" in out
 
     def test_run_mustangs_loss(self, capsys, cache_dir):
         code = main([

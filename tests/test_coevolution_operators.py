@@ -204,6 +204,14 @@ class TestMixture:
         with pytest.raises(ValueError):
             sample_mixture([pair.generator], MixtureWeights.uniform(2), 4, rng)
 
+    def test_sample_mixture_zero_is_empty(self, config, rng):
+        # The serving batching engine legitimately asks for zero samples.
+        pair = build_gan_pair(config, rng)
+        samples = sample_mixture([pair.generator], MixtureWeights.uniform(1), 0, rng)
+        assert samples.shape == (0, 784)
+        with pytest.raises(ValueError):
+            sample_mixture([pair.generator], MixtureWeights.uniform(1), -1, rng)
+
 
 class TestFitnessTable:
     def test_all_pairs_shape(self, config, rng):

@@ -69,12 +69,24 @@ class TestSampling:
 
     def test_sample_latent_validation(self, rng):
         with pytest.raises(ValueError):
-            sample_latent(0, 64, rng)
+            sample_latent(-1, 64, rng)
+        with pytest.raises(ValueError):
+            sample_latent(1, 0, rng)
+
+    def test_sample_latent_zero_is_empty(self, rng):
+        # Zero-count shards are legitimate in the serving batching engine.
+        assert sample_latent(0, 64, rng).shape == (0, 64)
 
     def test_generate_images(self, settings, rng):
         gen = Generator(settings, rng)
         imgs = generate_images(gen, 10, rng)
         assert imgs.shape == (10, 784)
+
+    def test_generate_images_zero_is_empty(self, settings, rng):
+        gen = Generator(settings, rng)
+        assert generate_images(gen, 0, rng).shape == (0, 784)
+        with pytest.raises(ValueError):
+            generate_images(gen, -1, rng)
 
     def test_generate_images_chunking(self, settings, rng):
         gen = Generator(settings, rng)

@@ -1,0 +1,149 @@
+"""LRU cache and sample pool: hit/miss accounting, eviction, ring buffer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import LRUSampleCache, SamplePool, ServableEnsemble
+
+from tests.conftest import make_random_checkpoint
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return ServableEnsemble.from_checkpoint(make_random_checkpoint(), cell=0)
+
+
+class _CountingSource:
+    """Stand-in ensemble emitting predictable rows, to verify FIFO order."""
+
+    output_neurons = 4
+
+    def __init__(self):
+        self.next_value = 0
+
+    def sample(self, n, rng):
+        values = np.arange(self.next_value, self.next_value + n, dtype=np.float64)
+        self.next_value += n
+        return np.repeat(values[:, None], self.output_neurons, axis=1)
+
+
+class TestLRUSampleCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUSampleCache(capacity=4)
+        key = ("v1", 7, 16)
+        assert cache.get(key) is None
+        cache.put(key, np.ones((16, 4)))
+        assert cache.get(key) is not None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = LRUSampleCache(capacity=2)
+        a, b, c = ("v", 1, 1), ("v", 2, 1), ("v", 3, 1)
+        cache.put(a, np.zeros((1, 1)))
+        cache.put(b, np.zeros((1, 1)))
+        cache.get(a)  # refresh a; b becomes least recent
+        cache.put(c, np.zeros((1, 1)))
+        assert cache.get(b) is None
+        assert cache.get(a) is not None
+        assert cache.get(c) is not None
+        assert cache.stats().evictions == 1
+
+    def test_cached_arrays_are_frozen(self):
+        cache = LRUSampleCache(capacity=2)
+        cache.put(("v", 1, 2), np.zeros((2, 2)))
+        images = cache.get(("v", 1, 2))
+        with pytest.raises(ValueError):
+            images[0, 0] = 1.0
+
+    def test_byte_budget_evicts_and_skips_giants(self):
+        row = np.zeros((1, 128))  # 1 KiB per entry
+        cache = LRUSampleCache(capacity=100, max_bytes=3 * row.nbytes)
+        for seed in range(4):
+            cache.put(("v", seed, 1), row)
+        assert len(cache) == 3  # byte budget, not entry count, evicted
+        assert cache.get(("v", 0, 1)) is None
+        assert cache.stats().evictions == 1
+        # An entry larger than the whole budget is skipped, not inserted.
+        cache.put(("v", 99, 1), np.zeros((8, 128)))
+        assert cache.get(("v", 99, 1)) is None
+        assert len(cache) == 3
+
+    def test_invalidate_by_version(self):
+        cache = LRUSampleCache(capacity=8)
+        cache.put(("v1", 1, 1), np.zeros((1, 1)))
+        cache.put(("v1", 2, 1), np.zeros((1, 1)))
+        cache.put(("v2", 1, 1), np.zeros((1, 1)))
+        assert cache.invalidate("v1") == 2
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+
+class TestSamplePool:
+    def test_miss_then_refill_then_hit(self):
+        pool = SamplePool(_CountingSource(), capacity=64, refill_batch=32,
+                          autostart=False)
+        assert pool.take(8) is None  # empty: miss
+        assert pool.refill() == 32
+        taken = pool.take(8)
+        assert taken.shape == (8, 4)
+        stats = pool.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.generated == 32
+        assert stats.served == 8
+        assert stats.level == 24
+
+    def test_fifo_order_across_wraparound(self):
+        source = _CountingSource()
+        pool = SamplePool(source, capacity=16, refill_batch=16, autostart=False)
+        pool.refill()                       # rows 0..15
+        assert pool.take(12)[:, 0].tolist() == list(range(12))
+        pool.refill()                       # 12 free slots -> rows 16..27
+        assert pool.stats().level == 16
+        taken = pool.take(10)[:, 0].tolist()
+        assert taken == list(range(12, 22))  # FIFO across the wrap point
+
+    def test_miss_above_watermark_wakes_refill(self, ensemble):
+        """A miss must trigger refill even when level >= low_watermark."""
+        with SamplePool(ensemble, capacity=64, refill_batch=32,
+                        low_watermark=0.25) as pool:
+            deadline = time.time() + 10.0
+            while pool.level < 64 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.take(40) is not None  # level 24, above watermark 16
+            assert pool.take(40) is None      # miss: must wake the refiller
+            deadline = time.time() + 10.0
+            while pool.level < 40 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.take(40) is not None  # refilled past demand
+
+    def test_refill_respects_capacity(self):
+        pool = SamplePool(_CountingSource(), capacity=8, refill_batch=32,
+                          autostart=False)
+        assert pool.refill() == 8
+        assert pool.refill() == 0  # full
+        assert pool.take(20) is None  # larger than capacity: always a miss
+
+    def test_background_refill_serves_hits(self, ensemble):
+        with SamplePool(ensemble, capacity=64, refill_batch=32) as pool:
+            deadline = time.time() + 10.0
+            while pool.level < 16 and time.time() < deadline:
+                time.sleep(0.01)
+            taken = pool.take(16)
+            assert taken is not None and taken.shape == (16, 784)
+            # The refill thread tops the buffer back up after consumption.
+            deadline = time.time() + 10.0
+            while pool.stats().refills < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.stats().refills >= 2
+
+    def test_validation(self, ensemble):
+        with pytest.raises(ValueError):
+            SamplePool(ensemble, capacity=0, autostart=False)
+        pool = SamplePool(ensemble, capacity=4, autostart=False)
+        with pytest.raises(ValueError):
+            pool.take(-1)

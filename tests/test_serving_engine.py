@@ -1,0 +1,181 @@
+"""BatchingEngine: coalescing determinism, backpressure, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    BatchingEngine,
+    SampleRequest,
+    ServableEnsemble,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+from tests.conftest import make_random_checkpoint
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return ServableEnsemble.from_checkpoint(make_random_checkpoint(), cell=0)
+
+
+def submit_all(engine, ensemble, specs):
+    """Queue (n, seed) requests and return their futures."""
+    return [
+        engine.submit(SampleRequest(n=n, seed=seed), ensemble, "v1", seed)
+        for n, seed in specs
+    ]
+
+
+class TestCoalescingDeterminism:
+    def test_coalesced_equals_unbatched_bitwise(self, ensemble):
+        """Same seed => same images, no matter who shared the batch."""
+        specs = [(n, 100 + i) for i, n in enumerate([7, 1, 13, 4, 32, 2, 9, 21])]
+        # autostart=False queues everything first, so one worker drains the
+        # whole set as a single coalesced batch.
+        engine = BatchingEngine(workers=1, autostart=False)
+        futures = submit_all(engine, ensemble, specs)
+        engine.start()
+        coalesced = [future.result(timeout=30) for future in futures]
+        engine.close()
+        for (n, seed), images in zip(specs, coalesced):
+            assert images.shape == (n, 784)
+            assert np.array_equal(images, ensemble.sample(n, seed=seed))
+
+    def test_batch_split_does_not_matter(self, ensemble):
+        """Tiny max_batch_samples forces different groupings — same bits."""
+        specs = [(5, 200 + i) for i in range(6)]
+        results = {}
+        for max_batch in (1, 8, 4096):
+            engine = BatchingEngine(workers=1, max_batch_samples=max_batch,
+                                    autostart=False)
+            futures = submit_all(engine, ensemble, specs)
+            engine.start()
+            results[max_batch] = [f.result(timeout=30) for f in futures]
+            engine.close()
+        for images_a, images_b in zip(results[1], results[4096]):
+            assert np.array_equal(images_a, images_b)
+        for images_a, images_b in zip(results[8], results[4096]):
+            assert np.array_equal(images_a, images_b)
+
+    def test_zero_count_shards(self, ensemble):
+        """n=0 requests and zero-sample mixture components must not crash."""
+        engine = BatchingEngine(workers=1, autostart=False)
+        futures = submit_all(engine, ensemble, [(0, 1), (3, 2), (0, 3)])
+        engine.start()
+        results = [f.result(timeout=30) for f in futures]
+        engine.close()
+        assert results[0].shape == (0, 784)
+        assert results[1].shape == (3, 784)
+        assert results[2].shape == (0, 784)
+
+    def test_weights_override(self, ensemble):
+        request = SampleRequest(n=10, seed=7, weights=np.array([1.0, 0, 0, 0, 0]))
+        with BatchingEngine(workers=1) as engine:
+            images = engine.submit(request, ensemble, "v1", 7).result(timeout=30)
+        expected = ensemble.sample(10, seed=7, weights=[1, 0, 0, 0, 0])
+        assert np.array_equal(images, expected)
+
+    def test_mixed_ensembles_in_one_batch(self, ensemble):
+        """Requests against different ensembles coalesce safely."""
+        other = ensemble.with_weights([0, 0, 0, 0, 1])
+        engine = BatchingEngine(workers=1, autostart=False)
+        f1 = engine.submit(SampleRequest(n=6, seed=11), ensemble, "v1", 11)
+        f2 = engine.submit(SampleRequest(n=6, seed=11), other, "v2", 11)
+        engine.start()
+        a, b = f1.result(timeout=30), f2.result(timeout=30)
+        engine.close()
+        assert np.array_equal(a, ensemble.sample(6, seed=11))
+        assert np.array_equal(b, other.sample(6, seed=11))
+        assert not np.array_equal(a, b)
+
+
+class TestBackpressureAndLifecycle:
+    def test_reject_when_full(self, ensemble):
+        engine = BatchingEngine(max_pending=3, autostart=False)
+        submit_all(engine, ensemble, [(2, i) for i in range(3)])
+        with pytest.raises(ServerOverloadedError):
+            engine.submit(SampleRequest(n=2, seed=9), ensemble, "v1", 9)
+        stats = engine.stats()
+        assert stats.submitted == 3  # the rejected one is not counted
+        # Draining the queue frees capacity again.
+        engine.start()
+        futures = submit_all(engine, ensemble, [(2, 50)])
+        assert futures[0].result(timeout=30).shape == (2, 784)
+        engine.close()
+
+    def test_closed_engine_rejects(self, ensemble):
+        engine = BatchingEngine()
+        engine.close()
+        with pytest.raises(ServerClosedError):
+            engine.submit(SampleRequest(n=1, seed=0), ensemble, "v1", 0)
+        engine.close()  # idempotent
+
+    def test_close_unstarted_engine_fails_queued_jobs(self, ensemble):
+        """Futures must not hang forever when no worker will ever run."""
+        engine = BatchingEngine(autostart=False)
+        futures = submit_all(engine, ensemble, [(2, 1), (2, 2)])
+        engine.close()
+        for future in futures:
+            with pytest.raises(ServerClosedError):
+                future.result(timeout=5)
+
+    def test_bad_weights_job_does_not_poison_batch(self, ensemble):
+        """An invalid per-request override fails only its own request."""
+        engine = BatchingEngine(workers=1, autostart=False)
+        good_a = engine.submit(SampleRequest(n=4, seed=1), ensemble, "v1", 1)
+        bad = engine.submit(
+            SampleRequest(n=4, seed=2, weights=np.array([1.0, 1.0])),
+            ensemble, "v1", 2,
+        )
+        good_b = engine.submit(SampleRequest(n=4, seed=3), ensemble, "v1", 3)
+        engine.start()
+        assert np.array_equal(good_a.result(timeout=30),
+                              ensemble.sample(4, seed=1))
+        assert np.array_equal(good_b.result(timeout=30),
+                              ensemble.sample(4, seed=3))
+        with pytest.raises(ValueError, match="5 entries"):
+            bad.result(timeout=30)
+        assert engine.stats().failed == 1
+        engine.close()
+
+    def test_request_weights_are_copied_and_frozen(self, ensemble):
+        """Mutating the caller's array must not change what is served."""
+        mine = np.array([1.0, 0, 0, 0, 0])
+        request = SampleRequest(n=6, seed=4, weights=mine)
+        mine[0] = -5.0  # client mutates its own array afterwards
+        with pytest.raises(ValueError):
+            request.weights[0] = -5.0  # the stored copy is frozen
+        with BatchingEngine(workers=1) as engine:
+            images = engine.submit(request, ensemble, "v1", 4).result(timeout=30)
+        expected = ensemble.sample(6, seed=4, weights=[1, 0, 0, 0, 0])
+        assert np.array_equal(images, expected)
+
+    def test_cancelled_request_does_not_poison_batch(self, ensemble):
+        """One client giving up must not fail its coalesced neighbors."""
+        engine = BatchingEngine(workers=1, autostart=False)
+        futures = submit_all(engine, ensemble, [(4, i) for i in range(3)])
+        assert futures[1].cancel()
+        engine.start()
+        for i in (0, 2):
+            images = futures[i].result(timeout=30)
+            assert np.array_equal(images, ensemble.sample(4, seed=i))
+        assert futures[1].cancelled()
+        engine.close()
+
+    def test_stats_accounting(self, ensemble):
+        engine = BatchingEngine(workers=1, autostart=False)
+        futures = submit_all(engine, ensemble, [(4, i) for i in range(5)])
+        engine.start()
+        for future in futures:
+            future.result(timeout=30)
+        engine.close()
+        stats = engine.stats()
+        assert stats.submitted == 5
+        assert stats.completed == 5
+        assert stats.failed == 0
+        assert stats.batches >= 1
+        assert stats.coalesced_requests == 5
+        assert stats.mean_requests_per_batch >= 1.0
+        # 5 mixture components forwarded per coalesced batch.
+        assert stats.forward_calls == 5 * stats.batches

@@ -1,0 +1,170 @@
+"""Registry + ServableEnsemble: construction, versioning, hot-swap."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.coevolution.checkpoint import save_checkpoint
+from repro.serving import ModelRegistry, ServableEnsemble, UnknownVersionError
+
+from tests.conftest import make_quick_config, make_random_checkpoint
+
+
+@pytest.fixture(scope="module")
+def checkpoint():
+    return make_random_checkpoint()
+
+
+@pytest.fixture(scope="module")
+def ensemble(checkpoint):
+    return ServableEnsemble.from_checkpoint(checkpoint, cell=0)
+
+
+class TestServableEnsemble:
+    def test_neighborhood_components(self, checkpoint, ensemble):
+        assert len(ensemble) == 5  # Moore-5: center + W/N/E/S
+        assert ensemble.source_cell == 0
+        assert ensemble.latent_size == checkpoint.config.network.latent_size
+        assert ensemble.image_shape == (28, 28)
+
+    def test_weights_normalized_and_frozen(self, ensemble):
+        assert ensemble.weights.sum() == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            ensemble.weights[0] = 0.9
+
+    def test_sample_shape_and_determinism(self, ensemble):
+        a = ensemble.sample(23, seed=5)
+        b = ensemble.sample(23, seed=5)
+        c = ensemble.sample(23, seed=6)
+        assert a.shape == (23, 784)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_sample_zero(self, ensemble):
+        assert ensemble.sample(0, seed=1).shape == (0, 784)
+
+    def test_single_component_override(self, ensemble):
+        """weights=[1,0,...] must draw every sample from the center."""
+        images = ensemble.sample(12, seed=3, weights=[1, 0, 0, 0, 0])
+        rebuilt = ensemble.with_weights([1, 0, 0, 0, 0]).sample(12, seed=3)
+        assert np.array_equal(images, rebuilt)
+
+    def test_weights_override_arity_validated(self, ensemble):
+        with pytest.raises(ValueError, match="5 entries"):
+            ensemble.sample(4, seed=1, weights=[1.0, 1.0])
+        with pytest.raises(ValueError, match="5 entries"):
+            ensemble.sample(4, seed=1, weights=[1, 0, 0, 0, 0, 0])
+        with pytest.raises(ValueError, match="non-negative"):
+            ensemble.sample(4, seed=1, weights=[-1, 1, 1, 1, 1])
+
+    def test_request_equality_and_hash_with_weights(self):
+        from repro.serving import SampleRequest
+
+        a = SampleRequest(4, seed=1, weights=np.ones(5))
+        b = SampleRequest(4, seed=1, weights=np.ones(5))
+        c = SampleRequest(4, seed=1, weights=np.eye(5)[0])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != SampleRequest(4, seed=1)
+        assert SampleRequest(4, seed=1) == SampleRequest(4, seed=1)
+        assert len({a, b, c}) == 2
+
+    def test_out_of_range_cell(self, checkpoint):
+        with pytest.raises(ValueError, match="cell"):
+            ServableEnsemble.from_checkpoint(checkpoint, cell=99)
+
+    def test_from_training_result_uses_best_cell(self):
+        from repro.coevolution import SequentialTrainer
+
+        config = make_quick_config(iterations=1, dataset_size=200,
+                                   batch_size=20, batches=1)
+        result = SequentialTrainer(config).run()
+        servable = result.to_servable()
+        assert servable.source_cell == result.best_cell_index()
+        assert servable.sample(4, seed=0).shape == (4, 784)
+
+    def test_degenerate_1x1_grid(self):
+        checkpoint = make_random_checkpoint(make_quick_config(1, 1))
+        servable = ServableEnsemble.from_checkpoint(checkpoint)
+        # All five neighborhood slots wrap to the same cell.
+        assert len(servable) == 5
+        assert servable.sample(6, seed=0).shape == (6, 784)
+
+
+class TestModelRegistry:
+    def test_first_register_becomes_active(self, ensemble):
+        registry = ModelRegistry()
+        registry.register("v1", ensemble)
+        assert registry.active_version == "v1"
+        version, resolved = registry.resolve(None)
+        assert version == "v1" and resolved is ensemble
+
+    def test_promote_and_resolve(self, ensemble):
+        registry = ModelRegistry()
+        registry.register("v1", ensemble)
+        other = ensemble.with_weights([1, 0, 0, 0, 0])
+        registry.register("v2", other)
+        assert registry.active_version == "v1"
+        registry.promote("v2")
+        assert registry.get() is other
+        assert registry.get("v1") is ensemble
+        assert registry.versions() == ["v1", "v2"]
+
+    def test_unknown_versions_raise(self, ensemble):
+        registry = ModelRegistry()
+        with pytest.raises(UnknownVersionError):
+            registry.resolve(None)  # empty registry
+        registry.register("v1", ensemble)
+        with pytest.raises(UnknownVersionError):
+            registry.get("nope")
+        with pytest.raises(UnknownVersionError):
+            registry.promote("nope")
+        with pytest.raises(UnknownVersionError):
+            registry.evict("nope")
+
+    def test_evict_protects_active(self, ensemble):
+        registry = ModelRegistry()
+        registry.register("v1", ensemble)
+        registry.register("v2", ensemble)
+        with pytest.raises(ValueError, match="active"):
+            registry.evict("v1")
+        registry.promote("v2")
+        registry.evict("v1")
+        assert registry.versions() == ["v2"]
+        assert "v1" not in registry and "v2" in registry
+
+    def test_load_from_disk(self, tmp_path, checkpoint):
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, checkpoint)
+        registry = ModelRegistry()
+        loaded = registry.load("disk", path, cell=2, promote=True)
+        assert loaded.source_cell == 2
+        direct = ServableEnsemble.from_checkpoint(checkpoint, cell=2)
+        assert np.array_equal(loaded.sample(9, seed=4), direct.sample(9, seed=4))
+
+    def test_hot_swap_is_atomic(self, ensemble):
+        """Readers racing a promoting writer always see a consistent pair."""
+        registry = ModelRegistry()
+        versions = {f"v{i}": ensemble.with_weights(np.eye(5)[i % 5] + 0.01)
+                    for i in range(4)}
+        for name, ens in versions.items():
+            registry.register(name, ens)
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def reader():
+            while not stop.is_set():
+                name, resolved = registry.resolve(None)
+                if versions[name] is not resolved:
+                    torn.append((name, resolved))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for i in range(400):
+            registry.promote(f"v{i % 4}")
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not torn

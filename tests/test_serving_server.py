@@ -1,0 +1,212 @@
+"""GeneratorServer end-to-end: routing, hot-swap, backpressure, stats."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    GeneratorServer,
+    ModelRegistry,
+    ServableEnsemble,
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownVersionError,
+)
+
+from tests.conftest import make_random_checkpoint
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return ServableEnsemble.from_checkpoint(make_random_checkpoint(), cell=0)
+
+
+@pytest.fixture()
+def server(ensemble):
+    with GeneratorServer(ensemble, lru_capacity=16) as srv:
+        yield srv
+
+
+class TestRouting:
+    def test_seeded_request_matches_direct_sampling(self, server, ensemble):
+        response = server.request(11, seed=3)
+        assert response.version == "v1"
+        assert response.cached is None
+        assert np.array_equal(response.images, ensemble.sample(11, seed=3))
+
+    def test_second_seeded_request_hits_lru(self, server):
+        first = server.request(9, seed=42)
+        second = server.request(9, seed=42)
+        assert second.cached == "lru"
+        assert np.array_equal(first.images, second.images)
+        stats = server.stats()
+        assert stats.lru_hits == 1
+
+    def test_seedless_requests_differ(self, server):
+        a = server.request(6)
+        b = server.request(6)
+        assert a.images.shape == (6, 784)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_weight_override_arity_validated(self, server):
+        with pytest.raises(ValueError, match="5 entries"):
+            server.request(4, seed=1, weights=[0.5, 0.5])
+
+    def test_oversized_request_rejected(self, ensemble):
+        with GeneratorServer(ensemble, max_request_samples=100) as srv:
+            assert srv.request(100, seed=1).n == 100
+            with pytest.raises(ValueError, match="max_request_samples"):
+                srv.request(101)
+
+    def test_computed_response_stays_writable(self, server):
+        """lru.put must not freeze the computing client's own array."""
+        response = server.request(4, seed=77)
+        assert response.cached is None
+        response.images[0, 0] = 0.0  # in-place post-processing must work
+
+    def test_weight_override_not_cached(self, server):
+        first = server.request(5, seed=1, weights=[1, 0, 0, 0, 0])
+        second = server.request(5, seed=1, weights=[1, 0, 0, 0, 0])
+        assert first.cached is None and second.cached is None
+        assert np.array_equal(first.images, second.images)
+
+    def test_pool_serves_anonymous_traffic(self, ensemble):
+        with GeneratorServer(ensemble, pool_capacity=64,
+                             pool_refill_batch=32) as srv:
+            deadline = time.time() + 10.0
+            while (srv.pool is None or srv.pool.level < 8) \
+                    and time.time() < deadline:
+                time.sleep(0.01)
+            response = srv.request(8)
+            assert response.cached == "pool"
+            assert srv.stats().pool_hits == 1
+
+    def test_zero_sample_request(self, server):
+        assert server.request(0, seed=1).images.shape == (0, 784)
+
+    def test_pool_created_lazily_for_late_first_model(self, ensemble):
+        """pool_capacity must work even when the registry starts empty."""
+        registry = ModelRegistry()
+        with GeneratorServer(registry, pool_capacity=64,
+                             pool_refill_batch=32) as srv:
+            assert srv.pool is None
+            registry.register("v1", ensemble, promote=True)
+            srv.request(4)  # first seedless request builds the pool
+            assert srv.pool is not None
+            deadline = time.time() + 10.0
+            while srv.pool.level < 8 and time.time() < deadline:
+                time.sleep(0.01)
+            assert srv.request(8).cached == "pool"
+
+
+class TestVersioning:
+    def test_promote_hot_swap(self, ensemble):
+        registry = ModelRegistry()
+        registry.register("v1", ensemble)
+        registry.register("v2", ensemble.with_weights([1, 0, 0, 0, 0]))
+        with GeneratorServer(registry) as srv:
+            assert srv.request(4, seed=1).version == "v1"
+            srv.promote("v2")
+            assert srv.request(4, seed=1).version == "v2"
+            # Pinned versions remain reachable after the swap.
+            assert srv.request(4, seed=1, version="v1").version == "v1"
+
+    def test_unknown_version_raises(self, server):
+        with pytest.raises(UnknownVersionError) as exc_info:
+            server.request(4, version="ghost")
+        assert not str(exc_info.value).startswith('"')  # readable, not repred
+
+    def test_idempotent_promote_keeps_pool(self, ensemble):
+        with GeneratorServer(ensemble, pool_capacity=64,
+                             pool_refill_batch=32) as srv:
+            srv.request(1)  # lazily builds the pool
+            pool = srv.pool
+            assert pool is not None
+            srv.promote("v1")  # already active: pool must survive
+            assert srv.pool is pool
+
+    def test_reregister_does_not_serve_stale_cache(self, ensemble):
+        """Replacing a version's ensemble must invalidate cached bits."""
+        registry = ModelRegistry()
+        registry.register("v1", ensemble)
+        with GeneratorServer(registry) as srv:
+            a = srv.request(6, seed=9)
+            registry.register("v1", ensemble.with_weights([1, 0, 0, 0, 0]))
+            assert len(srv.lru) == 0  # replacement invalidated v1's entries
+            b = srv.request(6, seed=9)
+            assert b.cached is None  # uid-keyed LRU: no stale hit
+            assert not np.array_equal(a.images, b.images)
+
+    def test_lru_keys_include_version(self, ensemble):
+        registry = ModelRegistry()
+        registry.register("v1", ensemble)
+        registry.register("v2", ensemble.with_weights([1, 0, 0, 0, 0]))
+        with GeneratorServer(registry) as srv:
+            a = srv.request(7, seed=5, version="v1")
+            b = srv.request(7, seed=5, version="v2")
+            assert b.cached is None  # not a cross-version cache hit
+            assert not np.array_equal(a.images, b.images)
+
+
+class TestBackpressureAndShutdown:
+    def test_reject_when_queue_full(self, ensemble):
+        server = GeneratorServer(ensemble, max_pending=2, lru_capacity=0,
+                                 autostart=False)
+        pending = [server.submit(2, seed=i) for i in range(2)]
+        with pytest.raises(ServerOverloadedError):
+            server.submit(2, seed=99)
+        assert server.stats().rejected == 1
+        server.engine.start()  # drain; queued work still completes
+        for future in pending:
+            assert future.result(timeout=30).images.shape == (2, 784)
+        server.close()
+
+    def test_closed_server_raises(self, ensemble):
+        server = GeneratorServer(ensemble)
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.request(1)
+        server.close()  # idempotent
+
+    def test_graceful_shutdown_completes_queued_work(self, ensemble):
+        server = GeneratorServer(ensemble, autostart=False)
+        futures = [server.submit(3, seed=i) for i in range(4)]
+        server.engine.start()
+        server.close()  # close() drains before joining workers
+        for future in futures:
+            assert future.result(timeout=30).images.shape == (3, 784)
+
+
+class TestStats:
+    def test_snapshot_fields(self, server):
+        for i in range(4):
+            server.request(5, seed=i)
+        server.request(5, seed=0)  # LRU hit
+        stats = server.stats()
+        assert stats.requests == 5
+        assert stats.samples == 25
+        assert stats.uptime_s > 0
+        assert stats.throughput_rps > 0
+        assert stats.samples_per_s > 0
+        assert stats.p95_latency_s >= stats.p50_latency_s >= 0
+        assert stats.lru_hits == 1
+        assert 0 < stats.cache_hit_rate < 1
+        assert stats.active_version == "v1"
+        assert stats.versions == ["v1"]
+
+    def test_profile_splits_serve_time_by_path(self, server):
+        server.request(5, seed=10)   # engine
+        server.request(5, seed=10)   # lru hit
+        profile = server.profile()
+        assert profile.calls("engine") == 1
+        assert profile.calls("lru") == 1
+        assert profile.seconds("engine") >= profile.seconds("lru") >= 0
+
+    def test_report_is_printable(self, server):
+        server.request(3, seed=1)
+        report = server.stats().report()
+        assert "ServerStats" in report
+        assert "throughput" in report
+        assert "p50" in report
+        assert "cache hit rate" in report
