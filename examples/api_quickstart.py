@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""repro.api quickstart: one facade, pluggable pieces, a callback-driven loop.
+
+Three things the unified experiment layer buys you, in ~60 lines:
+
+1. **register a custom GAN loss** by name — the config layer, the cells and
+   the CLI all accept it immediately, zero core edits;
+2. **attach callbacks** — stream per-iteration metrics to JSONL and stop
+   early when the fitness plateaus;
+3. **swap the execution substrate** with one word — the same seed produces
+   bit-identical genomes on every backend.
+
+Run:  python examples/api_quickstart.py
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro import Experiment, default_config
+from repro.api import EarlyStopping, JsonlMetrics, LOSSES
+from repro.nn import functional as F
+from repro.nn.losses import GANLoss
+
+
+class SmoothedBCELoss(GANLoss):
+    """BCE with one-sided label smoothing (real target 0.9) — a scenario
+    the core has never heard of, registered from user code."""
+
+    name = "smoothed-bce"
+
+    def discriminator_loss(self, real_logits, fake_logits):
+        real_term = F.binary_cross_entropy_with_logits(real_logits, 0.9)
+        fake_term = F.binary_cross_entropy_with_logits(fake_logits, 0.0)
+        return real_term + fake_term
+
+    def generator_loss(self, fake_logits):
+        return F.binary_cross_entropy_with_logits(fake_logits, 1.0)
+
+
+def main() -> None:
+    # -- 1. plug in the custom loss -----------------------------------------
+    LOSSES.register("smoothed-bce", SmoothedBCELoss)
+    print(f"registered losses: {sorted(LOSSES.known())}")
+
+    # -- 2. build the experiment with callbacks -----------------------------
+    metrics_path = os.path.join(tempfile.gettempdir(), "repro-api-metrics.jsonl")
+    if os.path.exists(metrics_path):
+        os.unlink(metrics_path)
+    config = default_config(2, 2, seed=9)
+
+    experiment = (Experiment(config)
+                  .scaled(iterations=6, dataset_size=1000,
+                          batch_size=50, batches_per_iteration=2)
+                  .loss("smoothed-bce")
+                  .backend("sequential")
+                  .callbacks(
+                      JsonlMetrics(metrics_path),
+                      EarlyStopping(metric="fitness", patience=3, min_delta=1e-4),
+                  ))
+    result = experiment.run()
+    print(f"\n{result.summary()}")
+
+    # -- 3. inspect the metrics stream --------------------------------------
+    with open(metrics_path, encoding="utf-8") as handle:
+        events = [json.loads(line) for line in handle]
+    iterations = [e for e in events if e["event"] == "iteration"]
+    print(f"\n{len(events)} JSONL events ({len(iterations)} iterations):")
+    for event in iterations:
+        print(f"  iteration {event['iteration']}: "
+              f"best g-fitness {event['best_generator_fitness']:8.4f}")
+
+    # -- 4. the substrate is one word ---------------------------------------
+    sequential = Experiment(config).loss("smoothed-bce").backend("sequential").run()
+    threaded = Experiment(config).loss("smoothed-bce").backend("threaded").run()
+    identical = all(
+        np.array_equal(a[0].parameters, b[0].parameters)
+        for a, b in zip(sequential.center_genomes, threaded.center_genomes)
+    )
+    print(f"\nsequential vs threaded genomes bit-identical: {identical}")
+
+    LOSSES.unregister("smoothed-bce")
+    os.unlink(metrics_path)
+
+
+if __name__ == "__main__":
+    main()

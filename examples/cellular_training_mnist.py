@@ -15,11 +15,7 @@ Run:  python examples/cellular_training_mnist.py
 
 import numpy as np
 
-from repro import SequentialTrainer, default_config
-from repro.coevolution.genome import pair_from_genomes
-from repro.coevolution.mixture import MixtureWeights, sample_mixture
-from repro.coevolution.sequential import build_training_dataset
-from repro.data.transforms import to_tanh_range
+from repro import Experiment, default_config
 from repro.metrics import (
     classifier_score,
     frechet_distance,
@@ -30,13 +26,13 @@ from repro.metrics import (
 
 def main() -> None:
     config = default_config(3, 3, seed=7)
-    dataset = build_training_dataset(config)
+    experiment = Experiment(config).backend("sequential")
+    dataset = experiment.build_dataset()
     print(f"dataset: {len(dataset)} synthetic digits; "
           f"grid {config.coevolution.grid_size}; "
           f"{config.coevolution.iterations} iterations")
 
-    trainer = SequentialTrainer(config, dataset)
-    result = trainer.run()
+    result = experiment.dataset(dataset).run()
     print(f"trained in {result.wall_time_s:.1f}s")
 
     # The metric classifier plays the role of Inception-v3 (Section II-B:
@@ -49,7 +45,7 @@ def main() -> None:
 
     print(f"\n{'cell':>4} {'clf score':>10} {'frechet':>9} {'modes':>6}")
     best_cell, best_score = -1, -np.inf
-    for cell_index, cell in enumerate(trainer.cells):
+    for cell_index, cell in enumerate(result.trainer.cells):
         samples = cell.sample_from_mixture(256, np.random.default_rng(cell_index))
         score = classifier_score(classifier, samples)
         fid = frechet_distance(classifier, dataset.images[:512], samples)
@@ -60,7 +56,7 @@ def main() -> None:
 
     print(f"\nreturned generative model: cell {best_cell} "
           f"(classifier score {best_score:.3f})")
-    weights = trainer.cells[best_cell].mixture.weights
+    weights = result.trainer.cells[best_cell].mixture.weights
     print(f"its mixture weights over the 5-member neighborhood: "
           f"{np.round(weights, 3)}")
 

@@ -11,7 +11,7 @@ first lines of the merged Fig.-3-style event trace.
 Run:  python examples/distributed_cluster_run.py
 """
 
-from repro import DistributedRunner, default_config
+from repro import Experiment, default_config
 from repro.cluster import cluster_uy
 from repro.parallel.tracing import EventTrace
 from repro.profiling import format_table4, profile_rows
@@ -22,26 +22,21 @@ def main() -> None:
     # A busy best-effort cluster: ~30% of every node is already occupied.
     platform = cluster_uy(busy_fraction=0.3)
 
-    runner = DistributedRunner(
-        config,
-        backend="process",
-        platform=platform,
-        profile=True,
-        trace=True,
-    )
-    result = runner.run()
+    result = (Experiment(config)
+              .backend("process", platform=platform, trace=True)
+              .profile()
+              .run())
 
-    print(f"complete: {result.complete}; wall time {result.training.wall_time_s:.1f}s")
+    print(f"complete: {result.complete}; wall time {result.wall_time_s:.1f}s")
 
     print("\nplacement decided by the master (rank -> node):")
-    for rank in sorted(result.outcome_placement):
+    placement = result.distributed.outcome_placement
+    for rank in sorted(placement):
         role = "master" if rank == 0 else f"slave (cell {rank - 1})"
-        print(f"  rank {rank:>2} -> {result.outcome_placement[rank]}  [{role}]")
+        print(f"  rank {rank:>2} -> {placement[rank]}  [{role}]")
 
     print("\nper-routine profile (distributed column = slowest slave):")
-    distributed = result.distributed_profile()
-    total_work = result.total_work_profile()
-    rows = profile_rows(total_work, distributed)
+    rows = profile_rows(result.profile(parallel=False), result.profile(parallel=True))
     print(format_table4(rows))
 
     print("\nfirst 12 events of the merged master/slave trace (Fig. 3):")

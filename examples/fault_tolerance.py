@@ -11,7 +11,7 @@ neighbor's genome exchange.
 Run:  python examples/fault_tolerance.py
 """
 
-from repro import DistributedRunner, default_config
+from repro import Experiment, default_config
 
 
 def main() -> None:
@@ -23,24 +23,22 @@ def main() -> None:
     config = dataclasses.replace(config, coevolution=coev)
 
     print("injecting a crash into the slave of cell 0 at iteration 2...")
-    runner = DistributedRunner(
-        config,
-        backend="process",
-        fault_at={0: 2},              # cell 0 dies at iteration 2
-        heartbeat_interval_s=0.1,     # 10 Hz monitoring
-        miss_limit=5,                 # dead after 0.5s of silence
-        timeout_s=300,
-    )
-    result = runner.run()
+    result = (Experiment(config)
+              .backend("process",
+                       fault_at={0: 2},           # cell 0 dies at iteration 2
+                       heartbeat_interval_s=0.1,  # 10 Hz monitoring
+                       miss_limit=5,              # dead after 0.5s of silence
+                       timeout_s=300)
+              .run())
 
     print(f"\ncomplete: {result.complete}")
     print(f"dead ranks detected by the heartbeat monitor: {result.dead_ranks}")
     survivors = [
-        cell for cell, reports in enumerate(result.training.cell_reports) if reports
+        cell for cell, reports in enumerate(result.cell_reports) if reports
     ]
     print(f"cells that delivered (partial) results: {survivors}")
     for cell in survivors:
-        reports = result.training.cell_reports[cell]
+        reports = result.cell_reports[cell]
         print(f"  cell {cell}: reached iteration {reports[-1].iteration} "
               f"before the abort")
 

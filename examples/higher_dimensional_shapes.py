@@ -14,10 +14,8 @@ import dataclasses
 
 import numpy as np
 
-from repro import DistributedRunner, paper_table1_config
-from repro.data.dataset import ArrayDataset
-from repro.data.shapes import SHAPE_CLASSES, SHAPES_PIXELS, load_synthetic_shapes
-from repro.data.transforms import to_tanh_range
+from repro import Experiment, paper_table1_config
+from repro.data.shapes import SHAPE_CLASSES, SHAPES_PIXELS
 
 
 def main() -> None:
@@ -27,22 +25,23 @@ def main() -> None:
     network = dataclasses.replace(base.network, output_neurons=SHAPES_PIXELS)
     config = dataclasses.replace(base, network=network, seed=21)
 
-    images, labels = load_synthetic_shapes(config.dataset_size, seed=config.seed)
-    dataset = ArrayDataset(to_tanh_range(images), labels)
+    # The shapes corpus is one registry name away — no bespoke loader code.
+    experiment = Experiment(config).dataset("synthetic-shapes").backend("process")
+    dataset = experiment.build_dataset()
     print(f"dataset: {len(dataset)} samples x {SHAPES_PIXELS} dims "
           f"(32x32 RGB, {len(SHAPE_CLASSES)} classes)")
     print(f"generator output layer: {config.network.output_neurons} neurons "
           f"(vs 784 for MNIST)")
 
-    result = DistributedRunner(config, backend="process", dataset=dataset).run()
-    print(f"\ndistributed training: {result.training.wall_time_s:.1f}s, "
+    result = experiment.dataset(dataset).run()
+    print(f"\ndistributed training: {result.wall_time_s:.1f}s, "
           f"complete: {result.complete}")
-    for cell, reports in enumerate(result.training.cell_reports):
+    for cell, reports in enumerate(result.cell_reports):
         last = reports[-1]
         print(f"  cell {cell}: g-fitness {last.best_generator_fitness:9.4f}")
 
     # The genome is ~4x larger; communication volume scales with it.
-    g, d = result.training.center_genomes[0]
+    g, d = result.center_genomes[0]
     print(f"\ngenome sizes: generator {g.size:,} params, "
           f"discriminator {d.size:,} params")
     mnist_g = 64 * 256 + 256 + 256 * 256 + 256 + 256 * 784 + 784
@@ -56,7 +55,7 @@ def main() -> None:
     pair = pair_from_genomes(g, d, config, np.random.default_rng(0))
     fake = generate_images(pair.generator, 64, np.random.default_rng(1))
     fake_rgb = ((fake + 1) / 2).reshape(-1, 32, 32, 3).mean(axis=(0, 1, 2))
-    real_rgb = images.reshape(-1, 32, 32, 3).mean(axis=(0, 1, 2))
+    real_rgb = ((dataset.images + 1) / 2).reshape(-1, 32, 32, 3).mean(axis=(0, 1, 2))
     print(f"\nmean RGB  real: {np.round(real_rgb, 3)}  "
           f"generated: {np.round(fake_rgb, 3)}")
 

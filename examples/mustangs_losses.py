@@ -9,35 +9,23 @@ supports both — this example runs them side by side.
 Run:  python examples/mustangs_losses.py
 """
 
-import dataclasses
-
-import numpy as np
-
-from repro import SequentialTrainer, default_config
-from repro.coevolution.sequential import build_training_dataset
-
-
-def with_loss(config, loss_name: str):
-    training = dataclasses.replace(config.training, loss_function=loss_name)
-    return dataclasses.replace(config, training=training)
+from repro import Experiment, default_config
 
 
 def main() -> None:
     base = default_config(3, 3, seed=3)
-    dataset = build_training_dataset(base)
+    dataset = Experiment(base).build_dataset()
 
     print("=== Lipizzaner: BCE everywhere ===")
-    trainer = SequentialTrainer(with_loss(base, "bce"), dataset)
-    result = trainer.run()
-    for index, cell in enumerate(trainer.cells):
+    result = Experiment(base).dataset(dataset).loss("bce").backend("sequential").run()
+    for index, cell in enumerate(result.trainer.cells):
         print(f"  cell {index}: loss={cell.loss_name:<9} "
               f"final g-fitness {cell.reports[-1].best_generator_fitness:8.4f}")
 
     print("\n=== Mustangs: loss drawn per cell ===")
-    trainer = SequentialTrainer(with_loss(base, "mustangs"), dataset)
-    result = trainer.run()
+    result = Experiment(base).dataset(dataset).loss("mustangs").backend("sequential").run()
     drawn = {}
-    for index, cell in enumerate(trainer.cells):
+    for index, cell in enumerate(result.trainer.cells):
         drawn.setdefault(cell.loss_name, []).append(index)
         print(f"  cell {index}: loss={cell.loss_name:<9} "
               f"final g-fitness {cell.reports[-1].best_generator_fitness:8.4f}")

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import DistributedRunner, default_config
+from repro import Experiment, default_config
 from repro.viz import ascii_image
 
 
@@ -22,23 +22,23 @@ def main() -> None:
           f"iterations: {config.coevolution.iterations}, "
           f"tasks: {config.execution.number_of_tasks} (1 master + 4 slaves)")
 
-    result = DistributedRunner(config, backend="process").run()
+    result = Experiment(config).backend("process").run()
 
-    print(f"\ntraining wall time: {result.training.wall_time_s:.1f}s, "
+    print(f"\ntraining wall time: {result.wall_time_s:.1f}s, "
           f"complete: {result.complete}")
-    for cell, reports in enumerate(result.training.cell_reports):
+    for cell, reports in enumerate(result.cell_reports):
         last = reports[-1]
         print(f"  cell {cell}: generator fitness {last.best_generator_fitness:8.4f}, "
               f"lr {last.learning_rate:.6f}, "
               f"mixture {np.round(last.mixture_weights, 2)}")
 
-    best = result.training.best_cell_index()
+    best = result.best_cell_index()
     print(f"\nbest cell by final generator fitness: {best}")
 
     # Rebuild the best generator from its genome and sample from it.
     from repro.coevolution.genome import pair_from_genomes
 
-    g_genome, d_genome = result.training.center_genomes[best]
+    g_genome, d_genome = result.center_genomes[best]
     pair = pair_from_genomes(g_genome, d_genome, config, np.random.default_rng(0))
     from repro.gan import generate_images
 

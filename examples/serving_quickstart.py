@@ -16,8 +16,7 @@ import time
 
 import numpy as np
 
-from repro import SequentialTrainer, default_config
-from repro.coevolution import TrainingCheckpoint, save_checkpoint
+from repro import Experiment, default_config
 from repro.serving import GeneratorServer, ModelRegistry
 from repro.viz import ascii_image
 
@@ -28,15 +27,13 @@ def main() -> None:
     print(f"training a {config.coevolution.grid_rows}x"
           f"{config.coevolution.grid_cols} grid sequentially "
           f"({config.coevolution.iterations} iterations)...")
-    trainer = SequentialTrainer(config)
-    result = trainer.run()
+    result = Experiment(config).backend("sequential").run()
     print(f"done in {result.wall_time_s:.1f}s; "
           f"best cell: {result.best_cell_index()}")
 
     # -- 2. checkpoint -------------------------------------------------------
     path = os.path.join(tempfile.mkdtemp(prefix="repro-serving-"), "model.npz")
-    checkpoint = TrainingCheckpoint.from_trainer(trainer)
-    save_checkpoint(path, checkpoint)
+    checkpoint = result.save_checkpoint(path)
     print(f"\n{checkpoint.summary()}")
     print(f"written to {path}")
 

@@ -14,9 +14,8 @@ import tempfile
 
 import numpy as np
 
-from repro import SequentialTrainer, default_config
-from repro.coevolution import TrainingCheckpoint, load_checkpoint, save_checkpoint
-from repro.coevolution.sequential import build_training_dataset
+from repro import Experiment, default_config
+from repro.coevolution import load_checkpoint
 from repro.metrics import (
     fitness_curves,
     mean_pairwise_distance,
@@ -31,10 +30,16 @@ def main() -> None:
     config = default_config(3, 3, seed=17)
     coev = dataclasses.replace(config.coevolution, iterations=6)
     config = dataclasses.replace(config, coevolution=coev)
-    dataset = build_training_dataset(config)
 
-    trainer = SequentialTrainer(config, dataset)
-    result = trainer.run()
+    # The 96-hour-limit workflow as a callback: a resumable snapshot is
+    # written every other iteration while the run is in flight.
+    from repro.api import PeriodicCheckpoint
+
+    path = os.path.join(tempfile.gettempdir(), "repro-dynamics.ckpt.npz")
+    result = (Experiment(config)
+              .backend("sequential")
+              .callbacks(PeriodicCheckpoint(path, every=2))
+              .run())
     print(f"trained 3x3 grid for {coev.iterations} iterations "
           f"in {result.wall_time_s:.1f}s\n")
 
@@ -52,10 +57,7 @@ def main() -> None:
           f"healthy={summary.healthy()}, "
           f"lr spread={summary.learning_rate_spread:.2e}")
 
-    # Checkpoint / resume: the 96-hour-limit workflow.
-    path = os.path.join(tempfile.gettempdir(), "repro-dynamics.ckpt.npz")
-    save_checkpoint(path, TrainingCheckpoint.from_trainer(trainer))
-    print(f"\ncheckpoint written: {path} "
+    print(f"\ncheckpoint written by the callback: {path} "
           f"({os.path.getsize(path) / 1e6:.1f} MB)")
     checkpoint = load_checkpoint(path)
     print(f"reloaded: iteration {checkpoint.iteration}, "

@@ -21,14 +21,21 @@ arXiv:2004.04633), including every substrate the paper depends on:
 * :mod:`repro.experiments` — regenerators for every table and figure;
 * :mod:`repro.serving` — batched, cached inference serving trained
   generator ensembles (model registry, request-coalescing engine, sample
-  pool, stats-reporting server).
+  pool, stats-reporting server);
+* :mod:`repro.api` — **the front door**: the :class:`~repro.api.Experiment`
+  facade over every execution substrate, with pluggable
+  backend/dataset/loss registries and a callback-driven run loop.
 
 Quickstart::
 
-    from repro import default_config, SequentialTrainer, DistributedRunner
+    from repro import Experiment
 
-    config = default_config(2, 2)           # 2x2 grid, laptop-scale workload
-    result = DistributedRunner(config).run()  # 5 ranks: 1 master + 4 slaves
+    result = (Experiment()              # laptop-scale 2x2 default config
+              .grid(2, 2)
+              .backend("process")       # or "sequential" / "threaded" —
+              .run())                   # same seed => identical genomes
+    print(result.summary())
+    result.save_checkpoint("model.npz")
 
 Serving a finished run::
 
@@ -36,17 +43,33 @@ Serving a finished run::
 
     with GeneratorServer(result.to_servable()) as server:
         images = server.request(64, seed=7).images
+
+Custom scenarios plug in by name — register a loss, a dataset or a whole
+execution backend and select it from the same facade::
+
+    from repro.api import LOSSES
+
+    LOSSES.register("wgan", MyWassersteinLoss)
+    Experiment().loss("wgan").run()
+
+The pre-facade entry points (:class:`SequentialTrainer`,
+:class:`DistributedRunner`) remain exported and behave identically, but
+direct construction is deprecated in favor of :class:`Experiment`.
 """
 
+from repro.api import Experiment, RunResult
 from repro.config import ExperimentConfig, default_config, paper_table1_config
 from repro.coevolution import SequentialTrainer, TrainingResult
 from repro.parallel import DistributedResult, DistributedRunner
+from repro.registry import BACKENDS, DATASETS, LOSSES
 from repro.runtime import pin_blas_threads
 from repro.serving import GeneratorServer, ModelRegistry, ServableEnsemble
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Experiment",
+    "RunResult",
     "ExperimentConfig",
     "default_config",
     "paper_table1_config",
@@ -54,6 +77,9 @@ __all__ = [
     "TrainingResult",
     "DistributedRunner",
     "DistributedResult",
+    "BACKENDS",
+    "DATASETS",
+    "LOSSES",
     "pin_blas_threads",
     "ModelRegistry",
     "ServableEnsemble",

@@ -1,0 +1,46 @@
+"""One-time deprecation warnings for the pre-:mod:`repro.api` entry points.
+
+:class:`~repro.coevolution.SequentialTrainer` and
+:class:`~repro.parallel.DistributedRunner` remain fully supported, but new
+code should go through :class:`repro.api.Experiment`.  Direct construction
+warns **once per process per class**; the facade constructs them inside
+:func:`suppressed`, so routed use stays silent.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+
+__all__ = ["warn_once", "suppressed", "reset"]
+
+_warned: set[str] = set()
+_suppress = threading.local()
+
+
+def _depth() -> int:
+    return getattr(_suppress, "depth", 0)
+
+
+@contextmanager
+def suppressed():
+    """Silence :func:`warn_once` for the duration (used by the facade)."""
+    _suppress.depth = _depth() + 1
+    try:
+        yield
+    finally:
+        _suppress.depth = _depth() - 1
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning`` the first unsuppressed time ``key`` is seen."""
+    if _depth() > 0 or key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset() -> None:
+    """Forget which warnings fired (for tests asserting the warning)."""
+    _warned.clear()

@@ -1,0 +1,40 @@
+"""Built-in dataset builders for :data:`repro.registry.DATASETS`.
+
+Each builder takes the resolved :class:`~repro.config.ExperimentConfig` and
+returns a tanh-range :class:`~repro.data.ArrayDataset` sized to
+``config.dataset_size``.  Registering a new scenario is one call::
+
+    from repro.registry import DATASETS
+
+    DATASETS.register("my-corpus", lambda config: build_my_corpus(config))
+    Experiment(config).dataset("my-corpus").run()
+"""
+
+from __future__ import annotations
+
+from repro.config import ConfigError, ExperimentConfig
+from repro.data.dataset import ArrayDataset
+
+__all__ = ["synthetic_mnist", "synthetic_shapes"]
+
+
+def synthetic_mnist(config: ExperimentConfig, *, cache: bool = True) -> ArrayDataset:
+    """The default corpus: stroke-rendered 28x28 digits (paper's MNIST stand-in)."""
+    from repro.coevolution.sequential import build_training_dataset
+
+    return build_training_dataset(config, cache=cache)
+
+
+def synthetic_shapes(config: ExperimentConfig, *, noise_std: float = 0.04) -> ArrayDataset:
+    """32x32 RGB shapes (3072 dims) — the paper's "higher dimensional" future work."""
+    from repro.data.shapes import SHAPES_PIXELS, load_synthetic_shapes
+    from repro.data.transforms import to_tanh_range
+
+    if config.network.output_neurons != SHAPES_PIXELS:
+        raise ConfigError(
+            f"the shapes dataset is {SHAPES_PIXELS}-dimensional but the network "
+            f"emits {config.network.output_neurons} neurons; set "
+            f"network.output_neurons={SHAPES_PIXELS}")
+    images, labels = load_synthetic_shapes(config.dataset_size, seed=config.seed,
+                                           noise_std=noise_std)
+    return ArrayDataset(to_tanh_range(images), labels)

@@ -1,0 +1,224 @@
+"""The :class:`Experiment` facade — one front door for every substrate.
+
+Builder style: start from a config (or the laptop-scale default), override
+by name, pick a backend, attach callbacks, run::
+
+    from repro.api import Experiment, JsonlMetrics
+
+    result = (Experiment()
+              .grid(3, 3)
+              .scaled(iterations=8, dataset_size=4000)
+              .loss("mustangs")
+              .backend("process")
+              .callbacks(JsonlMetrics("metrics.jsonl"))
+              .run())
+    result.save_checkpoint("model.npz")
+    server_ensemble = result.to_servable()
+
+Backends, datasets and losses resolve against the registries in
+:mod:`repro.registry`, so a scenario the core has never heard of —
+``LOSSES.register("wgan", ...)``, ``DATASETS.register("celeba-like", ...)``
+— plugs in without touching this module.  The same seed produces
+bit-identical final genomes on ``sequential``, ``threaded`` and ``process``
+(the paper's equivalence guarantee, extended through the facade).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any
+
+from repro.api.backends import RunContext, TrainerBackend
+from repro.api.callbacks import Callback, CallbackList
+from repro.api.result import RunResult
+from repro.config import ExperimentConfig, default_config
+from repro.data.dataset import ArrayDataset
+from repro.registry import BACKENDS, DATASETS, RegistryError
+
+__all__ = ["Experiment", "DEFAULT_DATASET", "serve_checkpoint", "load_ensemble"]
+
+#: Registry name of the corpus used when no dataset is selected.
+DEFAULT_DATASET = "synthetic-mnist"
+
+
+class Experiment:
+    """Configure and run one cellular GAN training experiment."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self._config = config if config is not None else default_config()
+        self._backend_name: str | None = None
+        self._backend_options: dict[str, Any] = {}
+        self._dataset_source: str | ArrayDataset | None = None
+        self._dataset_options: dict[str, Any] = {}
+        self._exchange_mode = "neighbors"
+        self._profile = False
+        self._callbacks: list[Callback] = []
+        self._checkpoint = None
+
+    # -- alternate starting points ----------------------------------------
+
+    @classmethod
+    def from_checkpoint(cls, source: str | os.PathLike | Any) -> "Experiment":
+        """Resume a checkpointed run (path or loaded ``TrainingCheckpoint``).
+
+        The resumed experiment is pinned to the ``sequential`` backend, the
+        only substrate with live restore semantics.
+        """
+        from repro.coevolution.checkpoint import TrainingCheckpoint, load_checkpoint
+
+        checkpoint = (source if isinstance(source, TrainingCheckpoint)
+                      else load_checkpoint(source))
+        experiment = cls(checkpoint.config)
+        experiment._checkpoint = checkpoint
+        experiment._backend_name = "sequential"
+        return experiment
+
+    # -- config overrides (each returns self for chaining) ------------------
+
+    def grid(self, rows: int, cols: int) -> "Experiment":
+        """Use a ``rows x cols`` grid (tasks re-derived as cells + 1)."""
+        self._config = self._config.with_grid(rows, cols)
+        return self
+
+    def seed(self, seed: int) -> "Experiment":
+        self._config = dataclasses.replace(self._config, seed=seed)
+        return self
+
+    def scaled(self, **kwargs: Any) -> "Experiment":
+        """Scale the workload (``iterations=``, ``dataset_size=``, ...)."""
+        self._config = self._config.scaled(**kwargs)
+        return self
+
+    def loss(self, name: str) -> "Experiment":
+        """Train with the named GAN loss (any registered name, or ``mustangs``)."""
+        training = dataclasses.replace(self._config.training, loss_function=name)
+        self._config = dataclasses.replace(self._config, training=training)
+        return self
+
+    def exchange(self, mode: str) -> "Experiment":
+        """Neighbor-exchange mode for distributed backends
+        (``neighbors`` / ``allgather`` / ``async``)."""
+        self._exchange_mode = mode
+        return self
+
+    def override(self, **fields: Any) -> "Experiment":
+        """Replace top-level config fields (``dataset_size=``, ``seed=``, ...)."""
+        self._config = dataclasses.replace(self._config, **fields)
+        return self
+
+    # -- component selection ------------------------------------------------
+
+    def backend(self, name: str, **options: Any) -> "Experiment":
+        """Select the execution substrate by registry name.
+
+        Extra keyword options go to the backend factory (e.g.
+        ``backend("process", trace=True)`` enables event tracing).
+        """
+        if name not in BACKENDS:
+            raise RegistryError(
+                f"unknown backend {name!r}; known: {sorted(BACKENDS.known())}")
+        self._backend_name = name
+        self._backend_options = dict(options)
+        return self
+
+    def dataset(self, source: str | ArrayDataset, **options: Any) -> "Experiment":
+        """Select the training corpus: a registry name or a ready dataset.
+
+        Passing a built :class:`ArrayDataset` instance shares it as-is —
+        useful when several runs must consume identical data (Table III).
+        """
+        if isinstance(source, str) and source not in DATASETS:
+            raise RegistryError(
+                f"unknown dataset {source!r}; known: {sorted(DATASETS.known())}")
+        self._dataset_source = source
+        self._dataset_options = dict(options)
+        return self
+
+    def profile(self, enabled: bool = True) -> "Experiment":
+        """Record the per-routine Table IV profile during the run."""
+        self._profile = enabled
+        return self
+
+    def callbacks(self, *callbacks: Callback) -> "Experiment":
+        """Attach run-loop callbacks (appended in order)."""
+        self._callbacks.extend(callbacks)
+        return self
+
+    add_callback = callbacks
+
+    # -- resolution ----------------------------------------------------------
+
+    @property
+    def checkpoint(self):
+        """The checkpoint this experiment resumes from (None for fresh runs)."""
+        return self._checkpoint
+
+    @property
+    def config(self) -> ExperimentConfig:
+        """The fully resolved configuration this experiment will run."""
+        name = self._backend_name or self._config.execution.backend
+        if self._config.execution.backend == name:
+            return self._config
+        execution = dataclasses.replace(self._config.execution, backend=name)
+        return dataclasses.replace(self._config, execution=execution)
+
+    def describe(self) -> str:
+        """The resolved configuration as JSON (what ``repro config`` prints)."""
+        return self.config.to_json()
+
+    def build_dataset(self) -> ArrayDataset:
+        """Materialize the training corpus this experiment will consume."""
+        source = self._dataset_source
+        if isinstance(source, str):
+            return DATASETS.create(source, self.config, **self._dataset_options)
+        if source is None:
+            return DATASETS.create(DEFAULT_DATASET, self.config)
+        return source
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Resolve backend + dataset, drive the run loop, return the result."""
+        config = self.config
+        backend = BACKENDS.create(config.execution.backend, **self._backend_options)
+        if not isinstance(backend, TrainerBackend):
+            raise TypeError(
+                f"backend factory for {config.execution.backend!r} produced "
+                f"{type(backend).__name__}, not a TrainerBackend")
+        ctx = RunContext(
+            config=config,
+            dataset=self.build_dataset(),
+            callbacks=CallbackList(self._callbacks),
+            backend_name=backend.name,
+            exchange_mode=self._exchange_mode,
+            profile=self._profile,
+            checkpoint=self._checkpoint,
+        )
+        return backend.execute(ctx)
+
+
+# -- checkpoint-driven service entry points (used by the CLI) ----------------
+
+def serve_checkpoint(path: str | os.PathLike, **load_test_options: Any):
+    """Load a checkpoint into the serving stack and replay a traffic trace.
+
+    Thin pass-through to :func:`repro.serving.loadtest.run_load_test`;
+    returns the :class:`~repro.serving.server.ServerStats`.
+    """
+    from repro.serving.loadtest import run_load_test
+
+    return run_load_test(os.fspath(path), **load_test_options)
+
+
+def load_ensemble(path: str | os.PathLike, cell: int = 0):
+    """Rebuild a servable generator ensemble from a checkpoint file.
+
+    Returns ``(checkpoint, ensemble)`` so callers can both report on the
+    checkpoint and sample from the ensemble.
+    """
+    from repro.coevolution.checkpoint import load_checkpoint
+    from repro.serving.registry import ServableEnsemble
+
+    checkpoint = load_checkpoint(path)
+    return checkpoint, ServableEnsemble.from_checkpoint(checkpoint, cell=cell)

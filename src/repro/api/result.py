@@ -1,0 +1,140 @@
+"""The one result type every backend returns.
+
+:class:`RunResult` unifies :class:`~repro.coevolution.TrainingResult`
+(sequential runs) and :class:`~repro.parallel.DistributedResult`
+(master–slave runs): the common fields are promoted to the top level, the
+backend-specific artifacts stay reachable via :attr:`training` and
+:attr:`distributed`, and the hand-offs the rest of the system needs —
+serving (:meth:`to_servable`), checkpointing (:meth:`save_checkpoint`),
+Table IV profiling (:meth:`profile`) — hang off the one object regardless
+of which substrate produced it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.coevolution.cell import CellReport
+from repro.coevolution.genome import Genome
+from repro.coevolution.sequential import TrainingResult
+from repro.config import ExperimentConfig
+from repro.parallel.runner import DistributedResult
+from repro.profiling import TimerSnapshot, merge_snapshots
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`repro.api.Experiment.run` call."""
+
+    backend: str
+    training: TrainingResult
+    distributed: DistributedResult | None = None
+    iteration: int = 0
+    """Absolute coevolutionary iteration reached (counts resumed progress)."""
+    iterations_run: int = 0
+    """Iterations executed by *this* run (< configured when stopped early)."""
+    stopped_early: bool = False
+    trainer: Any = field(default=None, repr=False)
+    """The live :class:`SequentialTrainer` (sequential backend only; None on
+    distributed runs, whose per-cell state lives in the slave processes).
+    An escape hatch for post-run inspection — per-cell mixtures, loss
+    assignments — without leaving the facade."""
+
+    # -- common fields, promoted ------------------------------------------
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self.training.config
+
+    @property
+    def center_genomes(self) -> list[tuple[Genome, Genome]]:
+        return self.training.center_genomes
+
+    @property
+    def mixture_weights(self) -> list[np.ndarray]:
+        return self.training.mixture_weights
+
+    @property
+    def cell_reports(self) -> list[list[CellReport]]:
+        return self.training.cell_reports
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.training.wall_time_s
+
+    @property
+    def complete(self) -> bool:
+        """False when a distributed run lost slaves (see :attr:`dead_ranks`)."""
+        return self.distributed.complete if self.distributed is not None else True
+
+    @property
+    def dead_ranks(self) -> list[int]:
+        return list(self.distributed.dead_ranks) if self.distributed is not None else []
+
+    @property
+    def traces(self) -> list:
+        """Event traces of a traced distributed run (empty otherwise)."""
+        return list(self.distributed.traces) if self.distributed is not None else []
+
+    def best_cell_index(self) -> int:
+        """Cell whose final generator fitness is best (lowest loss)."""
+        return self.training.best_cell_index()
+
+    # -- hand-offs ---------------------------------------------------------
+
+    def to_servable(self, cell: int | None = None):
+        """Build a serving-layer ensemble from the final centers."""
+        return self.training.to_servable(cell=cell)
+
+    def to_checkpoint(self):
+        """Snapshot the final state as a resumable checkpoint.
+
+        Works for every backend — the distributed reduction delivers the
+        same per-cell centers and mixture weights the sequential trainer
+        holds, so ``repro run --backend process --checkpoint out.npz`` is
+        now first-class.
+        """
+        from repro.coevolution.checkpoint import TrainingCheckpoint
+
+        return TrainingCheckpoint(
+            config=self.config,
+            iteration=self.iteration,
+            center_genomes=list(self.center_genomes),
+            mixture_weights=[np.asarray(w).copy() for w in self.mixture_weights],
+        )
+
+    def save_checkpoint(self, path: str | os.PathLike):
+        """Write :meth:`to_checkpoint` to ``path``; returns the checkpoint."""
+        from repro.coevolution.checkpoint import save_checkpoint
+
+        checkpoint = self.to_checkpoint()
+        save_checkpoint(path, checkpoint)
+        return checkpoint
+
+    def profile(self, *, parallel: bool = False) -> TimerSnapshot:
+        """Merged per-routine profile (Table IV).
+
+        ``parallel=False`` sums routine times across cells (total CPU
+        work); ``parallel=True`` takes the max across concurrent slaves
+        (wall-clock view).  Requires the run to have been profiled
+        (``Experiment.profile()`` / ``--profile``).
+        """
+        if self.distributed is not None:
+            if parallel:
+                return self.distributed.distributed_profile()
+            return self.distributed.total_work_profile()
+        return merge_snapshots(self.training.timer_snapshots, parallel=parallel)
+
+    def summary(self) -> str:
+        """One line for CLI/log output."""
+        status = "complete" if self.complete else f"dead ranks {self.dead_ranks}"
+        early = ", stopped early" if self.stopped_early else ""
+        return (f"{self.backend} run: {self.iterations_run} iteration(s) in "
+                f"{self.wall_time_s:.2f}s, {status}{early}, "
+                f"best cell {self.best_cell_index()}")

@@ -1,5 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
+A thin shell over :mod:`repro.api` — every command routes through the
+:class:`~repro.api.Experiment` facade (or its checkpoint helpers), and every
+training default comes from :func:`repro.config.default_config`, the single
+source of truth.
+
 Commands
 --------
 
@@ -11,6 +16,9 @@ Commands
     --iterations 4 --dataset-size 2000 [--checkpoint out.npz]``.
 ``resume``
     Continue from a checkpoint: ``python -m repro resume out.npz``.
+``config``
+    Print the resolved experiment configuration as JSON, or validate a
+    saved one: ``python -m repro config [--from-json PATH]``.
 ``table``
     Regenerate a paper table: ``python -m repro table 1|2|3|4``.
 ``fig``
@@ -44,6 +52,38 @@ def _parse_grid(text: str) -> tuple[int, int]:
     return parsed
 
 
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """The training knobs, defaulted from ``default_config()`` — one source.
+
+    ``repro run`` and ``repro config`` share these so what ``config``
+    prints is exactly what ``run`` would execute.
+    """
+    from repro.api.experiment import DEFAULT_DATASET
+    from repro.config import default_config
+    from repro.registry import BACKENDS, DATASETS, LOSSES
+
+    defaults = default_config()
+    parser.add_argument("--grid", type=_parse_grid, metavar="RxC",
+                        default=defaults.coevolution.grid_size)
+    parser.add_argument("--backend", choices=sorted(BACKENDS.known()),
+                        default=defaults.execution.backend)
+    parser.add_argument("--iterations", type=int,
+                        default=defaults.coevolution.iterations)
+    parser.add_argument("--dataset-size", type=int, default=defaults.dataset_size)
+    parser.add_argument("--batch-size", type=int,
+                        default=defaults.training.batch_size)
+    parser.add_argument("--batches-per-iteration", type=int,
+                        default=defaults.training.batches_per_iteration)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--loss", choices=sorted(LOSSES.known() | {"mustangs"}),
+                        default=defaults.training.loss_function)
+    parser.add_argument("--dataset", choices=sorted(DATASETS.known()),
+                        default=DEFAULT_DATASET,
+                        help="training corpus (from the dataset registry)")
+    parser.add_argument("--exchange", choices=("neighbors", "allgather", "async"),
+                        default="neighbors")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -55,24 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="library and platform information")
 
     run = sub.add_parser("run", help="train a grid of GANs")
-    run.add_argument("--grid", type=_parse_grid, default=(2, 2), metavar="RxC")
-    run.add_argument("--backend", choices=("process", "threaded", "sequential"),
-                     default="process")
-    run.add_argument("--iterations", type=int, default=4)
-    run.add_argument("--dataset-size", type=int, default=2000)
-    run.add_argument("--batch-size", type=int, default=100)
-    run.add_argument("--batches-per-iteration", type=int, default=3)
-    run.add_argument("--seed", type=int, default=42)
-    run.add_argument("--loss", choices=("bce", "mse", "heuristic", "mustangs"),
-                     default="bce")
-    run.add_argument("--exchange", choices=("neighbors", "allgather", "async"),
-                     default="neighbors")
+    _add_experiment_arguments(run)
     run.add_argument("--profile", action="store_true")
     run.add_argument("--checkpoint", metavar="PATH",
                      help="write a checkpoint here after training")
+    run.add_argument("--metrics-jsonl", metavar="PATH",
+                     help="stream per-iteration metrics as JSON lines")
 
     resume = sub.add_parser("resume", help="continue a checkpointed run")
     resume.add_argument("checkpoint", metavar="PATH")
+
+    config = sub.add_parser(
+        "config", help="print the resolved experiment configuration as JSON")
+    _add_experiment_arguments(config)
+    config.add_argument("--from-json", metavar="PATH",
+                        help="validate and resolve a saved config file "
+                             "instead of the flag-built one")
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4))
@@ -121,19 +159,23 @@ def _cmd_info(_args) -> int:
     return 0
 
 
-def _build_config(args):
-    import dataclasses
-
+def _build_experiment(args):
+    """Translate the shared CLI flags into an :class:`Experiment`."""
+    from repro.api import Experiment
     from repro.config import paper_table1_config
 
-    config = paper_table1_config(*args.grid).scaled(
+    base = paper_table1_config(*args.grid).scaled(
         iterations=args.iterations,
         dataset_size=args.dataset_size,
         batch_size=args.batch_size,
         batches_per_iteration=args.batches_per_iteration,
     )
-    training = dataclasses.replace(config.training, loss_function=args.loss)
-    return dataclasses.replace(config, training=training, seed=args.seed)
+    return (Experiment(base)
+            .loss(args.loss)
+            .override(seed=args.seed)
+            .dataset(args.dataset)
+            .backend(args.backend)
+            .exchange(args.exchange))
 
 
 def _report_result(result, cells: int) -> None:
@@ -151,52 +193,62 @@ def _report_result(result, cells: int) -> None:
 
 
 def _cmd_run(args) -> int:
-    from repro.coevolution import SequentialTrainer, TrainingCheckpoint, save_checkpoint
-    from repro.coevolution.sequential import build_training_dataset
-    from repro.parallel import DistributedRunner
+    from repro.api import JsonlMetrics
 
-    config = _build_config(args)
+    experiment = _build_experiment(args).profile(args.profile)
+    if args.metrics_jsonl:
+        experiment.callbacks(JsonlMetrics(args.metrics_jsonl))
+    config = experiment.config
     cells = config.coevolution.cells
     print(f"grid {args.grid[0]}x{args.grid[1]} ({cells} cells), "
           f"backend={args.backend}, iterations={config.coevolution.iterations}")
-    dataset = build_training_dataset(config)
 
-    if args.backend == "sequential":
-        trainer = SequentialTrainer(config, dataset)
-        result = trainer.run()
-        _report_result(result, cells)
-        if args.checkpoint:
-            save_checkpoint(args.checkpoint, TrainingCheckpoint.from_trainer(trainer))
-            print(f"checkpoint written to {args.checkpoint}")
-        return 0
-
-    runner = DistributedRunner(config, backend=args.backend, dataset=dataset,
-                               exchange_mode=args.exchange, profile=args.profile)
-    result = runner.run()
-    _report_result(result.training, cells)
-    if args.profile:
+    result = experiment.run()
+    _report_result(result, cells)
+    if args.profile and result.distributed is not None:
         from repro.profiling import format_table4, profile_rows
 
-        rows = profile_rows(result.total_work_profile(), result.distributed_profile())
+        rows = profile_rows(result.profile(parallel=False),
+                            result.profile(parallel=True))
         print("\n" + format_table4(rows))
+    if args.checkpoint:
+        # Written even for incomplete runs: the survivors' genomes are the
+        # valuable artifact, and the checkpoint's iteration counter stays
+        # at the aborted point so `repro resume` trains the remainder.
+        result.save_checkpoint(args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}"
+              + ("" if result.complete else " (partial: run aborted early)"))
     if not result.complete:
         print(f"WARNING: dead ranks {result.dead_ranks}", file=sys.stderr)
         return 1
-    if args.checkpoint:
-        print("NOTE: --checkpoint currently snapshots sequential runs only; "
-              "re-run with --backend sequential", file=sys.stderr)
     return 0
 
 
 def _cmd_resume(args) -> int:
-    from repro.coevolution import SequentialTrainer, load_checkpoint
+    from repro.api import Experiment
 
-    checkpoint = load_checkpoint(args.checkpoint)
+    experiment = Experiment.from_checkpoint(args.checkpoint)
+    checkpoint = experiment.checkpoint
     print(f"resuming at iteration {checkpoint.iteration} "
           f"({checkpoint.remaining_iterations} remaining)")
-    trainer = SequentialTrainer.from_checkpoint(checkpoint)
-    result = trainer.run()
+    result = experiment.run()
     _report_result(result, checkpoint.config.coevolution.cells)
+    return 0
+
+
+def _cmd_config(args) -> int:
+    from repro.config import ConfigError, ExperimentConfig
+
+    try:
+        if args.from_json:
+            with open(args.from_json, encoding="utf-8") as handle:
+                config = ExperimentConfig.from_json(handle.read())
+        else:
+            config = _build_experiment(args).config
+    except (ConfigError, ValueError, OSError) as error:
+        print(f"invalid configuration: {error}", file=sys.stderr)
+        return 2
+    print(config.to_json())
     return 0
 
 
@@ -229,9 +281,9 @@ def _cmd_fig(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving.loadtest import run_load_test
+    from repro.api import serve_checkpoint
 
-    stats = run_load_test(
+    stats = serve_checkpoint(
         args.checkpoint,
         cell=args.cell,
         requests=args.requests,
@@ -247,14 +299,12 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_sample(args) -> int:
-    from repro.coevolution import load_checkpoint
+    from repro.api import load_ensemble
     from repro.runtime import pin_blas_threads
-    from repro.serving import ServableEnsemble
 
     pin_blas_threads(1)  # gemm row-stability => reproducible samples
-    checkpoint = load_checkpoint(args.checkpoint)
+    checkpoint, ensemble = load_ensemble(args.checkpoint, cell=args.cell)
     print(checkpoint.summary())
-    ensemble = ServableEnsemble.from_checkpoint(checkpoint, cell=args.cell)
     images = ensemble.sample(args.n, seed=args.seed)
     # Images are stored flat, (n, side*side); image_side is the render hint.
     np.savez_compressed(args.out, images=images,
@@ -268,6 +318,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
     "resume": _cmd_resume,
+    "config": _cmd_config,
     "table": _cmd_table,
     "fig": _cmd_fig,
     "serve": _cmd_serve,

@@ -70,6 +70,13 @@ class SequentialTrainer:
     """Train the whole grid in one process (the single-core baseline)."""
 
     def __init__(self, config: ExperimentConfig, dataset: ArrayDataset | None = None):
+        from repro import _deprecation
+
+        _deprecation.warn_once(
+            "SequentialTrainer",
+            "direct SequentialTrainer use is deprecated; run it through "
+            "repro.api.Experiment(config).backend('sequential').run()",
+        )
         self.config = config
         self.grid = ToroidalGrid(config.coevolution.grid_rows, config.coevolution.grid_cols)
         self.dataset = dataset if dataset is not None else build_training_dataset(config)
@@ -92,14 +99,63 @@ class SequentialTrainer:
         trainer.start_iteration = checkpoint.iteration
         return trainer
 
+    def step_iteration(self, timers: list[RoutineTimer] | None = None,
+                       on_exchange=None) -> list[CellReport]:
+        """Run exactly one synchronous-exchange iteration over all cells.
+
+        The exchange semantics match the distributed per-iteration
+        ``allgather``: the centers of *all* cells are snapshotted first,
+        then every cell steps against its neighbors' snapshots.
+        ``on_exchange`` (optional) is called with the snapshot list between
+        the two phases — the hook the :mod:`repro.api` run loop exposes.
+        ``timers`` (optional, one per cell) record the "gather" section at
+        the trainer level because here the exchange is a plain in-memory
+        snapshot (its cost is what Table IV row 1 compares against MPI).
+        """
+        with_timing = timers is not None
+        cell_timers = timers if timers is not None else [NULL_TIMER] * len(self.cells)
+        snapshots: list[tuple[Genome, Genome]] = []
+        for cell, timer in zip(self.cells, cell_timers):
+            if with_timing:
+                with timer.section("gather"):
+                    snapshots.append(cell.center_genomes())
+            else:
+                snapshots.append(cell.center_genomes())
+        if on_exchange is not None:
+            on_exchange(snapshots)
+        reports: list[CellReport] = []
+        for index, (cell, timer) in enumerate(zip(self.cells, cell_timers)):
+            neighbor_indices = self.grid.neighbors_of(index)
+            if with_timing:
+                with timer.section("gather"):
+                    neighbors = [
+                        (snapshots[j][0].copy(), snapshots[j][1].copy())
+                        for j in neighbor_indices
+                    ]
+            else:
+                neighbors = [snapshots[j] for j in neighbor_indices]
+            reports.append(cell.step(neighbors, timer))
+        return reports
+
+    def result(self, wall_time_s: float,
+               timers: list[RoutineTimer] | None = None) -> TrainingResult:
+        """Assemble the :class:`TrainingResult` for the current cell state."""
+        cell_timers = timers if timers is not None else [NULL_TIMER] * len(self.cells)
+        return TrainingResult(
+            config=self.config,
+            center_genomes=[cell.center_genomes() for cell in self.cells],
+            mixture_weights=[cell.mixture.weights.copy() for cell in self.cells],
+            cell_reports=[cell.reports for cell in self.cells],
+            wall_time_s=wall_time_s,
+            timer_snapshots=[t.snapshot() for t in cell_timers],
+        )
+
     def run(self, timer_factory=None, iterations: int | None = None) -> TrainingResult:
         """Run the configured number of iterations over all cells.
 
         ``timer_factory`` (optional) is called once per cell to produce its
-        :class:`RoutineTimer`; the "gather" section is recorded here at the
-        trainer level because in the sequential version the exchange is a
-        plain in-memory snapshot (its cost is what Table IV row 1 compares
-        against the MPI allgather).
+        :class:`RoutineTimer` (see :meth:`step_iteration` for what it
+        records).
         """
         # One core per process is the paper's execution model (Table II);
         # pinning BLAS makes the single-core baseline honestly single-core.
@@ -108,40 +164,10 @@ class SequentialTrainer:
             total_iterations = iterations
         else:
             total_iterations = self.config.coevolution.iterations - self.start_iteration
-        timers: list[RoutineTimer] = [
-            timer_factory() if timer_factory is not None else NULL_TIMER
-            for _ in self.cells
-        ]
+        timers: list[RoutineTimer] | None = (
+            [timer_factory() for _ in self.cells] if timer_factory is not None else None
+        )
         start = time.perf_counter()
         for _ in range(total_iterations):
-            # Synchronous exchange: snapshot all centers first...
-            with_timing = timer_factory is not None
-            snapshots: list[tuple[Genome, Genome]] = []
-            for cell, timer in zip(self.cells, timers):
-                if with_timing:
-                    with timer.section("gather"):
-                        snapshots.append(cell.center_genomes())
-                else:
-                    snapshots.append(cell.center_genomes())
-            # ...then step every cell against its neighbors' snapshots.
-            for index, (cell, timer) in enumerate(zip(self.cells, timers)):
-                neighbor_indices = self.grid.neighbors_of(index)
-                if with_timing:
-                    with timer.section("gather"):
-                        neighbors = [
-                            (snapshots[j][0].copy(), snapshots[j][1].copy())
-                            for j in neighbor_indices
-                        ]
-                else:
-                    neighbors = [snapshots[j] for j in neighbor_indices]
-                cell.step(neighbors, timer)
-        wall = time.perf_counter() - start
-
-        return TrainingResult(
-            config=self.config,
-            center_genomes=[cell.center_genomes() for cell in self.cells],
-            mixture_weights=[cell.mixture.weights.copy() for cell in self.cells],
-            cell_reports=[cell.reports for cell in self.cells],
-            wall_time_s=wall,
-            timer_snapshots=[t.snapshot() for t in timers],
-        )
+            self.step_iteration(timers)
+        return self.result(time.perf_counter() - start, timers)

@@ -9,6 +9,7 @@ all slave processes"*).
 """
 
 from repro.config.settings import (
+    ConfigError,
     CoevolutionSettings,
     ExecutionSettings,
     ExperimentConfig,
@@ -20,6 +21,7 @@ from repro.config.settings import (
 )
 
 __all__ = [
+    "ConfigError",
     "NetworkSettings",
     "CoevolutionSettings",
     "HyperparameterMutationSettings",

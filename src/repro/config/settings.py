@@ -21,6 +21,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.registry import BACKENDS, LOSSES
+
 
 class ConfigError(ValueError):
     """Raised when a configuration value is outside its legal domain."""
@@ -134,9 +136,13 @@ class TrainingSettings:
     def __post_init__(self) -> None:
         _require(self.batch_size >= 1, "batch_size must be >= 1")
         _require(self.skip_discriminator_steps >= 0, "skip_discriminator_steps must be >= 0")
+        # "mustangs" is a mode (each cell draws from the loss pool), every
+        # other legal name is whatever the loss registry currently knows —
+        # a registered custom loss is immediately a valid configuration.
         _require(
-            self.loss_function in {"bce", "mse", "heuristic", "mustangs"},
-            f"unsupported loss function: {self.loss_function!r}",
+            self.loss_function == "mustangs" or self.loss_function in LOSSES,
+            f"unsupported loss function: {self.loss_function!r}; known: "
+            f"{sorted(LOSSES.known() | {'mustangs'})}",
         )
         _require(self.batches_per_iteration >= 0, "batches_per_iteration must be >= 0")
 
@@ -162,8 +168,9 @@ class ExecutionSettings:
         _require(self.temporary_storage_gb >= 0, "temporary_storage_gb must be >= 0")
         _require(self.heartbeat_interval_s > 0, "heartbeat_interval_s must be positive")
         _require(
-            self.backend in {"process", "threaded", "sequential"},
-            f"unsupported backend: {self.backend!r}",
+            self.backend in BACKENDS,
+            f"unsupported backend: {self.backend!r}; known: "
+            f"{sorted(BACKENDS.known())}",
         )
 
 

@@ -11,8 +11,8 @@ The regenerator demonstrates the state machine two ways:
 
 from __future__ import annotations
 
+from repro.api import Experiment
 from repro.experiments.workloads import quick_config
-from repro.parallel import DistributedRunner
 from repro.parallel.states import TRANSITIONS, IllegalTransition, SlaveState, SlaveStateMachine
 
 __all__ = ["run", "format_figure"]
@@ -40,8 +40,8 @@ def run(dynamic: bool = True) -> dict:
     live_states: list[str] | None = None
     if dynamic:
         config = quick_config(2, 2, iterations=1)
-        result = DistributedRunner(config, backend="threaded").run()
-        live_states = [SlaveState.FINISHED.value] * len(result.training.center_genomes)
+        result = Experiment(config).backend("threaded").run()
+        live_states = [SlaveState.FINISHED.value] * len(result.center_genomes)
 
     return {
         "walk": walked,

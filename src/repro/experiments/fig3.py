@@ -11,7 +11,7 @@ exchange+train -> results -> reduction) is checked programmatically.
 from __future__ import annotations
 
 from repro.experiments.workloads import quick_config
-from repro.parallel import DistributedRunner
+from repro.api import Experiment
 from repro.parallel.tracing import EventTrace
 
 __all__ = ["run", "format_figure", "EXPECTED_SLAVE_SEQUENCE"]
@@ -49,7 +49,7 @@ def _subsequence(events: list[str], expected: tuple[str, ...]) -> bool:
 def run(rows: int = 2, cols: int = 2, backend: str = "threaded") -> dict:
     """Run a traced job and validate both lanes of the flow diagram."""
     config = quick_config(rows, cols, iterations=2)
-    result = DistributedRunner(config, backend=backend, trace=True).run()
+    result = Experiment(config).backend(backend, trace=True).run()
 
     lanes: dict[str, list[str]] = {}
     for trace in result.traces:

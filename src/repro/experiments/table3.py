@@ -9,9 +9,9 @@ versus the MPI implementation, and the speedup.  Paper values (minutes):
     4x4       1920.0     126.68 +- 3.42    15.17
 
 The regenerator runs the identical workload through the
-:class:`~repro.coevolution.SequentialTrainer` (single core) and the
-:class:`~repro.parallel.DistributedRunner` (process backend, one rank per
-core) and reports the same row structure.  The *shape* to verify: the
+:class:`~repro.api.Experiment` facade twice — ``sequential`` backend
+(single core) and ``process`` backend (one rank per core) — and reports
+the same row structure.  The *shape* to verify: the
 distributed version wins everywhere, and speedup grows with grid size.
 Absolute speedups are lower than the paper's at laptop scale because each
 scaled-down run amortizes its fixed start-up (process spawn, communicator
@@ -24,11 +24,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from repro.api import Experiment
 from repro.config import ExperimentConfig
-from repro.coevolution import SequentialTrainer
-from repro.coevolution.sequential import build_training_dataset
 from repro.experiments.workloads import PAPER_GRIDS, bench_config, bench_repetitions
-from repro.parallel import DistributedRunner
 
 __all__ = ["Table3Row", "run", "run_one_grid", "format_table", "PAPER_VALUES"]
 
@@ -58,12 +56,14 @@ def run_one_grid(config: ExperimentConfig, repetitions: int = 1,
                  backend: str = "process") -> Table3Row:
     """Measure one grid size: one sequential run, ``repetitions`` distributed."""
     grid = (config.coevolution.grid_rows, config.coevolution.grid_cols)
-    dataset = build_training_dataset(config)
-    sequential = SequentialTrainer(config, dataset).run()
+    # One dataset instance shared by every run: both substrates must consume
+    # identical data for the wall-clock comparison to be apples-to-apples.
+    dataset = Experiment(config).build_dataset()
+    sequential = Experiment(config).dataset(dataset).backend("sequential").run()
     samples = []
     for _ in range(max(1, repetitions)):
-        result = DistributedRunner(config, backend=backend, dataset=dataset).run()
-        samples.append(result.training.wall_time_s)
+        result = Experiment(config).dataset(dataset).backend(backend).run()
+        samples.append(result.wall_time_s)
     return Table3Row(
         grid=grid,
         single_core_s=sequential.wall_time_s,

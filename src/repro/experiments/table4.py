@@ -21,12 +21,10 @@ concurrently, so the slowest slave sets the wall time).
 
 from __future__ import annotations
 
+from repro.api import Experiment
 from repro.config import ExperimentConfig
-from repro.coevolution import SequentialTrainer
-from repro.coevolution.sequential import build_training_dataset
 from repro.experiments.workloads import bench_config
-from repro.parallel import DistributedRunner
-from repro.profiling import ProfileRow, RoutineTimer, format_table4, merge_snapshots, profile_rows
+from repro.profiling import ProfileRow, format_table4, profile_rows
 
 __all__ = ["run", "format_table", "PAPER_VALUES"]
 
@@ -45,15 +43,13 @@ def run(config: ExperimentConfig | None = None,
     """Profile both versions on the 4x4 workload and build the table rows."""
     if config is None:
         config = bench_config(4, 4)
-    dataset = build_training_dataset(config)
+    dataset = Experiment(config).build_dataset()
 
-    sequential = SequentialTrainer(config, dataset).run(timer_factory=RoutineTimer)
-    single_profile = merge_snapshots(sequential.timer_snapshots, parallel=False)
+    sequential = Experiment(config).dataset(dataset).backend("sequential").profile().run()
+    single_profile = sequential.profile(parallel=False)
 
-    distributed = DistributedRunner(
-        config, backend=backend, dataset=dataset, profile=True
-    ).run()
-    distributed_profile = distributed.distributed_profile()
+    distributed = Experiment(config).dataset(dataset).backend(backend).profile().run()
+    distributed_profile = distributed.profile(parallel=True)
 
     return profile_rows(single_profile, distributed_profile)
 

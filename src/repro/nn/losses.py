@@ -102,14 +102,23 @@ class LeastSquaresLoss(GANLoss):
 
 
 #: The Mustangs loss pool, in the order used for per-cell random assignment.
+#: Deliberately fixed to the paper's trio (not "every registered loss") so
+#: that registering a custom loss never shifts the RNG-driven assignment.
 MUSTANGS_LOSSES: tuple[type[GANLoss], ...] = (BCELoss, LeastSquaresLoss, HeuristicLoss)
-
-_BY_NAME = {cls.name: cls for cls in MUSTANGS_LOSSES}
 
 
 def loss_by_name(name: str) -> GANLoss:
-    """Instantiate a loss from its configuration name (``bce``/``mse``/``heuristic``)."""
+    """Instantiate a loss from its configuration name.
+
+    Resolves against :data:`repro.registry.LOSSES`, so losses registered
+    there (``LOSSES.register("wgan", WassersteinLoss)``) are constructible
+    everywhere this function is used — cells, checkpoint restore, the
+    serving layer.
+    """
+    from repro.registry import LOSSES, RegistryError
+
     try:
-        return _BY_NAME[name]()
-    except KeyError:
-        raise ValueError(f"unknown GAN loss {name!r}; known: {sorted(_BY_NAME)}") from None
+        return LOSSES.create(name)
+    except RegistryError:
+        raise ValueError(
+            f"unknown GAN loss {name!r}; known: {sorted(LOSSES.known())}") from None

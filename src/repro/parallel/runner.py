@@ -74,6 +74,13 @@ class DistributedRunner:
                  heartbeat_interval_s: float | None = None,
                  miss_limit: int = 8, timeout_s: float = 600.0,
                  dataset: ArrayDataset | None = None):
+        from repro import _deprecation
+
+        _deprecation.warn_once(
+            "DistributedRunner",
+            "direct DistributedRunner use is deprecated; run it through "
+            "repro.api.Experiment(config).backend('process').run()",
+        )
         self.config = config
         self.backend = backend if backend is not None else config.execution.backend
         if self.backend not in ("process", "threaded"):

@@ -22,12 +22,11 @@ stack.
 
 Quickstart::
 
-    from repro import SequentialTrainer, default_config
+    from repro import Experiment
     from repro.serving import GeneratorServer
 
-    trainer = SequentialTrainer(default_config(2, 2))
-    ensemble = trainer.run().to_servable()
-    with GeneratorServer(ensemble) as server:
+    result = Experiment().grid(2, 2).backend("sequential").run()
+    with GeneratorServer(result.to_servable()) as server:
         images = server.request(64, seed=7).images
 """
 

@@ -1,0 +1,120 @@
+"""CLI ↔ facade integration: default drift, the config subcommand, routing."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import ExperimentConfig, default_config
+
+
+class TestDefaultDrift:
+    """Regression for the --batches-per-iteration 3-vs-4 drift: every run
+    default must come from default_config(), the single source of truth."""
+
+    def test_run_defaults_match_default_config(self):
+        args = build_parser().parse_args(["run"])
+        defaults = default_config()
+        assert args.grid == defaults.coevolution.grid_size
+        assert args.backend == defaults.execution.backend
+        assert args.iterations == defaults.coevolution.iterations
+        assert args.dataset_size == defaults.dataset_size
+        assert args.batch_size == defaults.training.batch_size
+        assert args.batches_per_iteration == defaults.training.batches_per_iteration
+        assert args.seed == defaults.seed
+        assert args.loss == defaults.training.loss_function
+
+    def test_default_flags_resolve_to_default_config(self, capsys):
+        assert main(["config"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert ExperimentConfig.from_dict(printed) == default_config()
+
+    def test_choices_come_from_registries(self):
+        from repro.registry import BACKENDS, LOSSES
+
+        parser = build_parser()
+        for backend in BACKENDS.known():
+            assert parser.parse_args(["run", "--backend", backend]).backend == backend
+        for loss in LOSSES.known() | {"mustangs"}:
+            assert parser.parse_args(["run", "--loss", loss]).loss == loss
+
+
+class TestConfigSubcommand:
+    def test_prints_resolved_flags(self, capsys):
+        assert main(["config", "--grid", "3x3", "--seed", "7",
+                     "--loss", "mse", "--backend", "sequential"]) == 0
+        config = ExperimentConfig.from_json(capsys.readouterr().out)
+        assert config.coevolution.grid_size == (3, 3)
+        assert config.execution.number_of_tasks == 10
+        assert config.seed == 7
+        assert config.training.loss_function == "mse"
+        assert config.execution.backend == "sequential"
+
+    def test_from_json_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(default_config(3, 3, seed=5).to_json())
+        assert main(["config", "--from-json", str(path)]) == 0
+        assert (ExperimentConfig.from_json(capsys.readouterr().out)
+                == default_config(3, 3, seed=5))
+
+    def test_unknown_key_exits_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"bogus": 1}')
+        assert main(["config", "--from-json", str(path)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_invalid_value_exits_nonzero(self, capsys, tmp_path):
+        config = json.loads(default_config().to_json())
+        config["seed"] = -1
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(config))
+        assert main(["config", "--from-json", str(path)]) == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_missing_file_exits_nonzero(self, capsys, tmp_path):
+        assert main(["config", "--from-json", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err
+
+
+class TestRunRoutesThroughApi:
+    def test_run_distributed_checkpoint_now_supported(self, capsys, cache_dir,
+                                                      tmp_path):
+        """Pre-facade the CLI refused --checkpoint on distributed runs."""
+        from repro.coevolution.checkpoint import load_checkpoint
+
+        ckpt = str(tmp_path / "dist.npz")
+        code = main([
+            "run", "--grid", "2x2", "--backend", "threaded",
+            "--iterations", "1", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+            "--checkpoint", ckpt,
+        ])
+        assert code == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        assert load_checkpoint(ckpt).iteration == 1
+
+    def test_run_streams_metrics_jsonl(self, capsys, cache_dir, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        code = main([
+            "run", "--grid", "2x2", "--backend", "sequential",
+            "--iterations", "2", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+            "--metrics-jsonl", str(path),
+        ])
+        assert code == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["event"] for e in events] == [
+            "run_start", "iteration", "iteration", "run_end"]
+
+    def test_run_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "quantum"])
+
+    def test_run_dataset_flag(self, capsys, cache_dir):
+        code = main([
+            "run", "--grid", "2x2", "--backend", "sequential",
+            "--iterations", "1", "--dataset-size", "200",
+            "--batch-size", "20", "--batches-per-iteration", "1",
+            "--dataset", "synthetic-mnist",
+        ])
+        assert code == 0

@@ -1,0 +1,160 @@
+"""Tests for the backend/dataset/loss registries behind repro.api."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import BACKENDS, DATASETS, LOSSES, Experiment, RegistryError
+from repro.config import ConfigError, default_config
+from repro.nn import loss_by_name
+from repro.nn.losses import GANLoss
+from repro.registry import Registry
+
+from tests.conftest import make_quick_config
+
+
+class TestRegistryCore:
+    def test_builtin_names_known_without_import(self):
+        registry = Registry("thing")
+        registry.register_lazy("lazy", "json:loads")
+        assert "lazy" in registry
+        assert registry.known() == {"lazy"}
+
+    def test_lazy_entry_resolves_on_create(self):
+        registry = Registry("thing")
+        registry.register_lazy("loads", "json:loads")
+        assert registry.create("loads", '{"a": 1}') == {"a": 1}
+
+    def test_register_and_create(self):
+        registry = Registry("thing")
+        registry.register("double", lambda x: 2 * x)
+        assert registry.create("double", 21) == 42
+
+    def test_duplicate_rejected_unless_overwritten(self):
+        registry = Registry("thing")
+        registry.register("x", int)
+        with pytest.raises(RegistryError):
+            registry.register("x", float)
+        registry.register("x", float, overwrite=True)
+        assert registry.get("x") is float
+
+    def test_unknown_name_lists_known(self):
+        registry = Registry("thing")
+        registry.register("known", int)
+        with pytest.raises(RegistryError, match="known"):
+            registry.get("missing")
+
+    def test_unregister(self):
+        registry = Registry("thing")
+        registry.register("x", int)
+        registry.unregister("x")
+        assert "x" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("x")
+
+    def test_non_callable_factory_rejected(self):
+        registry = Registry("thing")
+        with pytest.raises(RegistryError):
+            registry.register("bad", 42)
+
+
+class TestBuiltins:
+    def test_backends(self):
+        assert {"sequential", "process", "threaded"} <= BACKENDS.known()
+
+    def test_datasets(self):
+        assert {"synthetic-mnist", "synthetic-shapes"} <= DATASETS.known()
+
+    def test_losses_match_loss_by_name(self):
+        for name in ("bce", "mse", "heuristic"):
+            assert name in LOSSES
+            assert type(LOSSES.create(name)) is type(loss_by_name(name))
+
+
+class _ConstantLoss(GANLoss):
+    name = "constant"
+
+    def discriminator_loss(self, real_logits, fake_logits):
+        return (real_logits * 0.0).sum()
+
+    def generator_loss(self, fake_logits):
+        return (fake_logits * 0.0).sum()
+
+
+class TestExtensibility:
+    """A registered component is usable end to end with zero core edits."""
+
+    def test_custom_loss_validates_in_config_and_resolves(self):
+        LOSSES.register("constant", _ConstantLoss)
+        try:
+            config = default_config()
+            training = dataclasses.replace(config.training, loss_function="constant")
+            config = dataclasses.replace(config, training=training)  # no ConfigError
+            assert config.training.loss_function == "constant"
+            assert isinstance(loss_by_name("constant"), _ConstantLoss)
+        finally:
+            LOSSES.unregister("constant")
+
+    def test_unregistered_loss_still_rejected(self):
+        config = default_config()
+        with pytest.raises(ConfigError, match="nope"):
+            dataclasses.replace(
+                config,
+                training=dataclasses.replace(config.training, loss_function="nope"),
+            )
+
+    def test_custom_loss_trains(self, cache_dir):
+        LOSSES.register("constant", _ConstantLoss)
+        try:
+            config = make_quick_config(iterations=1)
+            result = Experiment(config).loss("constant").backend("sequential").run()
+            assert result.iterations_run == 1
+            assert all(g.loss_name == "constant"
+                       for g, _ in result.center_genomes)
+        finally:
+            LOSSES.unregister("constant")
+
+    def test_custom_dataset_by_name(self, cache_dir):
+        from repro.api.datasets import synthetic_mnist
+
+        DATASETS.register("tiny", lambda config: synthetic_mnist(config).subset(
+            list(range(200))))
+        try:
+            config = make_quick_config(iterations=1)
+            experiment = Experiment(config).dataset("tiny")
+            assert len(experiment.build_dataset()) == 200
+        finally:
+            DATASETS.unregister("tiny")
+
+    def test_custom_backend_reachable_from_facade(self):
+        from repro.api import RunResult, TrainerBackend
+        from repro.coevolution.sequential import SequentialTrainer
+
+        class RecordingBackend(TrainerBackend):
+            name = "recording"
+
+            def execute(self, ctx):
+                from repro import _deprecation
+
+                with _deprecation.suppressed():
+                    trainer = SequentialTrainer(ctx.config, ctx.dataset)
+                training = trainer.result(0.0)
+                return RunResult(backend=self.name, training=training)
+
+        BACKENDS.register("recording", RecordingBackend)
+        try:
+            config = make_quick_config(iterations=1)
+            # A custom backend name is also a *valid configuration value*.
+            result = Experiment(config).backend("recording").run()
+            assert result.backend == "recording"
+            assert result.config.execution.backend == "recording"
+        finally:
+            BACKENDS.unregister("recording")
+
+    def test_unknown_backend_rejected_by_facade(self):
+        with pytest.raises(RegistryError):
+            Experiment().backend("warp-drive")
+
+    def test_unknown_dataset_rejected_by_facade(self):
+        with pytest.raises(RegistryError):
+            Experiment().dataset("imagenet")

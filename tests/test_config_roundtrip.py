@@ -1,0 +1,98 @@
+"""ExperimentConfig JSON round-trip coverage (ISSUE 2 satellite).
+
+`to_json -> from_json` must reconstruct the exact configuration — including
+the `with_grid` / `scaled` derived variants — and unknown keys must be
+rejected at every level.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    ExperimentConfig,
+    default_config,
+    paper_table1_config,
+)
+
+
+def roundtrip(config: ExperimentConfig) -> ExperimentConfig:
+    return ExperimentConfig.from_json(config.to_json())
+
+
+class TestRoundTrip:
+    def test_paper_config(self):
+        config = paper_table1_config()
+        assert roundtrip(config) == config
+
+    def test_default_config(self):
+        config = default_config()
+        assert roundtrip(config) == config
+
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 3), (4, 4)])
+    def test_with_grid_variants(self, grid):
+        config = paper_table1_config().with_grid(*grid)
+        restored = roundtrip(config)
+        assert restored == config
+        assert restored.coevolution.grid_size == grid
+        assert restored.execution.number_of_tasks == grid[0] * grid[1] + 1
+
+    def test_scaled_variant(self):
+        config = paper_table1_config(3, 3).scaled(
+            iterations=7, dataset_size=1234, batch_size=37,
+            batches_per_iteration=5)
+        restored = roundtrip(config)
+        assert restored == config
+        assert restored.coevolution.iterations == 7
+        assert restored.dataset_size == 1234
+        assert restored.training.batch_size == 37
+        assert restored.training.batches_per_iteration == 5
+
+    def test_every_section_field_survives(self):
+        config = default_config(3, 3, seed=99)
+        mutation = dataclasses.replace(config.mutation, optimizer="sgd",
+                                       mutation_probability=0.25)
+        network = dataclasses.replace(config.network, activation="relu")
+        config = dataclasses.replace(config, mutation=mutation, network=network)
+        restored = roundtrip(config)
+        assert restored.mutation.optimizer == "sgd"
+        assert restored.mutation.mutation_probability == 0.25
+        assert restored.network.activation == "relu"
+        assert restored == config
+
+    def test_double_roundtrip_is_stable(self):
+        config = default_config(2, 2, seed=11)
+        assert roundtrip(roundtrip(config)) == config
+
+    def test_dict_roundtrip(self):
+        config = default_config()
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+
+class TestUnknownKeyRejection:
+    def test_unknown_top_level_key(self):
+        payload = default_config().to_dict()
+        payload["gpu_count"] = 8
+        with pytest.raises(ConfigError, match="gpu_count"):
+            ExperimentConfig.from_dict(payload)
+
+    @pytest.mark.parametrize("section", [
+        "network", "coevolution", "mutation", "training", "execution"])
+    def test_unknown_section_key(self, section):
+        payload = default_config().to_dict()
+        payload[section]["surprise"] = 1
+        with pytest.raises(ConfigError, match="surprise"):
+            ExperimentConfig.from_dict(payload)
+
+    def test_section_must_be_mapping(self):
+        payload = default_config().to_dict()
+        payload["training"] = [1, 2, 3]
+        with pytest.raises(ConfigError, match="training"):
+            ExperimentConfig.from_dict(payload)
+
+    def test_invalid_value_rejected_after_parse(self):
+        payload = default_config().to_dict()
+        payload["training"]["batch_size"] = 0
+        with pytest.raises(ConfigError, match="batch_size"):
+            ExperimentConfig.from_dict(payload)

@@ -1,0 +1,82 @@
+"""The old entry points warn once, keep working, and stay silent via the facade."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import DistributedRunner, SequentialTrainer, _deprecation
+from repro.api import Experiment
+
+from tests.conftest import make_quick_config
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test observes the warning as if the process had just started."""
+    _deprecation.reset()
+    yield
+    _deprecation.reset()
+
+
+class TestSequentialTrainerShim:
+    def test_direct_use_warns_once(self, cache_dir):
+        config = make_quick_config(iterations=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            SequentialTrainer(config)
+            SequentialTrainer(config)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "Experiment" in str(deprecations[0].message)
+
+    def test_behavior_unchanged(self, cache_dir):
+        """The warning is cosmetic: direct runs still match the facade."""
+        config = make_quick_config(iterations=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            direct = SequentialTrainer(config).run()
+        facade = Experiment(config).backend("sequential").run()
+        for (a, _), (b, _) in zip(direct.center_genomes, facade.center_genomes):
+            assert np.array_equal(a.parameters, b.parameters)
+
+
+class TestDistributedRunnerShim:
+    def test_direct_use_warns_once(self, cache_dir):
+        config = make_quick_config(iterations=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DistributedRunner(config, backend="threaded")
+            DistributedRunner(config, backend="threaded")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "Experiment" in str(deprecations[0].message)
+
+    def test_behavior_unchanged(self, cache_dir):
+        config = make_quick_config(iterations=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            direct = DistributedRunner(config, backend="threaded").run()
+        facade = Experiment(config).backend("threaded").run()
+        for (a, _), (b, _) in zip(direct.training.center_genomes,
+                                  facade.center_genomes):
+            assert np.array_equal(a.parameters, b.parameters)
+
+
+class TestFacadeStaysSilent:
+    def test_facade_never_warns(self, cache_dir):
+        config = make_quick_config(iterations=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Experiment(config).backend("sequential").run()
+            Experiment(config).backend("threaded").run()
+
+    def test_suppression_does_not_eat_the_next_direct_use(self, cache_dir):
+        config = make_quick_config(iterations=1)
+        Experiment(config).backend("sequential").run()  # suppressed path
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            SequentialTrainer(config)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
