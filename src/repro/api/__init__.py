@@ -18,6 +18,7 @@ from repro.api.backends import (
     ProcessBackend,
     RunContext,
     SequentialBackend,
+    SocketBackend,
     ThreadedBackend,
     TrainerBackend,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "SequentialBackend",
     "ProcessBackend",
     "ThreadedBackend",
+    "SocketBackend",
     "Callback",
     "CallbackList",
     "PeriodicCheckpoint",

@@ -10,9 +10,11 @@ configuration layer with zero core edits.
 * :class:`SequentialBackend` drives the single-core trainer one iteration
   at a time, firing callbacks live (early stopping and periodic
   checkpointing work mid-run).
-* :class:`ProcessBackend` / :class:`ThreadedBackend` delegate to the
-  master–slave :class:`~repro.parallel.DistributedRunner` and replay the
-  per-iteration hooks from the reduced reports afterwards.
+* :class:`ProcessBackend` / :class:`ThreadedBackend` / :class:`SocketBackend`
+  delegate to the master–slave :class:`~repro.parallel.DistributedRunner`
+  and replay the per-iteration hooks from the reduced reports afterwards.
+  The socket backend runs the ranks in TCP worker processes — pass
+  ``hosts="nodeA:5,nodeB:4"`` (and ``bind=``) to span machines.
 
 Backend bit-equivalence (the paper's sequential-vs-distributed guarantee)
 is preserved through this layer and asserted by the facade tests.
@@ -37,6 +39,7 @@ __all__ = [
     "SequentialBackend",
     "ProcessBackend",
     "ThreadedBackend",
+    "SocketBackend",
 ]
 
 
@@ -45,11 +48,16 @@ class RunContext:
     """Everything a backend (and its callbacks) needs for one run."""
 
     config: ExperimentConfig
-    dataset: ArrayDataset
+    dataset: ArrayDataset | None
+    """The materialized corpus; None when the backend renders per node
+    instead (socket runs started from a registry dataset name)."""
     callbacks: CallbackList = field(default_factory=CallbackList)
     backend_name: str = ""
     exchange_mode: str = "neighbors"
     profile: bool = False
+    dataset_spec: tuple[str, dict] | None = None
+    """Registry name + options the dataset came from (when it did) — lets
+    spawn-based backends re-render per node instead of shipping arrays."""
     checkpoint: Any = None
     """Optional :class:`TrainingCheckpoint` to resume from (sequential only)."""
     trainer: Any = None
@@ -83,6 +91,9 @@ class TrainerBackend:
     """Protocol every execution substrate implements."""
 
     name: str = "abstract"
+    #: True when the substrate's workers rebuild registry datasets on their
+    #: own node — the facade then skips materializing the arrays locally.
+    renders_remotely: bool = False
 
     def execute(self, ctx: RunContext) -> RunResult:
         raise NotImplementedError
@@ -167,6 +178,7 @@ class _DistributedBackend(TrainerBackend):
         with _deprecation.suppressed():
             runner = DistributedRunner(
                 ctx.config, backend=self.name, dataset=ctx.dataset,
+                dataset_spec=ctx.dataset_spec,
                 exchange_mode=ctx.exchange_mode, profile=ctx.profile,
                 **self.runner_options)
         ctx.callbacks.on_run_start(ctx)
@@ -204,3 +216,19 @@ class ThreadedBackend(_DistributedBackend):
     """Master–slave over threads (deterministic, test-friendly)."""
 
     name = "threaded"
+
+
+class SocketBackend(_DistributedBackend):
+    """Master–slave over TCP worker processes (single- or multi-node).
+
+    Constructor options reach :class:`~repro.parallel.DistributedRunner`
+    unchanged; the load-bearing ones are ``hosts="nodeA:5,nodeB:4"`` (where
+    the ranks run; localhost entries are spawned automatically) and
+    ``bind="0.0.0.0:5555"`` (the rendezvous address remote ``repro worker``
+    processes connect to).  When the experiment's dataset came from the
+    registry, each node renders its own copy instead of receiving the
+    arrays over the wire.
+    """
+
+    name = "socket"
+    renders_remotely = True

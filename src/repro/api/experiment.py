@@ -176,6 +176,19 @@ class Experiment:
             return DATASETS.create(DEFAULT_DATASET, self.config)
         return source
 
+    def dataset_spec(self) -> tuple[str, dict] | None:
+        """Registry name + options of the corpus, when it has one.
+
+        ``None`` for ready-made :class:`ArrayDataset` objects — those can
+        only travel by value.
+        """
+        source = self._dataset_source
+        if isinstance(source, str):
+            return source, dict(self._dataset_options)
+        if source is None:
+            return DEFAULT_DATASET, {}
+        return None
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> RunResult:
@@ -186,13 +199,19 @@ class Experiment:
             raise TypeError(
                 f"backend factory for {config.execution.backend!r} produced "
                 f"{type(backend).__name__}, not a TrainerBackend")
+        spec = self.dataset_spec()
+        # Spawn-based substrates render registry datasets per node; building
+        # the arrays here too would be pure wasted work (and wire bytes).
+        renders_remotely = (getattr(backend, "renders_remotely", False)
+                            and spec is not None)
         ctx = RunContext(
             config=config,
-            dataset=self.build_dataset(),
+            dataset=None if renders_remotely else self.build_dataset(),
             callbacks=CallbackList(self._callbacks),
             backend_name=backend.name,
             exchange_mode=self._exchange_mode,
             profile=self._profile,
+            dataset_spec=spec,
             checkpoint=self._checkpoint,
         )
         return backend.execute(ctx)

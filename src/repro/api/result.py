@@ -82,6 +82,15 @@ class RunResult:
         """Event traces of a traced distributed run (empty otherwise)."""
         return list(self.distributed.traces) if self.distributed is not None else []
 
+    @property
+    def transport_stats(self) -> list:
+        """Per-rank :class:`~repro.mpi.TransportStats` of a distributed run
+        (rank order, rank 0 = master; empty on sequential runs, which move
+        no messages)."""
+        if self.distributed is not None:
+            return list(self.distributed.transport_stats)
+        return []
+
     def best_cell_index(self) -> int:
         """Cell whose final generator fitness is best (lowest loss)."""
         return self.training.best_cell_index()

@@ -29,6 +29,10 @@ Commands
 ``sample``
     One-shot generation from a checkpoint to ``.npz``:
     ``python -m repro sample --checkpoint out.npz --n 64 --out images.npz``.
+``worker``
+    Attach this machine to a socket-backend run:
+    ``python -m repro worker --connect coordinator:5555 --slots 4``.
+    The coordinator side is ``repro run --backend socket --hosts ...``.
 """
 
 from __future__ import annotations
@@ -82,6 +86,15 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="training corpus (from the dataset registry)")
     parser.add_argument("--exchange", choices=("neighbors", "allgather", "async"),
                         default="neighbors")
+    parser.add_argument("--hosts", metavar="HOST:SLOTS,...",
+                        help="socket backend only: where the ranks run, e.g. "
+                             "'nodeA:5,nodeB:4' (localhost entries are "
+                             "spawned automatically; slots must sum to "
+                             "cells + 1)")
+    parser.add_argument("--bind", metavar="HOST:PORT",
+                        help="socket backend only: coordinator listen "
+                             "address (default 127.0.0.1, ephemeral port; "
+                             "bind 0.0.0.0:PORT for remote workers)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument("--out", required=True, metavar="PATH")
 
+    worker = sub.add_parser("worker", help="host ranks of a socket-backend "
+                                           "run on this machine")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's rendezvous address")
+    worker.add_argument("--slots", type=int, default=1,
+                        help="how many ranks this worker hosts (default 1)")
+    worker.add_argument("--token", default=None,
+                        help="rendezvous token printed by the coordinator")
+    worker.add_argument("--index", type=int, default=None,
+                        help=argparse.SUPPRESS)  # set by the coordinator spawn
+    worker.add_argument("--timeout", type=float, default=60.0,
+                        help="seconds to wait for the rendezvous (default 60)")
+    worker.add_argument("--quiet", action="store_true")
+
     return parser
 
 
@@ -164,6 +191,15 @@ def _build_experiment(args):
     from repro.api import Experiment
     from repro.config import paper_table1_config
 
+    backend_options = {}
+    for option in ("hosts", "bind"):
+        value = getattr(args, option, None)
+        if value is not None:
+            if args.backend != "socket":
+                raise SystemExit(
+                    f"--{option} only applies to --backend socket "
+                    f"(got --backend {args.backend})")
+            backend_options[option] = value
     base = paper_table1_config(*args.grid).scaled(
         iterations=args.iterations,
         dataset_size=args.dataset_size,
@@ -174,7 +210,7 @@ def _build_experiment(args):
             .loss(args.loss)
             .override(seed=args.seed)
             .dataset(args.dataset)
-            .backend(args.backend)
+            .backend(args.backend, **backend_options)
             .exchange(args.exchange))
 
 
@@ -190,6 +226,23 @@ def _report_result(result, cells: int) -> None:
               f"d-fitness {last.best_discriminator_fitness:9.4f}  "
               f"lr {last.learning_rate:.6f}")
     print(f"best cell: {result.best_cell_index()}")
+    _report_transport_stats(result)
+
+
+def _report_transport_stats(result) -> None:
+    """Per-rank message/byte counters of a distributed run (rank 0 is the
+    master; the payload-byte totals sit next to the timer snapshots in the
+    profile output)."""
+    stats = getattr(result, "transport_stats", [])
+    if not stats:
+        return
+    from repro.mpi import merge_transport_stats
+
+    total = merge_transport_stats(stats)
+    print(f"transport traffic: {total.messages_sent} messages, "
+          f"{total.bytes_sent / 1024:.1f} KiB payload")
+    for record in stats:
+        print(f"  {record.summary()}")
 
 
 def _cmd_run(args) -> int:
@@ -314,6 +367,21 @@ def _cmd_sample(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.mpi.socket_transport import worker_main
+    from repro.runtime import pin_blas_threads
+
+    pin_blas_threads(1)  # one rank = one core, exactly like spawned ranks
+    return worker_main(
+        args.connect,
+        slots=args.slots,
+        token=args.token,
+        index=args.index,
+        timeout=args.timeout,
+        quiet=args.quiet,
+    )
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -323,6 +391,7 @@ _COMMANDS = {
     "fig": _cmd_fig,
     "serve": _cmd_serve,
     "sample": _cmd_sample,
+    "worker": _cmd_worker,
 }
 
 

@@ -22,7 +22,13 @@ from repro.cluster.scheduler import (
     JobState,
     ResourceRequest,
 )
-from repro.cluster.placement import PlacementPlan, place_tasks, table2_resources
+from repro.cluster.placement import (
+    PlacementPlan,
+    place_tasks,
+    plan_from_hosts,
+    platform_from_hosts,
+    table2_resources,
+)
 
 __all__ = [
     "ComputeNode",
@@ -35,5 +41,7 @@ __all__ = [
     "BestEffortScheduler",
     "PlacementPlan",
     "place_tasks",
+    "plan_from_hosts",
+    "platform_from_hosts",
     "table2_resources",
 ]

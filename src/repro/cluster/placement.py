@@ -12,9 +12,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.platform import ClusterPlatform
+from repro.cluster.platform import ClusterPlatform, ComputeNode
 
-__all__ = ["PlacementPlan", "place_tasks", "table2_resources", "PER_TASK_MEMORY_MB"]
+__all__ = [
+    "PlacementPlan",
+    "place_tasks",
+    "plan_from_hosts",
+    "platform_from_hosts",
+    "table2_resources",
+    "PER_TASK_MEMORY_MB",
+]
 
 #: Memory requested per task, reverse-engineered from the paper's Table II
 #: (9216 MB / 5 tasks = 18432 MB / 10 tasks = 1843.2 MB; the 4x4 row is the
@@ -77,6 +84,43 @@ def place_tasks(platform: ClusterPlatform, tasks: int,
         if not progressed:  # pragma: no cover - guarded by the capacity check
             raise RuntimeError("placement loop stalled")
     return PlacementPlan(tuple(assignment))
+
+
+def plan_from_hosts(hosts: list[tuple[str, int]]) -> PlacementPlan:
+    """Placement derived from a socket-backend host spec.
+
+    The socket transport assigns contiguous rank blocks in host-spec order
+    (worker i hosts ranks ``offset..offset+slots``), so the plan here is by
+    construction the *actual* rank-to-host mapping of the run — the master
+    reports real placement instead of simulating one.
+    """
+    task_nodes: list[str] = []
+    for host, slots in hosts:
+        if slots < 1:
+            raise ValueError(f"host {host!r} must provide at least one slot")
+        task_nodes.extend([host] * slots)
+    if not task_nodes:
+        raise ValueError("host spec is empty")
+    return PlacementPlan(tuple(task_nodes))
+
+
+def platform_from_hosts(hosts: list[tuple[str, int]],
+                        memory_mb_per_slot: int = 4096) -> ClusterPlatform:
+    """A :class:`ClusterPlatform` modelling a real host spec.
+
+    One node per distinct host, with as many cores as the spec grants it —
+    the socket backend's answer to ``cluster_uy()``: the master's placement
+    and resource accounting run against the machines actually attached.
+    """
+    merged: dict[str, int] = {}
+    for host, slots in hosts:
+        merged[host] = merged.get(host, 0) + slots
+    nodes = [
+        ComputeNode(name=host, cores=slots,
+                    memory_mb=slots * memory_mb_per_slot, storage_gb=0)
+        for host, slots in merged.items()
+    ]
+    return ClusterPlatform(name="socket-hosts", nodes=nodes)
 
 
 def table2_resources(grid_rows: int, grid_cols: int) -> dict[str, int]:

@@ -12,10 +12,13 @@ scratch:
 * communicator management: ``Split`` (builds the paper's LOCAL and GLOBAL
   communicators out of WORLD) and ``Create_cart`` (the Cartesian topology
   the paper suggests via ``MPI_CART_CREATE``);
-* two transports with identical semantics: **threads** (one rank per thread,
-  for fast deterministic tests) and **processes** (one rank per OS process
-  via ``fork``, giving true multi-core parallelism — the configuration used
-  for all timing experiments).
+* pluggable transports with identical semantics behind the
+  :class:`~repro.mpi.transport.Transport` protocol: **threads** (one rank
+  per thread, for fast deterministic tests), **processes** (one rank per OS
+  process via ``fork``, true multi-core parallelism — the configuration
+  used for all timing experiments) and **sockets** (ranks hosted by
+  ``repro worker`` processes over TCP — the multi-node mode, with
+  length-prefixed pickle-5 frames and out-of-band NumPy buffers).
 
 Entry point: :func:`repro.mpi.launcher.run_mpi` — the ``mpiexec`` of this
 runtime.
@@ -25,6 +28,13 @@ from repro.mpi.constants import ANY_SOURCE, ANY_TAG, MAX_USER_TAG
 from repro.mpi.comm import CartComm, Comm, Status
 from repro.mpi.errors import MpiError, MpiTimeoutError, MpiWorkerError
 from repro.mpi.launcher import run_mpi
+from repro.mpi.stats import TransportStats, merge_transport_stats
+from repro.mpi.transport import (
+    Transport,
+    available_transports,
+    make_transport,
+    register_transport,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -37,4 +47,10 @@ __all__ = [
     "MpiTimeoutError",
     "MpiWorkerError",
     "run_mpi",
+    "Transport",
+    "TransportStats",
+    "merge_transport_stats",
+    "available_transports",
+    "make_transport",
+    "register_transport",
 ]

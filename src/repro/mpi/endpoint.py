@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.errors import MpiError, MpiTimeoutError
+from repro.mpi.stats import TransportStats
 
 __all__ = ["Envelope", "Endpoint", "SHUTDOWN"]
 
@@ -105,16 +106,21 @@ class Endpoint:
     """Receive side of one rank; also routes sends to peer mailboxes."""
 
     def __init__(self, rank: int, inbox, peers: dict[int, Callable[[Any], None]],
-                 puts_block: bool = False, flush_timeout: float = 10.0):
+                 puts_block: bool = False, flush_timeout: float = 10.0,
+                 stats: TransportStats | None = None):
         """``inbox`` must expose blocking ``get()``; ``peers`` maps global
-        rank to a callable enqueueing into that rank's mailbox.
+        rank to a callable enqueueing into that rank's mailbox — a queue
+        put, or a framed socket write on remote transports; the endpoint
+        never assumes which.
 
-        ``puts_block=True`` (process transport: pipe-backed mailboxes with
-        finite kernel buffers) routes sends through per-destination relays
-        so user threads never block inside a send.  In-process transports
-        put directly.
+        ``puts_block=True`` (transports whose put can stall: pipe-backed
+        mailboxes with finite kernel buffers, TCP sockets with full send
+        windows) routes sends through per-destination relays so user
+        threads never block inside a send.  In-process transports put
+        directly.
         """
         self.rank = rank
+        self.stats = stats if stats is not None else TransportStats(rank)
         self._inbox = inbox
         self._peers = peers
         self._puts_block = puts_block
@@ -139,6 +145,7 @@ class Endpoint:
                     self._closed = True
                     self._cond.notify_all()
                 return
+            self.stats.count_received(item.payload)
             with self._cond:
                 self._buffer.append(item)
                 self._cond.notify_all()
@@ -150,6 +157,7 @@ class Endpoint:
             put = self._peers[global_rank]
         except KeyError:
             raise MpiError(f"unknown destination rank {global_rank}") from None
+        self.stats.count_sent(envelope.payload)
         if not self._puts_block:
             put(envelope)
             return

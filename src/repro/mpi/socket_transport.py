@@ -1,0 +1,714 @@
+"""TCP transport: multi-node runs over length-prefixed pickle-5 frames.
+
+Topology is hub-and-spoke.  One **coordinator** (the launching process —
+:class:`SocketTransport`) binds a TCP port and runs the rendezvous: ``N``
+worker processes (``repro worker --connect host:port``) connect, present a
+hello frame, and receive a contiguous block of ranks plus the pickled
+per-rank program.  After the rendezvous barrier the coordinator becomes a
+pure router — ``MSG`` frames are forwarded to the destination rank's
+connection *without re-pickling* (the frame body passes through opaque) —
+and a results collector.
+
+Each worker hosts its block of ranks as threads sharing one connection:
+sends to co-hosted ranks short-circuit through in-process queues, sends to
+remote ranks are framed onto the socket.  A worker that dies (process kill,
+network partition) surfaces as synthesized failed outcomes for its ranks,
+exactly like a forked rank dying under :class:`ProcessTransport` — the
+master's heartbeat layer sees the silence and degrades the run the same
+way on both substrates.
+
+Host specs (``--hosts``) are ``host:slots`` entries; ``localhost`` /
+``127.0.0.1`` / ``::1`` blocks are spawned automatically as local
+subprocesses, anything else is waited for (the coordinator prints the
+``repro worker`` command to start on that machine).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.mpi import wire
+from repro.mpi.endpoint import SHUTDOWN
+from repro.mpi.errors import MpiError
+from repro.mpi.transport import Transport, WorkerOutcome, execute_rank
+
+__all__ = [
+    "SocketTransport",
+    "worker_main",
+    "parse_host_spec",
+    "parse_address",
+]
+
+#: Hostnames the coordinator may spawn workers for by itself.
+LOCAL_HOSTNAMES = {"localhost", "127.0.0.1", "::1"}
+
+_WIRE_VERSION = 1
+
+
+# -- spec parsing -------------------------------------------------------------
+
+def parse_host_spec(spec: str | Sequence[str] | Sequence[tuple[str, int]] | None,
+                    size: int) -> list[tuple[str, int]]:
+    """Normalize a host spec into ``[(host, slots), ...]`` summing to ``size``.
+
+    Accepts ``"hostA:3,hostB:2"``, a list of such entries, or ready pairs;
+    a bare ``"host"`` means one slot.  ``None`` places everything in one
+    local worker — the laptop mode of the socket backend.
+    """
+    if spec is None:
+        return [("127.0.0.1", size)]
+    if isinstance(spec, str):
+        entries: Sequence[Any] = [e for e in spec.split(",") if e.strip()]
+    else:
+        entries = spec
+    hosts: list[tuple[str, int]] = []
+    for entry in entries:
+        if isinstance(entry, tuple):
+            host, slots = entry
+        else:
+            host, slots = _split_host_entry(str(entry).strip())
+        if not host or slots < 1:
+            raise ValueError(f"bad host entry {entry!r}; expected 'host:slots'")
+        hosts.append((host, int(slots)))
+    total = sum(slots for _, slots in hosts)
+    if total != size:
+        raise ValueError(
+            f"host spec provides {total} slot(s) but the job needs {size} "
+            f"rank(s); adjust --hosts so the slots sum to the world size")
+    return hosts
+
+
+def _split_numeric_suffix(text: str, default: int) -> tuple[str, int]:
+    """``host[:n]`` into ``(host, n)`` — the shared parse behind host-spec
+    slots and address ports.  IPv6 literals use ``[addr]:n``; an
+    unbracketed multi-colon string (``::1``) is treated as a bare host.
+
+    A single-colon suffix that is not a number (``nodeB:5x``,
+    ``coord:555o``) is a typo, not a hostname — it fails loudly here
+    instead of surfacing minutes later as a timeout on a host or port
+    that never existed.
+    """
+    if text.startswith("["):
+        addr, bracket, tail = text[1:].partition("]")
+        if not bracket:
+            raise ValueError(f"unterminated IPv6 literal in {text!r}")
+        suffix = tail.lstrip(":")
+        if suffix and not suffix.isdigit():
+            raise ValueError(
+                f"bad entry {text!r}: the value after ':' must be a number")
+        return addr, int(suffix) if suffix else default
+    head, colon, tail = text.rpartition(":")
+    if colon and tail.isdigit() and ":" not in head:
+        return head, int(tail)
+    if colon and text.count(":") == 1:
+        raise ValueError(
+            f"bad entry {text!r}: the value after ':' must be a number")
+    return text, default
+
+
+def _split_host_entry(entry: str) -> tuple[str, int]:
+    """One ``host[:slots]`` entry; a bare host means one slot."""
+    return _split_numeric_suffix(entry, default=1)
+
+
+def parse_address(text: str, default_port: int = 0) -> tuple[str, int]:
+    """``"host:port"`` (or bare ``"host"``) into a connectable pair;
+    IPv6 literals use ``[addr]:port``."""
+    return _split_numeric_suffix(text, default=default_port)
+
+
+def _is_local(host: str) -> bool:
+    return host in LOCAL_HOSTNAMES
+
+
+# -- coordinator --------------------------------------------------------------
+
+class _WorkerConnection:
+    """Coordinator-side view of one worker: socket, ranks, IO threads."""
+
+    def __init__(self, index: int, host: str, sock: socket.socket,
+                 ranks: list[int]):
+        self.index = index
+        self.host = host
+        self.sock = sock
+        self.ranks = ranks
+        #: Packed frames, forwarded (header, body) parts, or None to stop.
+        self.outbound: "queue.Queue[bytes | tuple[bytes, bytes] | None]" = queue.Queue()
+        self.finished: set[int] = set()
+        self.dead = False
+        self.lock = threading.Lock()
+        self.reader: threading.Thread | None = None
+        self.writer: threading.Thread | None = None
+
+
+class SocketTransport(Transport):
+    """Rank hosting over TCP worker processes (the multi-node substrate).
+
+    Options
+    -------
+    hosts:
+        Host spec (see :func:`parse_host_spec`); ``None`` spawns one local
+        worker hosting every rank.
+    bind:
+        ``host:port`` the coordinator listens on; port 0 picks a free one.
+        Bind a routable address (e.g. ``0.0.0.0:5555``) for real clusters.
+    token:
+        Shared secret the hello frame must present; autogenerated when not
+        given (spawned workers receive it on their command line, the hint
+        printed for remote hosts includes it).
+    start_timeout:
+        Seconds the rendezvous may take before the launch fails.
+    """
+
+    name = "socket"
+
+    def __init__(self, size: int, *, hosts: Any = None, bind: str = "127.0.0.1:0",
+                 start_timeout: float = 60.0, token: str | None = None,
+                 python: str | None = None):
+        super().__init__(size)
+        self.hosts = parse_host_spec(hosts, size)
+        self.bind_host, self.bind_port = parse_address(bind, default_port=0)
+        self.start_timeout = start_timeout
+        self.token = token if token is not None else secrets.token_hex(8)
+        self.python = python or sys.executable
+        # Contiguous rank blocks in host-spec order: worker i gets
+        # ranks[offsets[i] : offsets[i] + slots[i]].
+        self._blocks: list[list[int]] = []
+        offset = 0
+        for _, slots in self.hosts:
+            self._blocks.append(list(range(offset, offset + slots)))
+            offset += slots
+        self._connections: list[_WorkerConnection | None] = [None] * len(self.hosts)
+        self._rank_conn: dict[int, _WorkerConnection] = {}
+        self._results: "queue.Queue[WorkerOutcome]" = queue.Queue()
+        self._listener: socket.socket | None = None
+        self._procs: list[subprocess.Popen | None] = [None] * len(self.hosts)
+        self._shut_down = False
+
+    # -- public address (for hints and spawned workers) --------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._listener is not None, "launch() binds the listener first"
+        return self._advertised_host, self._listener.getsockname()[1]
+
+    @property
+    def _advertised_host(self) -> str:
+        if self.bind_host in ("", "0.0.0.0", "::"):
+            return socket.gethostname()
+        return self.bind_host
+
+    @staticmethod
+    def _format_address(host: str, port: int) -> str:
+        """Connectable ``host:port`` text; IPv6 literals get brackets."""
+        return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+
+    def worker_command(self, index: int) -> str:
+        """The shell command that attaches host ``index``'s worker.
+
+        Printed for the operator to paste on the remote machine; assumes
+        the repo is importable there (``PYTHONPATH=src`` from a checkout,
+        exactly like every other documented invocation).
+        """
+        host, port = self.address
+        # --timeout mirrors the coordinator's rendezvous window: the START
+        # frame only arrives once every worker joined, so a worker waiting
+        # on its default 60s would abort long multi-operator rendezvous.
+        return (f"PYTHONPATH=src python -m repro worker "
+                f"--connect {self._format_address(host, port)} "
+                f"--slots {len(self._blocks[index])} --index {index} "
+                f"--token {self.token} --timeout {self.start_timeout}")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def launch(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> None:
+        try:
+            program = wire.encode_body((fn, tuple(args)))
+        except Exception as exc:
+            raise MpiError(
+                "the socket transport sends the per-rank program to remote "
+                "workers, so fn and args must be picklable (module-level "
+                f"function, no closures): {exc}") from exc
+
+        # IPv6 literals ([::1], ::) get an AF_INET6 listener; everything
+        # else (hostnames, IPv4, wildcard) stays AF_INET.
+        family = (socket.AF_INET6 if ":" in self.bind_host
+                  else socket.AF_INET)
+        listener = socket.socket(family, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host if self.bind_host else "0.0.0.0",
+                       self.bind_port))
+        listener.listen(len(self.hosts))
+        listener.settimeout(0.2)
+        self._listener = listener
+
+        self._spawn_local_workers()
+        self._rendezvous()
+        # Barrier passed: every rank is connected, routing is safe — send
+        # each worker its rank block and the program, then start routing.
+        for conn in self._connections:
+            assert conn is not None
+            frame = wire.pack_frame(wire.START, conn.index, {
+                "ranks": conn.ranks,
+                "size": self.size,
+                "program": program,
+            })
+            wire.write_frame(conn.sock, frame)
+            conn.reader = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name=f"mpi-router-recv-{conn.index}", daemon=True)
+            conn.writer = threading.Thread(
+                target=self._writer_loop, args=(conn,),
+                name=f"mpi-router-send-{conn.index}", daemon=True)
+            conn.reader.start()
+            conn.writer.start()
+
+    @property
+    def _local_connect_host(self) -> str:
+        """Where spawned localhost workers connect: loopback of the
+        listener's family when it accepts one (default/wildcard binds),
+        otherwise the bound address itself — binding a specific routable
+        IP must not strand the local entries on an unreachable loopback."""
+        if self.bind_host in ("::", "::1"):
+            return "::1"
+        if self.bind_host in ("", "0.0.0.0", "localhost", "127.0.0.1"):
+            return "127.0.0.1"
+        return self.bind_host
+
+    def _spawn_local_workers(self) -> None:
+        port = self.address[1]
+        connect = self._format_address(self._local_connect_host, port)
+        env = dict(os.environ)
+        # Spawned workers must resolve the same modules the program pickles
+        # reference (repro itself, plus e.g. a test module defining fn) —
+        # hand them the parent's import path verbatim.
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in sys.path if p) or env.get("PYTHONPATH", "")
+        for index, (hostname, slots) in enumerate(self.hosts):
+            if not _is_local(hostname):
+                print(f"[socket] waiting for worker {index} on {hostname}: "
+                      f"run `{self.worker_command(index)}`", file=sys.stderr)
+                continue
+            self._procs[index] = subprocess.Popen(
+                [self.python, "-m", "repro", "worker",
+                 "--connect", connect,
+                 "--slots", str(slots), "--index", str(index),
+                 "--token", self.token, "--quiet",
+                 # The START frame only arrives once *all* workers joined,
+                 # so a spawned worker must wait out the same rendezvous
+                 # window as the coordinator, not its own 60s default.
+                 "--timeout", str(self.start_timeout)],
+                env=env,
+            )
+
+    def _rendezvous(self) -> None:
+        deadline = time.monotonic() + self.start_timeout
+        pending = set(range(len(self.hosts)))
+        assert self._listener is not None
+        while pending:
+            if time.monotonic() > deadline:
+                self.shutdown()
+                raise MpiError(
+                    f"rendezvous timed out: worker(s) {sorted(pending)} "
+                    f"never connected within {self.start_timeout}s")
+            for index in pending:
+                proc = self._procs[index]
+                if proc is not None and proc.poll() is not None:
+                    self.shutdown()
+                    raise MpiError(
+                        f"spawned worker {index} exited with code "
+                        f"{proc.returncode} before the rendezvous")
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            index = self._admit(sock, pending, deadline)
+            if index is not None:
+                pending.discard(index)
+
+    def _admit(self, sock: socket.socket, pending: set[int],
+               deadline: float) -> int | None:
+        """Validate one hello; assign a worker slot or reject the socket."""
+        try:
+            # Short per-hello budget: a silent or hostile connection (port
+            # scanner on a routable bind) must cost seconds, not the whole
+            # rendezvous window — real workers send their hello instantly.
+            sock.settimeout(min(5.0, max(0.1, deadline - time.monotonic())))
+            frame = wire.read_frame(sock)
+            sock.settimeout(None)
+            if frame.kind != wire.HELLO:
+                raise wire.WireError(f"expected HELLO, got kind {frame.kind}")
+            hello = frame.payload()
+            if hello.get("version") != _WIRE_VERSION:
+                raise wire.WireError(
+                    f"wire version mismatch: coordinator {_WIRE_VERSION}, "
+                    f"worker {hello.get('version')}")
+            if self.token and hello.get("token") != self.token:
+                raise wire.WireError("bad rendezvous token")
+            index = hello.get("index")
+            if index is None:  # externally started without --index
+                # Local blocks are never up for grabs: each one already has
+                # a spawned worker carrying --index, so an index-less hello
+                # is by definition an external machine — letting it claim a
+                # localhost slot would strand the spawned worker and hang
+                # the rendezvous.
+                candidates = [i for i in sorted(pending)
+                              if len(self._blocks[i]) == hello.get("slots")
+                              and not _is_local(self.hosts[i][0])]
+                if not candidates:
+                    raise wire.WireError(
+                        f"no pending remote worker slot takes "
+                        f"{hello.get('slots')} rank(s); check --slots "
+                        "against --hosts (localhost entries are spawned "
+                        "automatically and cannot be claimed externally)")
+                # Prefer the host-spec entry naming this machine, so the
+                # placement report stays the *actual* rank-to-host mapping
+                # even when two same-sized workers race to connect; fall
+                # back to spec order when nothing matches.
+                reported = str(hello.get("host", "")).casefold()
+                short = reported.partition(".")[0]
+                matching = [i for i in candidates
+                            if self.hosts[i][0].casefold() in (reported, short)]
+                index = (matching or candidates)[0]
+            index = int(index)
+            if index not in pending:
+                raise wire.WireError(f"worker slot {index} is not pending")
+            if hello.get("slots") != len(self._blocks[index]):
+                raise wire.WireError(
+                    f"worker {index} offered {hello.get('slots')} slot(s), "
+                    f"host spec expects {len(self._blocks[index])}")
+        except Exception as exc:  # noqa: BLE001 - anything a stranger sends
+            # The listener may sit on a routable address: one garbage or
+            # hostile connection (non-dict hello, unpicklable payload,
+            # absurd index) must reject that socket, never abort the job.
+            print(f"[socket] rejected connection: {exc}", file=sys.stderr)
+            sock.close()
+            return None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _WorkerConnection(index, self.hosts[index][0], sock,
+                                 self._blocks[index])
+        self._connections[index] = conn
+        for rank in conn.ranks:
+            self._rank_conn[rank] = conn
+        return index
+
+    # -- routing ------------------------------------------------------------
+
+    def _reader_loop(self, conn: _WorkerConnection) -> None:
+        try:
+            while True:
+                frame = wire.read_frame(conn.sock)
+                if frame.kind == wire.MSG:
+                    self._route(frame)
+                elif frame.kind == wire.RESULT:
+                    outcome: WorkerOutcome = frame.payload()
+                    with conn.lock:  # races _mark_dead's unfinished snapshot
+                        conn.finished.add(outcome.rank)
+                    self._results.put(outcome)
+                # Anything else from a worker is a protocol bug; ignore.
+        except Exception:  # noqa: BLE001 - a dead demux = a dead connection
+            # Includes decode failures (UnpicklingError, missing classes):
+            # anything that stops this reader must degrade like a lost
+            # connection, not hang the job until the global timeout.
+            self._mark_dead(conn)
+
+    def _route(self, frame: wire.Frame) -> None:
+        """Forward a MSG frame to its destination rank's worker, untouched —
+        the received header and body pass through verbatim (no re-pickle,
+        no re-pack, no concatenation) on the exchange hot path.
+
+        Frames addressed to a dead worker are dropped — the exact semantics
+        of the process transport's abandoned relay lanes, which the
+        heartbeat/abort path depends on.
+        """
+        conn = self._rank_conn.get(frame.rank)
+        if conn is None or conn.dead:
+            return
+        conn.outbound.put(frame.parts)
+
+    def _writer_loop(self, conn: _WorkerConnection) -> None:
+        while True:
+            frame = conn.outbound.get()
+            if frame is None:
+                return
+            try:
+                wire.write_frame(conn.sock, frame)
+            except wire.WireError:
+                self._mark_dead(conn)
+                return
+
+    def _mark_dead(self, conn: _WorkerConnection) -> None:
+        """Synthesize failed outcomes for a worker's unreported ranks."""
+        with conn.lock:
+            if conn.dead:
+                return
+            conn.dead = True
+            # Snapshot under the lock: a RESULT the reader is processing
+            # concurrently must not also get a synthesized outcome.
+            unreported = [rank for rank in conn.ranks
+                          if rank not in conn.finished]
+            conn.finished.update(unreported)
+        # Wake the writer so it exits instead of blocking on an outbound
+        # queue nothing will ever feed again (routing drops dead conns).
+        conn.outbound.put(None)
+        proc = self._procs[conn.index]
+        exit_note = ""
+        if proc is not None and proc.poll() is not None:
+            exit_note = f" (worker process exited with code {proc.returncode})"
+        for rank in unreported:
+            self._results.put(WorkerOutcome(
+                rank,
+                error=(f"connection to worker {conn.index} on "
+                       f"{conn.host} lost before rank {rank} reported a "
+                       f"result{exit_note}"),
+            ))
+
+    # -- collection / teardown ----------------------------------------------
+
+    def collect(self, timeout: float | None) -> list[WorkerOutcome]:
+        outcomes: dict[int, WorkerOutcome] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(outcomes) < self.size:
+            remaining = 0.25
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    raise TimeoutError("timed out waiting for worker results")
+            try:
+                outcome = self._results.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            existing = outcomes.get(outcome.rank)
+            # A real result beats an outcome synthesized from a half-dead
+            # connection, whatever order the two threads raced in.
+            if existing is None or (existing.failed and not outcome.failed):
+                outcomes[outcome.rank] = outcome
+        return [outcomes[rank] for rank in range(self.size)]
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for conn in self._connections:
+            if conn is None or conn.dead:
+                continue
+            if conn.writer is not None and conn.writer.is_alive():
+                # Through the writer lane so the goodbye cannot interleave
+                # with an in-flight routed frame.
+                conn.outbound.put(wire.pack_frame(wire.SHUTDOWN, 0))
+            else:
+                try:
+                    wire.write_frame(conn.sock, wire.pack_frame(wire.SHUTDOWN, 0))
+                except wire.WireError:
+                    pass
+            conn.outbound.put(None)
+        if self._listener is not None:
+            self._listener.close()
+        for conn in self._connections:
+            if conn is None:
+                continue
+            for thread in (conn.writer,):
+                if thread is not None and thread.is_alive():
+                    thread.join(timeout=2.0)
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+
+    def kill_rank(self, rank: int) -> None:
+        """SIGKILL the worker process hosting ``rank`` (fault injection).
+
+        Spawned workers are killed outright; externally attached workers
+        have their connection severed instead, which is indistinguishable
+        from a network partition.
+        """
+        conn = self._rank_conn.get(rank)
+        if conn is None:
+            raise ValueError(f"rank {rank} is not hosted by any worker")
+        proc = self._procs[conn.index]
+        if proc is not None:
+            proc.kill()
+        else:
+            conn.sock.close()
+
+
+# -- worker side --------------------------------------------------------------
+
+class _WorkerHub:
+    """One worker process's shared connection: demux inboxes + framed sends."""
+
+    def __init__(self, sock: socket.socket, ranks: list[int], size: int):
+        self.sock = sock
+        self.ranks = set(ranks)
+        self.size = size
+        self.inboxes: dict[int, queue.SimpleQueue] = {
+            rank: queue.SimpleQueue() for rank in ranks
+        }
+        self.shutdown_seen = threading.Event()
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(target=self._reader_loop,
+                                        name="mpi-worker-hub", daemon=True)
+        self._reader.start()
+
+    def peers_for(self, rank: int) -> dict[int, Callable[[Any], None]]:
+        """Putters for one hosted rank: local queues for co-hosted ranks,
+        framed sends for everyone else."""
+        peers: dict[int, Callable[[Any], None]] = {}
+        for dest in range(self.size):
+            if dest in self.ranks:
+                peers[dest] = self.inboxes[dest].put
+            else:
+                peers[dest] = self._remote_putter(dest)
+        return peers
+
+    def _remote_putter(self, dest: int) -> Callable[[Any], None]:
+        def put(envelope: Any) -> None:
+            frame = wire.pack_frame(wire.MSG, dest, envelope)
+            try:
+                with self._send_lock:
+                    if self._closed:
+                        return  # coordinator gone: drop, like a dead pipe
+                    wire.write_frame(self.sock, frame)
+            except wire.WireError:
+                self._on_connection_lost()
+        return put
+
+    def send_result(self, outcome: WorkerOutcome) -> None:
+        frame = wire.pack_frame(wire.RESULT, outcome.rank, outcome)
+        try:
+            with self._send_lock:
+                if not self._closed:
+                    wire.write_frame(self.sock, frame)
+        except wire.WireError:
+            self._on_connection_lost()
+
+    def _reader_loop(self) -> None:
+        try:
+            while True:
+                frame = wire.read_frame(self.sock)
+                if frame.kind == wire.MSG:
+                    inbox = self.inboxes.get(frame.rank)
+                    if inbox is not None:
+                        inbox.put(frame.payload())
+                elif frame.kind == wire.SHUTDOWN:
+                    # The coordinator may shut down while hosted ranks are
+                    # still mid-run (global timeout, launch failure): close
+                    # their endpoints so blocked receives fail fast instead
+                    # of hanging this worker forever.  After a normal
+                    # finish the sentinel just sits in a drained queue.
+                    for inbox in self.inboxes.values():
+                        inbox.put(SHUTDOWN)
+                    self.shutdown_seen.set()
+                    return
+        except Exception:  # noqa: BLE001 - a dead demux = a dead connection
+            # Same rationale as the coordinator's reader: decode errors
+            # (e.g. a payload class defined only in the launcher's
+            # __main__) must fail the hosted ranks fast, not strand them.
+            self._on_connection_lost()
+
+    def _on_connection_lost(self) -> None:
+        """Coordinator died: close every hosted endpoint so blocked receives
+        fail fast instead of hanging the worker forever."""
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for inbox in self.inboxes.values():
+            inbox.put(SHUTDOWN)
+        self.shutdown_seen.set()
+
+
+def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
+                index: int | None = None, timeout: float = 60.0,
+                quiet: bool = False) -> int:
+    """Entry point of ``repro worker``: host ``slots`` ranks of a socket job.
+
+    Connects to the coordinator at ``connect`` (``host:port``), completes
+    the rendezvous handshake, runs its assigned ranks, reports their
+    outcomes, and exits 0 when every hosted rank succeeded.
+    """
+    host, port = parse_address(connect)
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        print(f"[worker] cannot reach coordinator {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    wire.write_frame(sock, wire.pack_frame(wire.HELLO, slots, {
+        "version": _WIRE_VERSION,
+        "token": token,
+        "slots": slots,
+        "index": index,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+    }))
+    sock.settimeout(timeout)
+    try:
+        frame = wire.read_frame(sock)
+    except wire.WireError as exc:
+        print(f"[worker] rejected by coordinator: {exc}", file=sys.stderr)
+        return 2
+    sock.settimeout(None)
+    if frame.kind != wire.START:
+        print(f"[worker] protocol error: expected START, got {frame.kind}",
+              file=sys.stderr)
+        return 2
+    start = frame.payload()
+    ranks, size = list(start["ranks"]), int(start["size"])
+    fn, args = wire.decode_body(start["program"])
+    if not quiet:
+        print(f"[worker] hosting rank(s) {ranks} of {size} "
+              f"(pid {os.getpid()})", file=sys.stderr)
+
+    hub = _WorkerHub(sock, ranks, size)
+    outcomes: dict[int, WorkerOutcome] = {}
+
+    def run_rank(rank: int) -> None:
+        # puts_block=True: socket sends can stall on a full TCP window, so
+        # endpoints route them through per-destination relays.
+        outcomes[rank] = execute_rank(rank, size, hub.inboxes[rank],
+                                      hub.peers_for(rank), True, fn, args)
+
+    threads = [threading.Thread(target=run_rank, args=(rank,),
+                                name=f"mpi-rank-{rank}", daemon=True)
+               for rank in ranks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    failed = 0
+    for rank in ranks:
+        outcome = outcomes.get(rank) or WorkerOutcome(
+            rank, error="rank thread died without an outcome")
+        if outcome.failed:
+            failed += 1
+        hub.send_result(outcome)
+    # Linger for the coordinator's shutdown frame so the socket is not torn
+    # down under the last result bytes.
+    hub.shutdown_seen.wait(timeout=timeout)
+    try:
+        sock.close()
+    except OSError:
+        pass
+    if not quiet:
+        print(f"[worker] done: {len(ranks) - failed}/{len(ranks)} rank(s) "
+              "succeeded", file=sys.stderr)
+    return 0 if failed == 0 else 1

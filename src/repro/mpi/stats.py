@@ -1,0 +1,96 @@
+"""Per-rank transport accounting.
+
+Every rank's :class:`~repro.mpi.endpoint.Endpoint` owns one
+:class:`TransportStats` and increments it on each send and each pumped
+receive, so the counters have identical semantics on every transport —
+threads, forked processes and TCP sockets alike.  Message counts are exact.
+Byte counts are *payload bytes*: the sizes of the NumPy buffers, byte blobs
+and strings reachable from each message (via :func:`payload_nbytes`), not
+serialized wire bytes — in-memory transports never serialize at all, and
+using one metric everywhere keeps the backend-overhead benchmark an
+apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Iterable
+
+__all__ = ["TransportStats", "payload_nbytes", "merge_transport_stats"]
+
+#: How deep :func:`payload_nbytes` walks nested containers/dataclasses.
+_MAX_DEPTH = 6
+
+
+def payload_nbytes(obj: Any, _depth: int = _MAX_DEPTH) -> int:
+    """Approximate payload size of one message in bytes.
+
+    Counts NumPy buffers (``.nbytes``), byte blobs and strings, recursing
+    through tuples, lists, dicts and dataclasses (genome exchange payloads
+    are dataclasses of arrays).  Opaque objects count as zero — this is an
+    accounting aid, not a serializer.
+    """
+    if _depth <= 0 or obj is None:
+        return 0
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):  # numpy arrays and scalars
+        return nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(v, _depth - 1) for v in obj.values())
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(v, _depth - 1) for v in obj)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return sum(
+            payload_nbytes(getattr(obj, f.name), _depth - 1) for f in fields(obj)
+        )
+    return 0
+
+
+@dataclass
+class TransportStats:
+    """Messages and payload bytes one rank moved through its endpoint."""
+
+    rank: int
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def count_sent(self, payload: Any) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += payload_nbytes(payload)
+
+    def count_received(self, payload: Any) -> None:
+        self.messages_received += 1
+        self.bytes_received += payload_nbytes(payload)
+
+    def summary(self) -> str:
+        """One line for CLI/log output."""
+        return (f"rank {self.rank}: sent {self.messages_sent} msg / "
+                f"{_format_bytes(self.bytes_sent)}, received "
+                f"{self.messages_received} msg / "
+                f"{_format_bytes(self.bytes_received)}")
+
+
+def merge_transport_stats(stats: Iterable[TransportStats]) -> TransportStats:
+    """Job-wide totals (``rank`` is set to -1 on the merged record)."""
+    total = TransportStats(rank=-1)
+    for record in stats:
+        total.messages_sent += record.messages_sent
+        total.messages_received += record.messages_received
+        total.bytes_sent += record.bytes_sent
+        total.bytes_received += record.bytes_received
+    return total
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(n)} B"  # pragma: no cover - unreachable

@@ -1,6 +1,8 @@
-"""Transports: how rank mailboxes are realized.
+"""Transports: how ranks are hosted and how their mailboxes are realized.
 
-Two implementations with identical semantics:
+:class:`Transport` is the explicit protocol the launcher drives — every
+implementation hosts ``size`` ranks, runs the per-rank program on each, and
+delivers one :class:`WorkerOutcome` per rank:
 
 * :class:`ThreadTransport` — every rank is a thread in this process;
   mailboxes are ``queue.SimpleQueue`` (no pickling, objects move by
@@ -11,10 +13,21 @@ Two implementations with identical semantics:
   are ``multiprocessing.SimpleQueue`` (OS pipes + pickle).  Gives the true
   multi-core parallelism used in all timing experiments; the fork start
   method lets children inherit the queue handles.
+* :class:`~repro.mpi.socket_transport.SocketTransport` (registered lazily
+  as ``"socket"``) — ranks live in ``repro worker`` processes connected
+  over TCP, one coordinator routing length-prefixed pickle-5 frames.  The
+  multi-node substrate; the per-rank program must be picklable.
+
+New transports plug in through :func:`register_transport`; the launcher,
+the distributed runner and the CLI all resolve names through
+:func:`make_transport`, so a registered transport is immediately reachable
+as an execution backend.
 """
 
 from __future__ import annotations
 
+import abc
+import importlib
 import multiprocessing
 import queue
 import threading
@@ -22,59 +35,122 @@ import time
 import traceback
 from typing import Any, Callable, Sequence
 
-from repro.mpi.endpoint import SHUTDOWN
+from repro.mpi.comm import Comm
+from repro.mpi.constants import WORLD_CONTEXT
+from repro.mpi.endpoint import SHUTDOWN, Endpoint
+from repro.mpi.stats import TransportStats
 
-__all__ = ["ThreadTransport", "ProcessTransport", "WorkerOutcome"]
+__all__ = [
+    "Transport",
+    "ThreadTransport",
+    "ProcessTransport",
+    "WorkerOutcome",
+    "execute_rank",
+    "make_transport",
+    "register_transport",
+    "available_transports",
+]
 
 
 class WorkerOutcome:
-    """What a rank produced: a return value or a formatted traceback."""
+    """What a rank produced: a return value or a formatted traceback, plus
+    the rank's transport counters."""
 
-    __slots__ = ("rank", "value", "error")
+    __slots__ = ("rank", "value", "error", "stats")
 
-    def __init__(self, rank: int, value: Any = None, error: str | None = None):
+    def __init__(self, rank: int, value: Any = None, error: str | None = None,
+                 stats: TransportStats | None = None):
         self.rank = rank
         self.value = value
         self.error = error
+        self.stats = stats
 
     @property
     def failed(self) -> bool:
         return self.error is not None
 
 
-class ThreadTransport:
-    """Ranks as threads; in-process queues as mailboxes."""
+def execute_rank(rank: int, size: int, inbox, peers: dict[int, Callable[[Any], None]],
+                 puts_block: bool, fn: Callable[..., Any],
+                 args: Sequence[Any]) -> WorkerOutcome:
+    """Run one rank's program to completion (shared by every transport).
 
-    name = "threaded"
-    #: In-memory queues never block on put; endpoints send directly.
-    puts_block = False
+    Builds the rank's endpoint and WORLD communicator, runs
+    ``fn(world, *args)``, and captures the outcome — value or traceback —
+    together with the endpoint's transport counters.
+    """
+    stats = TransportStats(rank)
+    endpoint = Endpoint(rank, inbox, peers, puts_block=puts_block, stats=stats)
+    try:
+        world = Comm(endpoint, WORLD_CONTEXT, range(size))
+        value = fn(world, *args)
+        return WorkerOutcome(rank, value=value, stats=stats)
+    except BaseException:
+        return WorkerOutcome(rank, error=traceback.format_exc(), stats=stats)
+    finally:
+        endpoint.close()
+
+
+class Transport(abc.ABC):
+    """Protocol every rank-hosting substrate implements.
+
+    Lifecycle: ``launch(fn, args)`` starts all ranks running
+    ``fn(world, *args)``; ``collect(timeout)`` blocks for one
+    :class:`WorkerOutcome` per rank (synthesizing failed outcomes for ranks
+    that died without reporting); ``shutdown()`` releases every resource and
+    is safe to call after an error.  ``kill_rank`` is the optional
+    fault-injection hook.
+    """
+
+    name: str = "abstract"
 
     def __init__(self, size: int):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
+
+    @abc.abstractmethod
+    def launch(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> None:
+        """Start all ``size`` ranks running ``fn(world, *args)``."""
+
+    @abc.abstractmethod
+    def collect(self, timeout: float | None) -> list[WorkerOutcome]:
+        """Wait for one outcome per rank; raises ``TimeoutError`` on expiry."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Tear down ranks, connections and helper threads (idempotent)."""
+
+    def kill_rank(self, rank: int) -> None:
+        """Forcibly kill one rank (fault-injection tests); optional."""
+        raise NotImplementedError(f"{self.name!r} transport cannot kill ranks")
+
+
+class ThreadTransport(Transport):
+    """Ranks as threads; in-process queues as mailboxes."""
+
+    name = "threaded"
+
+    def __init__(self, size: int):
+        super().__init__(size)
         self.mailboxes = [queue.SimpleQueue() for _ in range(size)]
         self.results: "queue.SimpleQueue[WorkerOutcome]" = queue.SimpleQueue()
         self._threads: list[threading.Thread] = []
 
-    def peer_putters(self) -> dict[int, Callable[[Any], None]]:
-        return {rank: mailbox.put for rank, mailbox in enumerate(self.mailboxes)}
-
-    def start(self, worker: Callable[[int], None]) -> None:
+    def launch(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> None:
+        # In-memory queues never block on put; endpoints send directly.
+        peers = {rank: mailbox.put for rank, mailbox in enumerate(self.mailboxes)}
         for rank in range(self.size):
             thread = threading.Thread(
-                target=self._run_worker, args=(worker, rank),
+                target=self._run_rank, args=(rank, peers, fn, args),
                 name=f"mpi-rank-{rank}", daemon=True,
             )
             self._threads.append(thread)
             thread.start()
 
-    def _run_worker(self, worker: Callable[[int], Any], rank: int) -> None:
-        try:
-            value = worker(rank)
-            self.results.put(WorkerOutcome(rank, value=value))
-        except BaseException:
-            self.results.put(WorkerOutcome(rank, error=traceback.format_exc()))
+    def _run_rank(self, rank: int, peers, fn, args) -> None:
+        self.results.put(execute_rank(rank, self.size, self.mailboxes[rank],
+                                      peers, False, fn, args))
 
     def collect(self, timeout: float | None) -> list[WorkerOutcome]:
         outcomes = []
@@ -94,20 +170,13 @@ class ThreadTransport:
             thread.join(timeout=5.0)
 
 
-class ProcessTransport:
+class ProcessTransport(Transport):
     """Ranks as forked processes; multiprocessing queues as mailboxes."""
 
     name = "process"
 
-    #: Pipe-backed mailboxes have finite kernel buffers: a put can block
-    #: once a dead rank's pipe fills.  Endpoints therefore route sends
-    #: through non-blocking per-destination relay threads.
-    puts_block = True
-
     def __init__(self, size: int):
-        if size < 1:
-            raise ValueError("world size must be >= 1")
-        self.size = size
+        super().__init__(size)
         self._ctx = multiprocessing.get_context("fork")
         # SimpleQueue: a plain pipe + lock; one pickling hop, no feeder
         # thread of its own (the Endpoint relay provides the async layer).
@@ -115,24 +184,22 @@ class ProcessTransport:
         self.results = self._ctx.SimpleQueue()
         self._processes: list[multiprocessing.process.BaseProcess] = []
 
-    def peer_putters(self) -> dict[int, Callable[[Any], None]]:
-        return {rank: mailbox.put for rank, mailbox in enumerate(self.mailboxes)}
-
-    def start(self, worker: Callable[[int], None]) -> None:
+    def launch(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> None:
+        peers = {rank: mailbox.put for rank, mailbox in enumerate(self.mailboxes)}
         for rank in range(self.size):
             process = self._ctx.Process(
-                target=self._run_worker, args=(worker, rank),
+                target=self._run_rank, args=(rank, peers, fn, args),
                 name=f"mpi-rank-{rank}", daemon=True,
             )
             self._processes.append(process)
             process.start()
 
-    def _run_worker(self, worker: Callable[[int], Any], rank: int) -> None:
-        try:
-            value = worker(rank)
-            self.results.put(WorkerOutcome(rank, value=value))
-        except BaseException:
-            self.results.put(WorkerOutcome(rank, error=traceback.format_exc()))
+    def _run_rank(self, rank: int, peers, fn, args) -> None:
+        # Pipe-backed mailboxes have finite kernel buffers: a put can block
+        # once a dead rank's pipe fills, so endpoints route sends through
+        # non-blocking per-destination relay threads (puts_block=True).
+        self.results.put(execute_rank(rank, self.size, self.mailboxes[rank],
+                                      peers, True, fn, args))
 
     def collect(self, timeout: float | None) -> list[WorkerOutcome]:
         """Wait for one outcome per rank.
@@ -182,10 +249,47 @@ class ProcessTransport:
             process.join(timeout=5.0)
 
 
-def make_transport(backend: str, size: int):
-    """Factory used by the launcher."""
-    if backend == "threaded":
-        return ThreadTransport(size)
-    if backend == "process":
-        return ProcessTransport(size)
-    raise ValueError(f"unknown backend {backend!r}; expected 'threaded' or 'process'")
+# -- transport registry -------------------------------------------------------
+
+_TRANSPORTS: dict[str, Callable[..., Transport]] = {
+    "threaded": ThreadTransport,
+    "process": ProcessTransport,
+}
+
+#: Built-ins resolved on first use so importing the runtime never pulls in
+#: the socket stack.
+_LAZY_TRANSPORTS: dict[str, str] = {
+    "socket": "repro.mpi.socket_transport:SocketTransport",
+}
+
+
+def register_transport(name: str, factory: Callable[..., Transport], *,
+                       overwrite: bool = False) -> Callable[..., Transport]:
+    """Register a transport factory ``(size, **options) -> Transport``."""
+    if not name or not isinstance(name, str):
+        raise ValueError("transport name must be a non-empty string")
+    if not overwrite and (name in _TRANSPORTS or name in _LAZY_TRANSPORTS):
+        raise ValueError(f"transport {name!r} is already registered")
+    _LAZY_TRANSPORTS.pop(name, None)
+    _TRANSPORTS[name] = factory
+    return factory
+
+
+def available_transports() -> set[str]:
+    """Every registered transport name."""
+    return set(_TRANSPORTS) | set(_LAZY_TRANSPORTS)
+
+
+def make_transport(backend: str, size: int, **options: Any) -> Transport:
+    """Factory used by the launcher; ``options`` go to the constructor."""
+    factory = _TRANSPORTS.get(backend)
+    if factory is None and backend in _LAZY_TRANSPORTS:
+        module_name, _, attr = _LAZY_TRANSPORTS[backend].partition(":")
+        factory = getattr(importlib.import_module(module_name), attr)
+        _TRANSPORTS[backend] = factory
+        # pop, not del: two threads may race the first resolution.
+        _LAZY_TRANSPORTS.pop(backend, None)
+    if factory is None:
+        raise ValueError(f"unknown backend {backend!r}; expected one of "
+                         f"{sorted(available_transports())}")
+    return factory(size, **options)

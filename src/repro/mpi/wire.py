@@ -1,0 +1,190 @@
+"""Length-prefix framing for the TCP transport.
+
+One frame is a fixed header followed by an opaque body::
+
+    header := magic(2) kind(1) rank(4, signed) body_len(4)
+    body   := nseg(4) seg_len(8)*nseg seg*nseg
+
+``kind`` is the protocol verb (HELLO/START/MSG/RESULT/SHUTDOWN), ``rank``
+its addressing field (destination rank for MSG, reporting rank for RESULT,
+unused otherwise).  Segment 0 is the pickle (protocol 5); segments 1..n are
+the out-of-band buffers pickle 5 extracted — NumPy genome vectors therefore
+travel as raw buffer copies instead of being embedded (and escaped) inside
+the pickle stream, which is the fast path the exchange loop lives on.
+
+The body is opaque to routers: the coordinator forwards MSG frames by
+passing header and body through untouched (the destination rank is already
+in the header), so relayed genomes are never re-pickled or re-copied.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.mpi.errors import MpiError
+
+__all__ = [
+    "Frame",
+    "WireError",
+    "pack_frame",
+    "encode_body",
+    "decode_body",
+    "read_frame",
+    "write_frame",
+    "HELLO",
+    "START",
+    "MSG",
+    "RESULT",
+    "SHUTDOWN",
+]
+
+#: Protocol magic; bump when the frame layout changes.
+MAGIC = b"\xc5\x01"
+
+# Frame kinds.
+HELLO = 1      #: worker -> coordinator: join the rendezvous
+START = 2      #: coordinator -> worker: rank assignment + the program
+MSG = 3        #: an Envelope in flight; ``rank`` = destination world rank
+RESULT = 4     #: worker -> coordinator: one rank's outcome; ``rank`` = rank
+SHUTDOWN = 5   #: coordinator -> worker: drain and exit
+
+_HEADER = struct.Struct("!2sBiI")   # magic, kind, rank, body_len
+_SEG_LEN = struct.Struct("!Q")
+
+#: Refuse frames above this size — a corrupted length prefix must not
+#: trigger a multi-gigabyte allocation (or an endless blocking read).
+MAX_FRAME_BYTES = 1 << 30
+
+
+class WireError(MpiError):
+    """Malformed frame, protocol mismatch, or a connection that died."""
+
+
+class Frame:
+    """One decoded frame header plus its still-serialized body.
+
+    ``header`` keeps the raw received header bytes so routers can forward
+    the frame verbatim (``write_frame(sock, frame.parts)``) without
+    re-packing or concatenating anything.
+    """
+
+    __slots__ = ("kind", "rank", "body", "header")
+
+    def __init__(self, kind: int, rank: int, body: bytes,
+                 header: bytes | None = None):
+        self.kind = kind
+        self.rank = rank
+        self.body = body
+        self.header = (header if header is not None
+                       else _HEADER.pack(MAGIC, kind, rank, len(body)))
+
+    def payload(self) -> Any:
+        return decode_body(self.body)
+
+    @property
+    def parts(self) -> tuple[bytes, bytes]:
+        """Header and body, ready for a gather-write forward."""
+        return self.header, self.body
+
+    @property
+    def nbytes(self) -> int:
+        return _HEADER.size + len(self.body)
+
+
+def encode_body(obj: Any) -> bytes:
+    """Serialize ``obj`` into a frame body (pickle 5 + out-of-band segments)."""
+    buffers: list[pickle.PickleBuffer] = []
+    blob = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    segments = [blob] + [buf.raw() for buf in buffers]
+    parts = [struct.pack("!I", len(segments))]
+    for segment in segments:
+        parts.append(_SEG_LEN.pack(len(segment)))
+    parts.extend(bytes(segment) if not isinstance(segment, bytes) else segment
+                 for segment in segments)
+    return b"".join(parts)
+
+
+def decode_body(body: bytes) -> Any:
+    """Inverse of :func:`encode_body`."""
+    view = memoryview(body)
+    if len(view) < 4:
+        raise WireError("truncated frame body")
+    (nseg,) = struct.unpack_from("!I", view, 0)
+    offset = 4
+    lengths = []
+    for _ in range(nseg):
+        if offset + _SEG_LEN.size > len(view):
+            raise WireError("truncated segment table")
+        lengths.append(_SEG_LEN.unpack_from(view, offset)[0])
+        offset += _SEG_LEN.size
+    segments: list[Any] = []
+    for index, length in enumerate(lengths):
+        if offset + length > len(view):
+            raise WireError("truncated segment data")
+        chunk = view[offset:offset + length]
+        # Out-of-band buffers must come back *writable*: NumPy arrays
+        # reconstructed over a read-only view would refuse in-place math,
+        # silently diverging from the thread/process transports' semantics.
+        segments.append(chunk if index == 0 else bytearray(chunk))
+        offset += length
+    if not segments:
+        raise WireError("frame body with no segments")
+    return pickle.loads(segments[0], buffers=segments[1:])
+
+
+def pack_frame(kind: int, rank: int, obj: Any = None, *,
+               body: bytes | None = None) -> bytes:
+    """A complete wire frame; pass ``body`` to forward without re-pickling."""
+    encoded = encode_body(obj) if body is None else body
+    return _HEADER.pack(MAGIC, kind, rank, len(encoded)) + encoded
+
+
+def write_frame(sock: socket.socket, frame: "bytes | tuple[bytes, ...]") -> int:
+    """Send one frame: packed bytes, or (header, body) parts from a
+    :class:`Frame` being forwarded (gather-write, no concatenation).
+
+    Raises :class:`WireError` when the connection is gone — callers decide
+    whether that is fatal (handshake) or a droppable send (dead peer).
+    """
+    try:
+        if isinstance(frame, tuple):
+            total = sum(len(part) for part in frame)
+            sent = sock.sendmsg(frame)
+            while sent < total:  # pragma: no cover - huge-frame partial write
+                rest = b"".join(frame)[sent:]
+                sock.sendall(rest)
+                sent = total
+            return total
+        sock.sendall(frame)
+    except (OSError, ValueError) as exc:
+        raise WireError(f"connection lost while sending: {exc}") from exc
+    return len(frame)
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        try:
+            chunk = sock.recv(n - len(chunks))
+        except (OSError, ValueError) as exc:
+            raise WireError(f"connection lost while receiving: {exc}") from exc
+        if not chunk:
+            raise WireError("connection closed mid-frame"
+                            if chunks else "connection closed")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def read_frame(sock: socket.socket) -> Frame:
+    """Block until one full frame arrives; validates magic and size."""
+    header = _read_exact(sock, _HEADER.size)
+    magic, kind, rank, body_len = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (protocol mismatch?)")
+    if body_len > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {body_len} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte limit")
+    return Frame(kind, rank, _read_exact(sock, body_len), header=header)

@@ -17,7 +17,8 @@ parallel/distributed implementation of Mustangs/Lipizzaner:
 * :mod:`repro.parallel.heartbeat` — the master's heartbeat thread and the
   liveness protocol, including failure detection and graceful abort.
 * :mod:`repro.parallel.runner` — one-call entry point running the whole
-  job over the process (true parallel) or threaded backend.
+  job over any registered MPI transport: process (true parallel), threaded
+  (deterministic), or socket (TCP workers on one or many machines).
 """
 
 from repro.parallel.grid import Grid

@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from repro.cluster import ClusterPlatform, cluster_uy, place_tasks
+from repro.cluster import ClusterPlatform, PlacementPlan, cluster_uy, place_tasks
 from repro.config import ExperimentConfig
 from repro.parallel.comm_manager import CommManager
 from repro.parallel.grid import Grid
@@ -50,17 +50,21 @@ class MasterProcess:
 
     def __init__(self, comm: CommManager, config: ExperimentConfig, *,
                  platform: ClusterPlatform | None = None,
+                 placement_plan: PlacementPlan | None = None,
                  exchange_mode: str = "neighbors", profile: bool = False,
                  trace: bool = False, fault_at: dict[int, int] | None = None,
+                 fault_kill: bool = False,
                  heartbeat_interval_s: float | None = None,
                  miss_limit: int = 8):
         self.comm = comm
         self.config = config
         self.platform = platform if platform is not None else cluster_uy()
+        self.placement_plan = placement_plan
         self.exchange_mode = exchange_mode
         self.profile = profile
         self.trace_enabled = trace
         self.fault_at = dict(fault_at or {})
+        self.fault_kill = fault_kill
         self.heartbeat_interval_s = (
             heartbeat_interval_s
             if heartbeat_interval_s is not None
@@ -81,8 +85,17 @@ class MasterProcess:
         node_info = comm.collect_node_info()
         self.trace.record("node info gathered", f"{len(node_info)} slaves")
 
-        # (ii)+(iii) Placement on the (simulated) platform, balanced load.
-        plan = place_tasks(self.platform, tasks=len(slave_ranks) + 1)
+        # (ii)+(iii) Placement: either the plan the launcher derived from
+        # the real host spec (socket backend), or the load-balancing
+        # strategy over the (simulated) platform.
+        if self.placement_plan is not None:
+            plan = self.placement_plan
+            if plan.tasks != len(slave_ranks) + 1:
+                raise ValueError(
+                    f"placement plan covers {plan.tasks} rank(s), job has "
+                    f"{len(slave_ranks) + 1}")
+        else:
+            plan = place_tasks(self.platform, tasks=len(slave_ranks) + 1)
         placement = {0: plan.task_nodes[0]}
         for i, rank in enumerate(slave_ranks):
             placement[rank] = plan.task_nodes[i + 1]
@@ -102,6 +115,7 @@ class MasterProcess:
                 profile=self.profile,
                 trace=self.trace_enabled,
                 fault_at_iteration=self.fault_at.get(cell_index),
+                fault_kill=self.fault_kill,
             ))
         self.trace.record("run tasks sent", f"{len(slave_ranks)} slaves")
 

@@ -61,6 +61,9 @@ class RunTask:
     trace: bool = False
     fault_at_iteration: int | None = None
     """Raise inside the execution thread at this iteration (fault-injection tests)."""
+    fault_kill: bool = False
+    """Harden the injected fault to ``os._exit`` — a real process death the
+    transport must detect externally (process/socket backends only)."""
 
 
 @dataclass(frozen=True)

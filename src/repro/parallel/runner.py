@@ -1,38 +1,104 @@
 """One-call distributed training: the ``mpiexec`` entry of the system.
 
 :class:`DistributedRunner` assembles the whole job — one master rank plus
-one slave rank per grid cell — over the process backend (true multi-core
-parallelism; all paper measurements) or the threaded backend (deterministic
-tests).  The dataset is rendered **once** in the parent before launch; the
-fork start method then shares those pages copy-on-write with every slave,
-which is the memory-efficiency behavior the paper credits for its
-superlinear small-grid speedups.
+one slave rank per grid cell — over any registered MPI transport: the
+process backend (true multi-core parallelism; all paper measurements), the
+threaded backend (deterministic tests), or the socket backend (TCP worker
+processes on one or many machines).
+
+The dataset travels in whichever way the substrate makes cheap.  Fork-based
+backends render it **once** in the parent and share the pages copy-on-write
+with every slave — the memory-efficiency behavior the paper credits for its
+superlinear small-grid speedups.  Spawn-based socket workers cannot inherit
+pages, so they receive a *dataset spec* and render it once **per node**
+(process-level cache shared by co-hosted ranks); an explicitly provided
+dataset object is pickled across instead.  Either way the rendering is a
+deterministic function of the config, which is what keeps the same seed
+bit-identical across all three substrates.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-from repro.cluster import ClusterPlatform
+from repro.cluster import ClusterPlatform, PlacementPlan, plan_from_hosts, platform_from_hosts
 from repro.config import ExperimentConfig
 from repro.coevolution.cell import CellReport
 from repro.coevolution.genome import Genome
 from repro.coevolution.sequential import TrainingResult, build_training_dataset
 from repro.data.dataset import ArrayDataset
-from repro.mpi import run_mpi
+from repro.mpi import TransportStats, run_mpi
 from repro.mpi.errors import MpiWorkerError
+from repro.mpi.transport import available_transports
 from repro.parallel.comm_manager import MpiCommManager
 from repro.parallel.master import MasterOutcome, MasterProcess
-from repro.parallel.messages import SlaveResult
 from repro.parallel.slave import SlaveProcess
 from repro.parallel.tracing import EventTrace
 from repro.profiling import TimerSnapshot, merge_snapshots
 from repro.runtime import pin_blas_threads
 
 __all__ = ["DistributedRunner", "DistributedResult"]
+
+
+# -- the per-rank program (module-level: picklable for remote workers) --------
+
+#: Datasets rendered on this node, shared by every co-hosted rank.
+_NODE_DATASETS: dict[tuple, ArrayDataset] = {}
+_NODE_DATASETS_LOCK = threading.Lock()
+
+
+def _materialize_dataset(config: ExperimentConfig, payload: tuple) -> ArrayDataset:
+    """Resolve one slave's training data from its travel form.
+
+    ``("inline", dataset)`` — the object itself (fork COW or pickled bytes);
+    ``("registry", name, options)`` — create from the dataset registry;
+    ``("render", None)`` — the default synthetic corpus.  Registry/render
+    forms are cached per process, so a worker hosting several ranks renders
+    once per node, not once per rank.
+    """
+    kind = payload[0]
+    if kind == "inline":
+        return payload[1]
+    if kind == "registry":
+        _, name, options = payload
+        # repr() keys stay hashable whatever the option values are (dict
+        # and list options are legal for registered dataset factories).
+        key = ("registry", name, repr(sorted(options.items())),
+               config.dataset_size, config.seed)
+        with _NODE_DATASETS_LOCK:
+            if key not in _NODE_DATASETS:
+                from repro.registry import DATASETS
+
+                _NODE_DATASETS[key] = DATASETS.create(name, config, **options)
+            return _NODE_DATASETS[key]
+    if kind == "render":
+        key = ("render", config.dataset_size, config.seed)
+        with _NODE_DATASETS_LOCK:
+            if key not in _NODE_DATASETS:
+                _NODE_DATASETS[key] = build_training_dataset(config)
+            return _NODE_DATASETS[key]
+    raise ValueError(f"unknown dataset payload kind {kind!r}")
+
+
+def _distributed_entry(world, config: ExperimentConfig, dataset_payload: tuple,
+                       master_options: dict[str, Any]):
+    """What every rank runs, on every transport.
+
+    Pinning happens *here* rather than only in the launching process so
+    spawn-based remote workers — which inherit neither the parent's ctypes
+    call nor necessarily its environment — initialise BLAS correctly too.
+    """
+    pin_blas_threads(1)  # one rank = one core (paper Table II)
+    comm = MpiCommManager(world)
+    if world.Get_rank() == 0:
+        return MasterProcess(comm, config, **master_options).run()
+    dataset = _materialize_dataset(config, dataset_payload)
+    return SlaveProcess(comm, dataset).run()
 
 
 @dataclass
@@ -45,6 +111,8 @@ class DistributedResult:
     traces: list[EventTrace] = field(default_factory=list)
     slave_timers: list[TimerSnapshot] = field(default_factory=list)
     master_wall_time_s: float = 0.0
+    transport_stats: list[TransportStats] = field(default_factory=list)
+    """Per-rank message/byte counters, rank order (rank 0 is the master)."""
 
     @property
     def complete(self) -> bool:
@@ -70,10 +138,16 @@ class DistributedRunner:
     def __init__(self, config: ExperimentConfig, *, backend: str | None = None,
                  exchange_mode: str = "neighbors", profile: bool = False,
                  trace: bool = False, platform: ClusterPlatform | None = None,
+                 placement: PlacementPlan | None = None,
                  fault_at: dict[int, int] | None = None,
+                 fault_kill: bool = False,
+                 allow_failures: bool | None = None,
                  heartbeat_interval_s: float | None = None,
                  miss_limit: int = 8, timeout_s: float = 600.0,
-                 dataset: ArrayDataset | None = None):
+                 dataset: ArrayDataset | None = None,
+                 dataset_spec: tuple[str, dict] | None = None,
+                 hosts: Any = None, bind: str | None = None,
+                 transport_options: dict[str, Any] | None = None):
         from repro import _deprecation
 
         _deprecation.warn_once(
@@ -83,59 +157,162 @@ class DistributedRunner:
         )
         self.config = config
         self.backend = backend if backend is not None else config.execution.backend
-        if self.backend not in ("process", "threaded"):
+        transports = available_transports()
+        if self.backend not in transports:
             raise ValueError(
-                f"distributed runner needs 'process' or 'threaded', got {self.backend!r} "
+                f"distributed runner needs a registered transport "
+                f"({sorted(transports)}), got {self.backend!r} "
                 "(use coevolution.SequentialTrainer for the single-core version)"
             )
+        # "process" and "threaded" are the in-process substrates; any other
+        # registered transport hosts its ranks elsewhere (spawned or remote
+        # workers) and therefore gets hosts/bind passed through and the
+        # spawn-safe dataset path (render per node) without edits here.
+        # Host-spec-derived *placement* stays socket-only below — it
+        # encodes that transport's contiguous-block rank assignment.
+        self.remote = self.backend not in ("process", "threaded")
+        if not self.remote and (hosts is not None or bind is not None):
+            raise ValueError(
+                f"hosts/bind do not apply to the in-process {self.backend!r} "
+                "backend; use a remote transport such as 'socket'")
+        if fault_kill and self.backend == "threaded":
+            raise ValueError(
+                "fault_kill terminates the hosting process; on the threaded "
+                "backend that would kill the launcher itself")
+        if fault_kill and self.backend == "socket":
+            # os._exit takes down the whole worker process — every
+            # co-hosted rank dies with the victim, so the faulted rank
+            # must ride alone on its worker for the test to mean anything.
+            self._check_fault_kill_isolation(config, fault_at, hosts)
         self.exchange_mode = exchange_mode
         self.profile = profile
         self.trace = trace
         self.platform = platform
+        self.placement = placement
         self.fault_at = fault_at
+        self.fault_kill = fault_kill
+        self.allow_failures = allow_failures
         self.heartbeat_interval_s = heartbeat_interval_s
         self.miss_limit = miss_limit
         self.timeout_s = timeout_s
         self.dataset = dataset
+        self.dataset_spec = dataset_spec
+        self.hosts = hosts
+        self.bind = bind
+        self.transport_options = dict(transport_options or {})
+
+    # -- wiring ----------------------------------------------------------------
+
+    @staticmethod
+    def _check_fault_kill_isolation(config: ExperimentConfig,
+                                    fault_at: dict[int, int] | None,
+                                    hosts: Any) -> None:
+        """Faulted ranks must be the sole occupant of their socket worker."""
+        from repro.mpi.socket_transport import parse_host_spec
+
+        if not fault_at:
+            return
+        size = config.coevolution.cells + 1
+        victim_ranks = {cell + 1 for cell in fault_at}
+        lonely: set[int] = set()
+        rank = 0
+        for _host, slots in parse_host_spec(hosts, size):  # None -> 1 worker
+            if slots == 1:
+                lonely.add(rank)
+            rank += slots
+        stranded = victim_ranks - lonely
+        if stranded:
+            raise ValueError(
+                f"fault_kill on the socket backend requires each faulted "
+                f"rank to be alone on its worker (os._exit kills every "
+                f"co-hosted rank); rank(s) {sorted(stranded)} share a "
+                "worker — isolate them in hosts, e.g. "
+                "'127.0.0.1:4,127.0.0.1:1' to kill rank 4 of a 2x2 grid")
+
+    def _dataset_payload(self) -> tuple:
+        """How the training data travels to the slaves (see module docstring)."""
+        if self.dataset is not None:
+            return ("inline", self.dataset)
+        if self.remote:
+            if self.dataset_spec is not None:
+                name, options = self.dataset_spec
+                return ("registry", name, dict(options))
+            return ("render", None)
+        # Fork/thread substrates: render once here, share by reference/COW.
+        return ("inline", build_training_dataset(self.config))
+
+    def _placement_and_platform(self) -> tuple[PlacementPlan | None, ClusterPlatform | None]:
+        """The master's placement inputs.
+
+        With a socket host spec, rank-to-host assignment is decided by the
+        transport (contiguous blocks in spec order) — the plan derived here
+        reports that real mapping, and the platform models the attached
+        machines instead of the simulated Cluster-UY.
+        """
+        plan, platform = self.placement, self.platform
+        if self.backend == "socket" and plan is None:
+            from repro.mpi.socket_transport import parse_host_spec
+
+            size = self.config.coevolution.cells + 1
+            hosts = parse_host_spec(self.hosts, size)  # None -> one local worker
+            plan = plan_from_hosts(hosts)
+            if platform is None:
+                platform = platform_from_hosts(hosts)
+        # Other remote transports: no placement assumption is safe, so the
+        # master falls back to its simulated-platform strategy unless the
+        # caller provides an explicit plan.
+        return plan, platform
+
+    def _transport_options(self) -> dict[str, Any]:
+        options = dict(self.transport_options)
+        if self.remote:
+            if self.hosts is not None:
+                options.setdefault("hosts", self.hosts)
+            if self.bind is not None:
+                options.setdefault("bind", self.bind)
+        return options
 
     def run(self) -> DistributedResult:
-        # One rank = one core (paper Table II); ranks inherit the pin via fork.
+        # One rank = one core (paper Table II).  Forked ranks inherit the
+        # pin; spawned socket workers re-pin inside _distributed_entry.
         pin_blas_threads(1)
         config = self.config
         size = config.coevolution.cells + 1
-        # Render once in the parent: slaves inherit the pages via fork
-        # (process backend) or share the object directly (threaded backend).
-        dataset = self.dataset if self.dataset is not None else build_training_dataset(config)
+        plan, platform = self._placement_and_platform()
 
-        master_kwargs = dict(
-            platform=self.platform,
+        master_options = dict(
+            platform=platform,
+            placement_plan=plan,
             exchange_mode=self.exchange_mode,
             profile=self.profile,
             trace=self.trace,
             fault_at=self.fault_at,
+            fault_kill=self.fault_kill,
             heartbeat_interval_s=self.heartbeat_interval_s,
             miss_limit=self.miss_limit,
         )
 
-        def entry(world):
-            comm = MpiCommManager(world)
-            if world.Get_rank() == 0:
-                return MasterProcess(comm, config, **master_kwargs).run()
-            return SlaveProcess(comm, dataset).run()
-
         start = time.perf_counter()
-        fault_tolerant = bool(self.fault_at)
-        outcomes = run_mpi(size, entry, backend=self.backend, timeout=self.timeout_s,
-                           allow_failures=fault_tolerant)
+        fault_tolerant = (self.allow_failures if self.allow_failures is not None
+                          else bool(self.fault_at))
+        outcomes = run_mpi(
+            size, _distributed_entry,
+            args=(config, self._dataset_payload(), master_options),
+            backend=self.backend, timeout=self.timeout_s,
+            allow_failures=fault_tolerant,
+            transport_options=self._transport_options(),
+        )
         master_outcome: MasterOutcome | None = outcomes[0]
         if master_outcome is None:
             raise MpiWorkerError(getattr(outcomes, "failures", {0: "master failed"}))
         wall = time.perf_counter() - start
-        return self._reduce(master_outcome, wall)
+        stats = list(getattr(outcomes, "transport_stats", []))
+        return self._reduce(master_outcome, wall, stats)
 
     # -- reduction phase -------------------------------------------------------------
 
-    def _reduce(self, outcome: MasterOutcome, wall_time_s: float) -> DistributedResult:
+    def _reduce(self, outcome: MasterOutcome, wall_time_s: float,
+                transport_stats: list[TransportStats] | None = None) -> DistributedResult:
         """The paper's reduction: merge per-slave results into one artifact."""
         cells = self.config.coevolution.cells
         genomes: list[tuple[Genome, Genome] | None] = [None] * cells
@@ -176,4 +353,5 @@ class DistributedRunner:
             traces=traces,
             slave_timers=timers,
             master_wall_time_s=outcome.wall_time_s,
+            transport_stats=list(transport_stats or []),
         )

@@ -143,6 +143,12 @@ class SlaveProcess:
             if self.abort_event.is_set():
                 raise ExchangeAborted(f"cell {cell_index}: abort before iteration {iteration}")
             if task.fault_at_iteration is not None and iteration == task.fault_at_iteration:
+                if task.fault_kill:
+                    # A genuine process death: no exception, no result, no
+                    # goodbye — the transport and the heartbeat layer must
+                    # notice on their own.  Never reached on the threaded
+                    # backend (the runner rejects the combination).
+                    os._exit(86)
                 raise InjectedFault(
                     f"slave {self.comm.rank} crashing at iteration {iteration} as requested"
                 )

@@ -152,6 +152,7 @@ BACKENDS = BackendRegistry("backend")
 BACKENDS.register_lazy("sequential", "repro.api.backends:SequentialBackend")
 BACKENDS.register_lazy("process", "repro.api.backends:ProcessBackend")
 BACKENDS.register_lazy("threaded", "repro.api.backends:ThreadedBackend")
+BACKENDS.register_lazy("socket", "repro.api.backends:SocketBackend")
 
 DATASETS = DatasetRegistry("dataset")
 DATASETS.register_lazy("synthetic-mnist", "repro.api.datasets:synthetic_mnist")

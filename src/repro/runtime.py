@@ -8,13 +8,21 @@ version ends up slower than the single-core one.  Real MPI deployments hit
 the same issue and pin ``OMP_NUM_THREADS=1`` in the job script; this module
 does the equivalent from inside the library:
 
-* sets the usual BLAS environment variables (inherited by forked ranks);
+* sets the usual BLAS environment variables — inherited by forked ranks
+  *and* by spawned worker subprocesses (the socket transport hands workers
+  the launcher's environment);
 * additionally calls ``openblas_set_num_threads`` through ``ctypes`` on the
   already-loaded library, because environment variables are only read at
   load time.
 
-:func:`pin_blas_threads` is idempotent and called by both trainers and the
-benchmark harness.
+The ctypes call only ever affects the *current* process.  Forked ranks
+inherit its effect through copied memory; spawn-based remote workers do
+not, which is why the distributed entry point re-pins inside every rank
+(see :func:`repro.parallel.runner._distributed_entry`) instead of relying
+on launcher-side pinning.
+
+:func:`pin_blas_threads` is idempotent and called by the trainers, every
+distributed rank, ``repro worker`` and the benchmark harness.
 """
 
 from __future__ import annotations
@@ -61,8 +69,10 @@ def pin_blas_threads(n: int = 1) -> bool:
     """Limit BLAS to ``n`` threads in this process and future children.
 
     Returns True when a loaded BLAS accepted the limit via ``ctypes`` (the
-    environment variables are set regardless, covering ranks forked later
-    and libraries not yet loaded).  Idempotent per value of ``n``.
+    environment variables are set regardless, covering ranks forked or
+    spawned later and libraries not yet loaded).  Idempotent per value of
+    ``n``; spawn-safe — call it again inside each remote worker, since a
+    parent's ctypes pin never crosses a spawn boundary.
     """
     global _pinned
     if n < 1:

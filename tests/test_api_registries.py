@@ -60,7 +60,26 @@ class TestRegistryCore:
 
 class TestBuiltins:
     def test_backends(self):
-        assert {"sequential", "process", "threaded"} <= BACKENDS.known()
+        assert {"sequential", "process", "threaded", "socket"} <= BACKENDS.known()
+
+    def test_socket_backend_resolves(self):
+        from repro.api.backends import SocketBackend
+
+        backend = BACKENDS.create("socket", hosts="127.0.0.1:5")
+        assert isinstance(backend, SocketBackend)
+        assert backend.runner_options == {"hosts": "127.0.0.1:5"}
+
+    def test_socket_validates_in_config(self):
+        """ExecutionSettings checks the registry, so the new backend is a
+        legal config value end to end."""
+        import dataclasses
+
+        from repro.config import default_config
+
+        config = default_config()
+        execution = dataclasses.replace(config.execution, backend="socket")
+        replaced = dataclasses.replace(config, execution=execution)
+        assert replaced.execution.backend == "socket"
 
     def test_datasets(self):
         assert {"synthetic-mnist", "synthetic-shapes"} <= DATASETS.known()

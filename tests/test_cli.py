@@ -44,6 +44,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "5"])
 
+    def test_socket_backend_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "socket", "--hosts", "a:3,b:2",
+             "--bind", "0.0.0.0:5555"])
+        assert args.backend == "socket"
+        assert args.hosts == "a:3,b:2"
+        assert args.bind == "0.0.0.0:5555"
+
+    def test_hosts_requires_socket_backend(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "process", "--hosts", "a:5"])
+        from repro.cli import _build_experiment
+
+        with pytest.raises(SystemExit, match="socket"):
+            _build_experiment(args)
+
+    def test_worker_parser(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "coord:5555", "--slots", "4",
+             "--token", "abc"])
+        assert args.connect == "coord:5555"
+        assert args.slots == 4
+        assert args.token == "abc"
+        assert args.quiet is False
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -84,6 +113,25 @@ class TestCommands:
             "--batch-size", "20", "--batches-per-iteration", "1",
         ])
         assert code == 0
+
+    def test_run_socket_tiny(self, capsys, cache_dir):
+        """The CI smoke path: a 2x2 grid over two localhost workers —
+        rendezvous, exchange, transport counters, shutdown."""
+        code = main(["run", "--grid", "2x2", "--backend", "socket",
+                     "--hosts", "127.0.0.1:3,127.0.0.1:2",
+                     "--iterations", "1", "--dataset-size", "200",
+                     "--batch-size", "10", "--batches-per-iteration", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=socket" in out
+        assert "transport traffic:" in out
+        assert "rank 4:" in out  # per-rank counters printed in rank order
+
+    def test_worker_unreachable_coordinator(self, capsys):
+        code = main(["worker", "--connect", "127.0.0.1:1",
+                     "--timeout", "0.5", "--quiet"])
+        assert code == 2
+        assert "cannot reach coordinator" in capsys.readouterr().err
 
     def test_run_with_checkpoint_then_resume(self, capsys, cache_dir, tmp_path):
         ckpt = str(tmp_path / "cli.ckpt.npz")

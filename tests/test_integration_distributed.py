@@ -51,6 +51,37 @@ class TestSequentialDistributedEquivalence:
             dg, _ = distributed.training.center_genomes[cell]
             np.testing.assert_allclose(sg.parameters, dg.parameters, atol=1e-12)
 
+    def test_socket_backend_equivalence(self, module_dataset):
+        """The TCP substrate is still the same algorithm: with the same
+        seed, two localhost workers reproduce the process-backend genomes
+        bit for bit (the acceptance bar of the transport refactor).  The
+        facade path is exercised deliberately — registry dataset, so each
+        worker renders its corpus per node instead of receiving it."""
+        from repro.api import Experiment
+
+        config = make_quick_config(2, 2, iterations=2)
+        process = DistributedRunner(
+            config, backend="process", dataset=module_dataset
+        ).run()
+        socketed = (Experiment(config)
+                    .dataset("synthetic-mnist")
+                    .backend("socket", hosts="127.0.0.1:3,127.0.0.1:2")
+                    .run())
+        assert socketed.complete
+        for cell in range(4):
+            pg, pd = process.training.center_genomes[cell]
+            sg, sd = socketed.center_genomes[cell]
+            np.testing.assert_array_equal(pg.parameters, sg.parameters)
+            np.testing.assert_array_equal(pd.parameters, sd.parameters)
+        # Real placement: ranks 0-2 on worker A, ranks 3-4 on worker B.
+        placement = socketed.distributed.outcome_placement
+        assert set(placement) == {0, 1, 2, 3, 4}
+        assert all(node == "127.0.0.1" for node in placement.values())
+        # Per-rank counters made it back: slaves exchanged genomes.
+        stats = socketed.transport_stats
+        assert [s.rank for s in stats] == [0, 1, 2, 3, 4]
+        assert all(s.messages_sent > 0 and s.bytes_sent > 0 for s in stats)
+
     def test_allgather_mode_equivalence(self, module_dataset):
         """The paper-style LOCAL allgather delivers the same neighbors."""
         config = make_quick_config(2, 2, iterations=2)
@@ -162,6 +193,54 @@ class TestFaultTolerance:
         result = DistributedRunner(config, backend="threaded",
                                    dataset=module_dataset).run()
         assert result.complete and result.dead_ranks == []
+
+    def test_killed_socket_worker_detected_and_survivors_abort(self, module_dataset):
+        """The socket variant of the fault test, hardened: the worker
+        process hosting cell 3 (rank 4, alone on worker B) dies with
+        ``os._exit`` mid-run — a real TCP-visible process death.  The
+        heartbeat layer must report the dead rank and the run must degrade
+        exactly like the process backend: survivors aborted, partial
+        results returned, no hang."""
+        config = make_quick_config(2, 2, iterations=50)  # long enough to abort
+        runner = DistributedRunner(
+            config,
+            backend="socket",
+            hosts="127.0.0.1:4,127.0.0.1:1",
+            dataset=module_dataset,
+            fault_at={3: 1},
+            fault_kill=True,
+            allow_failures=True,
+            heartbeat_interval_s=0.05,
+            miss_limit=4,
+            timeout_s=120,
+        )
+        result = runner.run()
+        assert result.dead_ranks == [4]
+        assert not result.complete
+        assert len(result.training.center_genomes) == 4
+
+    def test_fault_kill_rejected_on_threaded_backend(self, module_dataset):
+        """os._exit in a thread would take the launcher down with it."""
+        config = make_quick_config(2, 2, iterations=2)
+        with pytest.raises(ValueError, match="fault_kill"):
+            DistributedRunner(config, backend="threaded",
+                              dataset=module_dataset,
+                              fault_at={0: 1}, fault_kill=True)
+
+    def test_fault_kill_requires_isolated_victim_worker(self, module_dataset):
+        """os._exit kills every co-hosted rank, so the faulted rank must
+        ride alone on its socket worker — co-hosting is rejected up front
+        instead of collapsing the whole run."""
+        config = make_quick_config(2, 2, iterations=2)
+        with pytest.raises(ValueError, match="alone on its worker"):
+            DistributedRunner(config, backend="socket",
+                              dataset=module_dataset,
+                              fault_at={3: 1}, fault_kill=True)  # hosts=None
+        with pytest.raises(ValueError, match="alone on its worker"):
+            DistributedRunner(config, backend="socket",
+                              hosts="127.0.0.1:3,127.0.0.1:2",
+                              dataset=module_dataset,
+                              fault_at={3: 1}, fault_kill=True)
 
 
 class TestDynamicNeighborhoods:

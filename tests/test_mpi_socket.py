@@ -1,0 +1,324 @@
+"""The TCP transport end to end: rendezvous, routing, collectives, host
+specs, failure synthesis and the transport registry.
+
+Per-rank programs live at module level — the socket transport pickles them
+to worker subprocesses, which re-import this module via the inherited
+``sys.path``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    MpiError,
+    available_transports,
+    make_transport,
+    register_transport,
+    run_mpi,
+)
+from repro.mpi.socket_transport import parse_address, parse_host_spec
+from repro.mpi.transport import ThreadTransport
+
+
+# -- per-rank programs (must be importable from worker processes) -------------
+
+def ring_program(world, payload_size):
+    """Each rank passes a genome-sized array around the ring once."""
+    rank, size = world.Get_rank(), world.Get_size()
+    own = np.full(payload_size, float(rank))
+    world.send(own, dest=(rank + 1) % size, tag=7)
+    incoming = world.recv(source=(rank - 1) % size, tag=7, timeout=30)
+    world.barrier(timeout=30)
+    return float(incoming[0])
+
+
+def collective_program(world, offset):
+    rank = world.Get_rank()
+    gathered = world.allgather(np.arange(3.0) + rank + offset)
+    reduced = world.allreduce(rank, op=lambda a, b: a + b)
+    return float(sum(g.sum() for g in gathered)) + reduced
+
+
+def crash_program(world, victim):
+    if world.Get_rank() == victim:
+        raise RuntimeError("deliberate crash for the failure test")
+    return world.Get_rank()
+
+
+def split_program(world, _unused):
+    """LOCAL/GLOBAL context derivation, as the comm-manager performs it."""
+    color = 1 if world.Get_rank() > 0 else None
+    local = world.Split(color=color, key=world.Get_rank())
+    dup = world.Dup()
+    dup.barrier(timeout=30)
+    return local.Get_size() if local is not None else 0
+
+
+class TestHostSpecs:
+    def test_parse_variants(self):
+        assert parse_host_spec(None, 4) == [("127.0.0.1", 4)]
+        assert parse_host_spec("a:3,b:2", 5) == [("a", 3), ("b", 2)]
+        assert parse_host_spec(["a", "b"], 2) == [("a", 1), ("b", 1)]
+        assert parse_host_spec([("a", 2)], 2) == [("a", 2)]
+
+    def test_slots_must_sum_to_size(self):
+        with pytest.raises(ValueError, match="sum"):
+            parse_host_spec("a:2,b:2", 5)
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(ValueError):
+            parse_host_spec("a:0", 1)
+        with pytest.raises(ValueError):
+            parse_host_spec(":3", 3)
+
+    def test_typoed_slot_suffix_rejected(self):
+        """'nodeB:5x' must fail at parse time, not 60s later as a
+        rendezvous timeout on a host that never existed."""
+        with pytest.raises(ValueError, match="must be a number"):
+            parse_host_spec("nodeA:1,nodeB:5x", 2)
+        with pytest.raises(ValueError, match="must be a number"):
+            parse_address("coord:555o")
+        with pytest.raises(ValueError, match="must be a number"):
+            parse_address("[::1]:5o55")
+
+    def test_garbage_hello_rejected_not_fatal(self):
+        """A stranger's malformed hello must reject that connection only,
+        never crash the coordinator's rendezvous."""
+        import socket as socket_module
+        import threading
+        import time
+
+        from repro.mpi import wire
+        from repro.mpi.socket_transport import SocketTransport
+
+        transport = SocketTransport(2, hosts="127.0.0.1:2", token="tok",
+                                    start_timeout=30)
+        launched = threading.Thread(
+            target=transport.launch, args=(ring_program, (4,)), daemon=True)
+        launched.start()
+        try:
+            deadline = time.monotonic() + 20
+            while transport._listener is None:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            port = transport._listener.getsockname()[1]
+            with socket_module.create_connection(("127.0.0.1", port),
+                                                 timeout=10) as intruder:
+                # Valid magic, HELLO kind, but the payload is not a dict.
+                intruder.sendall(wire.pack_frame(wire.HELLO, 0, ["not", "a",
+                                                                 "dict"]))
+            launched.join(timeout=60)
+            assert not launched.is_alive(), "rendezvous crashed or hung"
+            outcomes = transport.collect(timeout=60)
+            # Ring of 2: each rank returns the other's value.
+            assert [o.value for o in outcomes] == [1.0, 0.0]
+        finally:
+            transport.shutdown()
+
+    def test_ipv6_literals(self):
+        assert parse_host_spec("[::1]:5", 5) == [("::1", 5)]
+        assert parse_host_spec("::1", 1) == [("::1", 1)]  # bare = 1 slot
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_host_spec("[::1:5", 5)
+
+    def test_parse_address(self):
+        assert parse_address("host:123") == ("host", 123)
+        assert parse_address("host", default_port=9) == ("host", 9)
+        assert parse_address("[::1]:123") == ("::1", 123)
+        assert parse_address("::1", default_port=9) == ("::1", 9)
+
+    def test_dataset_cache_key_handles_unhashable_options(self):
+        """Registered dataset factories may take dict/list options; the
+        per-node cache key must not choke on them."""
+        from repro.config import default_config
+        from repro.parallel.runner import _materialize_dataset
+        from repro.registry import DATASETS
+
+        seen = []
+
+        def factory(config, noise=None):
+            seen.append(noise)
+            from repro.data.dataset import ArrayDataset
+            import numpy as np
+
+            return ArrayDataset(np.zeros((4, 4)), np.zeros(4, dtype=np.int64))
+
+        DATASETS.register("test-dict-options", factory)
+        try:
+            config = default_config()
+            payload = ("registry", "test-dict-options", {"noise": {"sigma": 1}})
+            first = _materialize_dataset(config, payload)
+            second = _materialize_dataset(config, payload)
+            assert first is second  # cached per node, built once
+            assert seen == [{"sigma": 1}]
+        finally:
+            DATASETS.unregister("test-dict-options")
+
+    def test_spawned_workers_follow_specific_bind(self):
+        from repro.mpi.socket_transport import SocketTransport
+
+        loopback = SocketTransport(1, bind="0.0.0.0:0")
+        assert loopback._local_connect_host == "127.0.0.1"
+        routable = SocketTransport(1, bind="192.0.2.7:5555")
+        assert routable._local_connect_host == "192.0.2.7"
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert {"threaded", "process", "socket"} <= available_transports()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_transport("telepathy", 2)
+
+    def test_register_and_duplicate(self):
+        register_transport("test-dummy", ThreadTransport)
+        try:
+            transport = make_transport("test-dummy", 2)
+            assert isinstance(transport, ThreadTransport)
+            with pytest.raises(ValueError, match="already registered"):
+                register_transport("threaded", ThreadTransport)
+        finally:
+            from repro.mpi import transport as transport_module
+
+            del transport_module._TRANSPORTS["test-dummy"]
+
+
+class TestSocketJobs:
+    def test_single_worker_ring(self):
+        results = run_mpi(3, ring_program, args=(64,), backend="socket",
+                          timeout=120)
+        assert list(results) == [2.0, 0.0, 1.0]
+
+    def test_ipv6_loopback_coordinator(self):
+        """Binding [::1] opens an AF_INET6 listener and the spawned local
+        worker connects over the same family."""
+        results = run_mpi(2, ring_program, args=(8,), backend="socket",
+                          timeout=120,
+                          transport_options={"bind": "[::1]:0"})
+        assert list(results) == [1.0, 0.0]
+
+    def test_multi_worker_collectives_match_threaded(self):
+        threaded = run_mpi(4, collective_program, args=(1,),
+                           backend="threaded", timeout=120)
+        socketed = run_mpi(
+            4, collective_program, args=(1,), backend="socket", timeout=120,
+            transport_options={"hosts": "127.0.0.1:2,127.0.0.1:2"})
+        assert list(threaded) == list(socketed)
+
+    def test_context_split_across_workers(self):
+        results = run_mpi(
+            3, split_program, args=(None,), backend="socket", timeout=120,
+            transport_options={"hosts": "127.0.0.1:1,127.0.0.1:2"})
+        assert list(results) == [0, 2, 2]
+
+    def test_transport_stats_attached(self):
+        results = run_mpi(3, ring_program, args=(128,), backend="socket",
+                          timeout=120)
+        stats = results.transport_stats
+        assert [s.rank for s in stats] == [0, 1, 2]
+        for record in stats:
+            assert record.messages_sent >= 2  # ring send + barrier traffic
+            assert record.bytes_sent >= 128 * 8
+
+    def test_rank_failure_surfaces_with_traceback(self):
+        results = run_mpi(3, crash_program, args=(1,), backend="socket",
+                          timeout=120, allow_failures=True)
+        assert results[1] is None
+        assert "deliberate crash" in results.failures[1]
+        assert results[0] == 0 and results[2] == 2
+
+    def test_unpicklable_program_rejected_early(self):
+        captured = []
+
+        def closure_program(world):  # pragma: no cover - never runs
+            return captured
+
+        with pytest.raises(MpiError, match="picklable"):
+            run_mpi(2, closure_program, backend="socket", timeout=30)
+
+    def test_rendezvous_timeout(self):
+        # A remote host nobody will ever start: the coordinator must give
+        # up cleanly instead of hanging.
+        with pytest.raises(MpiError, match="rendezvous"):
+            run_mpi(2, ring_program, args=(8,), backend="socket", timeout=30,
+                    transport_options={"hosts": "unreachable-host:2",
+                                       "start_timeout": 1.0})
+
+    def test_worker_process_death_synthesized(self):
+        """SIGKILL one worker mid-run: its ranks become failed outcomes and
+        the survivors' outcomes still arrive (no hang)."""
+        import threading
+        import time
+
+        transport = make_transport("socket", 3, hosts="127.0.0.1:2,127.0.0.1:1")
+        transport.launch(sleepy_program, (3.0,))
+
+        def assassin():
+            time.sleep(0.7)
+            transport.kill_rank(2)
+
+        killer = threading.Thread(target=assassin)
+        killer.start()
+        try:
+            outcomes = transport.collect(timeout=60)
+        finally:
+            killer.join()
+            transport.shutdown()
+        assert not outcomes[0].failed and not outcomes[1].failed
+        assert outcomes[2].failed
+        assert "lost" in outcomes[2].error
+
+
+def sleepy_program(world, seconds):
+    """Ranks idle long enough for the assassin thread to strike rank 2."""
+    import time
+
+    time.sleep(seconds)
+    return world.Get_rank()
+
+
+def blocked_program(world):
+    """Blocks in a receive that nothing will ever satisfy."""
+    return world.recv(source=0, tag=5)
+
+
+class TestExternalWorkerShutdown:
+    def test_early_shutdown_unblocks_external_worker(self):
+        """Coordinator shutdown mid-run (timeout, launch failure) must
+        release a still-working *external* worker — its blocked receives
+        fail fast and the process exits instead of hanging until someone
+        kills it by hand."""
+        import os
+        import subprocess
+        import sys
+        import threading
+        import time
+
+        transport = make_transport("socket", 1, hosts="some-remote-host:1",
+                                   bind="127.0.0.1:0", token="tok",
+                                   start_timeout=60)
+        launched = threading.Thread(
+            target=transport.launch, args=(blocked_program, ()), daemon=True)
+        launched.start()
+        deadline = time.monotonic() + 30
+        while transport._listener is None:
+            assert time.monotonic() < deadline, "listener never bound"
+            time.sleep(0.05)
+        port = transport._listener.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"127.0.0.1:{port}", "--slots", "1",
+             "--index", "0", "--token", "tok", "--quiet"], env=env)
+        try:
+            launched.join(timeout=60)
+            assert not launched.is_alive(), "rendezvous never completed"
+            time.sleep(0.5)  # the worker's rank is now blocked in recv
+            transport.shutdown()
+            assert worker.wait(timeout=30) == 1  # rank failed, but exited
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+                worker.wait(timeout=10)

@@ -1,0 +1,159 @@
+"""Unit tests for the TCP frame layer: framing, pickle-5 out-of-band
+buffers, routing headers, and corruption handling."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.mpi import wire
+from repro.mpi.stats import TransportStats, merge_transport_stats, payload_nbytes
+
+
+@pytest.fixture()
+def sock_pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestBodyCodec:
+    def test_roundtrip_plain_objects(self):
+        for obj in [None, 42, "héllo", {"a": [1, 2]}, (1, "x")]:
+            assert wire.decode_body(wire.encode_body(obj)) == obj
+
+    def test_roundtrip_numpy_exact(self):
+        array = np.random.default_rng(0).standard_normal((7, 5))
+        out = wire.decode_body(wire.encode_body(array))
+        np.testing.assert_array_equal(out, array)
+        assert out.dtype == array.dtype
+
+    def test_received_arrays_are_writable(self):
+        """In-place math on a received array must work exactly as it does
+        on the in-memory transports."""
+        out = wire.decode_body(wire.encode_body(np.arange(8.0)))
+        assert out.flags.writeable
+        out += 1  # would raise ValueError on a read-only buffer
+        np.testing.assert_array_equal(out, np.arange(8.0) + 1)
+
+    def test_numpy_travels_out_of_band(self):
+        """A large contiguous array must ride in its own segment, not be
+        escaped into the pickle stream (the genome fast path)."""
+        array = np.zeros(10_000)
+        body = wire.encode_body(array)
+        (nseg,) = np.frombuffer(body[:4], dtype=">u4")
+        assert nseg >= 2  # pickle blob + at least one raw buffer
+        # Overhead over the raw buffer stays tiny (no escaping/copies).
+        assert len(body) < array.nbytes + 1024
+
+    def test_nested_arrays_roundtrip(self):
+        payload = {"g": np.arange(10.0), "d": np.arange(5.0), "tag": 3}
+        out = wire.decode_body(wire.encode_body(payload))
+        np.testing.assert_array_equal(out["g"], payload["g"])
+        assert out["tag"] == 3
+
+    def test_truncated_body_rejected(self):
+        body = wire.encode_body(np.arange(100.0))
+        with pytest.raises(wire.WireError):
+            wire.decode_body(body[: len(body) // 2])
+        with pytest.raises(wire.WireError):
+            wire.decode_body(b"\x00\x00")
+
+
+class TestFrames:
+    def test_roundtrip_over_socket(self, sock_pair):
+        a, b = sock_pair
+        wire.write_frame(a, wire.pack_frame(wire.MSG, 3, {"x": np.arange(4.0)}))
+        frame = wire.read_frame(b)
+        assert frame.kind == wire.MSG
+        assert frame.rank == 3
+        np.testing.assert_array_equal(frame.payload()["x"], np.arange(4.0))
+
+    def test_forward_without_repickling(self, sock_pair):
+        """A router forwards the received (header, body) parts verbatim —
+        no re-pickle, no re-pack, no concatenation."""
+        a, b = sock_pair
+        original = wire.pack_frame(wire.MSG, 2, ("payload", np.arange(8.0)))
+        wire.write_frame(a, original)
+        frame = wire.read_frame(b)
+        wire.write_frame(b, frame.parts)  # gather-write of the raw buffers
+        relayed = wire.read_frame(a)
+        assert relayed.rank == 2
+        kind, array = relayed.payload()
+        assert kind == "payload"
+        np.testing.assert_array_equal(array, np.arange(8.0))
+
+    def test_repack_with_new_rank_still_possible(self, sock_pair):
+        a, b = sock_pair
+        wire.write_frame(a, wire.pack_frame(wire.MSG, 1, "x"))
+        frame = wire.read_frame(b)
+        wire.write_frame(b, wire.pack_frame(wire.MSG, 9, body=frame.body))
+        assert wire.read_frame(a).rank == 9
+
+    def test_bad_magic_rejected(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"XX" + bytes(20))
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.read_frame(b)
+
+    def test_oversized_length_rejected(self, sock_pair):
+        import struct
+
+        a, b = sock_pair
+        a.sendall(struct.pack("!2sBiI", wire.MAGIC, wire.MSG, 0, 2**31 - 1)
+                  + struct.pack("!I", 0))
+        with pytest.raises(wire.WireError):
+            wire.read_frame(b)
+
+    def test_closed_connection_surfaces(self, sock_pair):
+        a, b = sock_pair
+        a.close()
+        with pytest.raises(wire.WireError, match="closed"):
+            wire.read_frame(b)
+
+    def test_interleaved_frames_stay_framed(self, sock_pair):
+        a, b = sock_pair
+        frames = [wire.pack_frame(wire.MSG, i, np.full(100, float(i)))
+                  for i in range(10)]
+
+        def sender():
+            for frame in frames:
+                wire.write_frame(a, frame)
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        for i in range(10):
+            frame = wire.read_frame(b)
+            assert frame.rank == i
+            np.testing.assert_array_equal(frame.payload(), np.full(100, float(i)))
+        thread.join()
+
+
+class TestTransportStats:
+    def test_payload_nbytes_counts_buffers(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+        assert payload_nbytes({"k": np.zeros(1)}) == 8
+        assert payload_nbytes(object()) == 0
+
+    def test_payload_nbytes_walks_dataclasses(self):
+        from repro.parallel.messages import ExchangePayload
+        from repro.coevolution.genome import Genome
+
+        genome = Genome(np.zeros(100), 1e-3, "bce")
+        payload = ExchangePayload(0, 1, genome, genome)
+        assert payload_nbytes(payload) >= 1600  # two 800-byte vectors
+
+    def test_counters_and_merge(self):
+        stats = TransportStats(rank=1)
+        stats.count_sent(np.zeros(4))
+        stats.count_received(np.zeros(2))
+        assert (stats.messages_sent, stats.bytes_sent) == (1, 32)
+        assert (stats.messages_received, stats.bytes_received) == (1, 16)
+        total = merge_transport_stats([stats, TransportStats(2, 1, 1, 8, 8)])
+        assert total.messages_sent == 2
+        assert total.bytes_sent == 40
+        assert "sent 1 msg" in stats.summary()
