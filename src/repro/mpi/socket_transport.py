@@ -25,6 +25,8 @@ subprocesses, anything else is waited for (the coordinator prints the
 
 from __future__ import annotations
 
+import hmac
+import json
 import os
 import queue
 import secrets
@@ -50,7 +52,12 @@ __all__ = [
 #: Hostnames the coordinator may spawn workers for by itself.
 LOCAL_HOSTNAMES = {"localhost", "127.0.0.1", "::1"}
 
-_WIRE_VERSION = 1
+_WIRE_VERSION = 2  # v2: the hello body is JSON, not pickle
+
+#: Size cap on the pre-auth hello body.  A real hello is ~150 bytes; the
+#: coordinator refuses to buffer more than this for a peer that has not
+#: yet presented the rendezvous token.
+_HELLO_MAX_BYTES = 4096
 
 
 # -- spec parsing -------------------------------------------------------------
@@ -162,8 +169,9 @@ class SocketTransport(Transport):
         Bind a routable address (e.g. ``0.0.0.0:5555``) for real clusters.
     token:
         Shared secret the hello frame must present; autogenerated when not
-        given (spawned workers receive it on their command line, the hint
-        printed for remote hosts includes it).
+        given or empty — auth cannot be disabled (spawned workers receive
+        the token on their command line, the hint printed for remote hosts
+        includes it).
     start_timeout:
         Seconds the rendezvous may take before the launch fails.
     """
@@ -177,7 +185,11 @@ class SocketTransport(Transport):
         self.hosts = parse_host_spec(hosts, size)
         self.bind_host, self.bind_port = parse_address(bind, default_port=0)
         self.start_timeout = start_timeout
-        self.token = token if token is not None else secrets.token_hex(8)
+        # Falsy (None or "") auto-generates: an empty token must harden
+        # into a random one, not silently disable rendezvous auth — the
+        # token is the only thing standing between a routable bind and
+        # arbitrary peers feeding the run pickled frames.
+        self.token = token if token else secrets.token_hex(8)
         self.python = python or sys.executable
         # Contiguous rank blocks in host-spec order: worker i gets
         # ranks[offsets[i] : offsets[i] + slots[i]].
@@ -192,6 +204,14 @@ class SocketTransport(Transport):
         self._listener: socket.socket | None = None
         self._procs: list[subprocess.Popen | None] = [None] * len(self.hosts)
         self._shut_down = False
+        # Serializes slot assignment between concurrent admit threads, and
+        # orders registration against shutdown(): a hello that completes
+        # after the rendezvous gave up must be rejected, not registered
+        # into a transport whose close loops already ran.
+        self._admit_lock = threading.Lock()
+        #: Cap on concurrent pre-auth admissions; connections beyond it are
+        #: refused outright so a flood cannot exhaust threads or FDs.
+        self._admit_slots = threading.BoundedSemaphore(32)
 
     # -- public address (for hints and spawned workers) --------------------
 
@@ -312,14 +332,19 @@ class SocketTransport(Transport):
     def _rendezvous(self) -> None:
         deadline = time.monotonic() + self.start_timeout
         pending = set(range(len(self.hosts)))
+        lock = self._admit_lock
         assert self._listener is not None
-        while pending:
+        while True:
+            with lock:
+                if not pending:
+                    return
+                missing = sorted(pending)
             if time.monotonic() > deadline:
                 self.shutdown()
                 raise MpiError(
-                    f"rendezvous timed out: worker(s) {sorted(pending)} "
+                    f"rendezvous timed out: worker(s) {missing} "
                     f"never connected within {self.start_timeout}s")
-            for index in pending:
+            for index in missing:
                 proc = self._procs[index]
                 if proc is not None and proc.poll() is not None:
                     self.shutdown()
@@ -330,75 +355,114 @@ class SocketTransport(Transport):
                 sock, _addr = self._listener.accept()
             except socket.timeout:
                 continue
-            index = self._admit(sock, pending, deadline)
-            if index is not None:
-                pending.discard(index)
+            # Admit off-thread: a connection that stalls mid-hello (slow
+            # network, or a hostile peer on a routable bind) must not
+            # serialize behind the accept loop and starve the legitimate
+            # workers out of the rendezvous window.  The semaphore bounds
+            # how many stalled hellos can be in flight at once — a
+            # connection flood is refused instead of growing one thread
+            # and one held FD per connection.
+            if not self._admit_slots.acquire(blocking=False):
+                sock.close()
+                continue
+            threading.Thread(
+                target=self._admit, args=(sock, pending, lock, deadline),
+                name="mpi-rdv-admit", daemon=True).start()
 
     def _admit(self, sock: socket.socket, pending: set[int],
-               deadline: float) -> int | None:
-        """Validate one hello; assign a worker slot or reject the socket."""
+               lock: threading.Lock, deadline: float) -> None:
+        """Validate one hello; assign a worker slot or reject the socket.
+
+        The hello is the only frame read before the peer is authenticated,
+        so it is held to a stricter standard than the rest of the protocol:
+        a few-KiB size cap, a JSON body (never pickle — unpickling
+        pre-auth bytes would hand arbitrary code execution to anyone who
+        can reach a routable bind), and the token compared before any
+        other field is interpreted.
+        """
         try:
             # Short per-hello budget: a silent or hostile connection (port
             # scanner on a routable bind) must cost seconds, not the whole
             # rendezvous window — real workers send their hello instantly.
             sock.settimeout(min(5.0, max(0.1, deadline - time.monotonic())))
-            frame = wire.read_frame(sock)
+            frame = wire.read_frame(sock, max_body=_HELLO_MAX_BYTES)
             sock.settimeout(None)
             if frame.kind != wire.HELLO:
                 raise wire.WireError(f"expected HELLO, got kind {frame.kind}")
-            hello = frame.payload()
+            try:
+                hello = json.loads(frame.body)
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise wire.WireError(
+                    f"hello is not valid JSON (a worker running wire "
+                    f"version 1 sends pickle hellos — upgrade it to this "
+                    f"release): {exc}")
+            if not isinstance(hello, dict):
+                raise wire.WireError("hello is not a JSON object")
+            if not hmac.compare_digest(
+                    str(hello.get("token") or ""), self.token):
+                raise wire.WireError("bad rendezvous token")
             if hello.get("version") != _WIRE_VERSION:
                 raise wire.WireError(
                     f"wire version mismatch: coordinator {_WIRE_VERSION}, "
                     f"worker {hello.get('version')}")
-            if self.token and hello.get("token") != self.token:
-                raise wire.WireError("bad rendezvous token")
-            index = hello.get("index")
-            if index is None:  # externally started without --index
-                # Local blocks are never up for grabs: each one already has
-                # a spawned worker carrying --index, so an index-less hello
-                # is by definition an external machine — letting it claim a
-                # localhost slot would strand the spawned worker and hang
-                # the rendezvous.
-                candidates = [i for i in sorted(pending)
-                              if len(self._blocks[i]) == hello.get("slots")
-                              and not _is_local(self.hosts[i][0])]
-                if not candidates:
+            with lock:
+                if self._shut_down:
+                    # The rendezvous timed out (or the job failed) while
+                    # this hello was in flight: shutdown()'s close loops
+                    # already ran, so registering now would leak the
+                    # socket and strand the worker waiting for START.
+                    raise wire.WireError("coordinator is shutting down")
+                index = hello.get("index")
+                if index is None:  # externally started without --index
+                    # Local blocks are never up for grabs: each one already
+                    # has a spawned worker carrying --index, so an index-less
+                    # hello is by definition an external machine — letting it
+                    # claim a localhost slot would strand the spawned worker
+                    # and hang the rendezvous.
+                    candidates = [i for i in sorted(pending)
+                                  if len(self._blocks[i]) == hello.get("slots")
+                                  and not _is_local(self.hosts[i][0])]
+                    if not candidates:
+                        raise wire.WireError(
+                            f"no pending remote worker slot takes "
+                            f"{hello.get('slots')} rank(s); check --slots "
+                            "against --hosts (localhost entries are spawned "
+                            "automatically and cannot be claimed externally)")
+                    # Prefer the host-spec entry naming this machine, so the
+                    # placement report stays the *actual* rank-to-host
+                    # mapping even when two same-sized workers race to
+                    # connect; fall back to spec order when nothing matches.
+                    reported = str(hello.get("host", "")).casefold()
+                    short = reported.partition(".")[0]
+                    matching = [i for i in candidates
+                                if self.hosts[i][0].casefold()
+                                in (reported, short)]
+                    index = (matching or candidates)[0]
+                index = int(index)
+                if index not in pending:
+                    raise wire.WireError(f"worker slot {index} is not pending")
+                if hello.get("slots") != len(self._blocks[index]):
                     raise wire.WireError(
-                        f"no pending remote worker slot takes "
-                        f"{hello.get('slots')} rank(s); check --slots "
-                        "against --hosts (localhost entries are spawned "
-                        "automatically and cannot be claimed externally)")
-                # Prefer the host-spec entry naming this machine, so the
-                # placement report stays the *actual* rank-to-host mapping
-                # even when two same-sized workers race to connect; fall
-                # back to spec order when nothing matches.
-                reported = str(hello.get("host", "")).casefold()
-                short = reported.partition(".")[0]
-                matching = [i for i in candidates
-                            if self.hosts[i][0].casefold() in (reported, short)]
-                index = (matching or candidates)[0]
-            index = int(index)
-            if index not in pending:
-                raise wire.WireError(f"worker slot {index} is not pending")
-            if hello.get("slots") != len(self._blocks[index]):
-                raise wire.WireError(
-                    f"worker {index} offered {hello.get('slots')} slot(s), "
-                    f"host spec expects {len(self._blocks[index])}")
+                        f"worker {index} offered {hello.get('slots')} "
+                        f"slot(s), host spec expects "
+                        f"{len(self._blocks[index])}")
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                conn = _WorkerConnection(index, self.hosts[index][0], sock,
+                                         self._blocks[index])
+                self._connections[index] = conn
+                for rank in conn.ranks:
+                    self._rank_conn[rank] = conn
+                # Last, so the rendezvous loop only completes once the
+                # connection is fully registered.
+                pending.discard(index)
         except Exception as exc:  # noqa: BLE001 - anything a stranger sends
             # The listener may sit on a routable address: one garbage or
-            # hostile connection (non-dict hello, unpicklable payload,
-            # absurd index) must reject that socket, never abort the job.
+            # hostile connection (non-JSON hello, wrong token, absurd
+            # index) must reject that socket, never abort the job.
             print(f"[socket] rejected connection: {exc}", file=sys.stderr)
             sock.close()
-            return None
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        conn = _WorkerConnection(index, self.hosts[index][0], sock,
-                                 self._blocks[index])
-        self._connections[index] = conn
-        for rank in conn.ranks:
-            self._rank_conn[rank] = conn
-        return index
+        finally:
+            self._admit_slots.release()
 
     # -- routing ------------------------------------------------------------
 
@@ -494,9 +558,14 @@ class SocketTransport(Transport):
         return [outcomes[rank] for rank in range(self.size)]
 
     def shutdown(self) -> None:
-        if self._shut_down:
-            return
-        self._shut_down = True
+        # The flag flips under the admit lock so an in-flight hello either
+        # registers before the close loops below run, or sees the flag and
+        # rejects itself — never a connection registered into a transport
+        # that already tore down.
+        with self._admit_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
         for conn in self._connections:
             if conn is None or conn.dead:
                 continue
@@ -529,7 +598,14 @@ class SocketTransport(Transport):
                 proc.wait(timeout=5.0)
             except subprocess.TimeoutExpired:
                 proc.kill()
-                proc.wait(timeout=5.0)
+                # shutdown() runs in run_mpi's finally block: a worker that
+                # ignores even SIGKILL (kernel-stuck) must not raise here
+                # and mask the error that actually failed the run.
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    print(f"[socket] worker process {proc.pid} did not exit "
+                          "after kill; abandoning it", file=sys.stderr)
 
     def kill_rank(self, rank: int) -> None:
         """SIGKILL the worker process hosting ``rank`` (fault injection).
@@ -645,6 +721,11 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
     outcomes, and exits 0 when every hosted rank succeeded.
     """
     host, port = parse_address(connect)
+    if port < 1:  # the default_port=0 sentinel: no port in the address
+        print(f"[worker] bad --connect {connect!r}: expected host:port "
+              "(the coordinator prints the full address to connect to)",
+              file=sys.stderr)
+        return 2
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as exc:
@@ -652,14 +733,16 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
               file=sys.stderr)
         return 2
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    wire.write_frame(sock, wire.pack_frame(wire.HELLO, slots, {
+    # JSON, not pickle: the coordinator authenticates this frame before it
+    # trusts the connection enough to unpickle anything from it.
+    wire.write_frame(sock, wire.pack_frame(wire.HELLO, slots, body=json.dumps({
         "version": _WIRE_VERSION,
         "token": token,
         "slots": slots,
         "index": index,
         "host": socket.gethostname(),
         "pid": os.getpid(),
-    }))
+    }).encode("utf-8")))
     sock.settimeout(timeout)
     try:
         frame = wire.read_frame(sock)

@@ -32,10 +32,16 @@ def payload_nbytes(obj: Any, _depth: int = _MAX_DEPTH) -> int:
     """
     if _depth <= 0 or obj is None:
         return 0
+    if isinstance(obj, memoryview):
+        # Explicitly .nbytes, never len(): len() is the element count, so
+        # a float64 view would read 8x small if it ever reached a len()
+        # branch.  (The generic nbytes probe below would also catch it —
+        # this branch exists so the distinction stays visible.)
+        return obj.nbytes
     nbytes = getattr(obj, "nbytes", None)
     if isinstance(nbytes, int):  # numpy arrays and scalars
         return nbytes
-    if isinstance(obj, (bytes, bytearray, memoryview)):
+    if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, str):
         return len(obj.encode("utf-8", errors="replace"))

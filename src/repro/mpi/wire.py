@@ -12,6 +12,12 @@ the out-of-band buffers pickle 5 extracted — NumPy genome vectors therefore
 travel as raw buffer copies instead of being embedded (and escaped) inside
 the pickle stream, which is the fast path the exchange loop lives on.
 
+The one exception is HELLO: its body is a small UTF-8 JSON object, *not* a
+pickle.  HELLO arrives before the sender has proven it knows the rendezvous
+token, and unpickling attacker-controlled bytes is arbitrary code
+execution — the coordinator must be able to authenticate the frame without
+ever touching :mod:`pickle` (see ``SocketTransport._admit``).
+
 The body is opaque to routers: the coordinator forwards MSG frames by
 passing header and body through untouched (the destination rank is already
 in the header), so relayed genomes are never re-pickled or re-copied.
@@ -139,6 +145,17 @@ def pack_frame(kind: int, rank: int, obj: Any = None, *,
                body: bytes | None = None) -> bytes:
     """A complete wire frame; pass ``body`` to forward without re-pickling."""
     encoded = encode_body(obj) if body is None else body
+    if len(encoded) > MAX_FRAME_BYTES:
+        # Fail at the sender with the real cause: otherwise the oversized
+        # frame is only rejected by the receiver's read_frame (surfacing
+        # as a misleading lost-connection failure), and a body over the
+        # u32 header field would die as a struct.error inside a relay
+        # thread, silently losing the message.
+        raise WireError(
+            f"frame body of {len(encoded)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit; send smaller payloads "
+            "(e.g. a registry dataset rendered per node instead of an "
+            "in-memory dataset on the wire)")
     return _HEADER.pack(MAGIC, kind, rank, len(encoded)) + encoded
 
 
@@ -178,13 +195,20 @@ def _read_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(chunks)
 
 
-def read_frame(sock: socket.socket) -> Frame:
-    """Block until one full frame arrives; validates magic and size."""
+def read_frame(sock: socket.socket,
+               max_body: int = MAX_FRAME_BYTES) -> Frame:
+    """Block until one full frame arrives; validates magic and size.
+
+    ``max_body`` tightens the size limit below :data:`MAX_FRAME_BYTES` —
+    pre-auth reads (the rendezvous hello) use a few-KiB cap so a stranger
+    on a routable bind cannot make the coordinator buffer near-gigabyte
+    bodies before the token is ever checked.
+    """
     header = _read_exact(sock, _HEADER.size)
     magic, kind, rank, body_len = _HEADER.unpack(header)
     if magic != MAGIC:
         raise WireError(f"bad frame magic {magic!r} (protocol mismatch?)")
-    if body_len > MAX_FRAME_BYTES:
+    if body_len > max_body:
         raise WireError(f"frame of {body_len} bytes exceeds the "
-                        f"{MAX_FRAME_BYTES}-byte limit")
+                        f"{max_body}-byte limit")
     return Frame(kind, rank, _read_exact(sock, body_len), header=header)

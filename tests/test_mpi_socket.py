@@ -45,6 +45,16 @@ def crash_program(world, victim):
     return world.Get_rank()
 
 
+class _CreatesFileOnUnpickle:
+    """Pickles cleanly; unpickling it creates ``path`` (an exploit proxy)."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def __reduce__(self):
+        return (open, (self.path, "w"))
+
+
 def split_program(world, _unused):
     """LOCAL/GLOBAL context derivation, as the comm-manager performs it."""
     color = 1 if world.Get_rank() > 0 else None
@@ -115,6 +125,52 @@ class TestHostSpecs:
         finally:
             transport.shutdown()
 
+    def test_pickled_hello_rejected_before_unpickle(self, tmp_path):
+        """SECURITY: the hello arrives before the peer has presented the
+        rendezvous token, so the coordinator must never unpickle it — a
+        crafted pickle in a HELLO frame is arbitrary code execution for
+        anyone who can reach a routable bind.  The payload here creates a
+        sentinel file when (and only when) it is unpickled."""
+        import socket as socket_module
+        import threading
+        import time
+
+        from repro.mpi import wire
+        from repro.mpi.socket_transport import SocketTransport
+
+        sentinel = tmp_path / "unpickled-pre-auth"
+        transport = SocketTransport(2, hosts="127.0.0.1:2", token="tok",
+                                    start_timeout=30)
+        launched = threading.Thread(
+            target=transport.launch, args=(ring_program, (4,)), daemon=True)
+        launched.start()
+        try:
+            deadline = time.monotonic() + 20
+            while transport._listener is None:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            port = transport._listener.getsockname()[1]
+            with socket_module.create_connection(("127.0.0.1", port),
+                                                 timeout=10) as intruder:
+                evil = _CreatesFileOnUnpickle(str(sentinel))
+                intruder.sendall(wire.pack_frame(wire.HELLO, 0, evil))
+            launched.join(timeout=60)
+            assert not launched.is_alive(), "rendezvous crashed or hung"
+            outcomes = transport.collect(timeout=60)
+            assert [o.value for o in outcomes] == [1.0, 0.0]
+            assert not sentinel.exists(), \
+                "coordinator unpickled a pre-auth hello payload"
+        finally:
+            transport.shutdown()
+
+    def test_worker_connect_requires_port(self, capsys):
+        """`repro worker --connect host` (port forgotten) must fail with a
+        usage error, not a confusing connect-to-port-0 OS error."""
+        from repro.mpi.socket_transport import worker_main
+
+        assert worker_main("somehost") == 2
+        assert "expected host:port" in capsys.readouterr().err
+
     def test_ipv6_literals(self):
         assert parse_host_spec("[::1]:5", 5) == [("::1", 5)]
         assert parse_host_spec("::1", 1) == [("::1", 1)]  # bare = 1 slot
@@ -153,6 +209,15 @@ class TestHostSpecs:
             assert seen == [{"sigma": 1}]
         finally:
             DATASETS.unregister("test-dict-options")
+
+    def test_empty_token_hardens_instead_of_disabling_auth(self):
+        """token=\"\" (e.g. a config template rendering an empty string)
+        must auto-generate a secret, never run an open rendezvous."""
+        from repro.mpi.socket_transport import SocketTransport
+
+        assert SocketTransport(1, token="").token
+        assert SocketTransport(1, token=None).token
+        assert SocketTransport(1, token="s3cret").token == "s3cret"
 
     def test_spawned_workers_follow_specific_bind(self):
         from repro.mpi.socket_transport import SocketTransport

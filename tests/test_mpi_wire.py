@@ -107,6 +107,24 @@ class TestFrames:
         with pytest.raises(wire.WireError):
             wire.read_frame(b)
 
+    def test_oversized_body_fails_at_the_sender(self, monkeypatch):
+        """An over-limit frame must raise at pack time with the real cause,
+        not surface at the receiver as a bogus lost-connection failure."""
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 1024)
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.pack_frame(wire.MSG, 0, body=bytes(2048))
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.pack_frame(wire.MSG, 0, np.zeros(1024))
+
+    def test_max_body_cap_tightens_limit(self, sock_pair):
+        """Pre-auth reads pass a small max_body: a body within the global
+        frame limit but above the caller's cap must be refused before it
+        is buffered."""
+        a, b = sock_pair
+        wire.write_frame(a, wire.pack_frame(wire.HELLO, 0, body=bytes(8192)))
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.read_frame(b, max_body=4096)
+
     def test_closed_connection_surfaces(self, sock_pair):
         a, b = sock_pair
         a.close()
@@ -138,6 +156,14 @@ class TestTransportStats:
         assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
         assert payload_nbytes({"k": np.zeros(1)}) == 8
         assert payload_nbytes(object()) == 0
+
+    def test_payload_nbytes_memoryview_counts_bytes_not_elements(self):
+        """len() on a float64 memoryview is the element count — the byte
+        accounting must use .nbytes or it under-counts 8x."""
+        view = memoryview(np.zeros(10))
+        assert len(view) == 10
+        assert payload_nbytes(view) == 80
+        assert payload_nbytes(memoryview(b"abcd")) == 4
 
     def test_payload_nbytes_walks_dataclasses(self):
         from repro.parallel.messages import ExchangePayload
