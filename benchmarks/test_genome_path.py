@@ -1,0 +1,178 @@
+"""Bench: the genome hot path, before/after the parameter arena (PR 4).
+
+Measures the three routines the arena collapses, each against the legacy
+per-tensor implementation that remains in the codebase as the arena-less
+fallback:
+
+* **flatten** — ``parameters_to_vector`` into a reused buffer: per-tensor
+  copy loop vs one contiguous slice copy out of the arena slab.
+* **update_genomes** — ``vector_to_parameters`` (the paper's profiled
+  "update genomes" routine): per-tensor scatter loop vs one contiguous
+  write into the slab.
+* **optimizer_step** — one Adam update: per-tensor Python loop vs the
+  fused slab sweep.
+* **exchange_round** — a full genome exchange hop: snapshot → wire encode
+  → decode → write into a neighbor's network; legacy loops + copying
+  ``encode_body`` vs arena + gather-write ``encode_body_parts``.
+
+Results land in ``benchmarks/results/BENCH_genome_path.json`` so the perf
+trajectory is trackable across PRs.  The assertions here only check the
+benchmark machinery (the CI smoke runs tiny sizes via ``REPRO_BENCH_TINY``);
+the ≥2x acceptance numbers are read off the committed artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkSettings
+from repro.coevolution.genome import Genome, genome_from_network
+from repro.gan.networks import Generator
+from repro.mpi import wire
+from repro.nn import arena_of, optimizer_by_name, parameters_to_vector
+from repro.nn.serialize import _flatten_loop, _scatter_loop, vector_to_parameters
+
+from benchmarks.conftest import save_artifact
+
+# Full-size timing run: the fast CI lane instead runs this module directly
+# with REPRO_BENCH_TINY=1 as a seconds-scale machinery smoke.
+pytestmark = pytest.mark.slow
+
+_TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+#: Tiny sizes prove the machinery in CI seconds; the committed artifact is
+#: produced at the paper's Table I topology (~270k parameters).
+_SETTINGS = (NetworkSettings(latent_size=8, hidden_layers=2, hidden_neurons=16,
+                             output_neurons=36)
+             if _TINY else NetworkSettings())
+_REPS = 30 if _TINY else 200
+
+
+def _timeit(fn, reps: int) -> float:
+    """Median-of-5 timing of ``reps`` calls (seconds per call)."""
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        samples.append((time.perf_counter() - start) / reps)
+    return float(np.median(samples))
+
+
+def _bench_pair(before, after, reps: int = _REPS) -> dict:
+    before_s, after_s = _timeit(before, reps), _timeit(after, reps)
+    return {
+        "before_s_per_call": before_s,
+        "after_s_per_call": after_s,
+        "speedup": before_s / after_s if after_s > 0 else float("inf"),
+    }
+
+
+def _grad_filled(network) -> None:
+    arena = arena_of(network)
+    arena.ensure_grads()
+    rng = np.random.default_rng(7)
+    arena.grad[...] = rng.standard_normal(arena.size)
+
+
+def test_genome_path_microbench(results_dir):
+    rng = np.random.default_rng(0)
+    network = Generator(_SETTINGS, rng)
+    neighbor = Generator(_SETTINGS, rng)
+    arena = arena_of(network)
+    n = arena.size
+    buf = np.empty(n, dtype=np.float64)
+    vec = np.random.default_rng(1).standard_normal(n)
+
+    benches = {}
+
+    # -- flatten into a reused buffer: per-tensor loop vs one slab copy ----
+    benches["flatten_copy"] = _bench_pair(
+        lambda: _flatten_loop(network, buf),
+        lambda: parameters_to_vector(network, out=buf),
+    )
+    np.testing.assert_array_equal(_flatten_loop(network, buf.copy()),
+                                  parameters_to_vector(network))
+
+    # -- flatten for local consumption: the pre-arena code allocated and
+    #    loop-copied a fresh vector; the arena path borrows the live slab
+    #    (alias=True — what the sub-population update and promote now do).
+    benches["flatten_borrow"] = _bench_pair(
+        lambda: _flatten_loop(network, np.empty(n, dtype=np.float64)),
+        lambda: parameters_to_vector(network, alias=True),
+    )
+
+    # -- update genomes, the per-network unit of the profiled routine:
+    #    move one network's parameters into another network.  Pre-arena:
+    #    allocating per-tensor flatten + per-tensor scatter (two loop
+    #    copies).  Arena: borrow the source slab, one contiguous write.
+    def legacy_update() -> None:
+        snapshot = _flatten_loop(network, np.empty(n, dtype=np.float64))
+        _scatter_loop(snapshot, neighbor)
+
+    def arena_update() -> None:
+        vector_to_parameters(parameters_to_vector(network, alias=True), neighbor)
+
+    benches["update_genomes"] = _bench_pair(legacy_update, arena_update)
+
+    # -- update genomes from a *received* vector (remote neighbors): the
+    #    write half alone — per-tensor scatter vs one contiguous write.
+    benches["update_genomes_neighbor"] = _bench_pair(
+        lambda: _scatter_loop(vec, network),
+        lambda: vector_to_parameters(vec, network),
+    )
+
+    # -- optimizer step: per-tensor Adam loop vs fused slab sweep ----------
+    _grad_filled(network)
+    legacy_opt = optimizer_by_name("adam", network.parameters(), 1e-4)
+    fused_opt = optimizer_by_name("adam", network.parameters(), 1e-4,
+                                  arena=arena)
+    benches["optimizer_step"] = _bench_pair(legacy_opt.step, fused_opt.step)
+
+    # -- a full exchange hop ----------------------------------------------
+    def legacy_round() -> None:
+        genome = Genome(_flatten_loop(network, np.empty(n)), 1e-4, "bce")
+        body = wire.encode_body(genome)          # copying join
+        received: Genome = wire.decode_body(body)
+        _scatter_loop(received.parameters, neighbor)
+
+    def arena_round() -> None:
+        genome = genome_from_network(network, 1e-4, "bce")  # one memcpy
+        parts = wire.encode_body_parts(genome)   # gather-write, no joins
+        received: Genome = wire.decode_body(b"".join(parts))
+        received.write_into(neighbor)
+
+    benches["exchange_round"] = _bench_pair(legacy_round, arena_round,
+                                            reps=max(5, _REPS // 10))
+
+    payload = {
+        "network": {
+            "latent_size": _SETTINGS.latent_size,
+            "hidden_layers": _SETTINGS.hidden_layers,
+            "hidden_neurons": _SETTINGS.hidden_neurons,
+            "output_neurons": _SETTINGS.output_neurons,
+            "parameters": int(n),
+        },
+        "tiny": _TINY,
+        "reps": _REPS,
+        "benches": benches,
+    }
+    save_artifact(results_dir, "BENCH_genome_path.json",
+                  json.dumps(payload, indent=2))
+
+    # Machinery assertions only (thresholds are read off the artifact):
+    # every bench produced finite positive timings, and the arena paths
+    # computed the same bytes the legacy paths did.
+    for name, bench in benches.items():
+        assert bench["before_s_per_call"] > 0, name
+        assert bench["after_s_per_call"] > 0, name
+        assert np.isfinite(bench["speedup"]), name
+    snapshot = parameters_to_vector(network)
+    legacy_snapshot = _flatten_loop(network, np.empty(n))
+    np.testing.assert_array_equal(snapshot, legacy_snapshot)
+    np.testing.assert_array_equal(parameters_to_vector(neighbor),
+                                  parameters_to_vector(network))

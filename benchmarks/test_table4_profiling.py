@@ -8,6 +8,8 @@ Shape assertions from the paper:
   * compute routines speed up far more than ``gather``.
 """
 
+import json
+
 import pytest
 from repro.experiments import table4
 from repro.profiling import format_table4
@@ -22,9 +24,28 @@ def _row(rows, name):
     return next(r for r in rows if r.routine == name)
 
 
+def _rows_payload(rows) -> str:
+    """Machine-readable Table IV (tracked across PRs as BENCH_table4.json)."""
+    payload = {
+        "paper_minutes": table4.PAPER_VALUES,
+        "rows": [
+            {
+                "routine": r.routine,
+                "single_core_s": r.single_core_s,
+                "distributed_s": r.distributed_s,
+                "acceleration": r.acceleration,
+                "speedup": r.speedup,
+            }
+            for r in rows
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
 def test_table4_profiling(benchmark, table4_rows, results_dir):
     rows = benchmark.pedantic(lambda: table4_rows, rounds=1, iterations=1)
     save_artifact(results_dir, "table4.txt", table4.format_table(rows))
+    save_artifact(results_dir, "BENCH_table4.json", _rows_payload(rows))
 
     gather = _row(rows, "gather")
     train = _row(rows, "train")

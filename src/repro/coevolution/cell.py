@@ -43,7 +43,7 @@ from repro.gan.pair import GANPair
 from repro.nn import Tensor, loss_by_name, optimizer_by_name
 from repro.nn.autograd import no_grad
 from repro.nn.losses import MUSTANGS_LOSSES
-from repro.nn.serialize import parameters_to_vector
+from repro.nn.serialize import parameters_to_vector, vector_to_parameters
 from repro.profiling import NULL_TIMER, RoutineTimer
 
 __all__ = ["Cell", "CellReport", "NEIGHBORHOOD_SIZE"]
@@ -121,12 +121,20 @@ class Cell:
 
     # -- genome exchange -------------------------------------------------------
 
-    def center_genomes(self) -> tuple[Genome, Genome]:
-        """Snapshot the center pair for exchange with neighbors."""
+    def center_genomes(self, *, alias: bool = False) -> tuple[Genome, Genome]:
+        """Snapshot the center pair for exchange with neighbors.
+
+        Default: one contiguous copy per network (safe to queue on any
+        transport).  ``alias=True`` borrows the live parameter arenas with
+        zero copies — for strictly local, consume-immediately uses such as
+        the sub-population update; never for payloads handed to a
+        transport, whose sender threads serialize after this method
+        returns.
+        """
         lr = self.center.learning_rate
         return (
-            genome_from_network(self.center.generator, lr, self.loss_name),
-            genome_from_network(self.center.discriminator, lr, self.loss_name),
+            genome_from_network(self.center.generator, lr, self.loss_name, alias=alias),
+            genome_from_network(self.center.discriminator, lr, self.loss_name, alias=alias),
         )
 
     def _update_subpopulations(self, neighbor_genomes: list[tuple[Genome, Genome]]) -> None:
@@ -137,7 +145,10 @@ class Cell:
         parameters in place — mirroring the asynchronous tolerance of the
         original Lipizzaner.
         """
-        own_g, own_d = self.center_genomes()
+        # Borrow the center arenas (zero copies): each entry is written
+        # into its sub-population slab before any training mutates the
+        # center, so the aliasing window closes inside this method.
+        own_g, own_d = self.center_genomes(alias=True)
         entries = [(own_g, own_d)] + list(neighbor_genomes)
         entries = entries[: self.neighborhood_size]
         for i, (g_genome, d_genome) in enumerate(entries):
@@ -256,11 +267,16 @@ class Cell:
         return report
 
     def _promote(self, g_idx: int, d_idx: int) -> None:
-        """Copy the winning sub-population members into the center pair."""
-        g_vec = parameters_to_vector(self._sub_generators[g_idx])
-        d_vec = parameters_to_vector(self._sub_discriminators[d_idx])
-        Genome(g_vec, self._sub_lr[g_idx], self.loss_name).write_into(self.center.generator)
-        Genome(d_vec, self._sub_lr[d_idx], self.loss_name).write_into(self.center.discriminator)
+        """Copy the winning sub-population members into the center pair.
+
+        Arena-to-arena: the winner's slab is borrowed (``alias=True``) and
+        lands in the center's slab as one contiguous copy — no intermediate
+        flatten buffer on this per-iteration path.
+        """
+        g_vec = parameters_to_vector(self._sub_generators[g_idx], alias=True)
+        d_vec = parameters_to_vector(self._sub_discriminators[d_idx], alias=True)
+        vector_to_parameters(g_vec, self.center.generator)
+        vector_to_parameters(d_vec, self.center.discriminator)
         self.center.learning_rate = self._sub_lr[g_idx]
 
     # -- checkpoint restore ------------------------------------------------------

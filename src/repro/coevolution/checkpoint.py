@@ -80,7 +80,15 @@ class TrainingCheckpoint:
 
 
 def save_checkpoint(path: str | os.PathLike, checkpoint: TrainingCheckpoint) -> None:
-    """Write the checkpoint atomically as a compressed ``.npz``."""
+    """Write the checkpoint atomically as a compressed ``.npz``.
+
+    The round trip is bit-exact through the parameter arena: genome vectors
+    are raw float64 and npz compression is lossless, and restoring writes
+    them back through :meth:`Genome.write_into` — an in-place contiguous
+    copy into the network's slab.  Genomes that *borrow* a live arena
+    (``alias=True`` snapshots) are safe to pass here: the archive writer
+    consumes them synchronously, before any further training.
+    """
     metadata = {
         "version": _FORMAT_VERSION,
         "config": checkpoint.config.to_dict(),

@@ -32,6 +32,19 @@ class Genome:
 
     Picklable (NumPy vector + plain scalars) so it can cross process
     boundaries through the MPI layer unchanged.
+
+    Aliasing/ownership contract: a **contiguous float64 vector is adopted
+    as-is** — the genome aliases the caller's buffer and never copies it.
+    That is what makes the zero-copy exchange path work (a genome borrowing
+    a network's live :class:`~repro.nn.arena.ParameterArena` slab costs
+    nothing to build), but it also means a caller that keeps training the
+    source network must either pass a copy or consume the genome before the
+    next update (``write_into`` copies immediately, so the common
+    borrow-then-write pattern is safe).  Non-contiguous or non-float64
+    input is normalized with exactly one copy; :meth:`copy` always deep
+    copies.  Contiguity is required so the vector rides the wire as a
+    single out-of-band pickle-5 buffer instead of being escaped (and
+    re-copied) inside the pickle stream.
     """
 
     parameters: np.ndarray
@@ -39,7 +52,14 @@ class Genome:
     loss_name: str
 
     def __post_init__(self) -> None:
-        self.parameters = np.asarray(self.parameters, dtype=np.float64)
+        parameters = self.parameters
+        if not isinstance(parameters, np.ndarray) or parameters.dtype != np.float64:
+            parameters = np.asarray(parameters, dtype=np.float64)
+        if not parameters.flags.c_contiguous:
+            # One normalizing copy, only when actually needed — contiguous
+            # float64 input keeps aliasing the caller's buffer.
+            parameters = np.ascontiguousarray(parameters)
+        self.parameters = parameters
         if self.parameters.ndim != 1:
             raise ValueError("genome parameters must be a flat vector")
         if self.learning_rate <= 0:
@@ -64,9 +84,16 @@ class Genome:
 
 
 def genome_from_network(network: Module, learning_rate: float, loss_name: str,
-                        out: np.ndarray | None = None) -> Genome:
-    """Snapshot a network into a genome (optionally into a reused buffer)."""
-    return Genome(parameters_to_vector(network, out=out), learning_rate, loss_name)
+                        out: np.ndarray | None = None, *,
+                        alias: bool = False) -> Genome:
+    """Snapshot a network into a genome (optionally into a reused buffer).
+
+    ``alias=True`` borrows the network's live parameter arena with zero
+    copies — legal only when the genome is consumed (written or copied)
+    before the network trains again; see the contract on :class:`Genome`.
+    """
+    return Genome(parameters_to_vector(network, out=out, alias=alias),
+                  learning_rate, loss_name)
 
 
 def genome_from_pair(pair: GANPair) -> tuple[Genome, Genome]:

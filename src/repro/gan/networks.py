@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import NetworkSettings
-from repro.nn import Linear, Module, Sequential, Tensor, activation_module
+from repro.nn import Linear, Module, Sequential, Tensor, activation_module, attach_arena
 from repro.nn.init import xavier_normal
 
 __all__ = ["Generator", "Discriminator", "build_generator", "build_discriminator"]
@@ -44,6 +44,9 @@ class Generator(Module):
             + [settings.output_neurons]
         )
         self.net = _mlp(sizes, settings.activation, rng, final=activation_module("tanh"))
+        # One contiguous slab per network: genome flattening becomes a
+        # single memcpy and the optimizer update one fused sweep.
+        attach_arena(self)
 
     def forward(self, z: Tensor) -> Tensor:
         if z.ndim != 2 or z.shape[1] != self.settings.latent_size:
@@ -65,6 +68,7 @@ class Discriminator(Module):
             + [1]
         )
         self.net = _mlp(sizes, settings.activation, rng, final=None)
+        attach_arena(self)
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.settings.output_neurons:

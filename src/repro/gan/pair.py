@@ -18,7 +18,7 @@ import numpy as np
 from repro.config import ExperimentConfig
 from repro.gan.networks import Discriminator, Generator
 from repro.gan.sampling import sample_latent
-from repro.nn import Tensor, loss_by_name, optimizer_by_name
+from repro.nn import Tensor, arena_of, loss_by_name, optimizer_by_name
 from repro.nn.autograd import no_grad
 from repro.nn.losses import GANLoss
 from repro.nn.optim import Optimizer
@@ -35,11 +35,15 @@ class GANPair:
         self.discriminator = discriminator
         self.loss = loss
         self.optimizer_name = optimizer_name
+        # The networks' arenas (attached at construction) buy the fused
+        # slab update; arena-less networks fall back to per-tensor steps.
         self.g_optimizer: Optimizer = optimizer_by_name(
-            optimizer_name, generator.parameters(), learning_rate
+            optimizer_name, generator.parameters(), learning_rate,
+            arena=arena_of(generator),
         )
         self.d_optimizer: Optimizer = optimizer_by_name(
-            optimizer_name, discriminator.parameters(), learning_rate
+            optimizer_name, discriminator.parameters(), learning_rate,
+            arena=arena_of(discriminator),
         )
 
     # -- learning-rate plumbing (hyperparameter mutation target) -------------
@@ -59,10 +63,12 @@ class GANPair:
         """Drop optimizer state, e.g. after parameters were overwritten."""
         lr = self.learning_rate
         self.g_optimizer = optimizer_by_name(
-            self.optimizer_name, self.generator.parameters(), lr
+            self.optimizer_name, self.generator.parameters(), lr,
+            arena=arena_of(self.generator),
         )
         self.d_optimizer = optimizer_by_name(
-            self.optimizer_name, self.discriminator.parameters(), lr
+            self.optimizer_name, self.discriminator.parameters(), lr,
+            arena=arena_of(self.discriminator),
         )
 
     # -- training steps --------------------------------------------------------

@@ -656,22 +656,27 @@ class _WorkerHub:
 
     def _remote_putter(self, dest: int) -> Callable[[Any], None]:
         def put(envelope: Any) -> None:
-            frame = wire.pack_frame(wire.MSG, dest, envelope)
+            # Gather-write parts: the envelope's genome vectors ride as
+            # live memoryviews straight into sendmsg — the first hop makes
+            # zero payload copies, like the coordinator's forward path.
+            # The views stay valid for the whole write: the envelope is
+            # referenced here until write_frame returns.
+            parts = wire.pack_frame_parts(wire.MSG, dest, envelope)
             try:
                 with self._send_lock:
                     if self._closed:
                         return  # coordinator gone: drop, like a dead pipe
-                    wire.write_frame(self.sock, frame)
+                    wire.write_frame(self.sock, parts)
             except wire.WireError:
                 self._on_connection_lost()
         return put
 
     def send_result(self, outcome: WorkerOutcome) -> None:
-        frame = wire.pack_frame(wire.RESULT, outcome.rank, outcome)
+        parts = wire.pack_frame_parts(wire.RESULT, outcome.rank, outcome)
         try:
             with self._send_lock:
                 if not self._closed:
-                    wire.write_frame(self.sock, frame)
+                    wire.write_frame(self.sock, parts)
         except wire.WireError:
             self._on_connection_lost()
 

@@ -21,6 +21,12 @@ ever touching :mod:`pickle` (see ``SocketTransport._admit``).
 The body is opaque to routers: the coordinator forwards MSG frames by
 passing header and body through untouched (the destination rank is already
 in the header), so relayed genomes are never re-pickled or re-copied.
+
+The *first* hop is zero-copy too: :func:`pack_frame_parts` returns the
+frame as gather-write parts — header+segment-table, pickle blob, and the
+raw out-of-band buffers as live memoryviews — and :func:`write_frame`
+hands them to ``socket.sendmsg`` without ever concatenating, so a genome
+vector goes from the sender's arena snapshot to the kernel in one hop.
 """
 
 from __future__ import annotations
@@ -36,7 +42,10 @@ __all__ = [
     "Frame",
     "WireError",
     "pack_frame",
+    "pack_frame_parts",
     "encode_body",
+    "encode_body_parts",
+    "body_parts_nbytes",
     "decode_body",
     "read_frame",
     "write_frame",
@@ -100,17 +109,43 @@ class Frame:
         return _HEADER.size + len(self.body)
 
 
-def encode_body(obj: Any) -> bytes:
-    """Serialize ``obj`` into a frame body (pickle 5 + out-of-band segments)."""
+def encode_body_parts(obj: Any) -> list["bytes | memoryview"]:
+    """Serialize ``obj`` into gather-write body parts — **zero buffer copies**.
+
+    Returns ``[segment_table, pickle_blob, raw_buffer, ...]`` where the raw
+    out-of-band buffers are the live :class:`memoryview`\\ s pickle 5
+    extracted (e.g. a genome vector's own memory).  A sender passes the
+    parts straight to :func:`write_frame`, which gather-writes them with
+    ``socket.sendmsg`` — the first hop never concatenates or copies the
+    payload, mirroring the coordinator's zero-copy forward path.
+
+    The parts reference the source arrays: serialize-then-send must finish
+    before the caller mutates them (every transport sender does).
+    """
     buffers: list[pickle.PickleBuffer] = []
     blob = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
-    segments = [blob] + [buf.raw() for buf in buffers]
-    parts = [struct.pack("!I", len(segments))]
+    segments: list[Any] = [blob] + [buf.raw() for buf in buffers]
+    table = bytearray(struct.pack("!I", len(segments)))
     for segment in segments:
-        parts.append(_SEG_LEN.pack(len(segment)))
-    parts.extend(bytes(segment) if not isinstance(segment, bytes) else segment
-                 for segment in segments)
-    return b"".join(parts)
+        table += _SEG_LEN.pack(segment.nbytes if isinstance(segment, memoryview)
+                               else len(segment))
+    return [bytes(table), *segments]
+
+
+def body_parts_nbytes(parts: list) -> int:
+    """Total body length of :func:`encode_body_parts` output."""
+    return sum(part.nbytes if isinstance(part, memoryview) else len(part)
+               for part in parts)
+
+
+def encode_body(obj: Any) -> bytes:
+    """Serialize ``obj`` into one contiguous frame body.
+
+    One ``join`` over :func:`encode_body_parts` — use the parts form on the
+    send hot path; this form exists for callers that need a single buffer
+    (e.g. the rendezvous program blob kept for late joiners).
+    """
+    return b"".join(encode_body_parts(obj))
 
 
 def decode_body(body: bytes) -> Any:
@@ -141,33 +176,62 @@ def decode_body(body: bytes) -> Any:
     return pickle.loads(segments[0], buffers=segments[1:])
 
 
-def pack_frame(kind: int, rank: int, obj: Any = None, *,
-               body: bytes | None = None) -> bytes:
-    """A complete wire frame; pass ``body`` to forward without re-pickling."""
-    encoded = encode_body(obj) if body is None else body
-    if len(encoded) > MAX_FRAME_BYTES:
+def _check_body_size(body_len: int) -> None:
+    if body_len > MAX_FRAME_BYTES:
         # Fail at the sender with the real cause: otherwise the oversized
         # frame is only rejected by the receiver's read_frame (surfacing
         # as a misleading lost-connection failure), and a body over the
         # u32 header field would die as a struct.error inside a relay
         # thread, silently losing the message.
         raise WireError(
-            f"frame body of {len(encoded)} bytes exceeds the "
+            f"frame body of {body_len} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit; send smaller payloads "
             "(e.g. a registry dataset rendered per node instead of an "
             "in-memory dataset on the wire)")
+
+
+def pack_frame(kind: int, rank: int, obj: Any = None, *,
+               body: bytes | None = None) -> bytes:
+    """A complete wire frame; pass ``body`` to forward without re-pickling."""
+    encoded = encode_body(obj) if body is None else body
+    _check_body_size(len(encoded))
     return _HEADER.pack(MAGIC, kind, rank, len(encoded)) + encoded
 
 
-def write_frame(sock: socket.socket, frame: "bytes | tuple[bytes, ...]") -> int:
-    """Send one frame: packed bytes, or (header, body) parts from a
-    :class:`Frame` being forwarded (gather-write, no concatenation).
+def pack_frame_parts(kind: int, rank: int, obj: Any) -> list["bytes | memoryview"]:
+    """A complete wire frame as gather-write parts (no payload copies).
+
+    The header and the body's segment table are merged into one small
+    ``bytes`` part; the pickle blob and each out-of-band buffer follow as
+    their own parts.  Send with :func:`write_frame`; the out-of-band
+    buffers go from their owner's memory to the kernel in one hop.
+    """
+    parts = encode_body_parts(obj)
+    _check_body_size(body_parts_nbytes(parts))
+    header = _HEADER.pack(MAGIC, kind, rank, body_parts_nbytes(parts))
+    return [header + parts[0], *parts[1:]]
+
+
+#: Conservative bound under every platform's IOV_MAX (Linux: 1024); frames
+#: with more gather-write segments than this are joined before sending.
+_MAX_IOV = 512
+
+
+def write_frame(sock: socket.socket,
+                frame: "bytes | tuple[bytes, ...] | list") -> int:
+    """Send one frame: packed bytes, or gather-write parts — the (header,
+    body) pair of a :class:`Frame` being forwarded, or the parts list from
+    :func:`pack_frame_parts` — via ``sendmsg`` with no concatenation.
 
     Raises :class:`WireError` when the connection is gone — callers decide
     whether that is fatal (handshake) or a droppable send (dead peer).
     """
     try:
-        if isinstance(frame, tuple):
+        if isinstance(frame, (tuple, list)):
+            if len(frame) > _MAX_IOV:  # pragma: no cover - degenerate payloads
+                frame = [b"".join(frame)]
+            # len() == nbytes here: parts are bytes or 1-D uint8 memoryviews
+            # (pickle 5's raw() form).
             total = sum(len(part) for part in frame)
             sent = sock.sendmsg(frame)
             while sent < total:  # pragma: no cover - huge-frame partial write

@@ -3,6 +3,9 @@
 The paper implements its GANs in PyTorch; this package provides the subset of
 functionality the paper's networks need, built from scratch on NumPy:
 
+* :mod:`repro.nn.arena` — :class:`ParameterArena`: one contiguous slab per
+  network backing all parameters (and gradients), enabling single-memcpy
+  genome flattening and fused optimizer steps.
 * :mod:`repro.nn.autograd` — reverse-mode automatic differentiation on a
   dynamically built tape (:class:`Tensor`).
 * :mod:`repro.nn.functional` — numerically stable composite ops
@@ -17,9 +20,17 @@ functionality the paper's networks need, built from scratch on NumPy:
   for exchange between grid cells.
 """
 
+from repro.nn.arena import ParameterArena, arena_of, attach_arena
 from repro.nn.autograd import Tensor, no_grad, tensor
 from repro.nn import functional
-from repro.nn.init import kaiming_normal, normal_init, xavier_normal, xavier_uniform, zeros_init
+from repro.nn.init import (
+    PARAM_DTYPE,
+    kaiming_normal,
+    normal_init,
+    xavier_normal,
+    xavier_uniform,
+    zeros_init,
+)
 from repro.nn.modules import (
     LeakyReLU,
     Linear,
@@ -48,6 +59,10 @@ from repro.nn.serialize import (
 )
 
 __all__ = [
+    "ParameterArena",
+    "arena_of",
+    "attach_arena",
+    "PARAM_DTYPE",
     "Tensor",
     "tensor",
     "no_grad",

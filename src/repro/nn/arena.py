@@ -1,0 +1,179 @@
+"""Arena-backed parameters: one contiguous slab per network.
+
+The hot loop of the whole system moves *flat parameter vectors*: every
+iteration snapshots each network into a genome (``parameters_to_vector``),
+ships it to neighbors, and writes gathered genomes back into the
+sub-population networks (``vector_to_parameters`` — the paper's profiled
+"update genomes" routine).  With parameters stored tensor-by-tensor those
+operations are Python loops of small copies; with an arena they collapse to
+**one contiguous slice copy per network**, and the optimizer update becomes
+one fused vectorized sweep instead of a per-tensor loop.
+
+:class:`ParameterArena` re-homes a module's parameters into a single
+contiguous float64 slab: each parameter's ``.data`` becomes a reshaped view
+into the slab (bit-identical values, same ``named_parameters()`` order the
+genome layout already relies on).  A parallel *gradient slab* — allocated
+lazily, because inference-only networks (e.g. serving ensembles) never need
+it — gives ``.grad`` the same layout, which is what lets
+:class:`~repro.nn.optim.Optimizer` fuse its update over the whole network.
+
+Invariants the rest of the system depends on:
+
+* **In-place discipline.** Arena-backed tensors must never have ``.data``
+  or ``.grad`` rebound; all writes go *through* the views
+  (``p.data[...] = ...``).  :mod:`repro.nn.serialize` and
+  :mod:`repro.nn.optim` honor this; so does autograd's gradient
+  accumulation.
+* **Aliasing.** :attr:`ParameterArena.data` *is* the live parameter
+  memory.  Callers that borrow it (``parameters_to_vector(alias=True)``)
+  must copy before the network trains again, or hand it only to consumers
+  that copy immediately (the zero-copy genome exchange path).
+* **Pickling.** Arenas are deliberately *not* carried across pickling: the
+  registry is keyed weakly by module identity, so an unpickled module
+  (whose parameters pickled as standalone arrays) simply has no arena and
+  every consumer falls back to the per-tensor path — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+__all__ = ["ParameterArena", "attach_arena", "arena_of"]
+
+#: module -> arena; weak keys so arenas die with their networks and
+#: unpickled module copies (new identities) transparently have none.
+_REGISTRY: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_REGISTRY_LOCK = threading.Lock()
+
+
+class ParameterArena:
+    """One contiguous float64 slab backing all parameters of one module."""
+
+    __slots__ = ("_data", "_grad", "_tensors", "_names", "_offsets", "_shapes",
+                 "__weakref__")
+
+    def __init__(self, module) -> None:
+        named = list(module.named_parameters())
+        if not named:
+            raise ValueError("cannot build an arena for a module without parameters")
+        total = sum(p.data.size for _, p in named)
+        slab = np.empty(total, dtype=np.float64)
+        names: list[str] = []
+        offsets: list[int] = []
+        shapes: list[tuple[int, ...]] = []
+        tensors = []
+        offset = 0
+        for name, param in named:
+            n = param.data.size
+            view = slab[offset:offset + n].reshape(param.data.shape)
+            view[...] = param.data  # adopt the initial values bit-exactly
+            param.data = view
+            names.append(name)
+            offsets.append(offset)
+            shapes.append(param.data.shape)
+            tensors.append(param)
+            offset += n
+        self._data = slab
+        self._grad: np.ndarray | None = None
+        self._tensors = tensors
+        self._names = tuple(names)
+        self._offsets = tuple(offsets)
+        self._shapes = tuple(shapes)
+
+    # -- layout ----------------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The live flat parameter vector (aliases every ``p.data``)."""
+        return self._data
+
+    @property
+    def grad(self) -> np.ndarray | None:
+        """The flat gradient vector, or ``None`` before :meth:`ensure_grads`."""
+        return self._grad
+
+    @property
+    def size(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def tensors(self) -> list:
+        return list(self._tensors)
+
+    def views_of(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Per-parameter reshaped views of an external flat buffer.
+
+        Used by the fused optimizers so their moment buffers expose the
+        same per-parameter structure as the legacy path (state snapshots
+        stay format-compatible) while living in one slab.
+        """
+        if flat.shape != (self.size,):
+            raise ValueError(f"buffer shape {flat.shape} != ({self.size},)")
+        return [flat[off:off + int(np.prod(shape, dtype=np.intp))].reshape(shape)
+                for off, shape in zip(self._offsets, self._shapes)]
+
+    # -- gradients ---------------------------------------------------------------
+
+    def ensure_grads(self) -> np.ndarray:
+        """Allocate the gradient slab and re-home every ``p.grad`` into it.
+
+        Lazy on purpose: only networks that actually train (an optimizer is
+        constructed over them) pay for the second slab.  Gradients already
+        accumulated into per-tensor buffers are adopted bit-exactly.
+        """
+        if self._grad is None:
+            grad = np.zeros(self.size, dtype=np.float64)
+            for tensor, view in zip(self._tensors, self.views_of(grad)):
+                if tensor.grad is not None:
+                    view[...] = tensor.grad
+                tensor.grad = view
+            self._grad = grad
+        return self._grad
+
+    def zero_grads(self) -> None:
+        """Reset every gradient with one fused fill (no-op before allocation)."""
+        if self._grad is not None:
+            self._grad.fill(0.0)
+        else:
+            for tensor in self._tensors:
+                tensor.zero_grad()
+
+    # -- integrity ----------------------------------------------------------------
+
+    def backs(self, parameters) -> bool:
+        """True when ``parameters`` is exactly this arena's tensor list.
+
+        Identity comparison, in order — the guarantee the fused optimizer
+        step needs before it may treat ``data``/``grad`` as *the* parameter
+        and gradient vectors.
+        """
+        params = list(parameters)
+        return len(params) == len(self._tensors) and all(
+            p is t for p, t in zip(params, self._tensors)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        grads = "with grads" if self._grad is not None else "no grads"
+        return f"ParameterArena({len(self._tensors)} tensors, {self.size} params, {grads})"
+
+
+def attach_arena(module) -> ParameterArena:
+    """Re-home ``module``'s parameters into a fresh arena (idempotent)."""
+    with _REGISTRY_LOCK:
+        arena = _REGISTRY.get(module)
+        if arena is None:
+            arena = ParameterArena(module)
+            _REGISTRY[module] = arena
+    return arena
+
+
+def arena_of(module) -> ParameterArena | None:
+    """The arena backing ``module``, or ``None`` (then use per-tensor paths)."""
+    return _REGISTRY.get(module)

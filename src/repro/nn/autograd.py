@@ -145,7 +145,12 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient in place (lazy allocation)."""
+        """Reset the accumulated gradient in place (lazy allocation).
+
+        ``fill`` rather than rebinding: for arena-backed parameters the
+        gradient is a view into the module's shared gradient slab and the
+        fused optimizer step depends on that binding staying intact.
+        """
         if self.grad is not None:
             self.grad.fill(0.0)
 
@@ -209,7 +214,9 @@ class Tensor:
             if node_grad is None:
                 continue
             if node._vjps is None:
-                # Leaf: accumulate into .grad
+                # Leaf: accumulate into .grad strictly in place — a
+                # preallocated gradient (an arena slab view) must keep its
+                # binding, so the buffer is only ever written through.
                 if node.grad is None:
                     node.grad = np.zeros_like(node.data)
                 node.grad += _unbroadcast(node_grad, node.data.shape)

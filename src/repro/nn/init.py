@@ -4,32 +4,47 @@ Each initializer takes an explicit :class:`numpy.random.Generator` — the
 whole project threads RNGs explicitly so distributed runs are reproducible
 (each grid cell derives its generator from the experiment seed and its cell
 index via ``numpy.random.SeedSequence.spawn``).
+
+Contract: every initializer returns an **owned, C-contiguous**
+:data:`PARAM_DTYPE` (float64) array.  :class:`~repro.nn.arena.ParameterArena`
+relies on this when it adopts freshly initialized parameters into a
+network's contiguous slab — a single dtype means one ``memcpy`` per tensor
+at attach time and exactly one slab dtype forever after.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["normal_init", "xavier_uniform", "xavier_normal", "kaiming_normal", "zeros_init"]
+__all__ = ["PARAM_DTYPE", "normal_init", "xavier_uniform", "xavier_normal",
+           "kaiming_normal", "zeros_init"]
+
+#: The one parameter dtype of the whole system (autograd, arenas, genomes).
+PARAM_DTYPE = np.float64
+
+
+def _as_param(values: np.ndarray) -> np.ndarray:
+    """Normalize an initializer's draw to the arena-adoptable form."""
+    return np.ascontiguousarray(values, dtype=PARAM_DTYPE)
 
 
 def normal_init(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
     """Gaussian init with fixed standard deviation (DCGAN-style default)."""
-    return rng.normal(0.0, std, size=shape)
+    return _as_param(rng.normal(0.0, std, size=shape))
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot uniform init; assumes ``shape == (fan_in, fan_out)``."""
     fan_in, fan_out = _fans(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _as_param(rng.uniform(-limit, limit, size=shape))
 
 
 def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot normal init; assumes ``shape == (fan_in, fan_out)``."""
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _as_param(rng.normal(0.0, std, size=shape))
 
 
 def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
@@ -37,12 +52,12 @@ def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_sl
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0 / (1.0 + negative_slope ** 2))
     std = gain / np.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return _as_param(rng.normal(0.0, std, size=shape))
 
 
 def zeros_init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
     """All-zeros init (biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=PARAM_DTYPE)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

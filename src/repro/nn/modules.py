@@ -11,6 +11,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.nn.arena import arena_of
 from repro.nn.autograd import Tensor
 from repro.nn.init import xavier_normal, zeros_init
 
@@ -63,6 +64,11 @@ class Module:
             yield from module.modules()
 
     def zero_grad(self) -> None:
+        arena = arena_of(self)
+        if arena is not None:
+            # One fused fill over the gradient slab instead of a walk.
+            arena.zero_grads()
+            return
         for p in self.parameters():
             p.zero_grad()
 

@@ -4,6 +4,15 @@ Optimizers hold per-parameter state in preallocated buffers and update
 parameters **in place** (``param.data`` is mutated) so that no reallocation
 happens inside the training loop — the hot path of the whole system.
 
+Fused path: constructed with the :class:`~repro.nn.arena.ParameterArena`
+that backs its parameters, an optimizer performs its whole update as a few
+vectorized sweeps over the flat parameter/gradient slabs — no per-tensor
+Python loop, no per-step temporaries (scratch buffers are preallocated).
+The fused update applies exactly the same elementwise operations in the
+same order as the per-tensor loop, so trajectories are bit-identical; the
+per-tensor loop remains for arena-less parameter lists and as the measured
+"before" path of ``benchmarks/test_genome_path.py``.
+
 The learning rate is a mutable attribute: the coevolutionary algorithm's
 hyperparameter mutation (Table I: Gaussian noise, rate 1e-4, probability
 0.5) adjusts ``optimizer.learning_rate`` between epochs.
@@ -15,28 +24,58 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.arena import ParameterArena
 from repro.nn.autograd import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "optimizer_by_name"]
 
 
 class Optimizer:
-    """Base class storing the parameter list and the mutable learning rate."""
+    """Base class storing the parameter list and the mutable learning rate.
 
-    def __init__(self, parameters: Iterable[Tensor], learning_rate: float):
+    ``arena`` opts into the fused slab update; it must be exactly the arena
+    backing ``parameters`` (validated here, loudly) and implies eager
+    gradient-slab allocation so ``step()`` can read one flat vector.
+    """
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float,
+                 arena: ParameterArena | None = None):
         self.parameters: list[Tensor] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer needs at least one parameter")
         if learning_rate <= 0:
             raise ValueError("learning rate must be positive")
         self.learning_rate = float(learning_rate)
+        if arena is not None and not arena.backs(self.parameters):
+            raise ValueError(
+                "arena does not back this parameter list; pass "
+                "arena_of(module) together with module.parameters()")
+        self.arena = arena
+        if arena is not None:
+            arena.ensure_grads()
 
     def zero_grad(self) -> None:
+        if self.arena is not None:
+            self.arena.zero_grads()
+            return
         for p in self.parameters:
             p.zero_grad()
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- fused-state helpers ---------------------------------------------------
+
+    def _flat_state(self) -> tuple[np.ndarray, list[np.ndarray]]:
+        """A zeroed slab sized like the arena plus its per-parameter views.
+
+        The views give fused state the same per-parameter structure as the
+        legacy buffers, keeping :meth:`state_arrays` snapshots (used when
+        genomes migrate between cells) format-compatible either way.
+        """
+        assert self.arena is not None
+        flat = np.zeros(self.arena.size, dtype=np.float64)
+        return flat, self.arena.views_of(flat)
 
     # -- state (de)serialization; used when genomes migrate between cells ----
 
@@ -53,15 +92,38 @@ class SGD(Optimizer):
 
     name = "sgd"
 
-    def __init__(self, parameters: Iterable[Tensor], learning_rate: float, momentum: float = 0.0):
-        super().__init__(parameters, learning_rate)
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float,
+                 momentum: float = 0.0, arena: ParameterArena | None = None):
+        super().__init__(parameters, learning_rate, arena=arena)
         if not 0.0 <= momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters] if momentum else None
+        self._velocity_flat: np.ndarray | None = None
+        if not momentum:
+            self._velocity = None
+        elif self.arena is not None:
+            self._velocity_flat, self._velocity = self._flat_state()
+        else:
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        if self.arena is not None:
+            self._scratch = np.empty(self.arena.size, dtype=np.float64)
 
     def step(self) -> None:
         lr = self.learning_rate
+        if self.arena is not None:
+            g = self.arena.grad
+            s = self._scratch
+            data = self.arena.data
+            if self._velocity_flat is None:
+                np.multiply(g, lr, out=s)       # == lr * grad elementwise
+                data -= s
+                return
+            v = self._velocity_flat
+            v *= self.momentum
+            v += g
+            np.multiply(v, lr, out=s)
+            data -= s
+            return
         if self._velocity is None:
             for p in self.parameters:
                 if p.grad is not None:
@@ -95,16 +157,23 @@ class Adam(Optimizer):
     name = "adam"
 
     def __init__(self, parameters: Iterable[Tensor], learning_rate: float,
-                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
-        super().__init__(parameters, learning_rate)
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 arena: ParameterArena | None = None):
+        super().__init__(parameters, learning_rate, arena=arena)
         beta1, beta2 = betas
         if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
             raise ValueError("betas must be in [0, 1)")
         self.beta1, self.beta2 = beta1, beta2
         self.eps = eps
         self.t = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        if self.arena is not None:
+            self._m_flat, self._m = self._flat_state()
+            self._v_flat, self._v = self._flat_state()
+            self._scratch = np.empty(self.arena.size, dtype=np.float64)
+            self._scratch2 = np.empty(self.arena.size, dtype=np.float64)
+        else:
+            self._m = [np.zeros_like(p.data) for p in self.parameters]
+            self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self.t += 1
@@ -112,6 +181,27 @@ class Adam(Optimizer):
         # Fold both bias corrections into one scalar step size.
         corrected_lr = self.learning_rate * np.sqrt(1.0 - b2 ** self.t) / (1.0 - b1 ** self.t)
         eps = self.eps
+        if self.arena is not None:
+            # One fused sweep over the slabs; each line mirrors one
+            # elementwise operation of the per-tensor loop below, in the
+            # same order, so the update is bit-identical.
+            g = self.arena.grad
+            m, v = self._m_flat, self._v_flat
+            s, s2 = self._scratch, self._scratch2
+            m *= b1
+            np.multiply(g, 1.0 - b1, out=s)     # == (1 - b1) * g
+            m += s
+            v *= b2
+            np.multiply(g, g, out=s)
+            s *= 1.0 - b2                       # == (1 - b2) * (g * g)
+            v += s
+            np.sqrt(v, out=s)
+            s += eps                            # == sqrt(v) + eps
+            np.multiply(m, corrected_lr, out=s2)
+            s2 /= s                             # == corrected_lr * m / (...)
+            data = self.arena.data
+            data -= s2
+            return
         for p, m, v in zip(self.parameters, self._m, self._v):
             g = p.grad
             if g is None:
@@ -148,16 +238,37 @@ class RMSprop(Optimizer):
     name = "rmsprop"
 
     def __init__(self, parameters: Iterable[Tensor], learning_rate: float,
-                 alpha: float = 0.99, eps: float = 1e-8):
-        super().__init__(parameters, learning_rate)
+                 alpha: float = 0.99, eps: float = 1e-8,
+                 arena: ParameterArena | None = None):
+        super().__init__(parameters, learning_rate, arena=arena)
         if not 0.0 <= alpha < 1.0:
             raise ValueError("alpha must be in [0, 1)")
         self.alpha = alpha
         self.eps = eps
-        self._sq = [np.zeros_like(p.data) for p in self.parameters]
+        if self.arena is not None:
+            self._sq_flat, self._sq = self._flat_state()
+            self._scratch = np.empty(self.arena.size, dtype=np.float64)
+            self._scratch2 = np.empty(self.arena.size, dtype=np.float64)
+        else:
+            self._sq = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         lr, alpha, eps = self.learning_rate, self.alpha, self.eps
+        if self.arena is not None:
+            g = self.arena.grad
+            sq = self._sq_flat
+            s, s2 = self._scratch, self._scratch2
+            sq *= alpha
+            np.multiply(g, g, out=s)
+            s *= 1.0 - alpha                    # == (1 - alpha) * (g * g)
+            sq += s
+            np.sqrt(sq, out=s)
+            s += eps                            # == sqrt(sq) + eps
+            np.multiply(g, lr, out=s2)          # == lr * g
+            s2 /= s
+            data = self.arena.data
+            data -= s2
+            return
         for p, sq in zip(self.parameters, self._sq):
             g = p.grad
             if g is None:
@@ -180,10 +291,15 @@ class RMSprop(Optimizer):
 _OPTIMIZERS = {"sgd": SGD, "adam": Adam, "rmsprop": RMSprop}
 
 
-def optimizer_by_name(name: str, parameters: Sequence[Tensor], learning_rate: float) -> Optimizer:
-    """Instantiate the optimizer named in the configuration (Table I)."""
+def optimizer_by_name(name: str, parameters: Sequence[Tensor], learning_rate: float,
+                      arena: ParameterArena | None = None) -> Optimizer:
+    """Instantiate the optimizer named in the configuration (Table I).
+
+    Pass the :class:`~repro.nn.arena.ParameterArena` backing ``parameters``
+    to get the fused slab update (bit-identical, one vectorized sweep).
+    """
     try:
         cls = _OPTIMIZERS[name]
     except KeyError:
         raise ValueError(f"unknown optimizer {name!r}; known: {sorted(_OPTIMIZERS)}") from None
-    return cls(parameters, learning_rate)
+    return cls(parameters, learning_rate, arena=arena)

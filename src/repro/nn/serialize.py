@@ -8,12 +8,20 @@ sub-population — which in this implementation is exactly
 
 Flattening order is the deterministic ``named_parameters()`` order, so two
 structurally identical networks round-trip bit-exactly.
+
+Arena fast path: networks whose parameters live in a
+:class:`~repro.nn.arena.ParameterArena` flatten and un-flatten with **one
+contiguous slice copy** (or no copy at all with ``alias=True``) instead of
+a per-tensor Python loop.  The per-tensor loops remain as the fallback for
+arena-less modules and as the measured "before" path of
+``benchmarks/test_genome_path.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.arena import arena_of
 from repro.nn.autograd import Tensor
 from repro.nn.modules import Module
 
@@ -28,20 +36,14 @@ __all__ = [
 
 def count_parameters(module: Module) -> int:
     """Total number of scalar parameters in ``module``."""
+    arena = arena_of(module)
+    if arena is not None:
+        return arena.size
     return sum(p.size for p in module.parameters())
 
 
-def parameters_to_vector(module: Module, out: np.ndarray | None = None) -> np.ndarray:
-    """Concatenate all parameters into one flat float64 vector.
-
-    ``out`` may be a preallocated buffer of the right size (the distributed
-    runner reuses one buffer per neighbor to avoid per-iteration allocation).
-    """
-    total = count_parameters(module)
-    if out is None:
-        out = np.empty(total, dtype=np.float64)
-    elif out.shape != (total,):
-        raise ValueError(f"buffer shape {out.shape} != ({total},)")
+def _flatten_loop(module: Module, out: np.ndarray) -> np.ndarray:
+    """Per-tensor flatten (the pre-arena hot path, kept as fallback)."""
     offset = 0
     for p in module.parameters():
         n = p.size
@@ -50,12 +52,8 @@ def parameters_to_vector(module: Module, out: np.ndarray | None = None) -> np.nd
     return out
 
 
-def vector_to_parameters(vector: np.ndarray, module: Module) -> None:
-    """Write a flat vector back into the module's parameters (in place)."""
-    vector = np.asarray(vector, dtype=np.float64)
-    total = count_parameters(module)
-    if vector.shape != (total,):
-        raise ValueError(f"vector shape {vector.shape} != ({total},)")
+def _scatter_loop(vector: np.ndarray, module: Module) -> None:
+    """Per-tensor write-back (the pre-arena hot path, kept as fallback)."""
     offset = 0
     for p in module.parameters():
         n = p.size
@@ -63,13 +61,68 @@ def vector_to_parameters(vector: np.ndarray, module: Module) -> None:
         offset += n
 
 
+def parameters_to_vector(module: Module, out: np.ndarray | None = None, *,
+                         alias: bool = False) -> np.ndarray:
+    """Concatenate all parameters into one flat float64 vector.
+
+    ``out`` may be a preallocated buffer of the right size (the distributed
+    runner reuses one buffer per neighbor to avoid per-iteration allocation).
+
+    ``alias=True`` (arena-backed modules, ``out=None`` only) returns the
+    arena's **live** parameter memory with zero copies.  The caller owns the
+    aliasing hazard: copy before the network trains again, or hand the
+    vector only to consumers that copy immediately (see the contract on
+    :class:`~repro.coevolution.genome.Genome`).  Arena-less modules ignore
+    ``alias`` — there is no single buffer to borrow — and copy as usual.
+    """
+    arena = arena_of(module)
+    if arena is not None:
+        data = arena.data
+        if out is None:
+            return data if alias else data.copy()
+        if out.shape != data.shape:
+            raise ValueError(f"buffer shape {out.shape} != {data.shape}")
+        np.copyto(out, data)
+        return out
+    total = sum(p.size for p in module.parameters())
+    if out is None:
+        out = np.empty(total, dtype=np.float64)
+    elif out.shape != (total,):
+        raise ValueError(f"buffer shape {out.shape} != ({total},)")
+    return _flatten_loop(module, out)
+
+
+def vector_to_parameters(vector: np.ndarray, module: Module) -> None:
+    """Write a flat vector back into the module's parameters (in place)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    arena = arena_of(module)
+    if arena is not None:
+        if vector.shape != (arena.size,):
+            raise ValueError(f"vector shape {vector.shape} != ({arena.size},)")
+        if vector is not arena.data:  # self-assignment: already in place
+            np.copyto(arena.data, vector)
+        return
+    total = sum(p.size for p in module.parameters())
+    if vector.shape != (total,):
+        raise ValueError(f"vector shape {vector.shape} != ({total},)")
+    _scatter_loop(vector, module)
+
+
 def state_dict(module: Module) -> dict[str, np.ndarray]:
-    """Name → copied array mapping, mirroring ``torch.nn.Module.state_dict``."""
+    """Name → copied array mapping, mirroring ``torch.nn.Module.state_dict``.
+
+    Always deep copies — a state dict must never alias a live arena slab
+    (checkpoints written from it would otherwise mutate under training).
+    """
     return {name: p.data.copy() for name, p in module.named_parameters()}
 
 
 def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
-    """Load arrays produced by :func:`state_dict` (strict: names must match)."""
+    """Load arrays produced by :func:`state_dict` (strict: names must match).
+
+    Writes are in place (``param.data[...] = value``), so arena backing —
+    and any optimizer holding the arena — survives a state-dict load.
+    """
     own = dict(module.named_parameters())
     missing = set(own) - set(state)
     unexpected = set(state) - set(own)

@@ -15,6 +15,12 @@ pages, so they receive a *dataset spec* and render it once **per node**
 dataset object is pickled across instead.  Either way the rendering is a
 deterministic function of the config, which is what keeps the same seed
 bit-identical across all three substrates.
+
+Genomes move as single contiguous buffers end to end: each network's
+parameters live in one :class:`~repro.nn.arena.ParameterArena` slab, so a
+center snapshot is one memcpy, the socket wire ships it as one out-of-band
+frame segment, and "update genomes" on the receiving cell is one contiguous
+write into the sub-population slab.
 """
 
 from __future__ import annotations
@@ -336,11 +342,20 @@ class DistributedRunner:
         # Fill holes (dead slaves) with the best available center so the
         # result object stays rectangular; holes are recorded in dead_ranks.
         filler = present[0]
+        # A hole's uniform mixture filler must match *that cell's*
+        # neighborhood size (per-cell on custom grids; wraparound 2x2
+        # grids have s=4) or it mismatches the cell's generator list.
+        from repro.parallel.grid import Grid
+
+        grid = Grid(self.config.coevolution.grid_rows,
+                    self.config.coevolution.grid_cols)
         training = TrainingResult(
             config=self.config,
             center_genomes=[g if g is not None else filler for g in genomes],
             mixture_weights=[
-                m if m is not None else np.full(5, 0.2) for m in mixtures
+                m if m is not None else np.full(
+                    grid.neighborhood_size(cell), 1.0 / grid.neighborhood_size(cell))
+                for cell, m in enumerate(mixtures)
             ],
             cell_reports=reports,
             wall_time_s=wall_time_s,

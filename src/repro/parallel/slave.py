@@ -179,7 +179,10 @@ class SlaveProcess:
         for neighbor_cell in grid.neighbor_cells(cell_index):
             payload = received.get(neighbor_cell)
             if payload is None:
-                own_g, own_d = cell.center_genomes()
+                # Strictly local fallback, consumed by cell.step() on this
+                # thread before any training: borrowing the center arenas
+                # (alias=True) is safe and skips two vector copies.
+                own_g, own_d = cell.center_genomes(alias=True)
                 ordered.append((own_g, own_d))
             else:
                 ordered.append((payload.generator_genome, payload.discriminator_genome))
