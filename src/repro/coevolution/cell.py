@@ -19,6 +19,17 @@ Per iteration (one call to :meth:`step`):
    row 2; the ``skip N disc. steps`` setting thins discriminator updates).
 5. re-evaluate and promote the fittest individuals to be the new center.
 
+Table IV row 2 ("train") dominates the single-core budget (~85% of the
+wall time in ``benchmarks/results/table4.txt``); steps 2, 4 and 5 — the
+fitness tables and the gradient steps — therefore run on the graph-free
+fused kernels of :mod:`repro.nn.kernels` whenever the networks are
+kernel-eligible: one batched forward per discriminator for the s x s
+table, hand-derived backward straight into the arena gradient slabs, and
+cache-blocked optimizer sweeps.  The kernels are bit-identical to the
+autograd tape (same seed, same genome bytes) and fall back to it
+automatically, so every backend — sequential, threaded, process, socket —
+trains the same trajectory with or without them.
+
 The RNG discipline matters: a cell consumes randomness only from its own
 ``rng`` (seeded from the experiment seed and the cell index), so the same
 seed produces the same training trajectory no matter which backend runs the
@@ -40,7 +51,7 @@ from repro.coevolution.selection import tournament_select
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.gan.networks import Discriminator, Generator
 from repro.gan.pair import GANPair
-from repro.nn import Tensor, loss_by_name, optimizer_by_name
+from repro.nn import Tensor, kernels, loss_by_name, optimizer_by_name
 from repro.nn.autograd import no_grad
 from repro.nn.losses import MUSTANGS_LOSSES
 from repro.nn.serialize import parameters_to_vector, vector_to_parameters
@@ -175,9 +186,14 @@ class Cell:
         """Generator-loss of mixture samples under the center discriminator.
 
         A cheap stand-in for the end-of-run quality metric: low when the
-        blended samples fool the current discriminator.
+        blended samples fool the current discriminator.  Runs on the fused
+        kernel forward when available (bit-identical, no tape).
         """
         samples = sample_mixture(self._sub_generators, weights, batch_size, self.rng)
+        fused = kernels.fused_generator_value(self.center.discriminator,
+                                              self.loss, samples)
+        if fused is not None:
+            return fused
         with no_grad():
             logits = self.center.discriminator(Tensor(samples))
             return self.loss.generator_loss(logits).item()

@@ -6,11 +6,22 @@ that is the point of the grid, Section II-B).  A generator's fitness is its
 average generator-loss across discriminator opponents; a discriminator's is
 its average discriminator-loss across generator opponents.  Lower is better
 for both.
+
+Two implementations produce bitwise-identical tables:
+
+* the **batched kernel path** (default): all ``s`` latent batches drawn in
+  one RNG call, the ``s`` fake batches plus the real batch stacked into one
+  matrix, one graph-free forward per discriminator, and the whole ``s x s``
+  loss table computed with vectorized NumPy
+  (:func:`repro.nn.kernels.fused_fitness_table`);
+* the **autograd loop** (fallback for arena-less networks, custom stacks or
+  losses): per-network forwards and ``s**2`` Python-level loss calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -29,27 +40,30 @@ class FitnessTable:
     """Loss matrices of one all-pairs evaluation.
 
     ``g_losses[i, j]`` / ``d_losses[i, j]`` are the generator/discriminator
-    losses of generator ``i`` against discriminator ``j``.
+    losses of generator ``i`` against discriminator ``j``.  The derived
+    fitness vectors are cached on first access — ``Cell.step`` reads them
+    several times per iteration (tournament selection, the report, the
+    promotion) and the loss matrices are never mutated after construction.
     """
 
     g_losses: np.ndarray
     d_losses: np.ndarray
 
-    @property
+    @cached_property
     def generator_fitness(self) -> np.ndarray:
         """Per-generator fitness: mean generator-loss over opponents."""
         return self.g_losses.mean(axis=1)
 
-    @property
+    @cached_property
     def discriminator_fitness(self) -> np.ndarray:
         """Per-discriminator fitness: mean discriminator-loss over opponents."""
         return self.d_losses.mean(axis=0)
 
-    @property
+    @cached_property
     def best_generator(self) -> int:
         return int(self.generator_fitness.argmin())
 
-    @property
+    @cached_property
     def best_discriminator(self) -> int:
         return int(self.discriminator_fitness.argmin())
 
@@ -60,13 +74,35 @@ def evaluate_subpopulations(generators: Sequence[Generator],
                             rng: np.random.Generator) -> FitnessTable:
     """Score all generator/discriminator pairings on one real batch.
 
-    Generator outputs and discriminator real-logits are computed once per
-    network and reused across the s x s pairings — turning 2*s*s forward
-    passes into 2*s plus the cheap cross terms, the dominant cost saving in
-    the evaluation phase.
+    Dispatches to the batched kernel path when every network is
+    kernel-eligible and the loss is one of the Mustangs trio; both paths
+    consume the RNG stream identically and return bitwise-equal tables
+    (asserted by ``tests/test_nn_kernels.py``), so mixed populations across
+    cells or backends stay trajectory-identical.
     """
     if not generators or not discriminators:
         raise ValueError("sub-populations must be non-empty")
+    from repro.nn import kernels
+
+    table = kernels.fused_fitness_table(
+        generators, discriminators, loss, real_batch, rng)
+    if table is not None:
+        return table
+    return _evaluate_subpopulations_loop(
+        generators, discriminators, loss, real_batch, rng)
+
+
+def _evaluate_subpopulations_loop(generators: Sequence[Generator],
+                                  discriminators: Sequence[Discriminator],
+                                  loss: GANLoss, real_batch: np.ndarray,
+                                  rng: np.random.Generator) -> FitnessTable:
+    """The autograd reference implementation (and kernel fallback).
+
+    Generator outputs and discriminator real-logits are computed once per
+    network and reused across the s x s pairings; every pairing still costs
+    one discriminator forward on the fake batch plus two Python-level loss
+    evaluations — the overhead the batched path removes.
+    """
     n = real_batch.shape[0]
     with no_grad():
         fakes = []

@@ -7,6 +7,11 @@ step consumes the snapshots of its four neighbors.  This matches the
 per-iteration ``allgather`` of the distributed implementation, so (with the
 same seed) both produce identical genomes — asserted by the integration
 tests — and the runtime comparison isolates parallelization effects only.
+
+Cells train through the fused kernels of :mod:`repro.nn.kernels` here just
+as they do on every distributed backend (bit-identical to autograd, with
+automatic fallback), so enabling or disabling the kernels never changes
+which trajectory this baseline measures — only how fast it runs.
 """
 
 from __future__ import annotations

@@ -48,6 +48,17 @@ class Generator(Module):
         # single memcpy and the optimizer update one fused sweep.
         attach_arena(self)
 
+    def layer_recipe(self):
+        """The flat ``(Linear, activation, slope)`` steps of this stack.
+
+        This is what :func:`repro.nn.kernels.kernel_for` consumes to build
+        the graph-free fused train-step kernel; ``None`` (never for this
+        fixed MLP) would mean "fall back to autograd".
+        """
+        from repro.nn.kernels import sequential_recipe
+
+        return sequential_recipe(self.net)
+
     def forward(self, z: Tensor) -> Tensor:
         if z.ndim != 2 or z.shape[1] != self.settings.latent_size:
             raise ValueError(
@@ -69,6 +80,12 @@ class Discriminator(Module):
         )
         self.net = _mlp(sizes, settings.activation, rng, final=None)
         attach_arena(self)
+
+    def layer_recipe(self):
+        """See :meth:`Generator.layer_recipe`."""
+        from repro.nn.kernels import sequential_recipe
+
+        return sequential_recipe(self.net)
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.settings.output_neurons:

@@ -19,6 +19,7 @@ from repro.config import ExperimentConfig
 from repro.gan.networks import Discriminator, Generator
 from repro.gan.sampling import sample_latent
 from repro.nn import Tensor, arena_of, loss_by_name, optimizer_by_name
+from repro.nn import kernels
 from repro.nn.autograd import no_grad
 from repro.nn.losses import GANLoss
 from repro.nn.optim import Optimizer
@@ -80,8 +81,18 @@ class GANPair:
         ``generator`` defaults to the pair's own, but the cellular algorithm
         also trains the discriminator against *neighbor* generators, so any
         generator can be passed as the adversary.
+
+        The step runs through the graph-free fused kernel
+        (:mod:`repro.nn.kernels`, bit-identical to the tape) whenever both
+        networks are kernel-eligible; otherwise — unpickled/arena-less
+        networks, custom stacks or losses — it falls back to autograd.
         """
         adversary = generator if generator is not None else self.generator
+        fused = kernels.fused_discriminator_step(
+            self.discriminator, adversary, self.loss, self.d_optimizer,
+            real_batch, rng)
+        if fused is not None:
+            return fused
         n = real_batch.shape[0]
         with no_grad():
             z = Tensor(sample_latent(n, adversary.settings.latent_size, rng))
@@ -96,8 +107,17 @@ class GANPair:
 
     def train_generator_step(self, batch_size: int, rng: np.random.Generator,
                              discriminator: Discriminator | None = None) -> float:
-        """One generator update against ``discriminator`` (default: own)."""
+        """One generator update against ``discriminator`` (default: own).
+
+        Fused-kernel fast path with autograd fallback, exactly as in
+        :meth:`train_discriminator_step`.
+        """
         adversary = discriminator if discriminator is not None else self.discriminator
+        fused = kernels.fused_generator_step(
+            self.generator, adversary, self.loss, self.g_optimizer,
+            batch_size, rng)
+        if fused is not None:
+            return fused
         z = Tensor(sample_latent(batch_size, self.generator.settings.latent_size, rng))
         fake = self.generator(z)
         fake_logits = adversary(fake)

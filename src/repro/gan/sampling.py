@@ -28,13 +28,23 @@ def generate_images(generator: Generator, n: int, rng: np.random.Generator,
     """Generate ``n`` images without recording the autograd tape.
 
     Generation happens in chunks of ``batch`` so the activation memory stays
-    bounded when the metrics pipeline asks for thousands of samples.
+    bounded when the metrics pipeline asks for thousands of samples.  When
+    the generator is kernel-eligible the chunks run through the graph-free
+    fused forward (same ops, same bits — see :mod:`repro.nn.kernels`),
+    writing each chunk straight into the output array.
     """
     latent_size = generator.settings.latent_size
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
     if n <= 0:
         if n < 0:
             raise ValueError("n must be >= 0")
         return np.empty((0, generator.settings.output_neurons))
+    from repro.nn import kernels
+
+    fused = kernels.fused_sample_images(generator, n, rng, batch)
+    if fused is not None:
+        return fused
     pieces: list[np.ndarray] = []
     with no_grad():
         for lo in range(0, n, batch):

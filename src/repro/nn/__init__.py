@@ -8,6 +8,10 @@ functionality the paper's networks need, built from scratch on NumPy:
   genome flattening and fused optimizer steps.
 * :mod:`repro.nn.autograd` — reverse-mode automatic differentiation on a
   dynamically built tape (:class:`Tensor`).
+* :mod:`repro.nn.kernels` — graph-free fused train-step kernels for the
+  fixed Linear+activation stacks (forward into preallocated workspaces,
+  hand-derived backward straight into the arena's gradient slab), bit-
+  identical to the tape and enabled by default with automatic fallback.
 * :mod:`repro.nn.functional` — numerically stable composite ops
   (softplus, log-sigmoid, binary cross-entropy with logits, ...).
 * :mod:`repro.nn.modules` — ``Module``/``Linear``/``Sequential`` and the
@@ -23,6 +27,14 @@ functionality the paper's networks need, built from scratch on NumPy:
 from repro.nn.arena import ParameterArena, arena_of, attach_arena
 from repro.nn.autograd import Tensor, no_grad, tensor
 from repro.nn import functional
+from repro.nn import kernels
+from repro.nn.kernels import (
+    FusedStepKernel,
+    kernel_for,
+    kernels_disabled,
+    kernels_enabled,
+    set_kernels_enabled,
+)
 from repro.nn.init import (
     PARAM_DTYPE,
     kaiming_normal,
@@ -67,6 +79,12 @@ __all__ = [
     "tensor",
     "no_grad",
     "functional",
+    "kernels",
+    "FusedStepKernel",
+    "kernel_for",
+    "kernels_enabled",
+    "kernels_disabled",
+    "set_kernels_enabled",
     "Module",
     "Linear",
     "Sequential",

@@ -292,7 +292,9 @@ class Tensor:
         o = other if isinstance(other, Tensor) else Tensor(other)
         a, b = self.data, o.data
         if a.ndim != 2 or b.ndim != 2:
-            raise ValueError("matmul supports 2-D operands only")
+            raise ValueError(
+                f"matmul supports 2-D operands only, got {a.shape} @ {b.shape}"
+            )
         return Tensor._make(a @ b, (self, o), (lambda g: g @ b.T, lambda g: a.T @ g))
 
     # -- elementwise functions ---------------------------------------------------

@@ -1,0 +1,896 @@
+"""Fused, graph-free train-step kernels for the fixed Linear+activation MLPs.
+
+The autograd :class:`~repro.nn.autograd.Tensor` path builds, per batch, a
+tape of ~100 nodes (one heap allocation plus a closure pair per op) for
+networks whose structure never changes: the paper's Table I stacks are plain
+``Linear -> activation`` chains.  A :class:`FusedStepKernel` is built once
+per network from its :meth:`layer recipe <repro.gan.networks.Generator.
+layer_recipe>`: it preallocates activation/gradient workspaces sized to the
+batch, runs the forward with ``np.matmul(..., out=)`` and in-place
+activations, and runs the hand-derived backward writing gradients *directly
+into the arena's gradient slab* — no graph, no per-op allocation.
+
+Bit-identity contract
+---------------------
+The kernels replay **exactly the same NumPy operations in the same order**
+as the autograd path, so with the same seed they produce the same genome
+bytes (asserted by ``tests/test_nn_kernels.py`` down to a 50-iteration
+training trajectory).  The rules that make this work:
+
+* every elementwise/GEMM op mirrors one autograd forward op or one recorded
+  VJP closure, operand order included (``out=`` buffers do not change
+  result bits — verified for this BLAS by the test suite);
+* row-blocking stability: with a contiguous weight operand and an output
+  width >= 8, GEMM results are bitwise row-independent of the batch
+  dimension (probed across this BLAS's kernel-dispatch regimes and
+  asserted by the tests), so the real and fake batches of a discriminator
+  step may ride one stacked forward; narrow (GEMV-path) output layers,
+  every transposed-operand backward GEMM (``g @ W.T``), and the reduction
+  GEMMs (``x.T @ g``) run per branch — exactly as the tape did — because
+  there stability either fails empirically or would merge sums;
+* gradient accumulation replays autograd's leaf order (real-branch
+  contribution first, then fake) writing straight into the arena grad slab;
+* the optimizer update runs through :meth:`repro.nn.optim.Optimizer.
+  step_blocked` — the same elementwise pipeline, cache-blocked (elementwise
+  ops have no cross-element interaction, so blocking cannot change bits).
+
+Fallback contract
+-----------------
+``kernel_for`` returns ``None`` — and every ``fused_*`` entry point
+declines, letting the caller run the autograd path — when the network has
+no :class:`~repro.nn.arena.ParameterArena` (e.g. it crossed a pickle
+boundary), when its module stack is not a recognized Linear+activation
+chain, or when the loss is not one of the three Mustangs losses.  Both
+paths consume identical RNG streams, so mixed fused/fallback populations
+stay trajectory-identical.
+
+The kill switch ``REPRO_NO_FUSED_KERNELS=1`` (or
+:func:`set_kernels_enabled`) disables the fused path globally; it is what
+the before/after benchmark ``benchmarks/test_train_step.py`` toggles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import weakref
+
+import numpy as np
+
+from repro.nn.arena import arena_of
+from repro.nn.losses import BCELoss, GANLoss, HeuristicLoss, LeastSquaresLoss
+from repro.nn.modules import (
+    Identity,
+    LeakyReLU,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+__all__ = [
+    "FusedStepKernel",
+    "kernel_for",
+    "loss_kernel_for",
+    "kernels_enabled",
+    "set_kernels_enabled",
+    "kernels_disabled",
+    "fused_discriminator_step",
+    "fused_generator_step",
+    "fused_fitness_table",
+    "fused_generator_value",
+    "fused_sample_images",
+    "sequential_recipe",
+]
+
+# ---------------------------------------------------------------------------
+# Global enable switch
+# ---------------------------------------------------------------------------
+
+_ENABLED = not bool(os.environ.get("REPRO_NO_FUSED_KERNELS"))
+
+
+def kernels_enabled() -> bool:
+    """Whether the fused kernels are globally enabled (default: yes)."""
+    return _ENABLED
+
+
+def set_kernels_enabled(enabled: bool) -> bool:
+    """Toggle the fused kernels globally; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def kernels_disabled():
+    """Context manager forcing the autograd path (benchmarks, A/B tests)."""
+    previous = set_kernels_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernels_enabled(previous)
+
+
+# ---------------------------------------------------------------------------
+# Layer recipes
+# ---------------------------------------------------------------------------
+
+#: activation tag per module type; the tag drives the in-place forward and
+#: the hand-derived VJP in the backward sweep.
+_ACTIVATION_TAGS = {
+    Tanh: ("tanh", None),
+    Sigmoid: ("sigmoid", None),
+    ReLU: ("relu", None),
+    Identity: (None, None),
+}
+
+
+def sequential_recipe(net: Module) -> list[tuple[Linear, str | None, float | None]] | None:
+    """Flatten a ``Sequential`` into ``(linear, activation, slope)`` steps.
+
+    Returns ``None`` when the stack contains anything but ``Linear`` (with
+    bias) and the known activations — the signal to fall back to autograd.
+    An activation folds onto the preceding linear step; a leading
+    activation or two in a row have no step to fold onto and are likewise
+    unsupported (``None``), except ``Identity``, which is simply dropped.
+    """
+    if not isinstance(net, Sequential):
+        return None
+    steps: list[tuple[Linear, str | None, float | None]] = []
+    for layer in net:
+        if isinstance(layer, Linear):
+            if layer.bias is None:
+                return None
+            steps.append((layer, None, None))
+            continue
+        tag: str | None
+        slope: float | None
+        if isinstance(layer, LeakyReLU):
+            tag, slope = "leaky_relu", float(layer.negative_slope)
+        elif type(layer) in _ACTIVATION_TAGS:
+            tag, slope = _ACTIVATION_TAGS[type(layer)]
+        else:
+            return None
+        if tag is None:  # Identity: nothing to apply
+            continue
+        if not steps or steps[-1][1] is not None:
+            # activation with no preceding linear (or two in a row)
+            return None
+        linear, _, _ = steps[-1]
+        steps[-1] = (linear, tag, slope)
+    return steps if steps else None
+
+
+def _module_recipe(module: Module):
+    """A network's layer recipe: its own hook when provided, else a walk."""
+    recipe_fn = getattr(module, "layer_recipe", None)
+    if recipe_fn is not None:
+        return recipe_fn()
+    if isinstance(module, Sequential):
+        return sequential_recipe(module)
+    inner = getattr(module, "net", None)
+    if isinstance(inner, Sequential):
+        return sequential_recipe(inner)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Workspaces (thread-local: the threaded backend steps cells concurrently)
+# ---------------------------------------------------------------------------
+
+
+class _WorkspaceStore(threading.local):
+    def __init__(self) -> None:
+        from collections import OrderedDict
+
+        self.pools: "OrderedDict[tuple, _Workspace]" = OrderedDict()
+
+
+_WORKSPACES = _WorkspaceStore()
+
+#: LRU cap on cached workspaces per thread.  The training hot path cycles
+#: through a handful of ``(topology, batch)`` keys per cell, but callers
+#: like ``sample_mixture`` request *data-dependent* batch sizes (multinomial
+#: counts), so an unbounded cache would grow a new multi-MB workspace for
+#: every distinct size a long-lived process ever sees.
+_WORKSPACE_CACHE_LIMIT = 32
+
+
+class _Workspace:
+    """Per-(topology, batch) activation/gradient buffers, shared by all
+    same-shaped networks on one thread (buffers only live within one call).
+
+    Only the forward activations are allocated eagerly; the backward-only
+    buffers (gradients, the input stack, the reduction scratch) appear on
+    first access so forward-only consumers — sampling, serving, the
+    batched fitness table — pay half the footprint.
+    """
+
+    __slots__ = ("_in_dim", "_dims", "_n", "acts", "_grads", "_x_stack",
+                 "_w_scratch", "_b_scratch")
+
+    def __init__(self, in_dim: int, dims: tuple[int, ...], n: int) -> None:
+        self._in_dim = in_dim
+        self._dims = dims
+        self._n = n
+        self.acts = [np.empty((n, d)) for d in dims]
+        self._grads: list[np.ndarray] | None = None
+        self._x_stack: np.ndarray | None = None
+        self._w_scratch: list[np.ndarray] | None = None
+        self._b_scratch: list[np.ndarray] | None = None
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        if self._grads is None:
+            self._grads = [np.empty((self._n, d)) for d in self._dims]
+        return self._grads
+
+    @property
+    def x_stack(self) -> np.ndarray:
+        if self._x_stack is None:
+            self._x_stack = np.empty((self._n, self._in_dim))
+        return self._x_stack
+
+    @property
+    def w_scratch(self) -> list[np.ndarray]:
+        if self._w_scratch is None:
+            self._w_scratch = [
+                np.empty((prev, d))
+                for prev, d in zip((self._in_dim,) + self._dims[:-1], self._dims)
+            ]
+        return self._w_scratch
+
+    @property
+    def b_scratch(self) -> list[np.ndarray]:
+        if self._b_scratch is None:
+            self._b_scratch = [np.empty(d) for d in self._dims]
+        return self._b_scratch
+
+
+def _workspace(signature: tuple, in_dim: int, dims: tuple[int, ...], n: int) -> _Workspace:
+    pools = _WORKSPACES.pools
+    key = (signature, n)
+    ws = pools.get(key)
+    if ws is None:
+        ws = _Workspace(in_dim, dims, n)
+        pools[key] = ws
+        while len(pools) > _WORKSPACE_CACHE_LIMIT:
+            pools.popitem(last=False)
+    else:
+        pools.move_to_end(key)
+    return ws
+
+
+# ---------------------------------------------------------------------------
+# The per-network kernel
+# ---------------------------------------------------------------------------
+
+#: module -> FusedStepKernel | None (None caches "not eligible")
+_KERNELS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_KERNELS_LOCK = threading.Lock()
+
+
+class FusedStepKernel:
+    """Graph-free forward/backward for one fixed Linear+activation stack.
+
+    Holds references to the live parameter tensors (arena views) and the
+    arena itself; workspaces are fetched per batch size on first use.  The
+    kernel stays valid across genome writes (``vector_to_parameters``
+    mutates the slab in place, never rebinds).
+
+    Deliberately does **not** reference the owning module: kernels are the
+    *values* of a weak-keyed per-module registry, and a value that reached
+    back to its key would pin every kernelized network (and its arena
+    slabs) in memory forever.
+    """
+
+    __slots__ = ("arena", "steps", "in_dim", "dims", "signature",
+                 "__weakref__")
+
+    def __init__(self, module: Module, recipe) -> None:
+        arena = arena_of(module)
+        if arena is None:
+            raise ValueError("fused kernels require an arena-backed module")
+        self.arena = arena
+        self.steps = list(recipe)
+        self.in_dim = self.steps[0][0].in_features
+        self.dims = tuple(linear.out_features for linear, _, _ in self.steps)
+        self.signature = (self.in_dim,) + tuple(
+            (linear.out_features, act, slope) for linear, act, slope in self.steps
+        )
+        # The recipe must cover the arena exactly: the backward writes into
+        # grad-slab views of precisely these tensors.
+        params = []
+        for linear, _, _ in self.steps:
+            params.append(linear.weight)
+            params.append(linear.bias)
+        if not arena.backs(params):
+            raise ValueError("layer recipe does not cover the module's arena")
+
+    # -- forward ------------------------------------------------------------
+
+    def workspace(self, n: int) -> _Workspace:
+        return _workspace(self.signature, self.in_dim, self.dims, n)
+
+    def forward(self, x: np.ndarray, ws: _Workspace | None = None,
+                final_out: np.ndarray | None = None,
+                branches: tuple[slice, ...] | None = None) -> np.ndarray:
+        """Forward ``x`` (``(n, in_dim)``) through the stack, no tape.
+
+        Mirrors ``Linear.forward`` + the activation modules op for op:
+        ``matmul``, ``+= bias``, in-place activation.  ``final_out``
+        redirects the last layer's buffer (e.g. a slice of a stacked fake
+        batch) so the caller avoids one copy.  Returns the output buffer —
+        a workspace (or ``final_out``) that is overwritten by the next call.
+
+        ``branches`` lists the row blocks of a *stacked* batch that the
+        autograd path would forward as separate calls.  Wide GEMMs are
+        bitwise row-block-stable, so they run stacked regardless; but
+        narrow output layers (width < 8 — empirically width 1 and 2 on
+        this BLAS) take GEMV-style paths whose per-row bits *do* depend on
+        the batch size — those layers run per branch (a ~k-multiply-per-row
+        triviality) to stay bit-identical.
+        """
+        n = x.shape[0]
+        if ws is None:
+            ws = self.workspace(n)
+        h = x
+        last = len(self.steps) - 1
+        for i, (linear, act, slope) in enumerate(self.steps):
+            out = ws.acts[i] if (final_out is None or i != last) else final_out
+            if branches is not None and linear.out_features < 8:
+                for rows in branches:
+                    np.matmul(h[rows], linear.weight.data, out=out[rows])
+            else:
+                np.matmul(h, linear.weight.data, out=out)
+            out += linear.bias.data
+            _apply_activation(act, slope, out)
+            h = out
+        return h
+
+    # -- backward -----------------------------------------------------------
+
+    def backward(self, x: np.ndarray, ws: _Workspace, grad_out: np.ndarray,
+                 *, param_grads: bool = True, input_grad: bool = False,
+                 branches: tuple[slice, ...] | None = None) -> np.ndarray | None:
+        """Hand-derived backward from ``grad_out`` = dL/d(stack output).
+
+        ``grad_out`` is a caller-filled gradient buffer (typically
+        ``ws.grads[-1]``); each step's activation VJP is applied first, so
+        ``grad_out`` is for the *post*-activation output.  The activation
+        buffers in ``ws.acts`` are consumed (overwritten) as scratch on the
+        way down — a workspace supports exactly one backward per forward.
+
+        ``branches`` splits the batch into row ranges whose weight/bias
+        reductions must stay separate (the discriminator step stacks real
+        and fake rows in one forward; autograd reduces them per branch and
+        sums — merging the ``x.T @ g`` GEMMs would change summation order).
+        Contributions land in the arena grad slab in autograd's leaf order:
+        first branch written, later branches accumulated.  The caller must
+        have the gradient slab allocated (``arena.ensure_grads()`` — any
+        arena-constructed optimizer does this).
+
+        ``param_grads=False`` skips the weight/bias reductions (adversary
+        network in a generator step — autograd computes then discards them;
+        the kernel never computes them).  ``input_grad=True`` returns
+        dL/d input in ``ws.x_stack`` (overwritten by this workspace's next
+        use).
+        """
+        if branches is None:
+            branches = (slice(None),)
+        g = grad_out
+        for i in range(len(self.steps) - 1, -1, -1):
+            linear, act, slope = self.steps[i]
+            _activation_vjp(act, slope, ws.acts[i], g)
+            if param_grads:
+                # acts[i - 1] is still intact here: only step i's own
+                # activation buffer has been consumed so far.
+                h_in = x if i == 0 else ws.acts[i - 1]
+                w_view = linear.weight.grad
+                b_view = linear.bias.grad
+                for b_idx, rows in enumerate(branches):
+                    # VJP of ``x @ W``: x.T @ g ; of ``+ bias``: sum over
+                    # the broadcast (batch) axis — same expressions, same
+                    # per-branch order as the recorded closures.
+                    if b_idx == 0:
+                        np.matmul(h_in[rows].T, g[rows], out=w_view)
+                        np.sum(g[rows], axis=0, out=b_view)
+                    else:
+                        np.matmul(h_in[rows].T, g[rows], out=ws.w_scratch[i])
+                        w_view += ws.w_scratch[i]
+                        np.sum(g[rows], axis=0, out=ws.b_scratch[i])
+                        b_view += ws.b_scratch[i]
+            if i == 0:
+                if not input_grad:
+                    return None
+                for rows in branches:
+                    np.matmul(g[rows], linear.weight.data.T, out=ws.x_stack[rows])
+                return ws.x_stack
+            # dL/d h_{i-1} = g @ W.T; the next loop turn applies act_{i-1}.
+            # Per branch: ``W.T`` is a transposed (non-contiguous) BLAS
+            # operand, and transposed-B GEMMs are *not* row-block-stable at
+            # all shapes — running each branch exactly as the tape did makes
+            # bit-identity hold by construction rather than by probing.
+            g_prev = ws.grads[i - 1]
+            for rows in branches:
+                np.matmul(g[rows], linear.weight.data.T, out=g_prev[rows])
+            g = g_prev
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FusedStepKernel({self.in_dim} -> {' -> '.join(map(str, self.dims))})"
+
+
+def _apply_activation(act: str | None, slope: float | None, out: np.ndarray) -> None:
+    """In-place activation mirroring the autograd forward bits-for-bits."""
+    if act is None:
+        return
+    if act == "tanh":
+        np.tanh(out, out=out)
+    elif act == "sigmoid":
+        _sigmoid_inplace(out)
+    elif act == "relu":
+        # autograd: a * (a > 0) — multiply, not clip, to keep bits equal
+        out *= out > 0
+    elif act == "leaky_relu":
+        # autograd: a * np.where(a > 0, 1.0, slope)
+        out *= np.where(out > 0, 1.0, slope)
+    else:  # pragma: no cover - recipe construction filters unknown tags
+        raise ValueError(f"unknown activation tag {act!r}")
+
+
+def _sigmoid_inplace(a: np.ndarray) -> None:
+    """The numerically stable piecewise logistic of ``Tensor.sigmoid``."""
+    pos = a >= 0
+    neg = ~pos
+    ap = a[pos]
+    a[pos] = 1.0 / (1.0 + np.exp(-ap))
+    ea = np.exp(a[neg])
+    a[neg] = ea / (1.0 + ea)
+
+
+def _sigmoid_of(a: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Stable logistic into ``out`` (same ops as the autograd closures)."""
+    pos = a >= 0
+    neg = ~pos
+    out[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
+    ea = np.exp(a[neg])
+    out[neg] = ea / (1.0 + ea)
+    return out
+
+
+def _activation_vjp(act: str | None, slope: float | None, out_act: np.ndarray,
+                    g: np.ndarray) -> None:
+    """Multiply ``g`` in place by d(activation)/d(pre-activation).
+
+    Each branch replays the exact expression of the recorded VJP closure;
+    ``out_act`` is the *post*-activation buffer (for every supported
+    activation the VJP is recoverable from it alone) and is **consumed** —
+    it doubles as the scratch buffer, because by the time a step's VJP
+    runs its activation values have no further reader.
+    """
+    if act is None:
+        return
+    if act == "tanh":
+        # closure: g * (1.0 - out * out)
+        np.multiply(out_act, out_act, out=out_act)
+        np.subtract(1.0, out_act, out=out_act)
+        g *= out_act
+    elif act == "sigmoid":
+        # closure: g * out * (1.0 - out) — evaluated left to right
+        g *= out_act
+        np.subtract(1.0, out_act, out=out_act)
+        g *= out_act
+    elif act == "relu":
+        # closure: g * mask with mask = (a > 0); out > 0 iff a > 0
+        g *= out_act > 0
+    elif act == "leaky_relu":
+        # closure: g * np.where(a > 0, 1.0, slope); sign(out) == sign(a)
+        g *= np.where(out_act > 0, 1.0, slope)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown activation tag {act!r}")
+
+
+def kernel_for(module: Module) -> FusedStepKernel | None:
+    """The cached fused kernel for ``module``, or ``None`` when ineligible.
+
+    Ineligible: no parameter arena (the module crossed a pickle boundary),
+    an unrecognized layer stack, or a recipe that does not exactly cover
+    the arena.  The verdict is cached either way (weakly, per module).
+    """
+    with _KERNELS_LOCK:
+        if module in _KERNELS:
+            return _KERNELS[module]
+    kernel: FusedStepKernel | None = None
+    recipe = _module_recipe(module)
+    if recipe and arena_of(module) is not None:
+        try:
+            kernel = FusedStepKernel(module, recipe)
+        except ValueError:
+            kernel = None
+    with _KERNELS_LOCK:
+        _KERNELS[module] = kernel
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Loss kernels (exact-type dispatch; custom losses fall back to autograd)
+# ---------------------------------------------------------------------------
+
+
+class _LossKernel:
+    """Scalar values and logits-gradients for one GAN loss formulation.
+
+    Every method replays the autograd ops of the corresponding
+    ``GANLoss``/``functional`` code path (see the derivations in
+    ``tests/test_nn_kernels.py``); gradients fold the constant
+    ``1/count`` mean factor the way the recorded tape does.
+    """
+
+    def d_value(self, real_logits, fake_logits) -> float:
+        raise NotImplementedError
+
+    def g_value(self, fake_logits) -> float:
+        raise NotImplementedError
+
+    def d_grad(self, logits, n_real: int, out) -> None:
+        """dL/d logits for the stacked ``[real; fake]`` discriminator loss."""
+        raise NotImplementedError
+
+    def g_grad(self, fake_logits, out) -> None:
+        raise NotImplementedError
+
+    # -- batched fitness-table helpers (rows = one generator's batch) ------
+
+    def g_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        """Generator loss per row-block: ``logits_rows`` is ``(s, n)``."""
+        raise NotImplementedError
+
+    def d_fake_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        """Fake-term of the discriminator loss per row-block."""
+        raise NotImplementedError
+
+    def d_real_value(self, real_logits: np.ndarray) -> float:
+        """Real-term of the discriminator loss (scalar per discriminator)."""
+        raise NotImplementedError
+
+
+def _softplus(a: np.ndarray) -> np.ndarray:
+    """``log(1 + exp(a))`` exactly as ``Tensor.softplus`` computes it."""
+    return np.maximum(a, 0.0) + np.log1p(np.exp(-np.abs(a)))
+
+
+def _mean_all(per_element: np.ndarray) -> np.float64:
+    """``Tensor.mean()``: full pairwise sum, then one multiply by 1/count."""
+    return per_element.sum() * np.float64(1.0 / per_element.size)
+
+
+def _mean_rows(per_element_rows: np.ndarray, count: int) -> np.ndarray:
+    """Row-block means of an ``(s, n)`` array, same reduce order as 2-D sum."""
+    return per_element_rows.sum(axis=1) * np.float64(1.0 / count)
+
+
+class _BceDiscMixin(_LossKernel):
+    """The BCE discriminator objective shared by ``bce`` and ``heuristic``.
+
+    ``d_loss = mean(softplus(r) - r) + mean(softplus(f))`` (targets 1 and 0
+    folded: ``x*1.0 == x`` bitwise and ``softplus(x) - x*0.0 == softplus(x)``
+    for finite logits).
+    """
+
+    def d_value(self, real_logits, fake_logits) -> float:
+        real_term = _mean_all(_softplus(real_logits) - real_logits)
+        fake_term = _mean_all(_softplus(fake_logits))
+        return float(real_term + fake_term)
+
+    def d_grad(self, logits, n_real: int, out) -> None:
+        # Per branch the tape yields grad = sigmoid(x) * c + (-c) * t with
+        # c = 1/count; the fake branch's t == 0 term adds a signed zero,
+        # which cannot change any downstream parameter bit.
+        _sigmoid_of(logits, out)
+        out[:n_real] *= np.float64(1.0 / n_real)
+        n_fake = logits.shape[0] - n_real
+        out[n_real:] *= np.float64(1.0 / n_fake)
+        out[:n_real] += -np.float64(1.0 / n_real)
+
+    def d_fake_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        return _mean_rows(_softplus(logits_rows), logits_rows.shape[1])
+
+    def d_real_value(self, real_logits: np.ndarray) -> float:
+        return float(_mean_all(_softplus(real_logits) - real_logits))
+
+
+class _BceLossKernel(_BceDiscMixin):
+    """Original minimax objective: saturating generator term."""
+
+    def g_value(self, fake_logits) -> float:
+        # -(BCE(fake, 0)) == -(mean(softplus(f)))
+        return float(-(_mean_all(_softplus(fake_logits))))
+
+    def g_grad(self, fake_logits, out) -> None:
+        # Tape: seed -> neg -> mean -> softplus VJP: grad = sigmoid(f) * (-c)
+        _sigmoid_of(fake_logits, out)
+        out *= -np.float64(1.0 / fake_logits.size)
+
+    def g_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        return -(_mean_rows(_softplus(logits_rows), logits_rows.shape[1]))
+
+
+class _HeuristicLossKernel(_BceDiscMixin):
+    """Non-saturating heuristic generator: ``BCE(fake, 1)``."""
+
+    def g_value(self, fake_logits) -> float:
+        return float(_mean_all(_softplus(fake_logits) - fake_logits))
+
+    def g_grad(self, fake_logits, out) -> None:
+        c = np.float64(1.0 / fake_logits.size)
+        _sigmoid_of(fake_logits, out)
+        out *= c
+        out += -c
+
+    def g_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        return _mean_rows(_softplus(logits_rows) - logits_rows, logits_rows.shape[1])
+
+
+class _LeastSquaresLossKernel(_LossKernel):
+    """LSGAN: squared error of ``sigmoid(logits)`` against the labels."""
+
+    @staticmethod
+    def _mse_grad_through_sigmoid(p: np.ndarray, diff: np.ndarray, count: int,
+                                  out: np.ndarray) -> None:
+        # Tape: mean -> (diff*diff) both-parent accumulation (exact doubling)
+        # -> subtract -> sigmoid VJP ((g * out) * (1 - out)).
+        np.multiply(diff, np.float64(1.0 / count), out=out)
+        out *= 2.0
+        out *= p
+        out *= 1.0 - p
+
+    def d_value(self, real_logits, fake_logits) -> float:
+        rp = np.empty_like(real_logits)
+        fp = np.empty_like(fake_logits)
+        _sigmoid_of(real_logits, rp)
+        _sigmoid_of(fake_logits, fp)
+        rd = rp - 1.0
+        real_term = _mean_all(rd * rd)
+        fake_term = _mean_all(fp * fp)
+        return float(real_term + fake_term)
+
+    def g_value(self, fake_logits) -> float:
+        fp = np.empty_like(fake_logits)
+        _sigmoid_of(fake_logits, fp)
+        fd = fp - 1.0
+        return float(_mean_all(fd * fd))
+
+    def d_grad(self, logits, n_real: int, out) -> None:
+        p = np.empty_like(logits)
+        _sigmoid_of(logits, p)
+        n_fake = logits.shape[0] - n_real
+        self._mse_grad_through_sigmoid(
+            p[:n_real], p[:n_real] - 1.0, n_real, out[:n_real])
+        self._mse_grad_through_sigmoid(
+            p[n_real:], p[n_real:] - 0.0, n_fake, out[n_real:])
+
+    def g_grad(self, fake_logits, out) -> None:
+        p = np.empty_like(fake_logits)
+        _sigmoid_of(fake_logits, p)
+        self._mse_grad_through_sigmoid(p, p - 1.0, fake_logits.size, out)
+
+    def g_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        p = np.empty_like(logits_rows)
+        _sigmoid_of(logits_rows, p)
+        d = p - 1.0
+        return _mean_rows(d * d, logits_rows.shape[1])
+
+    def d_fake_value_rows(self, logits_rows: np.ndarray) -> np.ndarray:
+        p = np.empty_like(logits_rows)
+        _sigmoid_of(logits_rows, p)
+        return _mean_rows(p * p, logits_rows.shape[1])
+
+    def d_real_value(self, real_logits: np.ndarray) -> float:
+        p = np.empty_like(real_logits)
+        _sigmoid_of(real_logits, p)
+        d = p - 1.0
+        return float(_mean_all(d * d))
+
+
+_LOSS_KERNELS: dict[type, _LossKernel] = {
+    BCELoss: _BceLossKernel(),
+    HeuristicLoss: _HeuristicLossKernel(),
+    LeastSquaresLoss: _LeastSquaresLossKernel(),
+}
+
+
+def loss_kernel_for(loss: GANLoss) -> _LossKernel | None:
+    """Exact-type lookup: subclasses may override methods, so they fall back."""
+    return _LOSS_KERNELS.get(type(loss))
+
+
+# ---------------------------------------------------------------------------
+# Fused train-step entry points (return None -> caller runs autograd path)
+# ---------------------------------------------------------------------------
+
+
+def fused_discriminator_step(discriminator, generator, loss: GANLoss,
+                             optimizer, real_batch: np.ndarray,
+                             rng: np.random.Generator) -> float | None:
+    """One fused discriminator update; ``None`` if any piece is ineligible.
+
+    Mirrors ``GANPair.train_discriminator_step``: draw latents, generate
+    fakes (no grad), stack ``[real; fake]`` through one discriminator
+    forward (row-blocking keeps bits equal to two passes), hand-derived
+    backward into the arena grad slab with per-branch reductions, then the
+    cache-blocked optimizer sweep.
+    """
+    if not _ENABLED:
+        return None
+    d_kernel = kernel_for(discriminator)
+    g_kernel = kernel_for(generator)
+    l_kernel = loss_kernel_for(loss)
+    if d_kernel is None or g_kernel is None or l_kernel is None:
+        return None
+    if optimizer.arena is not d_kernel.arena:
+        return None
+    from repro.gan.sampling import sample_latent
+
+    n = real_batch.shape[0]
+    ws = d_kernel.workspace(2 * n)
+    x = ws.x_stack
+    x[:n] = real_batch
+    z = sample_latent(n, g_kernel.in_dim, rng)
+    # The generator writes its final activation straight into the stack.
+    g_kernel.forward(z, final_out=x[n:])
+
+    halves = (slice(0, n), slice(n, 2 * n))
+    logits = d_kernel.forward(x, ws=ws, branches=halves)
+    value = l_kernel.d_value(logits[:n], logits[n:])
+    l_kernel.d_grad(logits, n, ws.grads[-1])
+    d_kernel.backward(x, ws, ws.grads[-1], branches=halves)
+    optimizer.step_blocked()
+    return value
+
+
+def fused_generator_step(generator, discriminator, loss: GANLoss,
+                         optimizer, batch_size: int,
+                         rng: np.random.Generator) -> float | None:
+    """One fused generator update against ``discriminator`` (any adversary).
+
+    The backward runs through the adversary *input-grads only*: autograd
+    computes the adversary's weight gradients too, then throws them away
+    (``adversary.zero_grad()``); the kernel computes neither and skips the
+    clearing fill.  The adversary's grad-slab content differs from the
+    autograd path's (stale vs zeroed) but is never read before being
+    overwritten — both the fused and the tape path fully rewrite a
+    network's gradients (overwrite resp. ``zero_grad``+accumulate) before
+    its next optimizer step, and gradients are never serialized.
+    """
+    if not _ENABLED:
+        return None
+    g_kernel = kernel_for(generator)
+    d_kernel = kernel_for(discriminator)
+    l_kernel = loss_kernel_for(loss)
+    if g_kernel is None or d_kernel is None or l_kernel is None:
+        return None
+    if optimizer.arena is not g_kernel.arena:
+        return None
+    from repro.gan.sampling import sample_latent
+
+    n = batch_size
+    g_ws = g_kernel.workspace(n)
+    d_ws = d_kernel.workspace(n)
+    if g_ws is d_ws:
+        # Workspaces are shared by *signature*; two distinct networks with
+        # identical recipes (impossible for the shipped Generator vs
+        # Discriminator, but reachable through custom modules) would
+        # clobber each other's live activations here — fall back.
+        return None
+    z = sample_latent(n, g_kernel.in_dim, rng)
+    fake = g_kernel.forward(z, ws=g_ws)
+    logits = d_kernel.forward(fake, ws=d_ws)
+    value = l_kernel.g_value(logits)
+    l_kernel.g_grad(logits, d_ws.grads[-1])
+    d_fake_grad = d_kernel.backward(fake, d_ws, d_ws.grads[-1],
+                                    param_grads=False, input_grad=True)
+    # dL/d fake continues straight into the generator backward (its first
+    # move is the final activation's VJP, using the still-intact ``fake``).
+    g_kernel.backward(z, g_ws, d_fake_grad)
+    optimizer.step_blocked()
+    return value
+
+
+def fused_generator_value(discriminator, loss: GANLoss,
+                          samples: np.ndarray) -> float | None:
+    """Generator-loss of ``samples`` under ``discriminator``, no tape.
+
+    The mixture-fitness proxy of ``Cell`` — one kernel forward plus the
+    scalar loss, bit-identical to ``loss.generator_loss(disc(x)).item()``.
+    ``None`` (fall back to autograd) under the usual eligibility rules.
+    """
+    if not _ENABLED:
+        return None
+    d_kernel = kernel_for(discriminator)
+    l_kernel = loss_kernel_for(loss)
+    if d_kernel is None or l_kernel is None:
+        return None
+    return l_kernel.g_value(d_kernel.forward(samples))
+
+
+def fused_sample_images(generator, n: int, rng: np.random.Generator,
+                        batch: int) -> np.ndarray | None:
+    """Generate ``n`` images chunk by chunk through the kernel forward.
+
+    Consumes the RNG exactly like the autograd chunk loop of
+    ``repro.gan.sampling.generate_images`` (same ``sample_latent`` calls in
+    the same order), writing each chunk straight into the output array.
+    ``None`` (fall back) when the generator is ineligible.
+    """
+    if not _ENABLED:
+        return None
+    kernel = kernel_for(generator)
+    if kernel is None:
+        return None
+    from repro.gan.sampling import sample_latent
+
+    out = np.empty((n, kernel.dims[-1]))
+    for lo in range(0, n, batch):
+        count = min(batch, n - lo)
+        z = sample_latent(count, kernel.in_dim, rng)
+        kernel.forward(z, final_out=out[lo:lo + count])
+    return out
+
+
+def fused_fitness_table(generators, discriminators, loss: GANLoss,
+                        real_batch: np.ndarray, rng: np.random.Generator):
+    """Batched all-pairs fitness; ``None`` if any network/loss is ineligible.
+
+    Draws all ``s`` latent batches in one RNG call (stream-order-identical
+    to ``s`` separate draws), stacks the fakes plus the real batch into one
+    ``((s+1)*n, features)`` matrix and runs **one forward per
+    discriminator**; the full ``s x s`` loss table comes from the stacked
+    logits with vectorized NumPy instead of ``s**2`` Python-level loss
+    calls.  Exactly equal (bitwise) to the loop — asserted by the tests.
+    """
+    if not _ENABLED:
+        return None
+    l_kernel = loss_kernel_for(loss)
+    if l_kernel is None:
+        return None
+    g_kernels = [kernel_for(g) for g in generators]
+    d_kernels = [kernel_for(d) for d in discriminators]
+    if any(k is None for k in g_kernels) or any(k is None for k in d_kernels):
+        return None
+    latent = g_kernels[0].in_dim
+    features = g_kernels[0].dims[-1]
+    if any(k.in_dim != latent or k.dims[-1] != features for k in g_kernels):
+        return None
+    if any(k.in_dim != features or k.dims[-1] != 1 for k in d_kernels):
+        return None
+
+    s = len(g_kernels)
+    n = real_batch.shape[0]
+    # One draw for all s batches: same stream order as s separate draws.
+    z_all = rng.standard_normal((s, n, latent))
+    stack = np.empty((s * n + n, features))
+    for i, gk in enumerate(g_kernels):
+        gk.forward(z_all[i], final_out=stack[i * n:(i + 1) * n])
+    stack[s * n:] = real_batch
+
+    blocks = tuple(slice(i * n, (i + 1) * n) for i in range(s + 1))
+    g_losses = np.empty((s, len(d_kernels)))
+    d_losses = np.empty_like(g_losses)
+    for j, dk in enumerate(d_kernels):
+        # One wide GEMM chain per discriminator; the width-1 logit head
+        # runs per row block (see ``forward``'s bit-stability note).
+        logits = dk.forward(stack, branches=blocks)
+        fake_rows = logits[:s * n].reshape(s, n)
+        real_rows = logits[s * n:]
+        g_losses[:, j] = l_kernel.g_value_rows(fake_rows)
+        d_losses[:, j] = l_kernel.d_real_value(real_rows) \
+            + l_kernel.d_fake_value_rows(fake_rows)
+    from repro.coevolution.fitness import FitnessTable
+
+    return FitnessTable(g_losses=g_losses, d_losses=d_losses)

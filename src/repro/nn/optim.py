@@ -54,6 +54,10 @@ class Optimizer:
         if arena is not None:
             arena.ensure_grads()
 
+    #: span length (elements) of :meth:`step_blocked`; ~256 KiB of float64
+    #: per slab slice keeps one span's working set cache-resident.
+    BLOCK_ELEMS = 32_768
+
     def zero_grad(self) -> None:
         if self.arena is not None:
             self.arena.zero_grads()
@@ -62,6 +66,37 @@ class Optimizer:
             p.zero_grad()
 
     def step(self) -> None:
+        raise NotImplementedError
+
+    def step_blocked(self, block: int | None = None) -> None:
+        """The fused slab update, swept in cache-sized spans.
+
+        Bit-identical to :meth:`step`: the update is purely elementwise, so
+        processing the slabs span by span performs exactly the same scalar
+        operations per element — it only changes memory traffic (each span's
+        slabs are touched while still cache-hot instead of streaming the
+        whole network through every pass).  This is the optimizer half of
+        the fused train-step kernels; without an arena it simply delegates
+        to :meth:`step`.
+        """
+        if self.arena is None:
+            self.step()
+            return
+        scalars = self._prepare_update()
+        size = self.arena.size
+        block = block or self.BLOCK_ELEMS
+        for lo in range(0, size, block):
+            self._span_update(lo, min(lo + block, size), scalars)
+
+    # -- fused update pieces (arena path only) -------------------------------
+
+    def _prepare_update(self):
+        """Advance per-step state (e.g. Adam's ``t``) and return the scalars
+        the span update needs.  Called exactly once per step."""
+        raise NotImplementedError
+
+    def _span_update(self, lo: int, hi: int, scalars) -> None:
+        """Apply the elementwise update to slab span ``[lo, hi)``."""
         raise NotImplementedError
 
     # -- fused-state helpers ---------------------------------------------------
@@ -108,22 +143,30 @@ class SGD(Optimizer):
         if self.arena is not None:
             self._scratch = np.empty(self.arena.size, dtype=np.float64)
 
-    def step(self) -> None:
-        lr = self.learning_rate
-        if self.arena is not None:
-            g = self.arena.grad
-            s = self._scratch
-            data = self.arena.data
-            if self._velocity_flat is None:
-                np.multiply(g, lr, out=s)       # == lr * grad elementwise
-                data -= s
-                return
-            v = self._velocity_flat
-            v *= self.momentum
-            v += g
-            np.multiply(v, lr, out=s)
+    def _prepare_update(self):
+        return self.learning_rate
+
+    def _span_update(self, lo: int, hi: int, lr: float) -> None:
+        # Each line mirrors one elementwise op of the per-tensor loop below,
+        # in the same order, so the update is bit-identical.
+        g = self.arena.grad[lo:hi]
+        s = self._scratch[lo:hi]
+        data = self.arena.data[lo:hi]
+        if self._velocity_flat is None:
+            np.multiply(g, lr, out=s)           # == lr * grad elementwise
             data -= s
             return
+        v = self._velocity_flat[lo:hi]
+        v *= self.momentum
+        v += g
+        np.multiply(v, lr, out=s)
+        data -= s
+
+    def step(self) -> None:
+        if self.arena is not None:
+            self._span_update(0, self.arena.size, self._prepare_update())
+            return
+        lr = self.learning_rate
         if self._velocity is None:
             for p in self.parameters:
                 if p.grad is not None:
@@ -175,33 +218,42 @@ class Adam(Optimizer):
             self._m = [np.zeros_like(p.data) for p in self.parameters]
             self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _prepare_update(self):
+        self.t += 1
+        # Fold both bias corrections into one scalar step size.
+        return self.learning_rate * np.sqrt(1.0 - self.beta2 ** self.t) \
+            / (1.0 - self.beta1 ** self.t)
+
+    def _span_update(self, lo: int, hi: int, corrected_lr: float) -> None:
+        # The fused sweep over one slab span; each line mirrors one
+        # elementwise operation of the per-tensor loop below, in the
+        # same order, so the update is bit-identical.
+        b1, b2, eps = self.beta1, self.beta2, self.eps
+        g = self.arena.grad[lo:hi]
+        m, v = self._m_flat[lo:hi], self._v_flat[lo:hi]
+        s, s2 = self._scratch[lo:hi], self._scratch2[lo:hi]
+        m *= b1
+        np.multiply(g, 1.0 - b1, out=s)         # == (1 - b1) * g
+        m += s
+        v *= b2
+        np.multiply(g, g, out=s)
+        s *= 1.0 - b2                           # == (1 - b2) * (g * g)
+        v += s
+        np.sqrt(v, out=s)
+        s += eps                                # == sqrt(v) + eps
+        np.multiply(m, corrected_lr, out=s2)
+        s2 /= s                                 # == corrected_lr * m / (...)
+        data = self.arena.data[lo:hi]
+        data -= s2
+
     def step(self) -> None:
+        if self.arena is not None:
+            self._span_update(0, self.arena.size, self._prepare_update())
+            return
         self.t += 1
         b1, b2 = self.beta1, self.beta2
-        # Fold both bias corrections into one scalar step size.
         corrected_lr = self.learning_rate * np.sqrt(1.0 - b2 ** self.t) / (1.0 - b1 ** self.t)
         eps = self.eps
-        if self.arena is not None:
-            # One fused sweep over the slabs; each line mirrors one
-            # elementwise operation of the per-tensor loop below, in the
-            # same order, so the update is bit-identical.
-            g = self.arena.grad
-            m, v = self._m_flat, self._v_flat
-            s, s2 = self._scratch, self._scratch2
-            m *= b1
-            np.multiply(g, 1.0 - b1, out=s)     # == (1 - b1) * g
-            m += s
-            v *= b2
-            np.multiply(g, g, out=s)
-            s *= 1.0 - b2                       # == (1 - b2) * (g * g)
-            v += s
-            np.sqrt(v, out=s)
-            s += eps                            # == sqrt(v) + eps
-            np.multiply(m, corrected_lr, out=s2)
-            s2 /= s                             # == corrected_lr * m / (...)
-            data = self.arena.data
-            data -= s2
-            return
         for p, m, v in zip(self.parameters, self._m, self._v):
             g = p.grad
             if g is None:
@@ -252,23 +304,31 @@ class RMSprop(Optimizer):
         else:
             self._sq = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _prepare_update(self):
+        return self.learning_rate
+
+    def _span_update(self, lo: int, hi: int, lr: float) -> None:
+        # Mirrors the per-tensor loop below op for op (bit-identical).
+        alpha, eps = self.alpha, self.eps
+        g = self.arena.grad[lo:hi]
+        sq = self._sq_flat[lo:hi]
+        s, s2 = self._scratch[lo:hi], self._scratch2[lo:hi]
+        sq *= alpha
+        np.multiply(g, g, out=s)
+        s *= 1.0 - alpha                        # == (1 - alpha) * (g * g)
+        sq += s
+        np.sqrt(sq, out=s)
+        s += eps                                # == sqrt(sq) + eps
+        np.multiply(g, lr, out=s2)              # == lr * g
+        s2 /= s
+        data = self.arena.data[lo:hi]
+        data -= s2
+
     def step(self) -> None:
-        lr, alpha, eps = self.learning_rate, self.alpha, self.eps
         if self.arena is not None:
-            g = self.arena.grad
-            sq = self._sq_flat
-            s, s2 = self._scratch, self._scratch2
-            sq *= alpha
-            np.multiply(g, g, out=s)
-            s *= 1.0 - alpha                    # == (1 - alpha) * (g * g)
-            sq += s
-            np.sqrt(sq, out=s)
-            s += eps                            # == sqrt(sq) + eps
-            np.multiply(g, lr, out=s2)          # == lr * g
-            s2 /= s
-            data = self.arena.data
-            data -= s2
+            self._span_update(0, self.arena.size, self._prepare_update())
             return
+        lr, alpha, eps = self.learning_rate, self.alpha, self.eps
         for p, sq in zip(self.parameters, self._sq):
             g = p.grad
             if g is None:

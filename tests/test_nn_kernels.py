@@ -1,0 +1,471 @@
+"""Fused train-step kernels: bit-identity, fallback, and machinery tests.
+
+The contract under test (see :mod:`repro.nn.kernels`): with the same seed,
+the graph-free fused path produces **bitwise identical** results to the
+autograd tape — forward outputs, per-layer gradients, loss values, the
+s x s fitness table, and whole training trajectories — and falls back to
+the tape automatically whenever a network or loss is not kernel-eligible.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkSettings
+from repro.coevolution.cell import Cell
+from repro.coevolution.fitness import (
+    _evaluate_subpopulations_loop,
+    evaluate_subpopulations,
+)
+from repro.data.dataset import ArrayDataset
+from repro.gan.networks import Discriminator, Generator
+from repro.gan.pair import GANPair
+from repro.gan.sampling import generate_images
+from repro.nn import (
+    Linear,
+    Sequential,
+    Tanh,
+    Tensor,
+    arena_of,
+    kernel_for,
+    kernels_disabled,
+    loss_by_name,
+    optimizer_by_name,
+    parameters_to_vector,
+    set_kernels_enabled,
+)
+from repro.nn.kernels import (
+    fused_fitness_table,
+    kernels_enabled,
+    loss_kernel_for,
+    sequential_recipe,
+)
+
+#: Small but representative topology: every hidden/output width is >= 4
+#: (the row-block-stable GEMM regime); only the discriminator head is the
+#: width-1 GEMV case the kernel handles per branch.
+SETTINGS = NetworkSettings(latent_size=16, hidden_layers=2, hidden_neurons=32,
+                           output_neurons=36)
+BATCH = 20
+LOSSES = ["bce", "heuristic", "mse"]
+
+
+def build_pair(loss_name: str, seed: int = 0) -> GANPair:
+    rng = np.random.default_rng(seed)
+    return GANPair(Generator(SETTINGS, rng), Discriminator(SETTINGS, rng),
+                   loss_by_name(loss_name), "adam", 2e-4)
+
+
+def genome_bytes(pair: GANPair) -> bytes:
+    return (parameters_to_vector(pair.generator).tobytes()
+            + parameters_to_vector(pair.discriminator).tobytes())
+
+
+# ---------------------------------------------------------------------------
+# Eligibility and fallback
+# ---------------------------------------------------------------------------
+
+
+class TestEligibility:
+    def test_networks_are_kernel_eligible(self):
+        rng = np.random.default_rng(0)
+        assert kernel_for(Generator(SETTINGS, rng)) is not None
+        assert kernel_for(Discriminator(SETTINGS, rng)) is not None
+
+    def test_pickled_network_falls_back(self):
+        """Pickling drops the arena; the kernel must decline, not break."""
+        rng = np.random.default_rng(0)
+        generator = pickle.loads(pickle.dumps(Generator(SETTINGS, rng)))
+        assert arena_of(generator) is None
+        assert kernel_for(generator) is None
+        # and the verdict is cached (same object -> same answer)
+        assert kernel_for(generator) is None
+
+    def test_unrecognized_stack_falls_back(self):
+        class Odd(Sequential):
+            def forward(self, x):
+                return super().forward(x).relu()
+
+        rng = np.random.default_rng(0)
+        odd = Odd(Linear(4, 3, rng), Tanh())
+        assert sequential_recipe(odd) is not None  # the stack itself is fine
+        assert kernel_for(odd) is None             # ...but it has no arena
+
+    def test_recipe_rejects_unsupported_layers(self):
+        rng = np.random.default_rng(0)
+        assert sequential_recipe(Sequential(Tanh())) is None          # leading act
+        assert sequential_recipe(Sequential()) is None                # empty
+        assert sequential_recipe(
+            Sequential(Linear(4, 3, rng, bias=False))) is None        # no bias
+        assert sequential_recipe(
+            Sequential(Linear(4, 3, rng), Tanh(), Tanh())) is None    # double act
+        assert sequential_recipe("not a module") is None
+
+    def test_custom_loss_falls_back(self):
+        from repro.nn.losses import BCELoss
+
+        class TweakedBCE(BCELoss):
+            name = "tweaked"
+
+        assert loss_kernel_for(TweakedBCE()) is None
+        assert loss_kernel_for(BCELoss()) is not None
+
+    def test_kill_switch(self):
+        assert kernels_enabled()
+        with kernels_disabled():
+            assert not kernels_enabled()
+            with kernels_disabled():
+                assert not kernels_enabled()
+            assert not kernels_enabled()
+        assert kernels_enabled()
+        previous = set_kernels_enabled(False)
+        assert previous is True
+        assert set_kernels_enabled(True) is False
+
+
+# ---------------------------------------------------------------------------
+# Forward bit-identity
+# ---------------------------------------------------------------------------
+
+
+class TestForwardIdentity:
+    @pytest.mark.parametrize("activation", ["tanh", "relu", "leaky_relu", "sigmoid"])
+    def test_kernel_forward_matches_module(self, activation):
+        settings = NetworkSettings(latent_size=16, hidden_layers=2,
+                                   hidden_neurons=32, output_neurons=36,
+                                   activation=activation)
+        rng = np.random.default_rng(1)
+        for net in (Generator(settings, rng), Discriminator(settings, rng)):
+            kernel = kernel_for(net)
+            assert kernel is not None
+            x = rng.standard_normal((BATCH, kernel.in_dim))
+            with kernels_disabled():
+                expected = net(Tensor(x)).numpy()
+            np.testing.assert_array_equal(kernel.forward(x), expected)
+
+    def test_stacked_forward_matches_separate_calls(self):
+        """Row blocks of one stacked forward == per-block autograd calls."""
+        rng = np.random.default_rng(2)
+        disc = Discriminator(SETTINGS, rng)
+        kernel = kernel_for(disc)
+        a = rng.standard_normal((BATCH, SETTINGS.output_neurons))
+        b = rng.standard_normal((2 * BATCH, SETTINGS.output_neurons))
+        stack = np.concatenate([a, b], axis=0)
+        blocks = (slice(0, BATCH), slice(BATCH, 3 * BATCH))
+        out = kernel.forward(stack, branches=blocks)
+        with kernels_disabled():
+            np.testing.assert_array_equal(out[:BATCH], disc(Tensor(a)).numpy())
+            np.testing.assert_array_equal(out[BATCH:], disc(Tensor(b)).numpy())
+
+    def test_generate_images_matches_autograd(self):
+        rng = np.random.default_rng(3)
+        generator = Generator(SETTINGS, rng)
+        fused = generate_images(generator, 700, np.random.default_rng(7), batch=256)
+        with kernels_disabled():
+            tape = generate_images(generator, 700, np.random.default_rng(7), batch=256)
+        np.testing.assert_array_equal(fused, tape)
+
+
+# ---------------------------------------------------------------------------
+# Gradient and training-step bit-identity
+# ---------------------------------------------------------------------------
+
+
+def _layer_grads(network) -> list[np.ndarray]:
+    return [p.grad.copy() for p in network.parameters()]
+
+
+class TestStepIdentity:
+    @pytest.mark.parametrize("loss_name", LOSSES)
+    def test_discriminator_step_grads_and_params(self, loss_name):
+        real = np.random.default_rng(5).standard_normal((BATCH, SETTINGS.output_neurons))
+        results = {}
+        for mode in ("tape", "fused"):
+            pair = build_pair(loss_name)
+            rng = np.random.default_rng(9)
+            if mode == "tape":
+                with kernels_disabled():
+                    loss = pair.train_discriminator_step(real, rng)
+            else:
+                loss = pair.train_discriminator_step(real, rng)
+            results[mode] = (loss, _layer_grads(pair.discriminator),
+                             parameters_to_vector(pair.discriminator))
+        assert results["tape"][0] == results["fused"][0]
+        for tape_g, fused_g in zip(results["tape"][1], results["fused"][1]):
+            np.testing.assert_array_equal(tape_g, fused_g)
+        np.testing.assert_array_equal(results["tape"][2], results["fused"][2])
+
+    @pytest.mark.parametrize("loss_name", LOSSES)
+    def test_generator_step_grads_and_params(self, loss_name):
+        results = {}
+        for mode in ("tape", "fused"):
+            pair = build_pair(loss_name)
+            rng = np.random.default_rng(11)
+            if mode == "tape":
+                with kernels_disabled():
+                    loss = pair.train_generator_step(BATCH, rng)
+            else:
+                loss = pair.train_generator_step(BATCH, rng)
+            results[mode] = (loss, _layer_grads(pair.generator),
+                             parameters_to_vector(pair.generator))
+        assert results["tape"][0] == results["fused"][0]
+        for tape_g, fused_g in zip(results["tape"][1], results["fused"][1]):
+            np.testing.assert_array_equal(tape_g, fused_g)
+        np.testing.assert_array_equal(results["tape"][2], results["fused"][2])
+
+    @pytest.mark.parametrize("loss_name", LOSSES)
+    def test_50_iteration_trajectory_hash(self, loss_name):
+        """The satellite contract: 50 training iterations, identical genome."""
+        real_rng = np.random.default_rng(17)
+        batches = [real_rng.standard_normal((BATCH, SETTINGS.output_neurons))
+                   for _ in range(5)]
+        genomes = {}
+        losses = {}
+        for mode in ("tape", "fused"):
+            pair = build_pair(loss_name)
+            rng = np.random.default_rng(23)
+            seen = []
+            for it in range(50):
+                seen.append(pair.train_discriminator_step(batches[it % 5], rng)
+                            if mode == "fused" else _tape(
+                                pair.train_discriminator_step, batches[it % 5], rng))
+                seen.append(pair.train_generator_step(BATCH, rng)
+                            if mode == "fused" else _tape(
+                                pair.train_generator_step, BATCH, rng))
+            genomes[mode] = genome_bytes(pair)
+            losses[mode] = seen
+        assert losses["tape"] == losses["fused"]
+        assert genomes["tape"] == genomes["fused"]
+
+    def test_cross_adversary_steps_identical(self):
+        """Neighbor opponents (the cellular algorithm's case) stay bit-equal."""
+        real = np.random.default_rng(5).standard_normal((BATCH, SETTINGS.output_neurons))
+        results = {}
+        for mode in ("tape", "fused"):
+            pair = build_pair("bce")
+            rng_nets = np.random.default_rng(31)
+            opponent_g = Generator(SETTINGS, rng_nets)
+            opponent_d = Discriminator(SETTINGS, rng_nets)
+            rng = np.random.default_rng(37)
+            if mode == "tape":
+                with kernels_disabled():
+                    d = pair.train_discriminator_step(real, rng, generator=opponent_g)
+                    g = pair.train_generator_step(BATCH, rng, discriminator=opponent_d)
+            else:
+                d = pair.train_discriminator_step(real, rng, generator=opponent_g)
+                g = pair.train_generator_step(BATCH, rng, discriminator=opponent_d)
+            results[mode] = (d, g, genome_bytes(pair))
+        assert results["tape"] == results["fused"]
+
+
+def _tape(fn, *args):
+    with kernels_disabled():
+        return fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# Batched fitness table
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedFitness:
+    @pytest.mark.parametrize("loss_name", LOSSES)
+    def test_batched_equals_loop_exactly(self, loss_name):
+        rng = np.random.default_rng(41)
+        gens = [Generator(SETTINGS, rng) for _ in range(5)]
+        discs = [Discriminator(SETTINGS, rng) for _ in range(4)]
+        loss = loss_by_name(loss_name)
+        real = rng.standard_normal((BATCH, SETTINGS.output_neurons))
+
+        rng_a, rng_b = np.random.default_rng(43), np.random.default_rng(43)
+        batched = fused_fitness_table(gens, discs, loss, real, rng_a)
+        loop = _evaluate_subpopulations_loop(gens, discs, loss, real, rng_b)
+        assert batched is not None
+        np.testing.assert_array_equal(batched.g_losses, loop.g_losses)
+        np.testing.assert_array_equal(batched.d_losses, loop.d_losses)
+        # identical RNG consumption: the paths stay interchangeable mid-run
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_dispatch_prefers_batched_and_falls_back(self):
+        rng = np.random.default_rng(47)
+        gens = [Generator(SETTINGS, rng) for _ in range(3)]
+        discs = [Discriminator(SETTINGS, rng) for _ in range(3)]
+        loss = loss_by_name("bce")
+        real = rng.standard_normal((BATCH, SETTINGS.output_neurons))
+
+        fused = evaluate_subpopulations(gens, discs, loss, real,
+                                        np.random.default_rng(3))
+        # one pickled (arena-less) member forces the loop for the whole table
+        mixed = [pickle.loads(pickle.dumps(gens[0]))] + gens[1:]
+        assert kernel_for(mixed[0]) is None
+        loop = evaluate_subpopulations(mixed, discs, loss, real,
+                                       np.random.default_rng(3))
+        # pickling round-trips the exact parameter bytes, so the loop table
+        # over the pickled member equals the batched table over the original
+        np.testing.assert_array_equal(fused.g_losses, loop.g_losses)
+        np.testing.assert_array_equal(fused.d_losses, loop.d_losses)
+
+    def test_fitness_caching(self):
+        table = fused_fitness_table(
+            [Generator(SETTINGS, np.random.default_rng(0)) for _ in range(2)],
+            [Discriminator(SETTINGS, np.random.default_rng(1)) for _ in range(2)],
+            loss_by_name("bce"),
+            np.random.default_rng(2).standard_normal((BATCH, SETTINGS.output_neurons)),
+            np.random.default_rng(3))
+        first = table.generator_fitness
+        assert table.generator_fitness is first          # cached, not recomputed
+        assert table.discriminator_fitness is table.discriminator_fitness
+        np.testing.assert_array_equal(first, table.g_losses.mean(axis=1))
+
+
+# ---------------------------------------------------------------------------
+# Fallback training path (pickled, arena-less networks)
+# ---------------------------------------------------------------------------
+
+
+class TestFallbackTraining:
+    def test_pickled_pair_trains_identically(self):
+        """An unpickled (kernel-ineligible) pair must train — on the tape —
+        to the exact same genome as the fused pair."""
+        real = np.random.default_rng(5).standard_normal((BATCH, SETTINGS.output_neurons))
+        fused_pair = build_pair("bce", seed=3)
+        loose = build_pair("bce", seed=3)
+        generator = pickle.loads(pickle.dumps(loose.generator))
+        discriminator = pickle.loads(pickle.dumps(loose.discriminator))
+        fallback_pair = GANPair(generator, discriminator, loss_by_name("bce"),
+                                "adam", 2e-4)
+        assert kernel_for(generator) is None and kernel_for(discriminator) is None
+
+        rng_a, rng_b = np.random.default_rng(53), np.random.default_rng(53)
+        for _ in range(3):
+            assert (fused_pair.train_discriminator_step(real, rng_a)
+                    == fallback_pair.train_discriminator_step(real, rng_b))
+            assert (fused_pair.train_generator_step(BATCH, rng_a)
+                    == fallback_pair.train_generator_step(BATCH, rng_b))
+        assert genome_bytes(fused_pair) == genome_bytes(fallback_pair)
+
+
+# ---------------------------------------------------------------------------
+# Blocked optimizer sweep
+# ---------------------------------------------------------------------------
+
+
+class TestStepBlocked:
+    @pytest.mark.parametrize("name", ["adam", "sgd", "rmsprop"])
+    def test_blocked_equals_plain(self, name):
+        rng = np.random.default_rng(59)
+        plain_net = Generator(SETTINGS, rng)
+        blocked_net = Generator(SETTINGS, np.random.default_rng(59))
+        np.testing.assert_array_equal(parameters_to_vector(plain_net),
+                                      parameters_to_vector(blocked_net))
+        grads = np.random.default_rng(61).standard_normal(arena_of(plain_net).size)
+        opts = []
+        for net in (plain_net, blocked_net):
+            arena = arena_of(net)
+            opt = optimizer_by_name(name, net.parameters(), 1e-3, arena=arena)
+            arena.grad[...] = grads
+            opts.append(opt)
+        for _ in range(3):
+            opts[0].step()
+            opts[1].step_blocked(block=1000)   # odd block, exercises the tail
+        np.testing.assert_array_equal(parameters_to_vector(plain_net),
+                                      parameters_to_vector(blocked_net))
+
+    def test_blocked_without_arena_delegates(self):
+        rng = np.random.default_rng(67)
+        net = pickle.loads(pickle.dumps(Generator(SETTINGS, rng)))
+        opt = optimizer_by_name("adam", net.parameters(), 1e-3)
+        for p in net.parameters():
+            p.grad = np.ones_like(p.data)
+        before = parameters_to_vector(net)
+        opt.step_blocked()
+        assert opt.t == 1
+        assert not np.array_equal(before, parameters_to_vector(net))
+
+
+# ---------------------------------------------------------------------------
+# Cell-level trajectory (the integration the PR rides on)
+# ---------------------------------------------------------------------------
+
+
+class TestCellTrajectory:
+    def test_cell_iterations_bit_identical(self):
+        from repro.config import ExperimentConfig
+        import dataclasses
+
+        config = ExperimentConfig()
+        config = dataclasses.replace(
+            config,
+            network=SETTINGS,
+            coevolution=dataclasses.replace(config.coevolution, iterations=8,
+                                            grid_rows=1, grid_cols=1),
+            execution=dataclasses.replace(config.execution, number_of_tasks=2),
+            training=dataclasses.replace(config.training, batch_size=BATCH,
+                                         batches_per_iteration=2),
+            dataset_size=BATCH * 4,
+        )
+        images = np.random.default_rng(71).standard_normal(
+            (config.dataset_size, SETTINGS.output_neurons))
+        dataset = ArrayDataset(images)
+        genomes = {}
+        for mode in ("tape", "fused"):
+            cell = Cell(config, 0, dataset)
+            if mode == "tape":
+                with kernels_disabled():
+                    for _ in range(8):
+                        cell.step([])
+            else:
+                for _ in range(8):
+                    cell.step([])
+            g, d = cell.center_genomes()
+            genomes[mode] = g.parameters.tobytes() + d.parameters.tobytes()
+        assert genomes["tape"] == genomes["fused"]
+
+
+# ---------------------------------------------------------------------------
+# Resource discipline: no immortal networks, bounded workspace cache
+# ---------------------------------------------------------------------------
+
+
+class TestResourceDiscipline:
+    def test_kernelized_networks_are_collectable(self):
+        """The kernel registry is weak-keyed; a kernel must not reference
+        its own module, or every kernelized network (and its multi-MB arena
+        slab) would be pinned forever in long-lived processes."""
+        import gc
+        import weakref
+
+        refs = []
+        for i in range(8):
+            net = Generator(SETTINGS, np.random.default_rng(i))
+            assert kernel_for(net) is not None
+            refs.append(weakref.ref(net))
+            del net
+        gc.collect()
+        assert all(ref() is None for ref in refs)
+
+    def test_workspace_cache_is_bounded(self):
+        """Data-dependent batch sizes (mixture multinomial counts, serving
+        requests) must not grow the workspace cache without bound."""
+        from repro.nn.kernels import _WORKSPACE_CACHE_LIMIT, _WORKSPACES
+
+        net = Generator(SETTINGS, np.random.default_rng(0))
+        kernel = kernel_for(net)
+        for n in range(1, 3 * _WORKSPACE_CACHE_LIMIT):
+            kernel.forward(np.zeros((n, SETTINGS.latent_size)))
+        assert len(_WORKSPACES.pools) <= _WORKSPACE_CACHE_LIMIT
+
+
+# ---------------------------------------------------------------------------
+# Satellite: Tensor.__matmul__ diagnostics
+# ---------------------------------------------------------------------------
+
+
+def test_matmul_error_names_both_shapes():
+    a = Tensor(np.zeros((2, 3, 4)))
+    b = Tensor(np.zeros((4, 5)))
+    with pytest.raises(ValueError, match=r"\(2, 3, 4\) @ \(4, 5\)"):
+        a @ b
