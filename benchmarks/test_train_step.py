@@ -15,6 +15,10 @@ results):
 * **cell_step_train_phase** — the "train" timer section of one full
   ``Cell.step`` (both fitness tables plus every gradient step), i.e. the
   Table IV row the paper profiles.
+* **telemetry** — the same train step under the ``repro.telemetry`` bus at
+  off/basic/trace levels.  The off level is the shipping default and CI
+  (``REPRO_BENCH_ASSERT_TELEMETRY=1``) asserts it stays within 2% of the
+  untraced ``train_step`` baseline.
 
 Honest-numbers note: at Table I size the train step is BLAS-bound — the
 GEMMs are shared by both paths, so the end-to-end speedup here is the tape
@@ -33,6 +37,7 @@ so the perf trajectory across PRs is machine-readable in one file.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import os
 import time
@@ -172,6 +177,88 @@ def _bench_cell_phase(settings: NetworkSettings, batch: int) -> dict:
     }
 
 
+def _bench_telemetry(settings: NetworkSettings = NetworkSettings(),
+                     batch: int = 100) -> dict:
+    """Telemetry cost on the fused train step, per bus level.
+
+    Always measured at Table I size, even in the tiny CI lane: the paper's
+    step is BLAS-bound there (~20ms/call), so the bus's fixed per-span cost
+    is diluted the way production runs see it, and the 2% CI ratchet sits
+    far above the measurement noise of a 5-rep window.  (At the tiny bench
+    size the step is ~0.25ms and the guard checks alone are ~1%, under a
+    noise floor of several percent — a hard gate there would only measure
+    the machine.)
+
+    Four arms measured round-robin: ``baseline`` and ``off`` both run with
+    the bus disabled — separating measurement noise from real overhead —
+    while ``basic`` and ``trace`` pay the recording cost.  Per-call times
+    report the fastest round (like every bench here), but the overhead
+    percentages are the *median of per-round ratios* against the baseline
+    arm of the same round: arms interleave within a round, so slow drift
+    (thermal, frequency scaling, a neighbour process) cancels out of the
+    ratio instead of biasing an extreme statistic.  CI's 2% ratchet on the
+    off level reads that median.
+    """
+    from repro.telemetry import bus
+
+    real = np.random.default_rng(7).standard_normal((batch, settings.output_neurons))
+    arms = (("baseline", "off"), ("off", "off"),
+            ("basic", "basic"), ("trace", "trace"))
+    # One identically-seeded pair/rng per arm: every arm then performs the
+    # exact same numeric sequence, so within-round position can't leak
+    # state drift (evolving weights, rng phase) into the comparison.
+    pairs = {arm: (_build_pair(settings), np.random.default_rng(42))
+             for arm, _level in arms}
+
+    def step(arm: str) -> None:
+        pair, rng = pairs[arm]
+        pair.train_discriminator_step(real, rng)
+        pair.train_generator_step(batch, rng)
+
+    for arm, _level in arms:
+        step(arm)  # warm caches, workspaces, BLAS buffers
+    prior_env = os.environ.get("REPRO_TELEMETRY")
+    times: dict[str, list[float]] = {arm: [] for arm, _level in arms}
+    rounds, reps = 12, 10  # ~220ms per timed window at Table I size
+    try:
+        for r in range(rounds):
+            # The ratchet pair alternates slots round to round (and the
+            # recording pair likewise), so slot-in-round effects — GC debt
+            # from the event-allocating arms, frequency ramps — cancel
+            # exactly out of the per-round ratios instead of biasing them.
+            ratchet = arms[:2] if r % 2 == 0 else arms[1::-1]
+            recording = arms[2:] if r % 4 < 2 else arms[:1:-1]
+            for arm, level in (*ratchet, *recording):
+                bus.set_level(level)
+                gc.collect()  # each arm starts with a clean heap
+                start = time.perf_counter()
+                for _ in range(reps):
+                    step(arm)
+                times[arm].append((time.perf_counter() - start) / reps)
+                bus.reset()  # drop the recorded spans between rounds
+    finally:
+        bus.set_level("off")
+        bus.reset()
+        if prior_env is None:
+            os.environ.pop("REPRO_TELEMETRY", None)
+        else:
+            os.environ["REPRO_TELEMETRY"] = prior_env
+
+    def overhead_pct(arm: str) -> float:
+        ratios = sorted(t / b for t, b in zip(times[arm], times["baseline"]))
+        return (ratios[len(ratios) // 2] - 1.0) * 100
+
+    return {
+        "baseline_s_per_call": min(times["baseline"]),
+        "off_s_per_call": min(times["off"]),
+        "basic_s_per_call": min(times["basic"]),
+        "trace_s_per_call": min(times["trace"]),
+        "off_overhead_pct": overhead_pct("off"),
+        "basic_overhead_pct": overhead_pct("basic"),
+        "trace_overhead_pct": overhead_pct("trace"),
+    }
+
+
 def test_train_step_bench(results_dir):
     benches = {
         "train_step": _bench_train_step(_SETTINGS, _BATCH),
@@ -179,6 +266,7 @@ def test_train_step_bench(results_dir):
         "cell_step_train_phase": _bench_cell_phase(_SETTINGS, _BATCH),
         "overhead_dominated": _bench_train_step(_NARROW, _NARROW_BATCH),
     }
+    benches["telemetry"] = _bench_telemetry()
     payload = {
         "network": {
             "latent_size": _SETTINGS.latent_size,
@@ -198,9 +286,38 @@ def test_train_step_bench(results_dir):
 
     # Machinery assertions only (thresholds are read off the artifact).
     for name, bench in benches.items():
+        if "before_s_per_call" not in bench:
+            continue
         assert bench["before_s_per_call"] > 0, name
         assert bench["after_s_per_call"] > 0, name
         assert np.isfinite(bench["speedup"]), name
+    assert benches["telemetry"]["off_s_per_call"] > 0
+
+    # CI's telemetry-off ratchet: with REPRO_BENCH_ASSERT_TELEMETRY=1 the
+    # disabled bus must cost at most 2% over the interleaved untraced
+    # baseline arm.  Two estimators of the same overhead are checked — the
+    # floor ratio (fastest round each) and the median of per-round ratios —
+    # and the gate trips only when BOTH exceed 2%: a real off-path
+    # regression inflates both, while scheduler noise on a shared runner
+    # rarely pushes the two the same way at once.  A tripped measurement
+    # is retaken up to twice before failing: a burst of interference is
+    # independent across retakes, a regression is not.
+    if os.environ.get("REPRO_BENCH_ASSERT_TELEMETRY"):
+
+        def off_overheads(bench: dict) -> tuple[float, float]:
+            floor = (bench["off_s_per_call"]
+                     / bench["baseline_s_per_call"] - 1.0) * 100
+            return floor, bench["off_overhead_pct"]
+
+        floor_pct, median_pct = off_overheads(benches["telemetry"])
+        for _retake in range(2):
+            if min(floor_pct, median_pct) <= 2.0:
+                break
+            floor_pct, median_pct = off_overheads(_bench_telemetry())
+        assert min(floor_pct, median_pct) <= 2.0, (
+            f"telemetry-off train step exceeds the 2% ratchet over the "
+            f"untraced baseline arm on both estimators, three times "
+            f"(last: floor {floor_pct:+.2f}%, median {median_pct:+.2f}%)")
 
 
 def write_summary(results_dir) -> dict:

@@ -32,6 +32,7 @@ from repro.api.result import RunResult
 from repro.config import ExperimentConfig
 from repro.data.dataset import ArrayDataset
 from repro.profiling import RoutineTimer
+from repro.telemetry import bus as telemetry
 
 __all__ = [
     "RunContext",
@@ -120,6 +121,10 @@ class SequentialBackend(TrainerBackend):
                 trainer = SequentialTrainer(ctx.config, ctx.dataset)
         ctx.trainer = trainer
         pin_blas_threads(1)
+        if telemetry.enabled():
+            # Each run starts from a clean bus so the result's merged view
+            # covers exactly this run.
+            telemetry.reset()
         timers = [RoutineTimer() for _ in trainer.cells] if ctx.profile else None
         total = max(0, trainer.config.coevolution.iterations - trainer.start_iteration)
 
@@ -141,6 +146,11 @@ class SequentialBackend(TrainerBackend):
                 break
         wall = time.perf_counter() - start
 
+        merged = None
+        if telemetry.enabled():
+            snap = telemetry.snapshot(None)
+            if not snap.empty:
+                merged = telemetry.merge_telemetry([snap])
         result = RunResult(
             backend=self.name,
             training=trainer.result(wall, timers),
@@ -148,6 +158,7 @@ class SequentialBackend(TrainerBackend):
             iterations_run=executed,
             stopped_early=stopped,
             trainer=trainer,
+            telemetry=merged,
         )
         ctx.callbacks.on_run_end(ctx, result)
         return result
@@ -181,6 +192,8 @@ class _DistributedBackend(TrainerBackend):
                 dataset_spec=ctx.dataset_spec,
                 exchange_mode=ctx.exchange_mode, profile=ctx.profile,
                 **self.runner_options)
+        if telemetry.enabled():
+            telemetry.reset()
         ctx.callbacks.on_run_start(ctx)
         distributed = runner.run()
 
@@ -194,6 +207,7 @@ class _DistributedBackend(TrainerBackend):
             distributed=distributed,
             iteration=iterations,
             iterations_run=iterations,
+            telemetry=distributed.telemetry,
         )
         # Replay the per-iteration hooks from the reduced reports so
         # observers (metrics streams, loggers) see the same event sequence

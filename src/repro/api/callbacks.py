@@ -23,7 +23,6 @@ Three shipped callbacks cover the common cases: :class:`PeriodicCheckpoint`,
 
 from __future__ import annotations
 
-import json
 import math
 import os
 from typing import TYPE_CHECKING, Iterable
@@ -230,17 +229,19 @@ class JsonlMetrics(Callback):
 
     The file is append-friendly and tail-able while a run is in flight —
     the streaming analogue of the post-hoc ``metrics.dynamics`` curves.
+    The writing itself rides :class:`repro.telemetry.JsonlWriter` (lazy
+    append-open, one sorted-key JSON object per line, flushed per record),
+    so every JSONL stream in the system shares one implementation.
     """
 
     def __init__(self, path: str | os.PathLike):
+        from repro.telemetry import JsonlWriter
+
         self.path = os.fspath(path)
-        self._handle = None
+        self._writer = JsonlWriter(self.path)
 
     def _write(self, record: dict) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        self._writer.write(record)
 
     def on_run_start(self, ctx) -> None:
         coev = ctx.config.coevolution
@@ -284,6 +285,4 @@ class JsonlMetrics(Callback):
             "best_cell": result.best_cell_index(),
             "complete": result.complete,
         })
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        self._writer.close()

@@ -55,6 +55,8 @@ class Experiment:
         self._profile = False
         self._callbacks: list[Callback] = []
         self._checkpoint = None
+        self._telemetry_level: str | None = None
+        self._trace_path: str | os.PathLike | None = None
 
     # -- alternate starting points ----------------------------------------
 
@@ -140,6 +142,29 @@ class Experiment:
         self._profile = enabled
         return self
 
+    def telemetry(self, level: str = "basic",
+                  trace_path: str | os.PathLike | None = None) -> "Experiment":
+        """Enable the :mod:`repro.telemetry` bus for this run.
+
+        ``level`` is ``off`` (counters disabled, near-zero cost),
+        ``basic`` (span totals + counters) or ``trace`` (individual span
+        events, exportable to Perfetto).  Passing ``trace_path`` implies
+        ``trace`` level and writes the merged Chrome/Perfetto trace there
+        after the run; :attr:`RunResult.telemetry` carries the merged view
+        either way.
+        """
+        from repro.telemetry import bus
+
+        if trace_path is not None:
+            level = "trace"
+        if level not in bus.LEVELS:
+            raise ValueError(
+                f"unknown telemetry level {level!r}; expected one of "
+                f"{sorted(bus.LEVELS)}")
+        self._telemetry_level = level
+        self._trace_path = trace_path
+        return self
+
     def callbacks(self, *callbacks: Callback) -> "Experiment":
         """Attach run-loop callbacks (appended in order)."""
         self._callbacks.extend(callbacks)
@@ -214,7 +239,27 @@ class Experiment:
             dataset_spec=spec,
             checkpoint=self._checkpoint,
         )
-        return backend.execute(ctx)
+        if self._telemetry_level is not None:
+            from repro.telemetry import bus
+
+            # The level is scoped to this run: a leaked global level would
+            # make every later run in the process record (and, distributed,
+            # ship trace events home), so restore it and drain the buffers
+            # this run consumed — backends snapshot before returning.
+            prior_level = bus.level_name()
+            bus.set_level(self._telemetry_level)
+            try:
+                result = backend.execute(ctx)
+            finally:
+                bus.set_level(prior_level)
+                bus.reset()
+        else:
+            result = backend.execute(ctx)
+        if self._trace_path is not None and result.telemetry is not None:
+            from repro.telemetry import write_trace
+
+            write_trace(self._trace_path, result.telemetry)
+        return result
 
 
 # -- checkpoint-driven service entry points (used by the CLI) ----------------

@@ -45,6 +45,12 @@ class RunResult:
     distributed runs, whose per-cell state lives in the slave processes).
     An escape hatch for post-run inspection — per-cell mixtures, loss
     assignments — without leaving the facade."""
+    telemetry: Any = field(default=None, repr=False)
+    """Merged :class:`repro.telemetry.bus.MergedTelemetry` for the run —
+    every rank's spans/counters time-aligned (plus the launcher buffer on
+    distributed runs).  ``None`` when telemetry was off.  Feed it to
+    :func:`repro.telemetry.to_perfetto` / :func:`repro.telemetry.to_prometheus`
+    or inspect ``span_totals`` / ``counters`` directly."""
 
     # -- common fields, promoted ------------------------------------------
 

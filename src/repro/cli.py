@@ -33,11 +33,15 @@ Commands
     Attach this machine to a socket-backend run:
     ``python -m repro worker --connect coordinator:5555 --slots 4``.
     The coordinator side is ``repro run --backend socket --hosts ...``.
+``trace``
+    Digest a Perfetto trace written by ``repro run --trace out.json``:
+    per-routine totals, comm/compute overlap, slowest cells.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -114,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a checkpoint here after training")
     run.add_argument("--metrics-jsonl", metavar="PATH",
                      help="stream per-iteration metrics as JSON lines")
+    run.add_argument("--telemetry", choices=("off", "basic", "trace"),
+                     default=None,
+                     help="span/counter bus level (default: $REPRO_TELEMETRY "
+                          "or 'basic')")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write the merged Chrome/Perfetto trace here "
+                          "(implies --telemetry trace; open in ui.perfetto.dev)")
 
     resume = sub.add_parser("resume", help="continue a checkpointed run")
     resume.add_argument("checkpoint", metavar="PATH")
@@ -168,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--timeout", type=float, default=60.0,
                         help="seconds to wait for the rendezvous (default 60)")
     worker.add_argument("--quiet", action="store_true")
+
+    trace = sub.add_parser("trace", help="summarize a Perfetto trace written "
+                                         "by 'repro run --trace'")
+    trace.add_argument("file", metavar="PATH")
 
     return parser
 
@@ -227,6 +242,7 @@ def _report_result(result, cells: int) -> None:
               f"lr {last.learning_rate:.6f}")
     print(f"best cell: {result.best_cell_index()}")
     _report_transport_stats(result)
+    _report_telemetry(result)
 
 
 def _report_transport_stats(result) -> None:
@@ -245,10 +261,33 @@ def _report_transport_stats(result) -> None:
         print(f"  {record.summary()}")
 
 
+def _report_telemetry(result) -> None:
+    """Satellite one-liner for every backend: throughput, traffic, and the
+    train-vs-communication split from the merged telemetry view."""
+    merged = getattr(result, "telemetry", None)
+    if merged is None:
+        return
+    rate = (result.iterations_run / result.wall_time_s
+            if result.wall_time_s > 0 else 0.0)
+    train_s = merged.span_seconds("cell.train")
+    comm_s = merged.span_seconds("exchange.gather")
+    exchange_bytes = (merged.counter("exchange.bytes_sent")
+                      + merged.counter("mpi.bytes_sent"))
+    print(f"telemetry: {rate:.2f} iteration(s)/s, "
+          f"exchange {exchange_bytes / 1024:.1f} KiB, "
+          f"train {train_s:.2f}s vs comm {comm_s:.2f}s")
+
+
 def _cmd_run(args) -> int:
     from repro.api import JsonlMetrics
 
     experiment = _build_experiment(args).profile(args.profile)
+    level = args.telemetry
+    if level is None:
+        level = os.environ.get("REPRO_TELEMETRY", "basic")
+        if level not in ("off", "basic", "trace"):
+            level = "basic"
+    experiment.telemetry(level=level, trace_path=args.trace)
     if args.metrics_jsonl:
         experiment.callbacks(JsonlMetrics(args.metrics_jsonl))
     config = experiment.config
@@ -258,6 +297,13 @@ def _cmd_run(args) -> int:
 
     result = experiment.run()
     _report_result(result, cells)
+    if args.trace:
+        if result.telemetry is not None:
+            print(f"trace written to {args.trace} "
+                  f"(inspect with 'repro trace {args.trace}')")
+        else:
+            print(f"WARNING: no telemetry recorded; {args.trace} not written",
+                  file=sys.stderr)
     if args.profile and result.distributed is not None:
         from repro.profiling import format_table4, profile_rows
 
@@ -382,6 +428,25 @@ def _cmd_worker(args) -> int:
     )
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.telemetry import format_summary, summarize
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.file!r}: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        print(f"{args.file!r} is not a Chrome/Perfetto trace "
+              "(no 'traceEvents' key)", file=sys.stderr)
+        return 2
+    print(format_summary(summarize(trace)))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -392,13 +457,21 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "sample": _cmd_sample,
     "worker": _cmd_worker,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Reports are made to be piped (`repro trace ... | head`); a closed
+        # pipe is a normal way for the reader to stop, not an error.  Point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

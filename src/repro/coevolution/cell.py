@@ -56,6 +56,7 @@ from repro.nn.autograd import no_grad
 from repro.nn.losses import MUSTANGS_LOSSES
 from repro.nn.serialize import parameters_to_vector, vector_to_parameters
 from repro.profiling import NULL_TIMER, RoutineTimer
+from repro.telemetry import bus as telemetry
 
 __all__ = ["Cell", "CellReport", "NEIGHBORHOOD_SIZE"]
 
@@ -129,6 +130,8 @@ class Cell:
         self.mixture = MixtureWeights.uniform(neighborhood_size)
         self.iteration = 0
         self.reports: list[CellReport] = []
+        # Preallocated so the telemetry-off span() calls stay allocation-free.
+        self._span_attrs = {"cell": cell_index}
 
     # -- genome exchange -------------------------------------------------------
 
@@ -205,11 +208,13 @@ class Cell:
         """Run one coevolutionary iteration; returns the iteration report."""
         config = self.config
 
-        with timer.section("update_genomes"):
+        with timer.section("update_genomes"), \
+                telemetry.span("cell.update_genomes", attrs=self._span_attrs):
             self._update_subpopulations(neighbor_genomes)
 
         # Selection batch + fitness table.
-        with timer.section("train"):
+        with timer.section("train"), \
+                telemetry.span("cell.train", attrs=self._span_attrs):
             selection_batch = self._next_batch()
             table = evaluate_subpopulations(
                 self._sub_generators, self._sub_discriminators,
@@ -222,7 +227,8 @@ class Cell:
                 table.discriminator_fitness, self.rng, config.coevolution.tournament_size
             )
 
-        with timer.section("mutate"):
+        with timer.section("mutate"), \
+                telemetry.span("cell.mutate", attrs=self._span_attrs):
             mutated_lr = mutate_learning_rate(
                 self._sub_lr[g_idx], self.rng,
                 mutation_rate=config.mutation.mutation_rate,
@@ -237,7 +243,8 @@ class Cell:
                 self.mixture = offspring
 
         # Train the selected pair against randomly drawn opponents.
-        with timer.section("train"):
+        with timer.section("train"), \
+                telemetry.span("cell.train", attrs=self._span_attrs):
             generator = self._sub_generators[g_idx]
             discriminator = self._sub_discriminators[d_idx]
             pair = GANPair(generator, discriminator, self.loss,

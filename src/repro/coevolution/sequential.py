@@ -30,6 +30,7 @@ from repro.data.synthetic import load_synthetic_mnist
 from repro.data.transforms import to_tanh_range
 from repro.profiling import NULL_TIMER, RoutineTimer, TimerSnapshot
 from repro.runtime import pin_blas_threads
+from repro.telemetry import bus as telemetry
 
 __all__ = ["SequentialTrainer", "TrainingResult", "build_training_dataset"]
 
@@ -120,12 +121,16 @@ class SequentialTrainer:
         with_timing = timers is not None
         cell_timers = timers if timers is not None else [NULL_TIMER] * len(self.cells)
         snapshots: list[tuple[Genome, Genome]] = []
-        for cell, timer in zip(self.cells, cell_timers):
-            if with_timing:
-                with timer.section("gather"):
+        # One exchange span per iteration: the in-memory snapshot is this
+        # trainer's whole "gather" routine (the distributed backends record
+        # theirs per cell inside MpiCommManager).
+        with telemetry.span("exchange.gather"):
+            for cell, timer in zip(self.cells, cell_timers):
+                if with_timing:
+                    with timer.section("gather"):
+                        snapshots.append(cell.center_genomes())
+                else:
                     snapshots.append(cell.center_genomes())
-            else:
-                snapshots.append(cell.center_genomes())
         if on_exchange is not None:
             on_exchange(snapshots)
         reports: list[CellReport] = []

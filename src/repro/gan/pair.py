@@ -23,6 +23,7 @@ from repro.nn import kernels
 from repro.nn.autograd import no_grad
 from repro.nn.losses import GANLoss
 from repro.nn.optim import Optimizer
+from repro.telemetry import bus as telemetry
 
 __all__ = ["GANPair", "build_gan_pair"]
 
@@ -88,22 +89,23 @@ class GANPair:
         networks, custom stacks or losses — it falls back to autograd.
         """
         adversary = generator if generator is not None else self.generator
-        fused = kernels.fused_discriminator_step(
-            self.discriminator, adversary, self.loss, self.d_optimizer,
-            real_batch, rng)
-        if fused is not None:
-            return fused
-        n = real_batch.shape[0]
-        with no_grad():
-            z = Tensor(sample_latent(n, adversary.settings.latent_size, rng))
-            fake = adversary(z).detach()
-        real_logits = self.discriminator(Tensor(real_batch))
-        fake_logits = self.discriminator(fake)
-        loss = self.loss.discriminator_loss(real_logits, fake_logits)
-        self.d_optimizer.zero_grad()
-        loss.backward()
-        self.d_optimizer.step()
-        return loss.item()
+        with telemetry.span("train.d_step"):
+            fused = kernels.fused_discriminator_step(
+                self.discriminator, adversary, self.loss, self.d_optimizer,
+                real_batch, rng)
+            if fused is not None:
+                return fused
+            n = real_batch.shape[0]
+            with no_grad():
+                z = Tensor(sample_latent(n, adversary.settings.latent_size, rng))
+                fake = adversary(z).detach()
+            real_logits = self.discriminator(Tensor(real_batch))
+            fake_logits = self.discriminator(fake)
+            loss = self.loss.discriminator_loss(real_logits, fake_logits)
+            self.d_optimizer.zero_grad()
+            loss.backward()
+            self.d_optimizer.step()
+            return loss.item()
 
     def train_generator_step(self, batch_size: int, rng: np.random.Generator,
                              discriminator: Discriminator | None = None) -> float:
@@ -113,22 +115,23 @@ class GANPair:
         :meth:`train_discriminator_step`.
         """
         adversary = discriminator if discriminator is not None else self.discriminator
-        fused = kernels.fused_generator_step(
-            self.generator, adversary, self.loss, self.g_optimizer,
-            batch_size, rng)
-        if fused is not None:
-            return fused
-        z = Tensor(sample_latent(batch_size, self.generator.settings.latent_size, rng))
-        fake = self.generator(z)
-        fake_logits = adversary(fake)
-        loss = self.loss.generator_loss(fake_logits)
-        self.g_optimizer.zero_grad()
-        # The adversary's parameters also collect gradients here; clear them
-        # afterwards instead of before so the generator sees a fresh tape.
-        loss.backward()
-        self.g_optimizer.step()
-        adversary.zero_grad()
-        return loss.item()
+        with telemetry.span("train.g_step"):
+            fused = kernels.fused_generator_step(
+                self.generator, adversary, self.loss, self.g_optimizer,
+                batch_size, rng)
+            if fused is not None:
+                return fused
+            z = Tensor(sample_latent(batch_size, self.generator.settings.latent_size, rng))
+            fake = self.generator(z)
+            fake_logits = adversary(fake)
+            loss = self.loss.generator_loss(fake_logits)
+            self.g_optimizer.zero_grad()
+            # The adversary's parameters also collect gradients here; clear them
+            # afterwards instead of before so the generator sees a fresh tape.
+            loss.backward()
+            self.g_optimizer.step()
+            adversary.zero_grad()
+            return loss.item()
 
     # -- evaluation --------------------------------------------------------------
 

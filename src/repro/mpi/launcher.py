@@ -67,11 +67,17 @@ def run_mpi(size: int, fn: Callable[..., Any], args: Sequence[Any] = (),
     failures = {o.rank: o.error for o in outcomes if o.failed}
     if failures and not allow_failures:
         raise MpiWorkerError(failures)
+    ordered = sorted(outcomes, key=lambda o: o.rank)
     by_rank = RankResults([None] * size)
     by_rank.failures = failures
     by_rank.transport_stats = [
         outcome.stats if outcome.stats is not None else TransportStats(outcome.rank)
-        for outcome in sorted(outcomes, key=lambda o: o.rank)
+        for outcome in ordered
+    ]
+    # Telemetry snapshots ride the same path as the transport counters:
+    # one per rank (None for ranks that recorded nothing or died).
+    by_rank.telemetry = [
+        getattr(outcome, "telemetry", None) for outcome in ordered
     ]
     for outcome in outcomes:
         if not outcome.failed:
@@ -80,8 +86,10 @@ def run_mpi(size: int, fn: Callable[..., Any], args: Sequence[Any] = (),
 
 
 class RankResults(list):
-    """Per-rank results; ``failures`` maps failed ranks to tracebacks and
-    ``transport_stats`` carries each rank's message/byte counters."""
+    """Per-rank results; ``failures`` maps failed ranks to tracebacks,
+    ``transport_stats`` carries each rank's message/byte counters, and
+    ``telemetry`` the per-rank bus snapshots (``None`` when disabled)."""
 
     failures: dict[int, str]
     transport_stats: list[TransportStats]
+    telemetry: list[Any]

@@ -41,6 +41,7 @@ from repro.mpi import wire
 from repro.mpi.endpoint import SHUTDOWN
 from repro.mpi.errors import MpiError
 from repro.mpi.transport import Transport, WorkerOutcome, execute_rank
+from repro.telemetry import bus as telemetry
 
 __all__ = [
     "SocketTransport",
@@ -330,6 +331,12 @@ class SocketTransport(Transport):
             )
 
     def _rendezvous(self) -> None:
+        # Records how long the job sat waiting for workers to connect —
+        # usually the dominant "startup" cost of a multi-node run.
+        with telemetry.span("socket.rendezvous"):
+            self._rendezvous_loop()
+
+    def _rendezvous_loop(self) -> None:
         deadline = time.monotonic() + self.start_timeout
         pending = set(range(len(self.hosts)))
         lock = self._admit_lock
@@ -455,10 +462,12 @@ class SocketTransport(Transport):
                 # Last, so the rendezvous loop only completes once the
                 # connection is fully registered.
                 pending.discard(index)
+            telemetry.count("socket.workers_admitted")
         except Exception as exc:  # noqa: BLE001 - anything a stranger sends
             # The listener may sit on a routable address: one garbage or
             # hostile connection (non-JSON hello, wrong token, absurd
             # index) must reject that socket, never abort the job.
+            telemetry.count("socket.hello_rejected")
             print(f"[socket] rejected connection: {exc}", file=sys.stderr)
             sock.close()
         finally:

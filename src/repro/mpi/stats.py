@@ -16,7 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Iterable
 
-__all__ = ["TransportStats", "payload_nbytes", "merge_transport_stats"]
+from repro.telemetry import bus as telemetry
+
+__all__ = [
+    "TransportStats",
+    "payload_nbytes",
+    "merge_transport_stats",
+    "transport_stats_from_telemetry",
+]
 
 #: How deep :func:`payload_nbytes` walks nested containers/dataclasses.
 _MAX_DEPTH = 6
@@ -68,11 +75,22 @@ class TransportStats:
 
     def count_sent(self, payload: Any) -> None:
         self.messages_sent += 1
-        self.bytes_sent += payload_nbytes(payload)
+        nbytes = payload_nbytes(payload)
+        self.bytes_sent += nbytes
+        if telemetry.enabled():
+            # Absorbed into the bus: the same counts, rank-tagged, so the
+            # merged RunResult.telemetry carries transport traffic without
+            # a second accounting path.
+            telemetry.count("mpi.messages_sent", rank=self.rank)
+            telemetry.count("mpi.bytes_sent", nbytes, rank=self.rank)
 
     def count_received(self, payload: Any) -> None:
         self.messages_received += 1
-        self.bytes_received += payload_nbytes(payload)
+        nbytes = payload_nbytes(payload)
+        self.bytes_received += nbytes
+        if telemetry.enabled():
+            telemetry.count("mpi.messages_received", rank=self.rank)
+            telemetry.count("mpi.bytes_received", nbytes, rank=self.rank)
 
     def summary(self) -> str:
         """One line for CLI/log output."""
@@ -91,6 +109,24 @@ def merge_transport_stats(stats: Iterable[TransportStats]) -> TransportStats:
         total.bytes_sent += record.bytes_sent
         total.bytes_received += record.bytes_received
     return total
+
+
+def transport_stats_from_telemetry(
+    snapshot: "telemetry.TelemetrySnapshot",
+) -> TransportStats:
+    """Thin adapter: rebuild a :class:`TransportStats` view from the bus.
+
+    The bus is the primary record when telemetry is enabled; this keeps the
+    old reduction/reporting code paths working off a telemetry snapshot.
+    """
+    counters = snapshot.counters
+    return TransportStats(
+        rank=-1 if snapshot.rank is None else snapshot.rank,
+        messages_sent=int(counters.get("mpi.messages_sent", 0)),
+        messages_received=int(counters.get("mpi.messages_received", 0)),
+        bytes_sent=int(counters.get("mpi.bytes_sent", 0)),
+        bytes_received=int(counters.get("mpi.bytes_received", 0)),
+    )
 
 
 def _format_bytes(n: int) -> str:

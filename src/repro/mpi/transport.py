@@ -39,6 +39,7 @@ from repro.mpi.comm import Comm
 from repro.mpi.constants import WORLD_CONTEXT
 from repro.mpi.endpoint import SHUTDOWN, Endpoint
 from repro.mpi.stats import TransportStats
+from repro.telemetry import bus as telemetry
 
 __all__ = [
     "Transport",
@@ -54,16 +55,18 @@ __all__ = [
 
 class WorkerOutcome:
     """What a rank produced: a return value or a formatted traceback, plus
-    the rank's transport counters."""
+    the rank's transport counters and (when enabled) telemetry snapshot."""
 
-    __slots__ = ("rank", "value", "error", "stats")
+    __slots__ = ("rank", "value", "error", "stats", "telemetry")
 
     def __init__(self, rank: int, value: Any = None, error: str | None = None,
-                 stats: TransportStats | None = None):
+                 stats: TransportStats | None = None,
+                 telemetry: "telemetry.TelemetrySnapshot | None" = None):
         self.rank = rank
         self.value = value
         self.error = error
         self.stats = stats
+        self.telemetry = telemetry
 
     @property
     def failed(self) -> bool:
@@ -80,15 +83,29 @@ def execute_rank(rank: int, size: int, inbox, peers: dict[int, Callable[[Any], N
     together with the endpoint's transport counters.
     """
     stats = TransportStats(rank)
+    # Attribute this rank's telemetry (spans from the per-rank program,
+    # counters from the endpoint) to its own buffer; the snapshot rides
+    # back inside the outcome so the launcher merges all ranks time-aligned.
+    telemetry.bind_rank(rank)
     endpoint = Endpoint(rank, inbox, peers, puts_block=puts_block, stats=stats)
     try:
         world = Comm(endpoint, WORLD_CONTEXT, range(size))
         value = fn(world, *args)
-        return WorkerOutcome(rank, value=value, stats=stats)
+        return WorkerOutcome(rank, value=value, stats=stats,
+                             telemetry=_rank_snapshot(rank))
     except BaseException:
-        return WorkerOutcome(rank, error=traceback.format_exc(), stats=stats)
+        return WorkerOutcome(rank, error=traceback.format_exc(), stats=stats,
+                             telemetry=_rank_snapshot(rank))
     finally:
         endpoint.close()
+        telemetry.unbind_rank()
+
+
+def _rank_snapshot(rank: int) -> "telemetry.TelemetrySnapshot | None":
+    if not telemetry.enabled():
+        return None
+    snap = telemetry.snapshot(rank)
+    return None if snap.empty else snap
 
 
 class Transport(abc.ABC):

@@ -70,6 +70,7 @@ from repro.nn.modules import (
     Sigmoid,
     Tanh,
 )
+from repro.telemetry import bus as telemetry
 
 __all__ = [
     "FusedStepKernel",
@@ -336,6 +337,7 @@ class FusedStepKernel:
         the batch size — those layers run per branch (a ~k-multiply-per-row
         triviality) to stay bit-identical.
         """
+        telemetry.count("kernels.forward")
         n = x.shape[0]
         if ws is None:
             ws = self.workspace(n)
@@ -381,6 +383,7 @@ class FusedStepKernel:
         dL/d input in ``ws.x_stack`` (overwritten by this workspace's next
         use).
         """
+        telemetry.count("kernels.backward")
         if branches is None:
             branches = (slice(None),)
         g = grad_out

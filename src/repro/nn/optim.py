@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.nn.arena import ParameterArena
 from repro.nn.autograd import Tensor
+from repro.telemetry import bus as telemetry
 
 __all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "optimizer_by_name"]
 
@@ -82,6 +83,7 @@ class Optimizer:
         if self.arena is None:
             self.step()
             return
+        telemetry.count("optim.steps")
         scalars = self._prepare_update()
         size = self.arena.size
         block = block or self.BLOCK_ELEMS
@@ -163,6 +165,7 @@ class SGD(Optimizer):
         data -= s
 
     def step(self) -> None:
+        telemetry.count("optim.steps")
         if self.arena is not None:
             self._span_update(0, self.arena.size, self._prepare_update())
             return
@@ -247,6 +250,7 @@ class Adam(Optimizer):
         data -= s2
 
     def step(self) -> None:
+        telemetry.count("optim.steps")
         if self.arena is not None:
             self._span_update(0, self.arena.size, self._prepare_update())
             return
@@ -325,6 +329,7 @@ class RMSprop(Optimizer):
         data -= s2
 
     def step(self) -> None:
+        telemetry.count("optim.steps")
         if self.arena is not None:
             self._span_update(0, self.arena.size, self._prepare_update())
             return

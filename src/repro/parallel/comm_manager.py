@@ -20,9 +20,11 @@ import threading
 from typing import Any, Callable
 
 from repro.mpi import ANY_SOURCE, Comm, MpiTimeoutError, Status
+from repro.mpi.stats import payload_nbytes
 from repro.parallel.grid import Grid
 from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply, Tags
 from repro.profiling import NULL_TIMER, RoutineTimer
+from repro.telemetry import bus as telemetry
 
 __all__ = ["CommManager", "MpiCommManager", "ExchangeAborted", "EXCHANGE_MODES"]
 
@@ -222,15 +224,24 @@ class MpiCommManager(CommManager):
         accounting when cells drift by one iteration."""
         return int(Tags.EXCHANGE) * 1000 + iteration
 
+    def _count_exchange(self, payload: ExchangePayload, sends: int) -> None:
+        """Mirror one exchange round into the bus (enabled-path only)."""
+        if sends and telemetry.enabled():
+            telemetry.count("exchange.genomes_sent", sends)
+            telemetry.count("exchange.bytes_sent",
+                            sends * payload_nbytes(payload))
+
     def _exchange_neighbors(self, grid: Grid, cell_index: int, payload: ExchangePayload,
                             timer: RoutineTimer, abort_event: threading.Event | None,
                             ) -> dict[int, ExchangePayload]:
         assert self.local is not None
         tag = self._exchange_tag(payload.iteration)
-        with timer.section("gather"):
+        with timer.section("gather"), telemetry.span("exchange.gather"):
             # Send my center along every *incoming* edge (cells that list me
             # as neighbor), then receive one message per outgoing edge.
-            for consumer in grid.incoming_neighbors(cell_index):
+            consumers = grid.incoming_neighbors(cell_index)
+            self._count_exchange(payload, len(consumers))
+            for consumer in consumers:
                 self.local.send(payload, dest=self._local_rank_of_cell(grid, consumer),
                                 tag=tag)
             needed = list(grid.neighbor_cells(cell_index))
@@ -252,7 +263,8 @@ class MpiCommManager(CommManager):
     def _exchange_allgather(self, grid: Grid, cell_index: int, payload: ExchangePayload,
                             timer: RoutineTimer) -> dict[int, ExchangePayload]:
         assert self.local is not None
-        with timer.section("gather"):
+        with timer.section("gather"), telemetry.span("exchange.gather"):
+            self._count_exchange(payload, 1)
             everything: list[ExchangePayload] = self.local.allgather(payload)
             wanted = set(grid.neighbor_cells(cell_index))
             return {p.cell_index: p for p in everything if p.cell_index in wanted}
@@ -262,8 +274,10 @@ class MpiCommManager(CommManager):
         from repro.mpi import ANY_TAG  # LOCAL carries only exchange traffic
 
         assert self.local is not None
-        with timer.section("gather"):
-            for consumer in grid.incoming_neighbors(cell_index):
+        with timer.section("gather"), telemetry.span("exchange.gather"):
+            consumers = grid.incoming_neighbors(cell_index)
+            self._count_exchange(payload, len(consumers))
+            for consumer in consumers:
                 self.local.send(payload, dest=self._local_rank_of_cell(grid, consumer),
                                 tag=self._exchange_tag(payload.iteration))
             # Drain whatever is already here; never block.

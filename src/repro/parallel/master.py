@@ -23,6 +23,7 @@ from repro.parallel.grid import Grid
 from repro.parallel.heartbeat import HeartbeatMonitor
 from repro.parallel.messages import NodeInfo, RunTask, SlaveResult
 from repro.parallel.tracing import EventTrace
+from repro.telemetry import bus as telemetry
 
 __all__ = ["MasterProcess", "MasterOutcome"]
 
@@ -55,7 +56,8 @@ class MasterProcess:
                  trace: bool = False, fault_at: dict[int, int] | None = None,
                  fault_kill: bool = False,
                  heartbeat_interval_s: float | None = None,
-                 miss_limit: int = 8):
+                 miss_limit: int = 8,
+                 telemetry_level: str | None = None):
         self.comm = comm
         self.config = config
         self.platform = platform if platform is not None else cluster_uy()
@@ -71,11 +73,16 @@ class MasterProcess:
             else config.execution.heartbeat_interval_s
         )
         self.miss_limit = miss_limit
+        self.telemetry_level = telemetry_level
         self.trace = EventTrace(actor="master", enabled=trace)
 
     def run(self) -> MasterOutcome:
         comm = self.comm
         config = self.config
+        if self.telemetry_level is not None:
+            # The master rank itself may be a remote worker that never saw
+            # the launcher's environment; the level travels in its options.
+            telemetry.set_level(self.telemetry_level)
         start = time.perf_counter()
         rows, cols = config.coevolution.grid_rows, config.coevolution.grid_cols
         grid = Grid(rows, cols, first_slave_rank=1)
@@ -104,6 +111,7 @@ class MasterProcess:
 
         # (iv) Share the parameter configuration; launch the slaves.
         config_json = config.to_json()
+        slave_telemetry = telemetry.level_name() if telemetry.enabled() else None
         for rank in slave_ranks:
             cell_index = grid.cell_of_rank(rank)
             comm.send_run_task(rank, RunTask(
@@ -114,6 +122,7 @@ class MasterProcess:
                 exchange_mode=self.exchange_mode,
                 profile=self.profile,
                 trace=self.trace_enabled,
+                telemetry_level=slave_telemetry,
                 fault_at_iteration=self.fault_at.get(cell_index),
                 fault_kill=self.fault_kill,
             ))

@@ -59,6 +59,11 @@ class RunTask:
     exchange_mode: str = "neighbors"
     profile: bool = False
     trace: bool = False
+    telemetry_level: str | None = None
+    """Telemetry level the slave must adopt (``off``/``basic``/``trace``).
+    Shipped in-band because remote socket workers do not inherit the
+    master's ``REPRO_TELEMETRY`` environment; ``None`` leaves the worker's
+    own setting untouched."""
     fault_at_iteration: int | None = None
     """Raise inside the execution thread at this iteration (fault-injection tests)."""
     fault_kill: bool = False
@@ -88,6 +93,10 @@ class SlaveResult:
     reports: list[CellReport] = field(default_factory=list)
     timer: TimerSnapshot | None = None
     trace_events: list[Any] = field(default_factory=list)
+    telemetry: Any = None
+    """This rank's :class:`repro.telemetry.bus.TelemetrySnapshot` (or
+    ``None`` when telemetry is off) — the in-band fallback for workers
+    whose transport-level outcome does not reach the master process."""
     aborted: bool = False
 
 

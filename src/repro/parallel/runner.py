@@ -47,6 +47,7 @@ from repro.parallel.slave import SlaveProcess
 from repro.parallel.tracing import EventTrace
 from repro.profiling import TimerSnapshot, merge_snapshots
 from repro.runtime import pin_blas_threads
+from repro.telemetry import bus as telemetry
 
 __all__ = ["DistributedRunner", "DistributedResult"]
 
@@ -119,6 +120,9 @@ class DistributedResult:
     master_wall_time_s: float = 0.0
     transport_stats: list[TransportStats] = field(default_factory=list)
     """Per-rank message/byte counters, rank order (rank 0 is the master)."""
+    telemetry: Any = None
+    """Merged :class:`repro.telemetry.bus.MergedTelemetry` across every rank
+    plus the launcher (``None`` when telemetry was off for the run)."""
 
     @property
     def complete(self) -> bool:
@@ -296,6 +300,10 @@ class DistributedRunner:
             fault_kill=self.fault_kill,
             heartbeat_interval_s=self.heartbeat_interval_s,
             miss_limit=self.miss_limit,
+            # In-band propagation: the master rank (and through its RunTask
+            # every slave) adopts the launcher's level even when it runs in
+            # a remote worker without the launcher's environment.
+            telemetry_level=telemetry.level_name() if telemetry.enabled() else None,
         )
 
         start = time.perf_counter()
@@ -313,12 +321,14 @@ class DistributedRunner:
             raise MpiWorkerError(getattr(outcomes, "failures", {0: "master failed"}))
         wall = time.perf_counter() - start
         stats = list(getattr(outcomes, "transport_stats", []))
-        return self._reduce(master_outcome, wall, stats)
+        rank_telemetry = list(getattr(outcomes, "telemetry", []))
+        return self._reduce(master_outcome, wall, stats, rank_telemetry)
 
     # -- reduction phase -------------------------------------------------------------
 
     def _reduce(self, outcome: MasterOutcome, wall_time_s: float,
-                transport_stats: list[TransportStats] | None = None) -> DistributedResult:
+                transport_stats: list[TransportStats] | None = None,
+                rank_telemetry: list[Any] | None = None) -> DistributedResult:
         """The paper's reduction: merge per-slave results into one artifact."""
         cells = self.config.coevolution.cells
         genomes: list[tuple[Genome, Genome] | None] = [None] * cells
@@ -361,6 +371,20 @@ class DistributedRunner:
             wall_time_s=wall_time_s,
             timer_snapshots=timers,
         )
+        # Telemetry merge: prefer the transport-level per-rank snapshots,
+        # add the in-band SlaveResult copies (the fallback path) and the
+        # launcher's own buffer; merge_telemetry dedupes rank collisions
+        # keeping the richer snapshot.
+        snapshots = [s for s in (rank_telemetry or []) if s is not None]
+        for _cell, result in sorted(outcome.results.items()):
+            snap = getattr(result, "telemetry", None)
+            if snap is not None:
+                snapshots.append(snap)
+        if telemetry.enabled():
+            launcher_snap = telemetry.snapshot(None)
+            if not launcher_snap.empty:
+                snapshots.append(launcher_snap)
+        merged = telemetry.merge_telemetry(snapshots) if snapshots else None
         return DistributedResult(
             training=training,
             outcome_placement=outcome.placement,
@@ -369,4 +393,5 @@ class DistributedRunner:
             slave_timers=timers,
             master_wall_time_s=outcome.wall_time_s,
             transport_stats=list(transport_stats or []),
+            telemetry=merged,
         )

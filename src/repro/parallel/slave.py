@@ -37,6 +37,7 @@ from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveRes
 from repro.parallel.states import SlaveStateMachine
 from repro.parallel.tracing import EventTrace
 from repro.profiling import NULL_TIMER, RoutineTimer
+from repro.telemetry import bus as telemetry
 
 __all__ = ["SlaveProcess", "InjectedFault"]
 
@@ -70,6 +71,10 @@ class SlaveProcess:
         # 2. Wait for the workload (state: inactive).
         task = comm.wait_for_run_task()
         self.trace.enabled = task.trace
+        if task.telemetry_level is not None:
+            # In-band level propagation: remote socket workers never saw
+            # the master's REPRO_TELEMETRY environment.
+            telemetry.set_level(task.telemetry_level)
         self.trace.record("run task received", f"cell {task.cell_index}")
         self.machine.start_processing()
         # 3. Join the LOCAL/GLOBAL communication contexts (collective).
@@ -127,6 +132,9 @@ class SlaveProcess:
 
     def _execution_main(self, task: RunTask, config: ExperimentConfig, grid: Grid,
                         timer: RoutineTimer, result_box: dict) -> None:
+        # The execution thread is not the rank's endpoint thread, so it
+        # must bind itself for its spans to land in this rank's buffer.
+        telemetry.bind_rank(self.comm.rank)
         try:
             result = self._train(task, config, grid, timer)
         except ExchangeAborted as exc:
@@ -207,6 +215,8 @@ class SlaveProcess:
             reports=cell.reports,
             timer=timer.snapshot() if timer is not NULL_TIMER else None,
             trace_events=list(self.trace.events),
+            telemetry=(telemetry.snapshot(self.comm.rank)
+                       if telemetry.enabled() else None),
         )
 
     def _partial_result(self, task: RunTask, timer: RoutineTimer, *,

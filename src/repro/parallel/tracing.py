@@ -9,6 +9,14 @@ prints that merged trace, which follows the paper's flow diagram:
     master: send run task                  slave: assemble execution grid
     ...                                    slave: train one iteration
                                            slave: get results from neighbours
+
+Clock discipline: every event carries a ``time.monotonic()`` stamp, and each
+actor records **one** wall-clock anchor (a back-to-back wall/monotonic pair
+taken at its first event).  Merging aligns events as
+``anchor_wall + (mono - anchor_mono)``, so an NTP step or wall-clock skew
+mid-run cannot reorder an actor's events — only the single anchor sample
+contributes wall-clock error, and within-actor ordering is strictly
+monotone.  Legacy events (``mono == 0``) fall back to their raw wall stamp.
 """
 
 from __future__ import annotations
@@ -27,10 +35,13 @@ class TraceEvent:
     actor: str
     event: str
     detail: str = ""
+    mono: float = 0.0
+    """``time.monotonic()`` at capture; 0.0 marks a legacy wall-only event."""
 
-    def format(self, t0: float = 0.0) -> str:
+    def format(self, t0: float = 0.0, at: float | None = None) -> str:
+        shown = self.at if at is None else at
         suffix = f" ({self.detail})" if self.detail else ""
-        return f"[{self.at - t0:9.4f}s] {self.actor:<10} {self.event}{suffix}"
+        return f"[{shown - t0:9.4f}s] {self.actor:<10} {self.event}{suffix}"
 
 
 @dataclass
@@ -40,23 +51,56 @@ class EventTrace:
     actor: str
     events: list[TraceEvent] = field(default_factory=list)
     enabled: bool = True
+    anchor_wall: float = 0.0
+    """Wall clock at this actor's first event (the per-actor anchor)."""
+    anchor_mono: float = 0.0
+    """Monotonic clock read back-to-back with :attr:`anchor_wall`."""
+
+    def __post_init__(self) -> None:
+        # A trace rebuilt from a shipped event list (SlaveResult) lost its
+        # anchor fields — but the first event's wall/mono pair *is* the
+        # anchor taken back-to-back at first record, so recover it.
+        # getattr: legacy pickles (and test sentinels) predate the mono field.
+        if (self.anchor_mono == 0.0 and self.events
+                and getattr(self.events[0], "mono", 0.0)):
+            self.anchor_wall = self.events[0].at
+            self.anchor_mono = self.events[0].mono
 
     def record(self, event: str, detail: str = "") -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(time.time(), self.actor, event, detail))
+        if not self.enabled:
+            return
+        mono = time.monotonic()
+        wall = time.time()
+        if self.anchor_mono == 0.0:
+            self.anchor_wall, self.anchor_mono = wall, mono
+        self.events.append(TraceEvent(wall, self.actor, event, detail, mono))
+
+    def aligned_at(self, event: TraceEvent) -> float:
+        """The event's time on the merged wall-clock axis.
+
+        Monotonic delta from this actor's single anchor; raw wall stamp
+        for legacy events recorded before the anchor discipline existed.
+        """
+        if getattr(event, "mono", 0.0) and self.anchor_mono:
+            return self.anchor_wall + (event.mono - self.anchor_mono)
+        return event.at
+
+    @staticmethod
+    def _aligned(traces: list["EventTrace"]) -> list[tuple[float, TraceEvent]]:
+        pairs = [(trace.aligned_at(event), event)
+                 for trace in traces for event in trace.events]
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
 
     @staticmethod
     def merged(traces: list["EventTrace"]) -> list[TraceEvent]:
-        """All events of all actors in global time order."""
-        events: list[TraceEvent] = []
-        for trace in traces:
-            events.extend(trace.events)
-        return sorted(events, key=lambda e: e.at)
+        """All events of all actors in global (skew-aligned) time order."""
+        return [event for _at, event in EventTrace._aligned(traces)]
 
     @staticmethod
     def format_merged(traces: list["EventTrace"]) -> str:
-        events = EventTrace.merged(traces)
-        if not events:
+        pairs = EventTrace._aligned(traces)
+        if not pairs:
             return "(empty trace)"
-        t0 = events[0].at
-        return "\n".join(event.format(t0) for event in events)
+        t0 = pairs[0][0]
+        return "\n".join(event.format(t0, at) for at, event in pairs)

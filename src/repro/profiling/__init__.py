@@ -9,7 +9,13 @@ times; :mod:`repro.profiling.report` formats them into the paper's table
 and bar-chart series.
 """
 
-from repro.profiling.timer import NULL_TIMER, RoutineTimer, TimerSnapshot, merge_snapshots
+from repro.profiling.timer import (
+    NULL_TIMER,
+    RoutineTimer,
+    TimerSnapshot,
+    merge_snapshots,
+    snapshot_from_telemetry,
+)
 from repro.profiling.report import ProfileRow, profile_rows, format_table4, format_fig4_series
 
 __all__ = [
@@ -17,6 +23,7 @@ __all__ = [
     "TimerSnapshot",
     "NULL_TIMER",
     "merge_snapshots",
+    "snapshot_from_telemetry",
     "ProfileRow",
     "profile_rows",
     "format_table4",

@@ -18,10 +18,25 @@ import contextlib
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["RoutineTimer", "TimerSnapshot", "NULL_TIMER", "merge_snapshots"]
+__all__ = [
+    "RoutineTimer",
+    "TimerSnapshot",
+    "NULL_TIMER",
+    "merge_snapshots",
+    "snapshot_from_telemetry",
+]
 
 #: The paper's four profiled routines, in Table IV order.
 PAPER_ROUTINES = ("gather", "train", "update_genomes", "mutate")
+
+#: Telemetry span name -> Table IV routine (the bus records at span
+#: granularity; this projects back into the paper's vocabulary).
+_SPAN_ROUTINES = {
+    "exchange.gather": "gather",
+    "cell.train": "train",
+    "cell.update_genomes": "update_genomes",
+    "cell.mutate": "mutate",
+}
 
 
 @dataclass
@@ -115,3 +130,22 @@ def merge_snapshots(snapshots: list[TimerSnapshot], *, parallel: bool = False) -
         for name, count in snap.counts.items():
             merged.counts[name] = merged.counts.get(name, 0) + count
     return merged
+
+
+def snapshot_from_telemetry(snapshot) -> TimerSnapshot:
+    """Thin adapter: a Table IV :class:`TimerSnapshot` from a bus snapshot.
+
+    Takes a :class:`repro.telemetry.bus.TelemetrySnapshot` and projects its
+    span totals into the paper's routine vocabulary, so Table IV rendering
+    (:func:`repro.profiling.table.profile_rows`) works off the unified bus
+    exactly as it does off a :class:`RoutineTimer`.
+    """
+    result = TimerSnapshot()
+    for span_name, seconds in snapshot.span_totals.items():
+        routine = _SPAN_ROUTINES.get(span_name)
+        if routine is None:
+            continue
+        result.totals[routine] = result.totals.get(routine, 0.0) + seconds
+        result.counts[routine] = (result.counts.get(routine, 0)
+                                  + snapshot.span_counts.get(span_name, 0))
+    return result

@@ -27,6 +27,7 @@ import numpy as np
 from repro.serving.api import SampleRequest, ServerClosedError, ServerOverloadedError
 from repro.serving.compute import assemble, build_plan, forward_rows
 from repro.serving.registry import ServableEnsemble
+from repro.telemetry import bus as telemetry
 
 __all__ = ["BatchingEngine", "EngineStats"]
 
@@ -187,6 +188,8 @@ class BatchingEngine:
                     f"request queue full ({self.max_pending} pending)"
                 ) from None
             self._stats.submitted += 1
+        if telemetry.enabled():
+            telemetry.gauge("serving.queue_depth", self._queue.qsize())
         return job.future
 
     @property
@@ -241,12 +244,19 @@ class BatchingEngine:
             self._stats.largest_batch_requests = max(
                 self._stats.largest_batch_requests, len(jobs)
             )
+        if telemetry.enabled():
+            telemetry.count("serving.batches")
+            telemetry.count("serving.batch_requests", len(jobs))
+            telemetry.gauge("serving.batch_size",
+                            sum(job.request.n for job in jobs))
+            telemetry.gauge("serving.queue_depth", self._queue.qsize())
         # Requests against different ensemble objects cannot share a matmul.
         groups: dict[int, list[_Job]] = {}
         for job in jobs:
             groups.setdefault(id(job.ensemble), []).append(job)
-        for group in groups.values():
-            self._execute_group(group)
+        with telemetry.span("serving.batch"):
+            for group in groups.values():
+                self._execute_group(group)
 
     def _execute_group(self, jobs: list[_Job]) -> None:
         ensemble = jobs[0].ensemble

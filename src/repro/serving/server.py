@@ -41,6 +41,7 @@ from repro.serving.api import (
 from repro.serving.cache import LRUSampleCache, SamplePool
 from repro.serving.engine import BatchingEngine
 from repro.serving.registry import ModelRegistry, ServableEnsemble
+from repro.telemetry import bus as telemetry
 
 __all__ = ["GeneratorServer"]
 
@@ -264,6 +265,9 @@ class GeneratorServer:
             # Per-path serve time in the paper's profiling vocabulary
             # (repro.profiling.timer); see :meth:`profile`.
             self._timer.add(cached or "engine", latency)
+        if telemetry.enabled():
+            telemetry.count("serving.requests")
+            telemetry.count("serving.samples", images.shape[0])
         return SampleResponse(images=images, version=request.version,
                               cached=cached, latency_s=latency)
 

@@ -1,0 +1,160 @@
+"""Trace analysis for ``repro trace <file>``: totals, overlap, slow cells.
+
+Operates on the Perfetto trace-event dict produced by
+:func:`repro.telemetry.export.to_perfetto` (or loaded back from a
+``trace.json``), so the CLI can summarize any previously captured run
+without the live :class:`MergedTelemetry` object.
+
+The headline numbers mirror the paper's evaluation: per-routine totals in
+Table IV's vocabulary (gather/train/update_genomes/mutate), plus the
+communication/computation overlap percentage that motivates asynchronous
+exchange — the fraction of exchange time during which some *other* rank was
+training (overlapped communication is free; non-overlapped is the
+synchronization cost ParaGAN-style analyses chase).
+"""
+
+from __future__ import annotations
+
+from repro.profiling.timer import PAPER_ROUTINES
+
+__all__ = ["summarize", "format_summary"]
+
+#: Span name -> paper routine (Table IV vocabulary).
+SPAN_TO_ROUTINE = {
+    "cell.train": "train",
+    "train.d_step": None,       # sub-span of cell.train; not double-counted
+    "train.g_step": None,
+    "exchange.gather": "gather",
+    "cell.update_genomes": "update_genomes",
+    "cell.mutate": "mutate",
+}
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping intervals into a disjoint, sorted union."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _intersection_length(interval: tuple[float, float],
+                         union: list[tuple[float, float]]) -> float:
+    lo, hi = interval
+    covered = 0.0
+    for start, end in union:
+        if end <= lo:
+            continue
+        if start >= hi:
+            break
+        covered += min(hi, end) - max(lo, start)
+    return covered
+
+
+def summarize(trace: dict) -> dict:
+    """Digest a Perfetto trace dict into the ``repro trace`` report.
+
+    Returns a plain dict: ``routines`` (name -> {seconds, calls}),
+    ``spans`` (every span name -> {seconds, calls}), ``ranks`` (pid ->
+    process name), ``wall_s`` (extent of the timeline),
+    ``exchange_s``/``overlap_s``/``overlap_pct`` (comm/compute overlap),
+    and ``slowest_cells`` (list of {cell, seconds, calls}, worst first).
+    """
+    events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    names = {}
+    for meta in trace.get("traceEvents", []):
+        if meta.get("ph") == "M" and meta.get("name") == "process_name":
+            names[meta["pid"]] = meta.get("args", {}).get("name", str(meta["pid"]))
+
+    spans: dict[str, dict] = {}
+    routines = {routine: {"seconds": 0.0, "calls": 0} for routine in PAPER_ROUTINES}
+    cells: dict[object, dict] = {}
+    train_by_pid: dict[int, list[tuple[float, float]]] = {}
+    exchange: list[tuple[int, float, float]] = []
+    lo, hi = float("inf"), float("-inf")
+
+    for event in events:
+        seconds = event.get("dur", 0.0) / 1e6
+        start = event.get("ts", 0.0) / 1e6
+        end = start + seconds
+        lo, hi = min(lo, start), max(hi, end)
+        name = event.get("name", "?")
+        entry = spans.setdefault(name, {"seconds": 0.0, "calls": 0})
+        entry["seconds"] += seconds
+        entry["calls"] += 1
+        routine = SPAN_TO_ROUTINE.get(name, None)
+        if routine in routines:
+            routines[routine]["seconds"] += seconds
+            routines[routine]["calls"] += 1
+        pid = event.get("pid", 0)
+        if name == "cell.train":
+            train_by_pid.setdefault(pid, []).append((start, end))
+            cell = (event.get("args") or {}).get("cell")
+            if cell is not None:
+                slot = cells.setdefault(cell, {"cell": cell, "seconds": 0.0,
+                                               "calls": 0})
+                slot["seconds"] += seconds
+                slot["calls"] += 1
+        elif name.startswith("exchange."):
+            exchange.append((pid, start, end))
+
+    # Overlap: exchange time on one rank covered by *other* ranks' training.
+    exchange_s = sum(end - start for _, start, end in exchange)
+    overlap_s = 0.0
+    for pid, start, end in exchange:
+        others = _union([iv for other, ivs in train_by_pid.items()
+                         if other != pid for iv in ivs])
+        overlap_s += _intersection_length((start, end), others)
+
+    return {
+        "events": len(events),
+        "ranks": {pid: names.get(pid, str(pid))
+                  for pid in sorted({e.get("pid", 0) for e in events})},
+        "wall_s": (hi - lo) if events else 0.0,
+        "spans": spans,
+        "routines": routines,
+        "exchange_s": exchange_s,
+        "overlap_s": overlap_s,
+        "overlap_pct": (100.0 * overlap_s / exchange_s) if exchange_s else 0.0,
+        "slowest_cells": sorted(cells.values(),
+                                key=lambda c: -c["seconds"])[:8],
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Human-readable report for the ``repro trace`` subcommand."""
+    lines = [
+        f"events: {summary['events']}  "
+        f"ranks: {len(summary['ranks'])}  "
+        f"wall: {summary['wall_s']:.3f}s",
+        "",
+        "per-routine totals (Table IV vocabulary):",
+    ]
+    for routine in PAPER_ROUTINES:
+        entry = summary["routines"][routine]
+        lines.append(f"  {routine:<16} {entry['seconds']:>10.3f}s"
+                     f"  x{entry['calls']}")
+    other = sorted(
+        (name, entry) for name, entry in summary["spans"].items()
+        if SPAN_TO_ROUTINE.get(name, "other") not in PAPER_ROUTINES
+    )
+    if other:
+        lines.append("other spans:")
+        for name, entry in other:
+            lines.append(f"  {name:<24} {entry['seconds']:>10.3f}s"
+                         f"  x{entry['calls']}")
+    lines += [
+        "",
+        f"comm/compute overlap: {summary['overlap_s']:.3f}s of "
+        f"{summary['exchange_s']:.3f}s exchange time "
+        f"({summary['overlap_pct']:.1f}%) hidden behind other ranks' training",
+    ]
+    if summary["slowest_cells"]:
+        lines.append("slowest cells (train time):")
+        for slot in summary["slowest_cells"]:
+            lines.append(f"  cell {slot['cell']:<4} {slot['seconds']:>10.3f}s"
+                         f"  x{slot['calls']}")
+    return "\n".join(lines)

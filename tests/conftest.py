@@ -27,6 +27,30 @@ def rng():
     return np.random.default_rng(0)
 
 
+@pytest.fixture()
+def telemetry_bus():
+    """The telemetry bus with guaranteed clean-up.
+
+    The bus is module-global state (level flag + per-rank buffers + the
+    ``REPRO_TELEMETRY`` env mirror), so every test touching it must restore
+    the off/empty default or it would leak spans into unrelated tests.
+    """
+    from repro.telemetry import bus
+
+    prior_env = os.environ.get("REPRO_TELEMETRY")
+    bus.reset()
+    try:
+        yield bus
+    finally:
+        bus.set_level("off")
+        bus.reset()
+        bus.unbind_rank()
+        if prior_env is None:
+            os.environ.pop("REPRO_TELEMETRY", None)
+        else:
+            os.environ["REPRO_TELEMETRY"] = prior_env
+
+
 @pytest.fixture(scope="session")
 def cache_dir(tmp_path_factory):
     path = tmp_path_factory.mktemp("repro-cache")

@@ -1,0 +1,96 @@
+"""Regression tests for the Fig. 3 trace clock discipline.
+
+Events carry monotonic stamps plus one wall anchor per actor; merging must
+order by the aligned monotonic axis, so a wall-clock step (NTP adjustment)
+mid-run cannot reorder a trace.
+"""
+
+from repro.parallel.tracing import EventTrace, TraceEvent
+
+
+def _skewed_actor(actor, anchor_wall, anchor_mono, steps, wall_times):
+    """An actor whose wall clock reads ``wall_times`` (possibly stepped) but
+    whose monotonic clock ticked ``steps`` after the anchor."""
+    trace = EventTrace(actor=actor)
+    trace.anchor_wall, trace.anchor_mono = anchor_wall, anchor_mono
+    for step, wall in zip(steps, wall_times):
+        trace.events.append(
+            TraceEvent(wall, actor, f"e@{step}", mono=anchor_mono + step))
+    return trace
+
+
+class TestTwoSkewedActors:
+    def test_merge_follows_monotonic_time_not_raw_wall_stamps(self):
+        # Both actors anchor at wall=1000.  The master records at mono
+        # offsets 0/2/4; the slave at 1/3/5.  Midway through, the slave's
+        # wall clock is stepped back 100s by NTP — its raw stamps would
+        # interleave its own events out of order and far in the past.
+        master = _skewed_actor("master", 1000.0, 50.0,
+                               steps=[0.0, 2.0, 4.0],
+                               wall_times=[1000.0, 1002.0, 1004.0])
+        slave = _skewed_actor("slave", 1000.0, 9000.0,
+                              steps=[1.0, 3.0, 5.0],
+                              wall_times=[1001.0, 903.0, 905.0])
+        merged = EventTrace.merged([master, slave])
+        assert [e.actor for e in merged] == [
+            "master", "slave", "master", "slave", "master", "slave"]
+
+    def test_constant_skew_between_monotonic_clocks_is_invisible(self):
+        # Two hosts whose monotonic clocks differ by hours (different boot
+        # times) but which anchored at the same wall instant: alignment
+        # must land their events on one shared axis.
+        a = _skewed_actor("a", 500.0, 10.0, steps=[0.0, 0.2], wall_times=[500.0, 500.2])
+        b = _skewed_actor("b", 500.0, 70000.0, steps=[0.1, 0.3], wall_times=[500.1, 500.3])
+        merged = EventTrace.merged([a, b])
+        assert [e.actor for e in merged] == ["a", "b", "a", "b"]
+
+    def test_format_merged_uses_aligned_times(self):
+        slave = _skewed_actor("slave", 1000.0, 9000.0,
+                              steps=[0.0, 1.0], wall_times=[1000.0, 901.0])
+        report = EventTrace.format_merged([slave])
+        first, second = report.splitlines()
+        assert first.startswith("[   0.0000s]")
+        assert second.startswith("[   1.0000s]")  # not -99s
+
+
+class TestAnchorDiscipline:
+    def test_record_captures_anchor_on_first_event(self):
+        trace = EventTrace(actor="x")
+        assert trace.anchor_mono == 0.0
+        trace.record("first")
+        assert trace.anchor_mono > 0.0
+        assert trace.anchor_wall == trace.events[0].at
+        assert trace.anchor_mono == trace.events[0].mono
+
+    def test_anchor_recovered_from_shipped_event_list(self):
+        # SlaveResult ships bare event lists; the rebuilt trace loses its
+        # anchor fields, but the first event's wall/mono pair *is* the
+        # anchor, so __post_init__ recovers it.
+        original = EventTrace(actor="slave")
+        original.record("a")
+        original.record("b")
+        rebuilt = EventTrace(actor="slave", events=list(original.events))
+        assert rebuilt.anchor_wall == original.anchor_wall
+        assert rebuilt.anchor_mono == original.anchor_mono
+
+    def test_legacy_wall_only_events_fall_back_to_raw_stamp(self):
+        trace = EventTrace(actor="old",
+                           events=[TraceEvent(123.0, "old", "legacy")])
+        assert trace.anchor_mono == 0.0  # nothing to recover
+        assert trace.aligned_at(trace.events[0]) == 123.0
+
+    def test_disabled_trace_records_nothing(self):
+        trace = EventTrace(actor="x", enabled=False)
+        trace.record("ignored")
+        assert trace.events == []
+        assert trace.anchor_mono == 0.0
+
+    def test_events_are_picklable_with_mono_field(self):
+        import pickle
+
+        trace = EventTrace(actor="x")
+        trace.record("a", "detail")
+        clone = pickle.loads(pickle.dumps(trace.events))
+        rebuilt = EventTrace(actor="x", events=clone)
+        assert rebuilt.anchor_mono == trace.anchor_mono
+        assert rebuilt.events[0].detail == "detail"
