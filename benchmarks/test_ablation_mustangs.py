@@ -12,7 +12,6 @@ import dataclasses
 import pytest
 
 from repro.coevolution import SequentialTrainer
-from repro.coevolution.cell import Cell
 from repro.coevolution.sequential import build_training_dataset
 from repro.experiments.workloads import bench_config
 

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.coevolution.cell import Cell
-from repro.coevolution.genome import Genome
 from repro.coevolution.sequential import build_training_dataset
 from repro.experiments.workloads import bench_config
 

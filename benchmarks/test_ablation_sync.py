@@ -7,7 +7,6 @@ synchronous one beyond noise (it removes the wait), at the cost of training
 on possibly stale genomes.
 """
 
-import dataclasses
 
 import pytest
 

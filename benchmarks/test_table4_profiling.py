@@ -12,7 +12,6 @@ import json
 
 import pytest
 from repro.experiments import table4
-from repro.profiling import format_table4
 
 from benchmarks.conftest import save_artifact
 

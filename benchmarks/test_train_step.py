@@ -177,7 +177,7 @@ def _bench_cell_phase(settings: NetworkSettings, batch: int) -> dict:
     }
 
 
-def _bench_telemetry(settings: NetworkSettings = NetworkSettings(),
+def _bench_telemetry(settings: NetworkSettings | None = None,
                      batch: int = 100) -> dict:
     """Telemetry cost on the fused train step, per bus level.
 
@@ -201,6 +201,7 @@ def _bench_telemetry(settings: NetworkSettings = NetworkSettings(),
     """
     from repro.telemetry import bus
 
+    settings = settings or NetworkSettings()
     real = np.random.default_rng(7).standard_normal((batch, settings.output_neurons))
     arms = (("baseline", "off"), ("off", "off"),
             ("basic", "basic"), ("trace", "trace"))

@@ -60,6 +60,13 @@ The pre-facade entry points (:class:`SequentialTrainer`,
 direct construction is deprecated in favor of :class:`Experiment`.
 """
 
+# The runtime concurrency checker must patch the threading factories before
+# any repro module creates a lock, so this runs first (no-op unless
+# REPRO_LOCKCHECK is set — policy in repro.runtime).
+from repro.analysis import lockcheck as _lockcheck
+
+_lockcheck.install_if_enabled()
+
 from repro.api import Experiment, RunResult
 from repro.config import ExperimentConfig, default_config, paper_table1_config
 from repro.coevolution import SequentialTrainer, TrainingResult

@@ -1,0 +1,229 @@
+"""The lint engine: walk files, run rules, apply pragmas and the baseline.
+
+Entry points:
+
+* :func:`lint_paths` — library API over files/directories;
+* :func:`lint_source` — one in-memory source blob under a declared module
+  name (how the fixture tests exercise each rule without living inside the
+  real tree);
+* :func:`main` — the CLI behind ``repro lint`` and
+  ``python -m repro.analysis``.
+
+Exit codes: 0 clean (after pragmas and baseline), 1 findings at or above
+``--fail-on``, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import (SEVERITIES, Baseline, Finding,
+                                     render_json, render_text)
+from repro.analysis.layering import LayeringRule
+from repro.analysis.pragmas import scan_pragmas
+from repro.analysis.rules import ALL_RULES, Rule, build_context
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "active_rules", "main"]
+
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def active_rules() -> list[Rule]:
+    """Fresh rule instances for one run (R6 accumulates project state)."""
+    return [*ALL_RULES(), LayeringRule()]
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale_baseline: set[str] = field(default_factory=set)
+    files_checked: int = 0
+
+    def worst_at_least(self, severity: str) -> bool:
+        threshold = SEVERITIES.index(severity)
+        return any(SEVERITIES.index(f.severity) >= threshold
+                   for f in self.findings)
+
+    def render(self, fmt: str) -> str:
+        renderer = render_json if fmt == "json" else render_text
+        return renderer(self.findings, grandfathered=self.grandfathered,
+                        stale=self.stale_baseline,
+                        files_checked=self.files_checked)
+
+
+def _module_name(path: str) -> str:
+    """Dotted module from a path, anchored at the last ``repro`` directory.
+
+    Files outside a ``repro`` tree get their stem — rules keyed on
+    components simply won't apply, which is what a stray script deserves.
+    """
+    parts = list(os.path.normpath(os.path.abspath(path)).split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    anchored = None
+    for i, part in enumerate(parts):
+        if part == "repro":
+            anchored = parts[i:]
+    if anchored:
+        return ".".join(anchored)
+    return parts[-1] if parts else path
+
+
+def _iter_python_files(paths: list[str]) -> list[str]:
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in ("__pycache__", ".git"))
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return out
+
+
+def _rule_tokens(rules: list[Rule]) -> dict[str, str]:
+    tokens = {}
+    for rule in rules:
+        tokens[rule.id] = rule.id
+        tokens[rule.slug] = rule.id
+    return tokens
+
+
+def _check_one(source: str, path: str, module: str, rules: list[Rule],
+               tokens: dict[str, str]) -> list[Finding]:
+    try:
+        ctx = build_context(source, path, module)
+    except SyntaxError as exc:
+        return [Finding(rule="PARSE", slug="syntax-error", severity="error",
+                        path=path, line=exc.lineno or 1,
+                        message=f"file does not parse: {exc.msg}")]
+    pragmas, problems = scan_pragmas(source, path, known=tokens)
+    findings = list(problems)
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not pragmas.allows(finding.line, finding.rule, finding.slug):
+                findings.append(finding)
+    return findings
+
+
+def lint_source(source: str, *, path: str = "<memory>", module: str | None = None,
+                rules: list[Rule] | None = None) -> list[Finding]:
+    """Lint one source blob under a declared module name (fixture entry)."""
+    rules = active_rules() if rules is None else rules
+    module = module if module is not None else _module_name(path)
+    findings = _check_one(source, path, module, rules, _rule_tokens(rules))
+    for rule in rules:
+        findings.extend(rule.finish())
+    return findings
+
+
+def lint_paths(paths: list[str], *, baseline: Baseline | None = None,
+               rules: list[Rule] | None = None,
+               select: set[str] | None = None) -> LintResult:
+    rules = active_rules() if rules is None else rules
+    if select:
+        unknown = select - {r.id for r in rules} - {r.slug for r in rules}
+        if unknown:
+            raise ValueError(f"unknown rules selected: {sorted(unknown)}")
+        rules = [r for r in rules if r.id in select or r.slug in select]
+    tokens = _rule_tokens(rules)
+    result = LintResult()
+    all_findings: list[Finding] = []
+    for file_path in _iter_python_files(paths):
+        rel = os.path.relpath(file_path)
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        all_findings.extend(
+            _check_one(source, rel, _module_name(file_path), rules, tokens))
+        result.files_checked += 1
+    for rule in rules:
+        all_findings.extend(rule.finish())
+    if baseline is not None:
+        new, old, stale = baseline.split(all_findings)
+        result.findings = new
+        result.grandfathered = old
+        result.stale_baseline = stale
+    else:
+        result.findings = all_findings
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-invariant static analysis (rules R1-R8; see "
+                    "repro.analysis for the invariants)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write current findings as the new baseline and "
+                             "exit 0")
+    parser.add_argument("--select", metavar="R1,R2,...",
+                        help="run only these rules (ids or slugs)")
+    parser.add_argument("--fail-on", choices=SEVERITIES, default="warning",
+                        help="exit 1 at or above this severity (default: "
+                             "warning)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    rules = active_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = ("all files" if rule.components is None
+                     else ", ".join(sorted(rule.components)))
+            if rule.id == "R6":
+                scope = "all files (+ project-wide cycle pass)"
+            print(f"{rule.id}  {rule.slug:18s} {rule.severity:8s} "
+                  f"[{scope}]  {rule.description}")
+        return 0
+
+    baseline = None
+    if not args.no_baseline and args.write_baseline is None:
+        baseline_path = args.baseline or (
+            DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) else None)
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"repro lint: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+
+    select = None
+    if args.select:
+        select = {token.strip() for token in args.select.split(",") if token.strip()}
+    try:
+        result = lint_paths(args.paths, baseline=baseline, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        Baseline(fingerprints={f.fingerprint for f in result.findings}).save(
+            args.write_baseline)
+        print(f"wrote {len(result.findings)} fingerprints to "
+              f"{args.write_baseline}")
+        return 0
+
+    print(result.render(args.format))
+    return 1 if result.worst_at_least(args.fail_on) else 0

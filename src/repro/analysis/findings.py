@@ -1,0 +1,142 @@
+"""Findings: the currency of the static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  The
+engine collects them, subtracts pragma-suppressed and baseline-grandfathered
+entries, and renders the remainder as text or JSON.
+
+Baselines
+---------
+
+A baseline file (``analysis_baseline.json``) is a checked-in list of
+finding *fingerprints* that are temporarily tolerated: CI fails only on
+findings **not** in the baseline (regressions), so a new rule can land
+before every historical violation is fixed.  Fingerprints deliberately
+exclude the line number — moving code around must not un-grandfather a
+finding — and the engine reports stale entries so the file shrinks
+monotonically.  The project's own baseline is empty: every finding in
+``src/`` is either fixed or carries an inline ``# repro: allow[...]``
+pragma with a reason.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Baseline",
+    "render_text",
+    "render_json",
+]
+
+#: Order matters: later entries are more severe.
+SEVERITIES = ("note", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``rule`` is the short id (``R1`` .. ``R8`` or a meta-rule like
+    ``PRAGMA``); ``slug`` the human name (``preauth-pickle``); ``path`` is
+    repo-relative when the engine can make it so.
+    """
+
+    rule: str
+    slug: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}; known: {SEVERITIES}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: rule + file + message, line-independent."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.severity}: "
+                f"[{self.rule}/{self.slug}] {self.message}")
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class Baseline:
+    """Grandfathered fingerprints loaded from / saved to JSON."""
+
+    fingerprints: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(
+                f"{path}: not a baseline file (expected an object with a "
+                f"'findings' list)"
+            )
+        return cls(fingerprints={str(f) for f in payload["findings"]})
+
+    def save(self, path: str) -> None:
+        payload = {"version": 1, "findings": sorted(self.fingerprints)}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding], set[str]]:
+        """Partition into (new, grandfathered) + the stale fingerprints."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in self.fingerprints:
+                old.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        return new, old, self.fingerprints - seen
+
+
+def render_text(findings: list[Finding], *, grandfathered: list[Finding] | None = None,
+                stale: set[str] | None = None, files_checked: int = 0) -> str:
+    lines = [f.render() for f in sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule))]
+    for finding in sorted(grandfathered or [], key=lambda f: (f.path, f.line)):
+        lines.append(f"{finding.render()}  (baseline: grandfathered)")
+    for fingerprint in sorted(stale or ()):
+        lines.append(f"stale baseline entry (fixed — remove it): {fingerprint}")
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    summary = ", ".join(f"{n} {sev}{'s' if n != 1 else ''}"
+                        for sev, n in sorted(counts.items())) or "clean"
+    lines.append(f"{files_checked} files checked: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], *, grandfathered: list[Finding] | None = None,
+                stale: set[str] | None = None, files_checked: int = 0) -> str:
+    payload = {
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in sorted(
+            findings, key=lambda f: (f.path, f.line, f.rule))],
+        "grandfathered": [f.to_dict() for f in (grandfathered or [])],
+        "stale_baseline": sorted(stale or ()),
+    }
+    return json.dumps(payload, indent=2)

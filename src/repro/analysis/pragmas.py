@@ -1,0 +1,94 @@
+"""Inline suppression pragmas: ``# repro: allow[RULE] -- reason``.
+
+A finding is suppressed when the line it is reported on carries an allow
+pragma naming its rule (by id, ``R3``, or slug, ``alias-escape``) **and**
+the pragma states a reason after ``--``.  A pragma without a reason is
+itself a finding (rule ``PRAGMA``): exemptions are part of the invariant
+record, so "why is this line special" must be answerable from the line.
+
+Several rules may share one pragma: ``# repro: allow[R2,R8] -- kill switch
+read once at import, mirrored to workers``.  Unknown rule names are a
+``PRAGMA`` finding too — a typo must not silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+__all__ = ["PragmaMap", "scan_pragmas", "PRAGMA_RE"]
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass
+class PragmaMap:
+    """Per-line rule suppressions for one file."""
+
+    #: line number -> set of rule ids/slugs allowed there
+    by_line: dict[int, set[str]]
+
+    def allows(self, line: int, rule_id: str, slug: str) -> bool:
+        allowed = self.by_line.get(line)
+        return bool(allowed) and (rule_id in allowed or slug in allowed)
+
+
+def scan_pragmas(source: str, path: str,
+                 known: dict[str, str] | None = None) -> tuple[PragmaMap, list[Finding]]:
+    """Extract pragmas; return the map plus PRAGMA meta-findings.
+
+    ``known`` maps every acceptable token (rule id and slug) to its rule id;
+    when given, unknown tokens are reported.
+    """
+    by_line: dict[int, set[str]] = {}
+    problems: list[Finding] = []
+
+    def problem(line: int, message: str) -> None:
+        problems.append(Finding(rule="PRAGMA", slug="pragma-discipline",
+                                severity="error", path=path, line=line,
+                                message=message))
+
+    for lineno, text in _comments(source):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            if re.search(r"repro:\s*allow", text):
+                problem(lineno, "malformed allow pragma (expected "
+                                "'# repro: allow[<rule>] -- reason')")
+            continue
+        rules = {token.strip() for token in match.group("rules").split(",")
+                 if token.strip()}
+        reason = (match.group("reason") or "").strip()
+        if not rules:
+            problem(lineno, "allow pragma names no rules")
+            continue
+        if not reason:
+            problem(lineno, "allow pragma without a reason — append "
+                            "'-- <why this line is exempt>'")
+            continue
+        if known is not None:
+            unknown = {r for r in rules if r not in known}
+            if unknown:
+                problem(lineno, f"allow pragma names unknown rules: "
+                                f"{', '.join(sorted(unknown))}")
+            rules -= unknown
+        if rules:
+            by_line.setdefault(lineno, set()).update(rules)
+    return PragmaMap(by_line), problems
+
+
+def _comments(source: str) -> list[tuple[int, str]]:
+    """(line, text) for every comment token — docstrings never match."""
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return out

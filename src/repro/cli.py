@@ -54,7 +54,8 @@ def _parse_grid(text: str) -> tuple[int, int]:
         rows, cols = text.lower().split("x")
         parsed = (int(rows), int(cols))
     except ValueError:
-        raise argparse.ArgumentTypeError(f"grid must look like '3x3', got {text!r}")
+        raise argparse.ArgumentTypeError(
+            f"grid must look like '3x3', got {text!r}") from None
     if parsed[0] < 1 or parsed[1] < 1:
         raise argparse.ArgumentTypeError("grid dimensions must be >= 1")
     return parsed
@@ -183,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="summarize a Perfetto trace written "
                                          "by 'repro run --trace'")
     trace.add_argument("file", metavar="PATH")
+
+    # Dispatched before parsing (see main): the lint CLI owns its own flags
+    # (--format/--baseline/--select/...), which argparse's REMAINDER would
+    # mangle.  The stub keeps `repro --help` honest.
+    sub.add_parser("lint", help="project-invariant static analysis "
+                                "(rules R1-R8; repro lint --list-rules)",
+                   add_help=False)
 
     return parser
 
@@ -463,6 +471,11 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        from repro.analysis.engine import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

@@ -28,6 +28,9 @@ __all__ = [
 #: same figure rounded up to the next 2 GB boundary).
 PER_TASK_MEMORY_MB: float = 1843.2
 
+#: ``PER_TASK_MEMORY_MB`` rounded up to whole MiB — the scheduler's unit.
+TASK_MEMORY_CEIL_MB: int = int(PER_TASK_MEMORY_MB) + 1
+
 
 @dataclass(frozen=True)
 class PlacementPlan:
@@ -50,7 +53,7 @@ class PlacementPlan:
 
 
 def place_tasks(platform: ClusterPlatform, tasks: int,
-                memory_mb_per_task: int = int(PER_TASK_MEMORY_MB) + 1) -> PlacementPlan:
+                memory_mb_per_task: int = TASK_MEMORY_CEIL_MB) -> PlacementPlan:
     """Balanced placement: round-robin over nodes sorted emptiest-first.
 
     Round-robin (rather than fill-first) spreads tasks so per-node load is

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import ExperimentConfig
-from repro.coevolution.fitness import FitnessTable, evaluate_subpopulations
+from repro.coevolution.fitness import evaluate_subpopulations
 from repro.coevolution.genome import Genome, genome_from_network
 from repro.coevolution.mixture import MixtureWeights, sample_mixture
 from repro.coevolution.mutation import mutate_learning_rate
@@ -51,7 +51,7 @@ from repro.coevolution.selection import tournament_select
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.gan.networks import Discriminator, Generator
 from repro.gan.pair import GANPair
-from repro.nn import Tensor, kernels, loss_by_name, optimizer_by_name
+from repro.nn import Tensor, kernels, loss_by_name
 from repro.nn.autograd import no_grad
 from repro.nn.losses import MUSTANGS_LOSSES
 from repro.nn.serialize import parameters_to_vector, vector_to_parameters

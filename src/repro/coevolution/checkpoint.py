@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.config import ExperimentConfig
 from repro.coevolution.genome import Genome
-from repro.coevolution.mixture import MixtureWeights
 
 __all__ = ["TrainingCheckpoint", "save_checkpoint", "load_checkpoint"]
 

@@ -21,7 +21,7 @@ import csv
 import itertools
 import statistics
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 __all__ = ["Sweep", "SweepRow"]

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.analysis import lockcheck
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.errors import MpiError, MpiTimeoutError
 from repro.mpi.stats import TransportStats
@@ -147,6 +148,7 @@ class Endpoint:
                 return
             self.stats.count_received(item.payload)
             with self._cond:
+                lockcheck.check_owned(self._cond, "Endpoint._buffer")
                 self._buffer.append(item)
                 self._cond.notify_all()
 
@@ -158,6 +160,10 @@ class Endpoint:
         except KeyError:
             raise MpiError(f"unknown destination rank {global_rank}") from None
         self.stats.count_sent(envelope.payload)
+        # Whatever crosses here is read by another thread (queue consumer
+        # or background relay): a live arena alias inside is a data race.
+        lockcheck.check_no_alias(
+            envelope, f"Endpoint.send_to(rank {global_rank})")
         if not self._puts_block:
             put(envelope)
             return
@@ -192,6 +198,7 @@ class Endpoint:
             while True:
                 for i, env in enumerate(self._buffer):
                     if self._matches(env, context, source, tag):
+                        lockcheck.check_owned(self._cond, "Endpoint._buffer")
                         return self._buffer.pop(i)
                 if self._closed:
                     raise MpiError(f"rank {self.rank}: endpoint closed while receiving")

@@ -402,7 +402,7 @@ class SocketTransport(Transport):
                 raise wire.WireError(
                     f"hello is not valid JSON (a worker running wire "
                     f"version 1 sends pickle hellos — upgrade it to this "
-                    f"release): {exc}")
+                    f"release): {exc}") from exc
             if not isinstance(hello, dict):
                 raise wire.WireError("hello is not a JSON object")
             if not hmac.compare_digest(
@@ -462,12 +462,14 @@ class SocketTransport(Transport):
                 # Last, so the rendezvous loop only completes once the
                 # connection is fully registered.
                 pending.discard(index)
-            telemetry.count("socket.workers_admitted")
+            if telemetry.enabled():
+                telemetry.count("socket.workers_admitted")
         except Exception as exc:  # noqa: BLE001 - anything a stranger sends
             # The listener may sit on a routable address: one garbage or
             # hostile connection (non-JSON hello, wrong token, absurd
             # index) must reject that socket, never abort the job.
-            telemetry.count("socket.hello_rejected")
+            if telemetry.enabled():
+                telemetry.count("socket.hello_rejected")
             print(f"[socket] rejected connection: {exc}", file=sys.stderr)
             sock.close()
         finally:

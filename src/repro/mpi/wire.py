@@ -173,7 +173,7 @@ def decode_body(body: bytes) -> Any:
         offset += length
     if not segments:
         raise WireError("frame body with no segments")
-    return pickle.loads(segments[0], buffers=segments[1:])
+    return pickle.loads(segments[0], buffers=segments[1:])  # repro: allow[R1] -- post-auth: frames only decoded after the size-capped JSON hello verified the shared token
 
 
 def _check_body_size(body_len: int) -> None:

@@ -91,7 +91,7 @@ __all__ = [
 # Global enable switch
 # ---------------------------------------------------------------------------
 
-_ENABLED = not bool(os.environ.get("REPRO_NO_FUSED_KERNELS"))
+_ENABLED = not bool(os.environ.get("REPRO_NO_FUSED_KERNELS"))  # repro: allow[R8] -- kill switch, read once before any kernel is built so every rank agrees
 
 
 def kernels_enabled() -> bool:
@@ -337,7 +337,8 @@ class FusedStepKernel:
         the batch size — those layers run per branch (a ~k-multiply-per-row
         triviality) to stay bit-identical.
         """
-        telemetry.count("kernels.forward")
+        if telemetry.enabled():
+            telemetry.count("kernels.forward")
         n = x.shape[0]
         if ws is None:
             ws = self.workspace(n)
@@ -383,7 +384,8 @@ class FusedStepKernel:
         dL/d input in ``ws.x_stack`` (overwritten by this workspace's next
         use).
         """
-        telemetry.count("kernels.backward")
+        if telemetry.enabled():
+            telemetry.count("kernels.backward")
         if branches is None:
             branches = (slice(None),)
         g = grad_out

@@ -7,7 +7,7 @@ layer vocabulary they need with a PyTorch-like API (``parameters()``,
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 

@@ -83,7 +83,8 @@ class Optimizer:
         if self.arena is None:
             self.step()
             return
-        telemetry.count("optim.steps")
+        if telemetry.enabled():
+            telemetry.count("optim.steps")
         scalars = self._prepare_update()
         size = self.arena.size
         block = block or self.BLOCK_ELEMS
@@ -165,7 +166,8 @@ class SGD(Optimizer):
         data -= s
 
     def step(self) -> None:
-        telemetry.count("optim.steps")
+        if telemetry.enabled():
+            telemetry.count("optim.steps")
         if self.arena is not None:
             self._span_update(0, self.arena.size, self._prepare_update())
             return
@@ -250,7 +252,8 @@ class Adam(Optimizer):
         data -= s2
 
     def step(self) -> None:
-        telemetry.count("optim.steps")
+        if telemetry.enabled():
+            telemetry.count("optim.steps")
         if self.arena is not None:
             self._span_update(0, self.arena.size, self._prepare_update())
             return
@@ -329,7 +332,8 @@ class RMSprop(Optimizer):
         data -= s2
 
     def step(self) -> None:
-        telemetry.count("optim.steps")
+        if telemetry.enabled():
+            telemetry.count("optim.steps")
         if self.arena is not None:
             self._span_update(0, self.arena.size, self._prepare_update())
             return

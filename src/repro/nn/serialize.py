@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.nn.arena import arena_of
-from repro.nn.autograd import Tensor
 from repro.nn.modules import Module
 
 __all__ = [
@@ -79,7 +79,13 @@ def parameters_to_vector(module: Module, out: np.ndarray | None = None, *,
     if arena is not None:
         data = arena.data
         if out is None:
-            return data if alias else data.copy()
+            if alias:
+                # Under REPRO_LOCKCHECK the borrow is tracked: use from
+                # another thread or inside an outgoing payload is reported.
+                lockcheck.register_alias(
+                    data, f"arena[{type(module).__name__}]")
+                return data
+            return data.copy()
         if out.shape != data.shape:
             raise ValueError(f"buffer shape {out.shape} != {data.shape}")
         np.copyto(out, data)

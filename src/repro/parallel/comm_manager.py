@@ -17,9 +17,8 @@ Three communication contexts, exactly as in Section III-D:
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
 
-from repro.mpi import ANY_SOURCE, Comm, MpiTimeoutError, Status
+from repro.mpi import ANY_SOURCE, Comm, MpiTimeoutError
 from repro.mpi.stats import payload_nbytes
 from repro.parallel.grid import Grid
 from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply, Tags
@@ -246,7 +245,14 @@ class MpiCommManager(CommManager):
                                 tag=tag)
             needed = list(grid.neighbor_cells(cell_index))
             received: dict[int, ExchangePayload] = {}
-            pending = len(needed)  # duplicates (2x2 wraparound) count twice
+            # Torus self-edges (any grid dimension of 1: on 1x1 all four
+            # neighbors wrap to the center) are satisfied locally — sends
+            # follow incoming_neighbors, which excludes self, so no message
+            # ever arrives for them; waiting on them deadlocked 1x1 runs.
+            self_edges = sum(1 for cell in needed if cell == cell_index)
+            if self_edges:
+                received[cell_index] = payload
+            pending = len(needed) - self_edges  # 2x2 wraparound counts twice
             while pending > 0:
                 if abort_event is not None and abort_event.is_set():
                     raise ExchangeAborted(f"cell {cell_index}: abort during exchange")

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.cluster import ClusterPlatform, PlacementPlan, cluster_uy, place_tasks
 from repro.config import ExperimentConfig

@@ -31,7 +31,8 @@ import ctypes
 import os
 import re
 
-__all__ = ["pin_blas_threads", "blas_pin_active"]
+__all__ = ["pin_blas_threads", "blas_pin_active", "lockcheck_requested",
+           "lockcheck_watchdog_seconds"]
 
 _ENV_VARS = (
     "OMP_NUM_THREADS",
@@ -101,3 +102,27 @@ def pin_blas_threads(n: int = 1) -> bool:
 def blas_pin_active() -> int | None:
     """The thread count last pinned successfully (None if never)."""
     return _pinned
+
+
+def lockcheck_requested() -> bool:
+    """True when ``REPRO_LOCKCHECK`` asks for the runtime concurrency checker.
+
+    Environment *policy* lives here (rule R8: nothing else reads the
+    environment at import time); the checker itself is
+    :mod:`repro.analysis.lockcheck`, installed by ``repro/__init__`` before
+    any repro lock exists.  The variable propagates to forked ranks by
+    inheritance and to spawned ``repro worker`` processes through the
+    launcher environment, so one setting covers every backend.
+    """
+    value = os.environ.get("REPRO_LOCKCHECK", "").strip().lower()
+    return value not in ("", "0", "off", "false", "no")
+
+
+def lockcheck_watchdog_seconds() -> float:
+    """Blocked-wait watchdog threshold (``REPRO_LOCKCHECK_WATCHDOG``, s)."""
+    value = os.environ.get("REPRO_LOCKCHECK_WATCHDOG", "").strip()
+    try:
+        seconds = float(value) if value else 60.0
+    except ValueError:
+        seconds = 60.0
+    return seconds if seconds > 0 else 60.0

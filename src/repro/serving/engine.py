@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.serving.api import SampleRequest, ServerClosedError, ServerOverloadedError
 from repro.serving.compute import assemble, build_plan, forward_rows
 from repro.serving.registry import ServableEnsemble
@@ -187,6 +188,7 @@ class BatchingEngine:
                 raise ServerOverloadedError(
                     f"request queue full ({self.max_pending} pending)"
                 ) from None
+            lockcheck.check_owned(self._lock, "BatchingEngine._stats")
             self._stats.submitted += 1
         if telemetry.enabled():
             telemetry.gauge("serving.queue_depth", self._queue.qsize())
@@ -239,6 +241,7 @@ class BatchingEngine:
 
     def _execute(self, jobs: list[_Job]) -> None:
         with self._lock:
+            lockcheck.check_owned(self._lock, "BatchingEngine._stats")
             self._stats.batches += 1
             self._stats.coalesced_requests += len(jobs)
             self._stats.largest_batch_requests = max(

@@ -39,6 +39,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis import lockcheck
+
 __all__ = [
     "OFF",
     "BASIC",
@@ -79,7 +81,7 @@ def _parse_level(text: str | None) -> int:
 
 
 #: The module-level enabled flag — checked before any allocation.
-_LEVEL: int = _parse_level(os.environ.get("REPRO_TELEMETRY"))
+_LEVEL: int = _parse_level(os.environ.get("REPRO_TELEMETRY"))  # repro: allow[R8] -- the one-int-check-when-off design needs the level resolved before any count() site runs
 
 _TLS = threading.local()
 _BUFFERS: dict[int | None, "_Buffer"] = {}
@@ -266,6 +268,7 @@ class _Span:
         buffer = self._buffer
         name = self._name
         with buffer.lock:
+            lockcheck.check_owned(buffer.lock, "telemetry span buffer")
             buffer.span_totals[name] = buffer.span_totals.get(name, 0.0) + elapsed
             buffer.span_counts[name] = buffer.span_counts.get(name, 0) + 1
             if _LEVEL >= TRACE:
@@ -295,6 +298,7 @@ def count(name: str, value: float = 1.0, rank: int | None = None) -> None:
         return
     buffer = _resolve(rank)
     with buffer.lock:
+        lockcheck.check_owned(buffer.lock, "telemetry counter buffer")
         buffer.counters[name] = buffer.counters.get(name, 0.0) + value
 
 
@@ -304,6 +308,7 @@ def gauge(name: str, value: float, rank: int | None = None) -> None:
         return
     buffer = _resolve(rank)
     with buffer.lock:
+        lockcheck.check_owned(buffer.lock, "telemetry gauge buffer")
         buffer.gauges[name] = value
         peak = buffer.gauge_peaks.get(name)
         if peak is None or value > peak:

@@ -27,6 +27,30 @@ def rng():
     return np.random.default_rng(0)
 
 
+@pytest.fixture(autouse=True)
+def _lockcheck_gate():
+    """Fail any test that leaves new lockcheck violations behind.
+
+    A no-op unless the suite runs with ``REPRO_LOCKCHECK=1`` (CI's fast
+    lane does): with the checker installed, a silent lock-order inversion
+    or alias crossing inside a test becomes that test's failure instead of
+    a stderr line nobody reads.  Tests that *seed* violations on purpose
+    drain them with ``clear_violations()`` before returning.
+    """
+    from repro.analysis import lockcheck
+
+    if not lockcheck.installed():
+        yield
+        return
+    before = lockcheck.violation_count()
+    yield
+    new = lockcheck.violations()[before:]
+    if new:
+        lockcheck.clear_violations()
+        pytest.fail("lockcheck violations during test:\n"
+                    + "\n".join(str(v) for v in new))
+
+
 @pytest.fixture()
 def telemetry_bus():
     """The telemetry bus with guaranteed clean-up.

@@ -1,0 +1,11 @@
+"""Linted as repro.mpi.fixture: pragmas without reasons or naming no rule."""
+
+import pickle
+
+
+def decode_frame(frame: bytes):
+    return pickle.loads(frame)  # repro: allow[R1]
+
+
+def decode_other(frame: bytes):
+    return pickle.loads(frame)  # repro: allow[R99] -- typo'd rule id

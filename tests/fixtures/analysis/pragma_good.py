@@ -1,0 +1,7 @@
+"""Linted as repro.mpi.fixture: a well-formed exemption suppresses R1."""
+
+import pickle
+
+
+def decode_frame(frame: bytes):
+    return pickle.loads(frame)  # repro: allow[R1] -- fixture: input authenticated by the caller

@@ -1,0 +1,7 @@
+"""Linted as repro.mpi.fixture: unpickling in the network layer."""
+
+import pickle
+
+
+def decode_frame(frame: bytes):
+    return pickle.loads(frame)

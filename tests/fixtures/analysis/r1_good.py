@@ -1,0 +1,7 @@
+"""Linted as repro.mpi.fixture: constrained parsing instead of pickle."""
+
+import json
+
+
+def decode_frame(frame: bytes):
+    return json.loads(frame.decode("utf-8"))

@@ -1,0 +1,20 @@
+"""Linted as repro.coevolution.fixture: global RNG, wall clock, set order."""
+
+import random
+import time
+
+import numpy as np
+
+
+def mutate(sigma):
+    noise = np.random.normal(0.0, sigma)
+    pick = random.choice([1, 2, 3])
+    started = time.time()
+    return noise, pick, started
+
+
+def total_fitness(scores):
+    total = 0.0
+    for value in set(scores):
+        total += value
+    return total

@@ -1,0 +1,16 @@
+"""Linted as repro.coevolution.fixture: seeded generator, monotonic clock."""
+
+import time
+
+
+def mutate(rng, sigma):
+    noise = rng.normal(0.0, sigma)
+    started = time.perf_counter()
+    return noise, started
+
+
+def total_fitness(scores):
+    total = 0.0
+    for value in sorted(set(scores)):
+        total += value
+    return total

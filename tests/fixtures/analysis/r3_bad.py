@@ -1,0 +1,11 @@
+"""Linted as repro.parallel.fixture: live arena aliases crossing boundaries."""
+
+
+def exchange(cell, endpoint):
+    vector = cell.center_genomes(alias=True)
+    endpoint.send_to(1, vector)
+
+
+class NeighborCache:
+    def park(self, network, parameters_to_vector):
+        self.latest = parameters_to_vector(network, alias=True)

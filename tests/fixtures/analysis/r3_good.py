@@ -1,0 +1,11 @@
+"""Linted as repro.parallel.fixture: copies cross, aliases stay local."""
+
+
+def exchange(cell, endpoint):
+    vector = cell.center_genomes(alias=True)
+    endpoint.send_to(1, vector.copy())
+
+
+class NeighborCache:
+    def park(self, network, parameters_to_vector):
+        self.latest = parameters_to_vector(network, alias=True).copy()

@@ -1,0 +1,10 @@
+"""Linted as repro.nn.fixture: weak-keyed value pins its own key."""
+
+import weakref
+
+_KERNELS = weakref.WeakKeyDictionary()
+
+
+def register(network, build_kernel):
+    _KERNELS[network] = build_kernel(network)
+    return _KERNELS.setdefault(network, build_kernel(network))

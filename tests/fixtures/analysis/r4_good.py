@@ -1,0 +1,10 @@
+"""Linted as repro.nn.fixture: the stored value holds no key back-reference."""
+
+import weakref
+
+_KERNELS = weakref.WeakKeyDictionary()
+
+
+def register(network, compiled_kernel):
+    _KERNELS[network] = compiled_kernel
+    return compiled_kernel

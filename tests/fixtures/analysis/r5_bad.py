@@ -1,0 +1,8 @@
+"""Linted as repro.serving.fixture: unguarded count/gauge sites."""
+
+from repro.telemetry import bus as telemetry
+
+
+def hot_path(n):
+    telemetry.count("fixture.calls", n)
+    telemetry.gauge("fixture.depth", n)

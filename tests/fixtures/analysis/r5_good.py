@@ -1,0 +1,11 @@
+"""Linted as repro.serving.fixture: sites behind the one-int-check guard."""
+
+from repro.telemetry import bus as telemetry
+
+
+def hot_path(n):
+    if telemetry.enabled():
+        telemetry.count("fixture.calls", n)
+        telemetry.gauge("fixture.depth", n)
+    with telemetry.span("fixture.span"):  # span guards itself (null span)
+        return n

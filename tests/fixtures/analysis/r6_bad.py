@@ -1,0 +1,7 @@
+"""Linted as repro.nn.fixture: a layer-2 module eagerly importing layer 6."""
+
+from repro.api import Experiment
+
+
+def build():
+    return Experiment()

@@ -1,0 +1,7 @@
+"""Linted as repro.nn.fixture: the upward reference is lazy."""
+
+
+def build():
+    from repro.api import Experiment
+
+    return Experiment()

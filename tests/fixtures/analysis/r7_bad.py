@@ -1,0 +1,7 @@
+"""Linted as repro.cluster.fixture: thread and socket at import time."""
+
+import socket
+import threading
+
+_PUMP = threading.Thread(target=print, daemon=True)
+_PROBE = socket.socket()

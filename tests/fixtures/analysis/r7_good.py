@@ -1,0 +1,14 @@
+"""Linted as repro.cluster.fixture: threads/sockets created after fork."""
+
+import socket
+import threading
+
+
+def start_pump():
+    pump = threading.Thread(target=print, daemon=True)
+    pump.start()
+    return pump
+
+
+def open_probe():
+    return socket.socket()

@@ -1,0 +1,6 @@
+"""Linted as repro.data.fixture: environment frozen at import time."""
+
+import os
+
+DEBUG = os.environ.get("REPRO_DEBUG", "")
+CACHE = os.getenv("REPRO_CACHE_DIR")

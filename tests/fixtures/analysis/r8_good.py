@@ -1,0 +1,11 @@
+"""Linted as repro.data.fixture: environment read at use time."""
+
+import os
+
+
+def debug_enabled():
+    return bool(os.environ.get("REPRO_DEBUG", ""))
+
+
+def cache_dir():
+    return os.getenv("REPRO_CACHE_DIR")

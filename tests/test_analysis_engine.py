@@ -1,0 +1,200 @@
+"""Engine behavior: baselines, layering resolution, the CLI contract."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, lint_paths, main
+from repro.analysis.engine import _module_name
+from repro.analysis.layering import LayeringRule
+
+
+def test_module_name_anchors_at_repro():
+    assert _module_name("src/repro/mpi/wire.py") == "repro.mpi.wire"
+    assert _module_name("src/repro/nn/__init__.py") == "repro.nn"
+    assert _module_name("/tmp/scratch.py") == "scratch"
+
+
+# -- baseline ---------------------------------------------------------------
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+BAD_MPI = "import pickle\n\ndef load(b):\n    return pickle.loads(b)\n"
+
+
+def test_baseline_grandfathers_known_findings(tmp_path):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    path = _write(repro_dir, "frames.py", BAD_MPI)
+
+    fresh = lint_paths([str(path)])
+    assert len(fresh.findings) == 1
+
+    baseline = Baseline(fingerprints={fresh.findings[0].fingerprint})
+    gated = lint_paths([str(path)], baseline=baseline)
+    assert not gated.findings
+    assert len(gated.grandfathered) == 1
+    assert not gated.stale_baseline
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    path = _write(repro_dir, "clean.py", "VALUE = 1\n")
+    baseline = Baseline(fingerprints={"R1:gone.py:fixed long ago"})
+    result = lint_paths([str(path)], baseline=baseline)
+    assert result.stale_baseline == {"R1:gone.py:fixed long ago"}
+
+
+def test_fingerprint_survives_line_moves(tmp_path):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    path = _write(repro_dir, "frames.py", BAD_MPI)
+    first = lint_paths([str(path)]).findings[0]
+    _write(repro_dir, "frames.py", "# moved down\n\n" + BAD_MPI)
+    moved = lint_paths([str(path)]).findings[0]
+    assert moved.line != first.line
+    assert moved.fingerprint == first.fingerprint
+
+
+# -- layering: cycles and sibling submodule imports -------------------------
+
+def _cycle_tree(tmp_path, y_imports_x: bool):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "x.py").write_text("import repro.y\n", encoding="utf-8")
+    body = "import repro.x\n" if y_imports_x else "VALUE = 1\n"
+    (pkg / "y.py").write_text(body, encoding="utf-8")
+    return pkg
+
+
+def test_layering_detects_eager_cycle(tmp_path):
+    pkg = _cycle_tree(tmp_path, y_imports_x=True)
+    rules = [LayeringRule(layers={"x": 0, "y": 0, "": 8})]
+    result = lint_paths([str(pkg)], rules=rules)
+    assert any("cycle" in f.message for f in result.findings)
+
+
+def test_layering_accepts_acyclic_graph(tmp_path):
+    pkg = _cycle_tree(tmp_path, y_imports_x=False)
+    rules = [LayeringRule(layers={"x": 0, "y": 0, "": 8})]
+    result = lint_paths([str(pkg)], rules=rules)
+    assert not result.findings
+
+
+def test_sibling_submodule_import_is_not_a_cycle(tmp_path):
+    """``from repro.nn import functional`` inside repro.nn must resolve to
+    the sibling module, not to the package __init__ (which would report
+    every package as a cycle with its own submodules)."""
+    pkg = tmp_path / "repro" / "nn"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("from repro.nn import losses\n",
+                                     encoding="utf-8")
+    (pkg / "losses.py").write_text("from repro.nn import functional as F\n",
+                                   encoding="utf-8")
+    (pkg / "functional.py").write_text("VALUE = 1\n", encoding="utf-8")
+    rules = [LayeringRule()]
+    result = lint_paths([str(tmp_path / "repro")], rules=rules)
+    assert not result.findings
+
+
+def test_lazy_and_type_checking_imports_do_not_count(tmp_path):
+    pkg = tmp_path / "repro" / "nn"
+    pkg.mkdir(parents=True)
+    source = ("from typing import TYPE_CHECKING\n"
+              "if TYPE_CHECKING:\n"
+              "    from repro.api import Experiment\n"
+              "def f():\n"
+              "    from repro.serving import GeneratorServer\n"
+              "    return GeneratorServer\n")
+    (pkg / "views.py").write_text(source, encoding="utf-8")
+    result = lint_paths([str(pkg)], rules=[LayeringRule()])
+    assert not result.findings
+
+
+# -- the real tree ----------------------------------------------------------
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_src_is_clean_under_all_rules():
+    """The merge gate: the shipped tree has zero findings (empty baseline)."""
+    result = lint_paths([str(REPO / "src")])
+    assert not result.findings, "\n".join(f.render() for f in result.findings)
+    assert result.files_checked > 90
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    bad = _write(repro_dir, "frames.py", BAD_MPI)
+    clean = _write(repro_dir, "clean.py", "VALUE = 1\n")
+
+    assert main([str(clean), "--no-baseline"]) == 0
+    assert main([str(bad), "--no-baseline"]) == 1
+    assert main([str(tmp_path / "missing.py"), "--no-baseline"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    bad = _write(repro_dir, "frames.py", BAD_MPI)
+    assert main([str(bad), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "R1"
+    assert payload["findings"][0]["fingerprint"]
+
+
+def test_cli_select_restricts_rules(tmp_path, capsys):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    bad = _write(repro_dir, "frames.py", BAD_MPI)
+    assert main([str(bad), "--no-baseline", "--select", "R5"]) == 0
+    assert main([str(bad), "--no-baseline", "--select", "preauth-pickle"]) == 1
+    assert main([str(bad), "--no-baseline", "--select", "R99"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_write_and_apply_baseline(tmp_path, capsys, monkeypatch):
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    bad = _write(repro_dir, "frames.py", BAD_MPI)
+    baseline = tmp_path / "baseline.json"
+
+    assert main([str(bad), "--write-baseline", str(baseline)]) == 0
+    assert main([str(bad), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "grandfathered" in out
+
+
+def test_cli_list_rules_names_all_eight(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+        assert rule_id in out
+
+
+@pytest.mark.slow
+def test_repro_lint_subcommand_round_trip(tmp_path):
+    """``repro lint`` (the facade path) agrees with ``python -m repro.analysis``."""
+    repro_dir = tmp_path / "repro" / "mpi"
+    repro_dir.mkdir(parents=True)
+    bad = _write(repro_dir, "frames.py", BAD_MPI)
+    for entry in (["-m", "repro", "lint"], ["-m", "repro.analysis"]):
+        proc = subprocess.run(
+            [sys.executable, *entry, str(bad), "--no-baseline"],
+            capture_output=True, text=True, cwd=str(REPO),
+        )
+        assert proc.returncode == 1, proc.stderr
+        assert "R1" in proc.stdout

@@ -1,0 +1,106 @@
+"""Every static-analysis rule against its paired good/bad fixture.
+
+The fixtures under ``tests/fixtures/analysis/`` are linted in memory via
+:func:`repro.analysis.lint_source` under the module name each rule keys on
+(several fixtures would be unsafe to import — they exist to be flagged).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+#: rule id -> the module name the fixture pair is linted under.
+RULE_MODULES = {
+    "R1": "repro.mpi.fixture",
+    "R2": "repro.coevolution.fixture",
+    "R3": "repro.parallel.fixture",
+    "R4": "repro.nn.fixture",
+    "R5": "repro.serving.fixture",
+    "R6": "repro.nn.fixture",
+    "R7": "repro.cluster.fixture",
+    "R8": "repro.data.fixture",
+}
+
+
+def lint_fixture(name: str, module: str):
+    path = FIXTURES / name
+    return lint_source(path.read_text(encoding="utf-8"),
+                       path=str(path), module=module)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_MODULES))
+def test_bad_fixture_is_flagged(rule):
+    findings = lint_fixture(f"{rule.lower()}_bad.py", RULE_MODULES[rule])
+    hits = [f for f in findings if f.rule == rule]
+    assert hits, f"{rule} failed to flag its bad fixture: {findings}"
+    assert all(f.line > 0 and f.message for f in hits)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_MODULES))
+def test_good_fixture_passes(rule):
+    findings = lint_fixture(f"{rule.lower()}_good.py", RULE_MODULES[rule])
+    assert not findings, f"{rule} good fixture should be clean: {findings}"
+
+
+def test_r2_flags_every_enemy_once():
+    findings = lint_fixture("r2_bad.py", RULE_MODULES["R2"])
+    messages = " ".join(f.message for f in findings)
+    assert "numpy.random.normal" in messages
+    assert "random.choice" in messages
+    assert "time.time" in messages
+    assert "iterating a set" in messages
+
+
+def test_r2_wall_clock_only_on_hot_components():
+    source = "import time\n\ndef stamp():\n    return time.time()\n"
+    hot = lint_source(source, module="repro.nn.fixture")
+    cold = lint_source(source, module="repro.experiments.fixture")
+    assert any(f.rule == "R2" for f in hot)
+    assert not any(f.rule == "R2" for f in cold)
+
+
+def test_r1_only_applies_to_mpi():
+    source = "import pickle\n\ndef load(b):\n    return pickle.loads(b)\n"
+    outside = lint_source(source, module="repro.coevolution.fixture")
+    assert not any(f.rule == "R1" for f in outside)
+
+
+def test_r5_resolves_import_alias():
+    source = ("from repro.telemetry import bus as t\n\n"
+              "def f():\n    t.count('x')\n")
+    findings = lint_source(source, module="repro.gan.fixture")
+    assert any(f.rule == "R5" for f in findings)
+    # A non-telemetry object with a .count() method must not be flagged.
+    source = "def f(items):\n    return items.count('x')\n"
+    assert not lint_source(source, module="repro.gan.fixture")
+
+
+def test_r8_exempts_runtime_module():
+    source = "import os\n\nFLAG = os.environ.get('X')\n"
+    inside = lint_source(source, module="repro.runtime")
+    outside = lint_source(source, module="repro.viz.fixture")
+    assert not any(f.rule == "R8" for f in inside)
+    assert any(f.rule == "R8" for f in outside)
+
+
+def test_pragma_suppresses_with_reason():
+    findings = lint_fixture("pragma_good.py", "repro.mpi.fixture")
+    assert not findings
+
+
+def test_pragma_without_reason_is_its_own_finding():
+    findings = lint_fixture("pragma_bad.py", "repro.mpi.fixture")
+    pragma = [f for f in findings if f.rule == "PRAGMA"]
+    assert len(pragma) == 2  # missing reason + unknown rule id
+    # An ineffective pragma must not suppress the underlying finding.
+    assert any(f.rule == "R1" for f in findings)
+
+
+def test_pragma_in_docstring_is_not_a_pragma():
+    source = ('"""Docs quoting ``# repro: allow[R1]`` must not parse."""\n'
+              "VALUE = 1\n")
+    assert not lint_source(source, module="repro.metrics.fixture")

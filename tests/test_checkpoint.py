@@ -9,7 +9,6 @@ from repro.coevolution import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.coevolution.genome import Genome
 from tests.conftest import make_quick_config
 
 

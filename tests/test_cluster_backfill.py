@@ -1,6 +1,5 @@
 """Tests for the scheduler's backfill mode."""
 
-import pytest
 
 from repro.cluster import BestEffortScheduler, ResourceRequest, cluster_uy
 from repro.cluster.scheduler import JobState

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.digits import digit_segments
 from repro.data.synthetic import (
     IMAGE_PIXELS,
     SyntheticMNIST,

@@ -1,7 +1,6 @@
 """Tests for the experiment regenerators (fast paths only; the timing
 experiments themselves run under benchmarks/)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import fig1, fig2, fig4, table1, table2

@@ -6,7 +6,6 @@ import pytest
 from repro.config import NetworkSettings, paper_table1_config
 from repro.gan import (
     Discriminator,
-    GANPair,
     Generator,
     build_gan_pair,
     generate_images,

@@ -249,7 +249,6 @@ class TestDynamicNeighborhoods:
         instead of Moore-5 (each cell listens to one clockwise neighbor)."""
         from repro.parallel.grid import Grid
 
-        config = make_quick_config(3, 3, iterations=2)
         # Build the runner, then monkey-patch the master's grid through a
         # custom entry: simpler — rewire by running the sequential
         # equivalent of a ring via Grid payload check.

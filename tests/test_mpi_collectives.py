@@ -2,7 +2,6 @@
 
 import operator
 
-import numpy as np
 import pytest
 
 from repro.mpi import run_mpi

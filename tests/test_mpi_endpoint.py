@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
-from repro.mpi.endpoint import Endpoint, Envelope, SHUTDOWN
+from repro.mpi.endpoint import Endpoint, Envelope
 from repro.mpi.errors import MpiError, MpiTimeoutError
 
 CTX = (0,)

@@ -72,7 +72,6 @@ def _iprobe(comm):
         comm.recv(source=1, tag=4)
         return True
     comm.recv(source=0, tag=4)
-    status = Status()
     comm.send("back", dest=0, tag=4)
     return True
 

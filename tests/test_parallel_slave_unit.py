@@ -7,7 +7,6 @@ from the MPI runtime (which has its own tests).
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.coevolution.genome import Genome
