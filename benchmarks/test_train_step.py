@@ -15,6 +15,10 @@ results):
 * **cell_step_train_phase** — the "train" timer section of one full
   ``Cell.step`` (both fitness tables plus every gradient step), i.e. the
   Table IV row the paper profiles.
+* **train_step_dtype** — the fused train step per dtype policy
+  (``float64``/``float32``/``mixed16``), same seeds and RNG streams per
+  arm; the per-dtype rows record seconds-per-call and the speedup over
+  the float64 reference arm.
 * **telemetry** — the same train step under the ``repro.telemetry`` bus at
   off/basic/trace levels.  The off level is the shipping default and CI
   (``REPRO_BENCH_ASSERT_TELEMETRY=1``) asserts it stays within 2% of the
@@ -177,6 +181,40 @@ def _bench_cell_phase(settings: NetworkSettings, batch: int) -> dict:
     }
 
 
+def _bench_dtypes(settings: NetworkSettings, batch: int) -> dict:
+    """Fused train step per dtype policy; float64 is the reference arm.
+
+    One identically-seeded pair + RNG per arm (the arms differ *only* in
+    dtype), the real batch stays float64 like the dataset pipeline, and
+    arms alternate slot order round to round so frequency ramps cancel.
+    """
+    policies = ("float64", "float32", "mixed16")
+    real = np.random.default_rng(7).standard_normal((batch, settings.output_neurons))
+    arms = {name: (_build_pair(dataclasses.replace(settings, dtype=name)),
+                   np.random.default_rng(42))
+            for name in policies}
+
+    def step(name: str) -> None:
+        pair, rng = arms[name]
+        pair.train_discriminator_step(real, rng)
+        pair.train_generator_step(batch, rng)
+
+    for name in policies:
+        step(name)  # warm caches, per-dtype workspaces, BLAS buffers
+    best = {name: float("inf") for name in policies}
+    for r in range(_ROUNDS):
+        order = policies if r % 2 == 0 else tuple(reversed(policies))
+        for name in order:
+            start = time.perf_counter()
+            for _ in range(_REPS):
+                step(name)
+            best[name] = min(best[name], (time.perf_counter() - start) / _REPS)
+    return {name: {
+        "s_per_call": best[name],
+        "speedup_vs_float64": best["float64"] / best[name],
+    } for name in policies}
+
+
 def _bench_telemetry(settings: NetworkSettings | None = None,
                      batch: int = 100) -> dict:
     """Telemetry cost on the fused train step, per bus level.
@@ -266,6 +304,7 @@ def test_train_step_bench(results_dir):
         "fitness_table": _bench_fitness(_SETTINGS, _BATCH),
         "cell_step_train_phase": _bench_cell_phase(_SETTINGS, _BATCH),
         "overhead_dominated": _bench_train_step(_NARROW, _NARROW_BATCH),
+        "train_step_dtype": _bench_dtypes(_SETTINGS, _BATCH),
     }
     benches["telemetry"] = _bench_telemetry()
     payload = {
@@ -293,6 +332,9 @@ def test_train_step_bench(results_dir):
         assert bench["after_s_per_call"] > 0, name
         assert np.isfinite(bench["speedup"]), name
     assert benches["telemetry"]["off_s_per_call"] > 0
+    for name, row in benches["train_step_dtype"].items():
+        assert row["s_per_call"] > 0, name
+        assert np.isfinite(row["speedup_vs_float64"]), name
 
     # CI's telemetry-off ratchet: with REPRO_BENCH_ASSERT_TELEMETRY=1 the
     # disabled bus must cost at most 2% over the interleaved untraced

@@ -207,6 +207,19 @@ class DeterminismRule(Rule):
     clock on a hot path, or iterating a set where order feeds genome or
     fitness math can silently break that across runs, Python builds, or
     rank counts.
+
+    Scope note — dtype-coercion sites: since dtype became a run-level
+    policy (float64/float32/mixed16), a bare ``np.asarray(x)`` on a
+    genome/parameter path is a determinism hazard of the same family: it
+    silently adopts whatever dtype arrives, so one call site normalizing
+    to float64 while another preserves float32 forks the trajectory
+    between backends.  Such sites must either pass an explicit ``dtype=``
+    or document that preserving the incoming dtype is the contract (see
+    ``Genome.__post_init__`` and ``serialize.vector_to_parameters``).
+    This rule does not auto-flag them — ``np.asarray`` without ``dtype=``
+    is legitimate on shape-only and non-numeric paths — but reviewers of
+    ``coevolution``/``nn``/``gan`` diffs should hold new coercion sites
+    to that standard.
     """
 
     id = "R2"

@@ -98,6 +98,16 @@ class Experiment:
         self._config = dataclasses.replace(self._config, training=training)
         return self
 
+    def dtype(self, name: str) -> "Experiment":
+        """Train under the named dtype policy (``float64``/``float32``/``mixed16``).
+
+        ``float64`` is the bit-identical reference; ``float32`` halves the
+        memory and roughly doubles the training throughput; ``mixed16``
+        computes in float32 and exchanges/stores genomes in float16.
+        """
+        self._config = self._config.with_dtype(name)
+        return self
+
     def exchange(self, mode: str) -> "Experiment":
         """Neighbor-exchange mode for distributed backends
         (``neighbors`` / ``allgather`` / ``async``)."""

@@ -69,7 +69,7 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     """
     from repro.api.experiment import DEFAULT_DATASET
     from repro.config import default_config
-    from repro.registry import BACKENDS, DATASETS, LOSSES
+    from repro.registry import BACKENDS, DATASETS, DTYPES, LOSSES
 
     defaults = default_config()
     parser.add_argument("--grid", type=_parse_grid, metavar="RxC",
@@ -86,6 +86,12 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=defaults.seed)
     parser.add_argument("--loss", choices=sorted(LOSSES.known() | {"mustangs"}),
                         default=defaults.training.loss_function)
+    parser.add_argument("--dtype", choices=sorted(DTYPES.known()),
+                        default=defaults.network.dtype,
+                        help="dtype policy: float64 is the bit-identical "
+                             "reference, float32 roughly doubles training "
+                             "throughput, mixed16 additionally halves "
+                             "genome exchange/checkpoint bytes")
     parser.add_argument("--dataset", choices=sorted(DATASETS.known()),
                         default=DEFAULT_DATASET,
                         help="training corpus (from the dataset registry)")
@@ -180,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--timeout", type=float, default=60.0,
                         help="seconds to wait for the rendezvous (default 60)")
     worker.add_argument("--quiet", action="store_true")
+    worker.add_argument("--dtype", default="float64",
+                        help="dtype policy of the run this worker joins "
+                             "(must match the coordinator's --dtype)")
 
     trace = sub.add_parser("trace", help="summarize a Perfetto trace written "
                                          "by 'repro run --trace'")
@@ -231,6 +240,7 @@ def _build_experiment(args):
     )
     return (Experiment(base)
             .loss(args.loss)
+            .dtype(args.dtype)
             .override(seed=args.seed)
             .dataset(args.dataset)
             .backend(args.backend, **backend_options)
@@ -433,6 +443,7 @@ def _cmd_worker(args) -> int:
         index=args.index,
         timeout=args.timeout,
         quiet=args.quiet,
+        dtype=args.dtype,
     )
 
 

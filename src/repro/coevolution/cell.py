@@ -56,6 +56,7 @@ from repro.nn.autograd import no_grad
 from repro.nn.losses import MUSTANGS_LOSSES
 from repro.nn.serialize import parameters_to_vector, vector_to_parameters
 from repro.profiling import NULL_TIMER, RoutineTimer
+from repro.registry import dtype_policy
 from repro.telemetry import bus as telemetry
 
 __all__ = ["Cell", "CellReport", "NEIGHBORHOOD_SIZE"]
@@ -127,6 +128,12 @@ class Cell:
         #: learning rate travelling with each sub-population member.
         self._sub_lr = [config.mutation.initial_learning_rate] * neighborhood_size
 
+        #: dtype that exchange snapshots (and hence wire payloads and
+        #: checkpoints) are stored in — float16 under ``mixed16``, the
+        #: compute dtype otherwise.
+        self._storage_dtype = np.dtype(
+            dtype_policy(getattr(config.network, "dtype", "float64")).storage)
+
         self.mixture = MixtureWeights.uniform(neighborhood_size)
         self.iteration = 0
         self.reports: list[CellReport] = []
@@ -139,17 +146,25 @@ class Cell:
         """Snapshot the center pair for exchange with neighbors.
 
         Default: one contiguous copy per network (safe to queue on any
-        transport).  ``alias=True`` borrows the live parameter arenas with
-        zero copies — for strictly local, consume-immediately uses such as
-        the sub-population update; never for payloads handed to a
+        transport), quantized to the dtype policy's **storage** dtype —
+        under ``mixed16`` a float16 snapshot of the float32 arena.  The
+        quantization happens here, at the snapshot boundary, so every
+        backend (sequential's in-memory snapshots and the wire payloads of
+        the process/socket transports) exchanges bit-identical vectors.
+
+        ``alias=True`` borrows the live parameter arenas with zero copies
+        and no quantization — for strictly local, consume-immediately uses
+        such as the sub-population update; never for payloads handed to a
         transport, whose sender threads serialize after this method
         returns.
         """
         lr = self.center.learning_rate
-        return (
-            genome_from_network(self.center.generator, lr, self.loss_name, alias=alias),
-            genome_from_network(self.center.discriminator, lr, self.loss_name, alias=alias),
-        )
+        g = genome_from_network(self.center.generator, lr, self.loss_name, alias=alias)
+        d = genome_from_network(self.center.discriminator, lr, self.loss_name, alias=alias)
+        if not alias and g.parameters.dtype != self._storage_dtype:
+            g = Genome(g.parameters.astype(self._storage_dtype), lr, self.loss_name)
+            d = Genome(d.parameters.astype(self._storage_dtype), lr, self.loss_name)
+        return g, d
 
     def _update_subpopulations(self, neighbor_genomes: list[tuple[Genome, Genome]]) -> None:
         """Materialize center + neighbor genomes into the preallocated nets.

@@ -81,10 +81,13 @@ class TrainingCheckpoint:
 def save_checkpoint(path: str | os.PathLike, checkpoint: TrainingCheckpoint) -> None:
     """Write the checkpoint atomically as a compressed ``.npz``.
 
-    The round trip is bit-exact through the parameter arena: genome vectors
-    are raw float64 and npz compression is lossless, and restoring writes
-    them back through :meth:`Genome.write_into` — an in-place contiguous
-    copy into the network's slab.  Genomes that *borrow* a live arena
+    The round trip is bit-exact in the genomes' own dtype: vectors are raw
+    float arrays in the run's *storage* dtype (float64/float32 arenas
+    as-is, float16 snapshots under ``mixed16``), npz compression is
+    lossless and preserves dtype, and restoring writes them back through
+    :meth:`Genome.write_into` — an in-place contiguous copy (widening
+    where the arena's compute dtype is wider) into the network's slab.
+    Genomes that *borrow* a live arena
     (``alias=True`` snapshots) are safe to pass here: the archive writer
     consumes them synchronously, before any further training.
     """

@@ -33,19 +33,27 @@ class Genome:
     Picklable (NumPy vector + plain scalars) so it can cross process
     boundaries through the MPI layer unchanged.
 
-    Aliasing/ownership contract: a **contiguous float64 vector is adopted
-    as-is** — the genome aliases the caller's buffer and never copies it.
-    That is what makes the zero-copy exchange path work (a genome borrowing
-    a network's live :class:`~repro.nn.arena.ParameterArena` slab costs
-    nothing to build), but it also means a caller that keeps training the
-    source network must either pass a copy or consume the genome before the
-    next update (``write_into`` copies immediately, so the common
-    borrow-then-write pattern is safe).  Non-contiguous or non-float64
-    input is normalized with exactly one copy; :meth:`copy` always deep
-    copies.  Contiguity is required so the vector rides the wire as a
-    single out-of-band pickle-5 buffer instead of being escaped (and
-    re-copied) inside the pickle stream.
+    Aliasing/ownership contract: a **contiguous float vector is adopted
+    as-is, in its own dtype** — the genome aliases the caller's buffer,
+    never copies it, and never re-promotes it (a float32 arena snapshot
+    stays float32 through exchange, wire, and checkpoint).  That is what
+    makes the zero-copy exchange path work (a genome borrowing a network's
+    live :class:`~repro.nn.arena.ParameterArena` slab costs nothing to
+    build), but it also means a caller that keeps training the source
+    network must either pass a copy or consume the genome before the next
+    update (``write_into`` copies immediately, so the common
+    borrow-then-write pattern is safe).  Non-contiguous or non-float input
+    is normalized with exactly one copy (non-arrays and non-float dtypes
+    become float64); :meth:`copy` always deep copies.  Contiguity is
+    required so the vector rides the wire as a single out-of-band pickle-5
+    buffer instead of being escaped (and re-copied) inside the pickle
+    stream.
     """
+
+    #: dtypes a genome vector may carry (the storage dtypes of the
+    #: registered policies: float64/float32 arenas, float16 mixed16
+    #: snapshots).
+    FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32), np.dtype(np.float16))
 
     parameters: np.ndarray
     learning_rate: float
@@ -53,11 +61,11 @@ class Genome:
 
     def __post_init__(self) -> None:
         parameters = self.parameters
-        if not isinstance(parameters, np.ndarray) or parameters.dtype != np.float64:
+        if not isinstance(parameters, np.ndarray) or parameters.dtype not in self.FLOAT_DTYPES:
             parameters = np.asarray(parameters, dtype=np.float64)
         if not parameters.flags.c_contiguous:
             # One normalizing copy, only when actually needed — contiguous
-            # float64 input keeps aliasing the caller's buffer.
+            # float input keeps aliasing the caller's buffer (dtype intact).
             parameters = np.ascontiguousarray(parameters)
         self.parameters = parameters
         if self.parameters.ndim != 1:

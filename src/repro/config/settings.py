@@ -21,7 +21,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.registry import BACKENDS, LOSSES
+from repro.registry import BACKENDS, DTYPES, LOSSES
 
 
 class ConfigError(ValueError):
@@ -49,6 +49,13 @@ class NetworkSettings:
     hidden_neurons: int = 256
     output_neurons: int = 784
     activation: str = "tanh"
+    dtype: str = "float64"
+    """Precision policy name (validated against :data:`repro.registry.DTYPES`).
+
+    ``float64`` is the bit-identical reference oracle; ``float32`` halves
+    every slab, GEMM and wire frame; ``mixed16`` additionally stores genome
+    snapshots/frames as float16 while computing in float32.
+    """
 
     def __post_init__(self) -> None:
         _require(self.network_type in {"MLP"}, f"unsupported network type: {self.network_type!r}")
@@ -59,6 +66,10 @@ class NetworkSettings:
         _require(
             self.activation in {"tanh", "relu", "leaky_relu", "sigmoid"},
             f"unsupported activation: {self.activation!r}",
+        )
+        _require(
+            self.dtype in DTYPES,
+            f"unsupported dtype policy: {self.dtype!r}; known: {sorted(DTYPES.known())}",
         )
 
     @property
@@ -210,6 +221,11 @@ class ExperimentConfig:
         coev = dataclasses.replace(self.coevolution, grid_rows=rows, grid_cols=cols)
         execu = dataclasses.replace(self.execution, number_of_tasks=rows * cols + 1)
         return dataclasses.replace(self, coevolution=coev, execution=execu)
+
+    def with_dtype(self, dtype: str) -> "ExperimentConfig":
+        """Return a copy under another precision policy (see ``DTYPES``)."""
+        return dataclasses.replace(
+            self, network=dataclasses.replace(self.network, dtype=dtype))
 
     def scaled(self, *, iterations: int, dataset_size: int, batch_size: int | None = None,
                batches_per_iteration: int | None = None) -> "ExperimentConfig":

@@ -16,15 +16,39 @@ import numpy as np
 from repro.config import NetworkSettings
 from repro.nn import Linear, Module, Sequential, Tensor, activation_module, attach_arena
 from repro.nn.init import xavier_normal
+from repro.registry import dtype_policy
 
 __all__ = ["Generator", "Discriminator", "build_generator", "build_discriminator"]
 
 
+def _compute_dtype(settings: NetworkSettings) -> np.dtype:
+    """The dtype this network's parameters and activations live in.
+
+    The *compute* role of the configured policy: ``mixed16`` networks hold
+    float32 parameters (float16 appears only at storage boundaries — see
+    :class:`repro.registry.DtypePolicy`).
+    """
+    return np.dtype(dtype_policy(getattr(settings, "dtype", "float64")).compute)
+
+
+def _cast_input(x: Tensor, dtype: np.dtype) -> Tensor:
+    """Fold a leaf input batch into the network's compute dtype.
+
+    Latents and real batches are drawn float64 (RNG-stream parity across
+    policies) and narrowed here.  Grad-carrying tensors never need the cast:
+    they were produced by a same-dtype network.
+    """
+    if x.data.dtype == dtype or x.requires_grad:
+        return x
+    return Tensor(x.data.astype(dtype))
+
+
 def _mlp(sizes: list[int], hidden_activation: str, rng: np.random.Generator,
-         final: Module | None) -> Sequential:
+         final: Module | None, dtype: np.dtype) -> Sequential:
     layers: list[Module] = []
     for i in range(len(sizes) - 1):
-        layers.append(Linear(sizes[i], sizes[i + 1], rng, init=xavier_normal))
+        layers.append(Linear(sizes[i], sizes[i + 1], rng, init=xavier_normal,
+                             dtype=dtype))
         if i < len(sizes) - 2:
             layers.append(activation_module(hidden_activation))
     if final is not None:
@@ -43,7 +67,9 @@ class Generator(Module):
             + [settings.hidden_neurons] * settings.hidden_layers
             + [settings.output_neurons]
         )
-        self.net = _mlp(sizes, settings.activation, rng, final=activation_module("tanh"))
+        self.net = _mlp(sizes, settings.activation, rng,
+                        final=activation_module("tanh"),
+                        dtype=_compute_dtype(settings))
         # One contiguous slab per network: genome flattening becomes a
         # single memcpy and the optimizer update one fused sweep.
         attach_arena(self)
@@ -64,7 +90,7 @@ class Generator(Module):
             raise ValueError(
                 f"latent batch must be (n, {self.settings.latent_size}), got {z.shape}"
             )
-        return self.net(z)
+        return self.net(_cast_input(z, _compute_dtype(self.settings)))
 
 
 class Discriminator(Module):
@@ -78,7 +104,8 @@ class Discriminator(Module):
             + [settings.hidden_neurons] * settings.hidden_layers
             + [1]
         )
-        self.net = _mlp(sizes, settings.activation, rng, final=None)
+        self.net = _mlp(sizes, settings.activation, rng, final=None,
+                        dtype=_compute_dtype(settings))
         attach_arena(self)
 
     def layer_recipe(self):
@@ -92,7 +119,7 @@ class Discriminator(Module):
             raise ValueError(
                 f"image batch must be (n, {self.settings.output_neurons}), got {x.shape}"
             )
-        return self.net(x)
+        return self.net(_cast_input(x, _compute_dtype(self.settings)))
 
 
 def build_generator(settings: NetworkSettings, rng: np.random.Generator) -> Generator:

@@ -53,7 +53,12 @@ __all__ = [
 #: Hostnames the coordinator may spawn workers for by itself.
 LOCAL_HOSTNAMES = {"localhost", "127.0.0.1", "::1"}
 
-_WIRE_VERSION = 2  # v2: the hello body is JSON, not pickle
+# v2: the hello body is JSON, not pickle.
+# v3: the hello carries the run's dtype policy; the coordinator rejects
+#     peers whose policy differs (mixed-dtype grids would corrupt genome
+#     exchange silently — a float16 vector widening into a float64 arena
+#     trains a different trajectory than every other cell).
+_WIRE_VERSION = 3
 
 #: Size cap on the pre-auth hello body.  A real hello is ~150 bytes; the
 #: coordinator refuses to buffer more than this for a peer that has not
@@ -175,13 +180,17 @@ class SocketTransport(Transport):
         includes it).
     start_timeout:
         Seconds the rendezvous may take before the launch fails.
+    dtype:
+        Dtype policy name of the run (``float64``/``float32``/``mixed16``).
+        Advertised in the hello handshake; every peer of one run must
+        present the same policy or the coordinator rejects it.
     """
 
     name = "socket"
 
     def __init__(self, size: int, *, hosts: Any = None, bind: str = "127.0.0.1:0",
                  start_timeout: float = 60.0, token: str | None = None,
-                 python: str | None = None):
+                 python: str | None = None, dtype: str = "float64"):
         super().__init__(size)
         self.hosts = parse_host_spec(hosts, size)
         self.bind_host, self.bind_port = parse_address(bind, default_port=0)
@@ -192,6 +201,7 @@ class SocketTransport(Transport):
         # arbitrary peers feeding the run pickled frames.
         self.token = token if token else secrets.token_hex(8)
         self.python = python or sys.executable
+        self.dtype = dtype
         # Contiguous rank blocks in host-spec order: worker i gets
         # ranks[offsets[i] : offsets[i] + slots[i]].
         self._blocks: list[list[int]] = []
@@ -246,7 +256,8 @@ class SocketTransport(Transport):
         return (f"PYTHONPATH=src python -m repro worker "
                 f"--connect {self._format_address(host, port)} "
                 f"--slots {len(self._blocks[index])} --index {index} "
-                f"--token {self.token} --timeout {self.start_timeout}")
+                f"--token {self.token} --timeout {self.start_timeout} "
+                f"--dtype {self.dtype}")
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -323,6 +334,7 @@ class SocketTransport(Transport):
                  "--connect", connect,
                  "--slots", str(slots), "--index", str(index),
                  "--token", self.token, "--quiet",
+                 "--dtype", self.dtype,
                  # The START frame only arrives once *all* workers joined,
                  # so a spawned worker must wait out the same rendezvous
                  # window as the coordinator, not its own 60s default.
@@ -412,6 +424,13 @@ class SocketTransport(Transport):
                 raise wire.WireError(
                     f"wire version mismatch: coordinator {_WIRE_VERSION}, "
                     f"worker {hello.get('version')}")
+            peer_dtype = hello.get("dtype", "float64")
+            if peer_dtype != self.dtype:
+                raise wire.WireError(
+                    f"dtype policy mismatch: coordinator runs "
+                    f"{self.dtype!r}, worker offers {peer_dtype!r} — every "
+                    f"peer of one run must share the dtype policy (start "
+                    f"the worker with --dtype {self.dtype})")
             with lock:
                 if self._shut_down:
                     # The rendezvous timed out (or the job failed) while
@@ -729,7 +748,7 @@ class _WorkerHub:
 
 def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
                 index: int | None = None, timeout: float = 60.0,
-                quiet: bool = False) -> int:
+                quiet: bool = False, dtype: str = "float64") -> int:
     """Entry point of ``repro worker``: host ``slots`` ranks of a socket job.
 
     Connects to the coordinator at ``connect`` (``host:port``), completes
@@ -758,6 +777,7 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
         "index": index,
         "host": socket.gethostname(),
         "pid": os.getpid(),
+        "dtype": dtype,
     }).encode("utf-8")))
     sock.settimeout(timeout)
     try:

@@ -10,7 +10,9 @@ operations are Python loops of small copies; with an arena they collapse to
 one fused vectorized sweep instead of a per-tensor loop.
 
 :class:`ParameterArena` re-homes a module's parameters into a single
-contiguous float64 slab: each parameter's ``.data`` becomes a reshaped view
+contiguous slab in the module's parameter dtype (the configured dtype
+policy's compute dtype — float64 under the reference policy, float32 under
+``float32``/``mixed16``): each parameter's ``.data`` becomes a reshaped view
 into the slab (bit-identical values, same ``named_parameters()`` order the
 genome layout already relies on).  A parallel *gradient slab* — allocated
 lazily, because inference-only networks (e.g. serving ensembles) never need
@@ -50,7 +52,12 @@ _REGISTRY_LOCK = threading.Lock()
 
 
 class ParameterArena:
-    """One contiguous float64 slab backing all parameters of one module."""
+    """One contiguous slab backing all parameters of one module.
+
+    The slab adopts the parameters' own dtype (all of a module's parameters
+    must share one — a mixed-dtype module is a configuration bug and fails
+    loudly here).  The gradient slab always matches the parameter slab.
+    """
 
     __slots__ = ("_data", "_grad", "_tensors", "_names", "_offsets", "_shapes",
                  "__weakref__")
@@ -60,7 +67,12 @@ class ParameterArena:
         if not named:
             raise ValueError("cannot build an arena for a module without parameters")
         total = sum(p.data.size for _, p in named)
-        slab = np.empty(total, dtype=np.float64)
+        dtypes = {p.data.dtype for _, p in named}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"module parameters span multiple dtypes {sorted(map(str, dtypes))}; "
+                "an arena needs exactly one")
+        slab = np.empty(total, dtype=dtypes.pop())
         names: list[str] = []
         offsets: list[int] = []
         shapes: list[tuple[int, ...]] = []
@@ -129,7 +141,7 @@ class ParameterArena:
         accumulated into per-tensor buffers are adopted bit-exactly.
         """
         if self._grad is None:
-            grad = np.zeros(self.size, dtype=np.float64)
+            grad = np.zeros(self.size, dtype=self._data.dtype)
             for tensor, view in zip(self._tensors, self.views_of(grad)):
                 if tensor.grad is not None:
                     view[...] = tensor.grad

@@ -80,10 +80,18 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad
 
 
-def _as_array(value, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+#: Float dtypes a Tensor may carry.  Arrays already in one of these are
+#: adopted as-is (the dtype policy decides what reaches us); anything else
+#: (ints, bools, lists, scalars) normalizes to the float64 default.
+_TENSOR_DTYPES = (np.dtype(np.float64), np.dtype(np.float32), np.dtype(np.float16))
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
     if isinstance(value, np.ndarray):
+        if dtype is None:
+            return value if value.dtype in _TENSOR_DTYPES else value.astype(_DEFAULT_DTYPE)
         return value if value.dtype == dtype else value.astype(dtype)
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -101,12 +109,14 @@ class Tensor:
     # -- construction helpers -------------------------------------------------
 
     @staticmethod
-    def zeros(shape: Sequence[int] | int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+    def zeros(shape: Sequence[int] | int, requires_grad: bool = False,
+              dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad)
 
     @staticmethod
-    def ones(shape: Sequence[int] | int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+    def ones(shape: Sequence[int] | int, requires_grad: bool = False,
+             dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad)
 
     # -- basic protocol --------------------------------------------------------
 
@@ -187,7 +197,7 @@ class Tensor:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar")
             seed = np.ones_like(self.data)
         else:
-            seed = _as_array(grad)
+            seed = _as_array(grad, self.data.dtype)
             if seed.shape != self.data.shape:
                 raise ValueError(f"gradient shape {seed.shape} != tensor shape {self.data.shape}")
 
@@ -246,35 +256,45 @@ class Tensor:
 
     # -- arithmetic -------------------------------------------------------------
 
+    def _wrap(self, other) -> "Tensor":
+        """Wrap a non-Tensor operand in this tensor's dtype.
+
+        Plain scalars and lists would otherwise become float64 0-d arrays,
+        which NEP 50 promotes against float32/float16 tapes — one stray
+        ``t * 0.5`` would silently widen the whole graph.  For float64
+        tensors this is bit-identical to the old unconditional wrap.
+        """
+        return Tensor(_as_array(other, self.data.dtype))
+
     def __add__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         return Tensor._make(self.data + o.data, (self, o), (lambda g: g, lambda g: g))
 
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         return Tensor._make(self.data - o.data, (self, o), (lambda g: g, lambda g: -g))
 
     def __rsub__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         return o.__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         a, b = self.data, o.data
         return Tensor._make(a * b, (self, o), (lambda g: g * b, lambda g: g * a))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         a, b = self.data, o.data
         out = a / b
         return Tensor._make(out, (self, o), (lambda g: g / b, lambda g: -g * out / b))
 
     def __rtruediv__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         return o.__truediv__(self)
 
     def __neg__(self) -> "Tensor":
@@ -289,7 +309,7 @@ class Tensor:
         return Tensor._make(out, (self,), (lambda g: g * p * a ** (p - 1.0),))
 
     def __matmul__(self, other) -> "Tensor":
-        o = other if isinstance(other, Tensor) else Tensor(other)
+        o = other if isinstance(other, Tensor) else self._wrap(other)
         a, b = self.data, o.data
         if a.ndim != 2 or b.ndim != 2:
             raise ValueError(
@@ -338,7 +358,9 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         a = self.data
-        scale = np.where(a > 0, 1.0, negative_slope)
+        # np.where over a bool mask and two python floats yields float64;
+        # fold back to the tape's dtype (a no-op copy=False for float64).
+        scale = np.where(a > 0, 1.0, negative_slope).astype(a.dtype, copy=False)
         return Tensor._make(a * scale, (self,), (lambda g: g * scale,))
 
     def softplus(self) -> "Tensor":

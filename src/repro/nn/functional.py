@@ -49,7 +49,9 @@ def binary_cross_entropy_with_logits(logits, targets) -> Tensor:
     all-fake labels, the GAN case) or an array broadcastable to ``logits``.
     """
     x = _as_tensor(logits)
-    t = _as_tensor(targets)
+    # Scalar labels adopt the logits' dtype (a float64 0-d tensor would
+    # silently promote a float32 tape under NEP 50 promotion rules).
+    t = targets if isinstance(targets, Tensor) else x._wrap(targets)
     per_element = x.softplus() - x * t
     return per_element.mean()
 
@@ -57,7 +59,7 @@ def binary_cross_entropy_with_logits(logits, targets) -> Tensor:
 def mse_loss(prediction, target) -> Tensor:
     """Mean squared error (the least-squares GAN criterion)."""
     p = _as_tensor(prediction)
-    t = _as_tensor(target)
+    t = target if isinstance(target, Tensor) else p._wrap(target)
     diff = p - t
     return (diff * diff).mean()
 

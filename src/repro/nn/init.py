@@ -5,11 +5,16 @@ whole project threads RNGs explicitly so distributed runs are reproducible
 (each grid cell derives its generator from the experiment seed and its cell
 index via ``numpy.random.SeedSequence.spawn``).
 
-Contract: every initializer returns an **owned, C-contiguous**
-:data:`PARAM_DTYPE` (float64) array.  :class:`~repro.nn.arena.ParameterArena`
-relies on this when it adopts freshly initialized parameters into a
-network's contiguous slab — a single dtype means one ``memcpy`` per tensor
-at attach time and exactly one slab dtype forever after.
+Contract: every initializer returns an **owned, C-contiguous** array in the
+requested ``dtype`` (default :data:`PARAM_DTYPE`, float64 — the reference
+policy).  :class:`~repro.nn.arena.ParameterArena` relies on this when it
+adopts freshly initialized parameters into a network's contiguous slab — a
+single dtype per network means one ``memcpy`` per tensor at attach time and
+exactly one slab dtype forever after.
+
+Dtype discipline: every random draw happens in float64 and is *then* cast,
+so the RNG stream consumption is identical across dtype policies — a
+float32 run visits the exact same random sequence as the float64 reference.
 """
 
 from __future__ import annotations
@@ -19,45 +24,51 @@ import numpy as np
 __all__ = ["PARAM_DTYPE", "normal_init", "xavier_uniform", "xavier_normal",
            "kaiming_normal", "zeros_init"]
 
-#: The one parameter dtype of the whole system (autograd, arenas, genomes).
+#: The reference parameter dtype (the ``float64`` policy; see
+#: :data:`repro.registry.DTYPES` for the others).
 PARAM_DTYPE = np.float64
 
 
-def _as_param(values: np.ndarray) -> np.ndarray:
+def _as_param(values: np.ndarray, dtype) -> np.ndarray:
     """Normalize an initializer's draw to the arena-adoptable form."""
-    return np.ascontiguousarray(values, dtype=PARAM_DTYPE)
+    return np.ascontiguousarray(values, dtype=dtype)
 
 
-def normal_init(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+def normal_init(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02,
+                dtype=PARAM_DTYPE) -> np.ndarray:
     """Gaussian init with fixed standard deviation (DCGAN-style default)."""
-    return _as_param(rng.normal(0.0, std, size=shape))
+    return _as_param(rng.normal(0.0, std, size=shape), dtype)
 
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0,
+                   dtype=PARAM_DTYPE) -> np.ndarray:
     """Glorot uniform init; assumes ``shape == (fan_in, fan_out)``."""
     fan_in, fan_out = _fans(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return _as_param(rng.uniform(-limit, limit, size=shape))
+    return _as_param(rng.uniform(-limit, limit, size=shape), dtype)
 
 
-def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0,
+                  dtype=PARAM_DTYPE) -> np.ndarray:
     """Glorot normal init; assumes ``shape == (fan_in, fan_out)``."""
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return _as_param(rng.normal(0.0, std, size=shape))
+    return _as_param(rng.normal(0.0, std, size=shape), dtype)
 
 
-def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator,
+                   negative_slope: float = 0.0, dtype=PARAM_DTYPE) -> np.ndarray:
     """He init for (leaky-)ReLU layers; assumes ``shape == (fan_in, fan_out)``."""
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0 / (1.0 + negative_slope ** 2))
     std = gain / np.sqrt(fan_in)
-    return _as_param(rng.normal(0.0, std, size=shape))
+    return _as_param(rng.normal(0.0, std, size=shape), dtype)
 
 
-def zeros_init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+def zeros_init(shape: tuple[int, ...], rng: np.random.Generator | None = None,
+               dtype=PARAM_DTYPE) -> np.ndarray:
     """All-zeros init (biases)."""
-    return np.zeros(shape, dtype=PARAM_DTYPE)
+    return np.zeros(shape, dtype=dtype)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -34,6 +34,15 @@ training trajectory).  The rules that make this work:
   step_blocked` — the same elementwise pipeline, cache-blocked (elementwise
   ops have no cross-element interaction, so blocking cannot change bits).
 
+Precision: kernels inherit the network's compute dtype from its arena slab
+(the configured dtype policy; see :data:`repro.registry.DTYPES`).  The
+tape-vs-kernel bit-identity above is asserted for the float64 reference
+policy; float32/``mixed16`` runs instead pin *per-dtype determinism* —
+same seed, same dtype, same trajectory across all backends — with their
+own golden hashes.  Workspaces are keyed by dtype (it is part of the
+kernel signature), so same-topology networks under different policies
+never share buffers.
+
 Fallback contract
 -----------------
 ``kernel_for`` returns ``None`` — and every ``fused_*`` entry point
@@ -212,14 +221,16 @@ class _Workspace:
     batched fitness table — pay half the footprint.
     """
 
-    __slots__ = ("_in_dim", "_dims", "_n", "acts", "_grads", "_x_stack",
-                 "_w_scratch", "_b_scratch")
+    __slots__ = ("_in_dim", "_dims", "_n", "_dtype", "acts", "_grads",
+                 "_x_stack", "_w_scratch", "_b_scratch")
 
-    def __init__(self, in_dim: int, dims: tuple[int, ...], n: int) -> None:
+    def __init__(self, in_dim: int, dims: tuple[int, ...], n: int,
+                 dtype: np.dtype) -> None:
         self._in_dim = in_dim
         self._dims = dims
         self._n = n
-        self.acts = [np.empty((n, d)) for d in dims]
+        self._dtype = dtype
+        self.acts = [np.empty((n, d), dtype=dtype) for d in dims]
         self._grads: list[np.ndarray] | None = None
         self._x_stack: np.ndarray | None = None
         self._w_scratch: list[np.ndarray] | None = None
@@ -228,20 +239,21 @@ class _Workspace:
     @property
     def grads(self) -> list[np.ndarray]:
         if self._grads is None:
-            self._grads = [np.empty((self._n, d)) for d in self._dims]
+            self._grads = [np.empty((self._n, d), dtype=self._dtype)
+                           for d in self._dims]
         return self._grads
 
     @property
     def x_stack(self) -> np.ndarray:
         if self._x_stack is None:
-            self._x_stack = np.empty((self._n, self._in_dim))
+            self._x_stack = np.empty((self._n, self._in_dim), dtype=self._dtype)
         return self._x_stack
 
     @property
     def w_scratch(self) -> list[np.ndarray]:
         if self._w_scratch is None:
             self._w_scratch = [
-                np.empty((prev, d))
+                np.empty((prev, d), dtype=self._dtype)
                 for prev, d in zip((self._in_dim,) + self._dims[:-1], self._dims)
             ]
         return self._w_scratch
@@ -249,16 +261,20 @@ class _Workspace:
     @property
     def b_scratch(self) -> list[np.ndarray]:
         if self._b_scratch is None:
-            self._b_scratch = [np.empty(d) for d in self._dims]
+            self._b_scratch = [np.empty(d, dtype=self._dtype) for d in self._dims]
         return self._b_scratch
 
 
-def _workspace(signature: tuple, in_dim: int, dims: tuple[int, ...], n: int) -> _Workspace:
+def _workspace(signature: tuple, in_dim: int, dims: tuple[int, ...], n: int,
+               dtype: np.dtype) -> _Workspace:
+    # The dtype rides in ``signature`` (see ``FusedStepKernel.signature``),
+    # so a float32 and a float64 network with the same topology never share
+    # buffers; it is still passed here for the allocation itself.
     pools = _WORKSPACES.pools
     key = (signature, n)
     ws = pools.get(key)
     if ws is None:
-        ws = _Workspace(in_dim, dims, n)
+        ws = _Workspace(in_dim, dims, n, dtype)
         pools[key] = ws
         while len(pools) > _WORKSPACE_CACHE_LIMIT:
             pools.popitem(last=False)
@@ -290,7 +306,7 @@ class FusedStepKernel:
     slabs) in memory forever.
     """
 
-    __slots__ = ("arena", "steps", "in_dim", "dims", "signature",
+    __slots__ = ("arena", "steps", "in_dim", "dims", "dtype", "signature",
                  "__weakref__")
 
     def __init__(self, module: Module, recipe) -> None:
@@ -301,7 +317,8 @@ class FusedStepKernel:
         self.steps = list(recipe)
         self.in_dim = self.steps[0][0].in_features
         self.dims = tuple(linear.out_features for linear, _, _ in self.steps)
-        self.signature = (self.in_dim,) + tuple(
+        self.dtype = arena.data.dtype
+        self.signature = (self.in_dim, str(self.dtype)) + tuple(
             (linear.out_features, act, slope) for linear, act, slope in self.steps
         )
         # The recipe must cover the arena exactly: the backward writes into
@@ -316,7 +333,13 @@ class FusedStepKernel:
     # -- forward ------------------------------------------------------------
 
     def workspace(self, n: int) -> _Workspace:
-        return _workspace(self.signature, self.in_dim, self.dims, n)
+        return _workspace(self.signature, self.in_dim, self.dims, n, self.dtype)
+
+    def as_compute(self, a: np.ndarray) -> np.ndarray:
+        """Batches/latents are drawn float64 (RNG-stream parity across
+        policies); narrow them here so every GEMM stays on the homogeneous
+        BLAS path.  A no-op under the float64 reference policy."""
+        return a if a.dtype == self.dtype else a.astype(self.dtype)
 
     def forward(self, x: np.ndarray, ws: _Workspace | None = None,
                 final_out: np.ndarray | None = None,
@@ -745,8 +768,8 @@ def fused_discriminator_step(discriminator, generator, loss: GANLoss,
     n = real_batch.shape[0]
     ws = d_kernel.workspace(2 * n)
     x = ws.x_stack
-    x[:n] = real_batch
-    z = sample_latent(n, g_kernel.in_dim, rng)
+    x[:n] = real_batch  # assignment casts into the stack's compute dtype
+    z = g_kernel.as_compute(sample_latent(n, g_kernel.in_dim, rng))
     # The generator writes its final activation straight into the stack.
     g_kernel.forward(z, final_out=x[n:])
 
@@ -793,7 +816,7 @@ def fused_generator_step(generator, discriminator, loss: GANLoss,
         # Discriminator, but reachable through custom modules) would
         # clobber each other's live activations here — fall back.
         return None
-    z = sample_latent(n, g_kernel.in_dim, rng)
+    z = g_kernel.as_compute(sample_latent(n, g_kernel.in_dim, rng))
     fake = g_kernel.forward(z, ws=g_ws)
     logits = d_kernel.forward(fake, ws=d_ws)
     value = l_kernel.g_value(logits)
@@ -821,7 +844,7 @@ def fused_generator_value(discriminator, loss: GANLoss,
     l_kernel = loss_kernel_for(loss)
     if d_kernel is None or l_kernel is None:
         return None
-    return l_kernel.g_value(d_kernel.forward(samples))
+    return l_kernel.g_value(d_kernel.forward(d_kernel.as_compute(samples)))
 
 
 def fused_sample_images(generator, n: int, rng: np.random.Generator,
@@ -840,10 +863,10 @@ def fused_sample_images(generator, n: int, rng: np.random.Generator,
         return None
     from repro.gan.sampling import sample_latent
 
-    out = np.empty((n, kernel.dims[-1]))
+    out = np.empty((n, kernel.dims[-1]), dtype=kernel.dtype)
     for lo in range(0, n, batch):
         count = min(batch, n - lo)
-        z = sample_latent(count, kernel.in_dim, rng)
+        z = kernel.as_compute(sample_latent(count, kernel.in_dim, rng))
         kernel.forward(z, final_out=out[lo:lo + count])
     return out
 
@@ -874,12 +897,14 @@ def fused_fitness_table(generators, discriminators, loss: GANLoss,
         return None
     if any(k.in_dim != features or k.dims[-1] != 1 for k in d_kernels):
         return None
+    if len({k.dtype for k in (*g_kernels, *d_kernels)}) != 1:
+        return None  # mixed-precision neighborhoods take the autograd path
 
     s = len(g_kernels)
     n = real_batch.shape[0]
     # One draw for all s batches: same stream order as s separate draws.
-    z_all = rng.standard_normal((s, n, latent))
-    stack = np.empty((s * n + n, features))
+    z_all = g_kernels[0].as_compute(rng.standard_normal((s, n, latent)))
+    stack = np.empty((s * n + n, features), dtype=d_kernels[0].dtype)
     for i, gk in enumerate(g_kernels):
         gk.forward(z_all[i], final_out=stack[i * n:(i + 1) * n])
     stack[s * n:] = real_batch

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.nn.arena import arena_of
 from repro.nn.autograd import Tensor
-from repro.nn.init import xavier_normal, zeros_init
+from repro.nn.init import PARAM_DTYPE, xavier_normal, zeros_init
 
 __all__ = [
     "Module",
@@ -85,12 +85,20 @@ class Linear(Module):
     """Affine layer ``y = x W + b`` with ``W`` of shape ``(in, out)``."""
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
-                 init: Callable[..., np.ndarray] = xavier_normal, bias: bool = True):
+                 init: Callable[..., np.ndarray] = xavier_normal, bias: bool = True,
+                 dtype=None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Tensor(init((in_features, out_features), rng), requires_grad=True)
-        self.bias = Tensor(zeros_init((out_features,)), requires_grad=True) if bias else None
+        dtype = np.dtype(dtype) if dtype is not None else np.dtype(PARAM_DTYPE)
+        # Only non-default dtypes pass the keyword, so arbitrary custom init
+        # callables (the documented ``(shape, rng) -> ndarray`` contract)
+        # keep working under the float64 reference policy.
+        weight = (init((in_features, out_features), rng) if dtype == PARAM_DTYPE
+                  else init((in_features, out_features), rng, dtype=dtype))
+        self.weight = Tensor(np.ascontiguousarray(weight, dtype=dtype), requires_grad=True)
+        self.bias = (Tensor(zeros_init((out_features,), dtype=dtype), requires_grad=True)
+                     if bias else None)
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight

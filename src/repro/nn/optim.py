@@ -55,8 +55,9 @@ class Optimizer:
         if arena is not None:
             arena.ensure_grads()
 
-    #: span length (elements) of :meth:`step_blocked`; ~256 KiB of float64
-    #: per slab slice keeps one span's working set cache-resident.
+    #: span length (elements) of :meth:`step_blocked`; ~256 KiB per slab
+    #: slice at float64 (half that at float32) keeps one span's working
+    #: set cache-resident.
     BLOCK_ELEMS = 32_768
 
     def zero_grad(self) -> None:
@@ -112,7 +113,7 @@ class Optimizer:
         genomes migrate between cells) format-compatible either way.
         """
         assert self.arena is not None
-        flat = np.zeros(self.arena.size, dtype=np.float64)
+        flat = np.zeros(self.arena.size, dtype=self.arena.data.dtype)
         return flat, self.arena.views_of(flat)
 
     # -- state (de)serialization; used when genomes migrate between cells ----
@@ -144,7 +145,7 @@ class SGD(Optimizer):
         else:
             self._velocity = [np.zeros_like(p.data) for p in self.parameters]
         if self.arena is not None:
-            self._scratch = np.empty(self.arena.size, dtype=np.float64)
+            self._scratch = np.empty(self.arena.size, dtype=self.arena.data.dtype)
 
     def _prepare_update(self):
         return self.learning_rate
@@ -217,8 +218,8 @@ class Adam(Optimizer):
         if self.arena is not None:
             self._m_flat, self._m = self._flat_state()
             self._v_flat, self._v = self._flat_state()
-            self._scratch = np.empty(self.arena.size, dtype=np.float64)
-            self._scratch2 = np.empty(self.arena.size, dtype=np.float64)
+            self._scratch = np.empty(self.arena.size, dtype=self.arena.data.dtype)
+            self._scratch2 = np.empty(self.arena.size, dtype=self.arena.data.dtype)
         else:
             self._m = [np.zeros_like(p.data) for p in self.parameters]
             self._v = [np.zeros_like(p.data) for p in self.parameters]
@@ -306,8 +307,8 @@ class RMSprop(Optimizer):
         self.eps = eps
         if self.arena is not None:
             self._sq_flat, self._sq = self._flat_state()
-            self._scratch = np.empty(self.arena.size, dtype=np.float64)
-            self._scratch2 = np.empty(self.arena.size, dtype=np.float64)
+            self._scratch = np.empty(self.arena.size, dtype=self.arena.data.dtype)
+            self._scratch2 = np.empty(self.arena.size, dtype=self.arena.data.dtype)
         else:
             self._sq = [np.zeros_like(p.data) for p in self.parameters]
 

@@ -63,7 +63,7 @@ def _scatter_loop(vector: np.ndarray, module: Module) -> None:
 
 def parameters_to_vector(module: Module, out: np.ndarray | None = None, *,
                          alias: bool = False) -> np.ndarray:
-    """Concatenate all parameters into one flat float64 vector.
+    """Concatenate all parameters into one flat vector (the module's dtype).
 
     ``out`` may be a preallocated buffer of the right size (the distributed
     runner reuses one buffer per neighbor to avoid per-iteration allocation).
@@ -90,23 +90,30 @@ def parameters_to_vector(module: Module, out: np.ndarray | None = None, *,
             raise ValueError(f"buffer shape {out.shape} != {data.shape}")
         np.copyto(out, data)
         return out
-    total = sum(p.size for p in module.parameters())
+    params = module.parameters()
+    total = sum(p.size for p in params)
     if out is None:
-        out = np.empty(total, dtype=np.float64)
+        out = np.empty(total, dtype=params[0].data.dtype if params else np.float64)
     elif out.shape != (total,):
         raise ValueError(f"buffer shape {out.shape} != ({total},)")
     return _flatten_loop(module, out)
 
 
 def vector_to_parameters(vector: np.ndarray, module: Module) -> None:
-    """Write a flat vector back into the module's parameters (in place)."""
-    vector = np.asarray(vector, dtype=np.float64)
+    """Write a flat vector back into the module's parameters (in place).
+
+    The incoming vector may be in a *storage* dtype narrower than the
+    module's parameters (a float16 ``mixed16`` genome into a float32
+    arena): the in-place copies widen it.  The cast is explicit and local —
+    the arena's own dtype never changes.
+    """
+    vector = np.asarray(vector)
     arena = arena_of(module)
     if arena is not None:
         if vector.shape != (arena.size,):
             raise ValueError(f"vector shape {vector.shape} != ({arena.size},)")
         if vector is not arena.data:  # self-assignment: already in place
-            np.copyto(arena.data, vector)
+            np.copyto(arena.data, vector, casting="unsafe")
         return
     total = sum(p.size for p in module.parameters())
     if vector.shape != (total,):
@@ -135,7 +142,7 @@ def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
     if missing or unexpected:
         raise KeyError(f"state dict mismatch; missing={sorted(missing)} unexpected={sorted(unexpected)}")
     for name, param in own.items():
-        value = np.asarray(state[name], dtype=np.float64)
+        value = np.asarray(state[name], dtype=param.data.dtype)
         if value.shape != param.data.shape:
             raise ValueError(f"shape mismatch for {name}: {value.shape} != {param.data.shape}")
         param.data[...] = value

@@ -280,6 +280,11 @@ class DistributedRunner:
                 options.setdefault("hosts", self.hosts)
             if self.bind is not None:
                 options.setdefault("bind", self.bind)
+        if self.backend == "socket":
+            # The socket handshake advertises the run's dtype policy so
+            # mixed-dtype peers are rejected at rendezvous, not after they
+            # corrupt a genome exchange.
+            options.setdefault("dtype", self.config.network.dtype)
         return options
 
     def run(self) -> DistributedResult:

@@ -24,6 +24,7 @@ imported when first created — name lookups (config validation, CLI
 from __future__ import annotations
 
 import importlib
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 __all__ = [
@@ -32,9 +33,13 @@ __all__ = [
     "BackendRegistry",
     "DatasetRegistry",
     "LossRegistry",
+    "DtypeRegistry",
+    "DtypePolicy",
     "BACKENDS",
     "DATASETS",
     "LOSSES",
+    "DTYPES",
+    "dtype_policy",
 ]
 
 
@@ -139,6 +144,42 @@ class DatasetRegistry(Registry):
     """Training datasets: factories ``(config) -> ArrayDataset``."""
 
 
+@dataclass(frozen=True)
+class DtypePolicy:
+    """A run-level precision policy: one name, two dtype roles.
+
+    * ``compute`` — the dtype parameters, gradients, optimizer state and
+      kernel workspaces live in.  Every GEMM and every optimizer moment
+      accumulates here.
+    * ``storage`` — the dtype genome vectors take at *storage boundaries*:
+      exchange snapshots, wire frames, checkpoints.  ``mixed16`` narrows to
+      float16 there (halving exchange bytes again) while computing in
+      float32; the other policies store and compute in the same dtype.
+
+    Dtypes are numpy dtype *names* (strings), not numpy objects — this
+    module stays a leaf with no numpy import.
+    """
+
+    name: str
+    compute: str
+    storage: str
+
+    def __call__(self) -> "DtypePolicy":
+        # Policies are their own zero-arg factories so plain instances can
+        # be registered: ``DTYPES.create(name)`` returns the policy itself.
+        return self
+
+
+class DtypeRegistry(Registry):
+    """Precision policies: ``float64`` | ``float32`` | ``mixed16``.
+
+    ``NetworkSettings.dtype`` validates against this registry and every
+    layer (arena slabs, fused kernels, optimizer state, the socket wire
+    handshake) resolves its dtype through the named policy, so a custom
+    policy is one ``register()`` call away like any backend or loss.
+    """
+
+
 class LossRegistry(Registry):
     """GAN losses: factories ``() -> GANLoss`` (usually the loss class).
 
@@ -162,3 +203,13 @@ LOSSES = LossRegistry("loss")
 LOSSES.register_lazy("bce", "repro.nn.losses:BCELoss")
 LOSSES.register_lazy("mse", "repro.nn.losses:LeastSquaresLoss")
 LOSSES.register_lazy("heuristic", "repro.nn.losses:HeuristicLoss")
+
+DTYPES = DtypeRegistry("dtype")
+DTYPES.register("float64", DtypePolicy("float64", compute="float64", storage="float64"))
+DTYPES.register("float32", DtypePolicy("float32", compute="float32", storage="float32"))
+DTYPES.register("mixed16", DtypePolicy("mixed16", compute="float32", storage="float16"))
+
+
+def dtype_policy(name: str) -> DtypePolicy:
+    """Resolve a policy name to its :class:`DtypePolicy` (loud on unknowns)."""
+    return DTYPES.create(name)

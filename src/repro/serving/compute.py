@@ -28,6 +28,7 @@ import numpy as np
 from repro.gan.networks import Generator
 from repro.nn import Tensor
 from repro.nn.autograd import no_grad
+from repro.registry import dtype_policy
 
 __all__ = ["MIN_GEMM_ROWS", "SamplePlan", "build_plan", "forward_rows", "assemble"]
 
@@ -80,18 +81,25 @@ def forward_rows(generator: Generator, latents: np.ndarray,
     Results are bitwise independent of how rows are grouped into calls, so
     the engine may stack many requests' latents into one pass and slice the
     output apart afterwards.
+
+    Serving inherits the servable's dtype policy: latents (drawn float64
+    for RNG-stream parity) are cast to the generator's compute dtype once
+    per chunk, and the output lands in that dtype.
     """
     n = latents.shape[0]
     out_width = generator.settings.output_neurons
+    dtype = np.dtype(dtype_policy(
+        getattr(generator.settings, "dtype", "float64")).compute)
     if n == 0:
-        return np.empty((0, out_width))
-    out = np.empty((n, out_width))
+        return np.empty((0, out_width), dtype=dtype)
+    out = np.empty((n, out_width), dtype=dtype)
     with no_grad():
         for lo in range(0, n, chunk):
-            block = latents[lo:lo + chunk]
+            block = np.ascontiguousarray(latents[lo:lo + chunk], dtype=dtype)
             rows = block.shape[0]
             if rows < MIN_GEMM_ROWS:
-                pad = np.zeros((MIN_GEMM_ROWS - rows, block.shape[1]))
+                pad = np.zeros((MIN_GEMM_ROWS - rows, block.shape[1]),
+                               dtype=dtype)
                 block = np.concatenate([block, pad], axis=0)
             out[lo:lo + rows] = generator(Tensor(block)).numpy()[:rows]
     return out
