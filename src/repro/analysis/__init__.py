@@ -56,6 +56,15 @@ inherit memory but not threads.
 use time; process-level env policy lives in ``repro.runtime``.  Deliberate
 import-time kill switches are pragma'd.
 
+**Retry discipline (R9).**  Transient-network retry lives in
+``repro.mpi.backoff`` and nowhere else: bounded attempts, exponential
+delay, jitter, counted through ``TransportStats``.  A loop that calls a
+socket primitive, swallows the ``OSError``/``WireError`` and goes around
+again is an unbounded invisible retry — it masks dead peers from the
+heartbeat layer and un-jittered reconnects stampede the coordinator.
+Timeout polls (``MpiTimeoutError``) and ``accept()`` loops are not
+retries and are not flagged.
+
 Pragma syntax
 -------------
 

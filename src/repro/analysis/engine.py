@@ -164,7 +164,7 @@ def lint_paths(paths: list[str], *, baseline: Baseline | None = None,
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Project-invariant static analysis (rules R1-R8; see "
+        description="Project-invariant static analysis (rules R1-R9; see "
                     "repro.analysis for the invariants)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],

@@ -1,4 +1,4 @@
-"""The project-invariant rules (R1–R8), each grounded in a real bug class.
+"""The project-invariant rules (R1–R9), each grounded in a real bug class.
 
 Every rule documents the incident or contract it machine-checks; the
 history lives in ``CHANGES.md`` and the invariant statements in
@@ -592,6 +592,122 @@ class EnvAtImportRule(Rule):
         return False
 
 
+# --------------------------------------------------------------------------
+# R9: socket retry loops belong to repro.mpi.backoff.
+# --------------------------------------------------------------------------
+
+class BareSocketRetryRule(Rule):
+    """Hand-rolled socket retry loops hide real failures and stampede peers.
+
+    The fault-tolerance PR centralized transient-network retry in
+    :mod:`repro.mpi.backoff` (bounded attempts, exponential delay, jitter,
+    counted via ``TransportStats.count_send_retry``).  A loop that calls a
+    socket primitive, swallows the ``OSError``/``WireError`` it raises and
+    goes around again is an unbounded, unjittered, uncounted retry — it
+    masks dead peers from the heartbeat layer and synchronized reconnect
+    storms are exactly what the backoff jitter exists to prevent.  Use
+    :func:`repro.mpi.backoff.with_backoff` / ``retry_connect`` instead.
+
+    Not flagged: handlers that escape the loop (``break``/``return``/
+    ``raise``), polling loops catching ``MpiTimeoutError`` (a timeout poll
+    is not a failure retry), and ``accept()`` loops (a server accepting the
+    next client is not retrying a failed operation).
+    """
+
+    id = "R9"
+    slug = "bare-socket-retry"
+    severity = "error"
+    description = "hand-rolled socket retry loop outside repro.mpi.backoff"
+
+    _SOCKET_ATTRS = {"send", "sendall", "sendmsg", "recv", "recv_into",
+                     "recvfrom", "connect", "connect_ex"}
+    _SOCKET_CALLS = {
+        "socket.create_connection",
+        "repro.mpi.wire.write_frame",
+        "repro.mpi.wire.read_frame",
+    }
+    #: resolved exception names whose swallowing makes the loop a retry.
+    _SWALLOWED = {
+        "OSError", "IOError", "ConnectionError", "ConnectionResetError",
+        "ConnectionRefusedError", "ConnectionAbortedError",
+        "BrokenPipeError", "TimeoutError", "InterruptedError",
+        "socket.error", "socket.timeout", "socket.gaierror",
+        "repro.mpi.wire.WireError", "repro.mpi.errors.MpiError",
+        "Exception", "BaseException",
+    }
+
+    def applies(self, ctx: FileContext) -> bool:
+        # The sanctioned home of retry loops is exempt by construction.
+        return ctx.module != "repro.mpi.backoff"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            if not self._in_retry_loop(ctx, node):
+                continue
+            if not self._try_does_socket_io(ctx, node):
+                continue
+            if any(self._handler_swallows(ctx, handler)
+                   for handler in node.handlers):
+                out.append(self.finding(
+                    ctx, node,
+                    "socket operation retried by a bare loop (exception "
+                    "swallowed, loop continues) — unbounded, unjittered and "
+                    "invisible to TransportStats; route the retry through "
+                    "repro.mpi.backoff (with_backoff/retry_connect)",
+                ))
+        return out
+
+    def _in_retry_loop(self, ctx: FileContext, node: ast.AST) -> bool:
+        """Enclosing while loop, or a for-over-range attempt counter.
+
+        ``for conn in connections:`` fan-outs are not retries — the loop
+        visits different peers, it does not repeat a failed operation.
+        The walk stops at function boundaries: a callback *defined* inside
+        a loop runs once per call, not once per loop pass.
+        """
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                return False
+            if isinstance(ancestor, ast.While):
+                return True
+            if isinstance(ancestor, ast.For):
+                iterable = ancestor.iter
+                if (isinstance(iterable, ast.Call)
+                        and resolve_call(ctx, iterable.func) == "range"):
+                    return True
+        return False
+
+    def _try_does_socket_io(self, ctx: FileContext, node: ast.Try) -> bool:
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if (isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in self._SOCKET_ATTRS):
+                    return True
+                if resolve_call(ctx, sub.func) in self._SOCKET_CALLS:
+                    return True
+        return False
+
+    def _handler_swallows(self, ctx: FileContext, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            caught = True  # bare except: swallows everything
+        else:
+            types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                     else [handler.type])
+            caught = any(resolve_call(ctx, t) in self._SWALLOWED for t in types)
+        if not caught:
+            return False
+        # An escaping handler ends the loop — that is failure handling,
+        # not a retry.
+        return not any(isinstance(sub, (ast.Raise, ast.Break, ast.Return))
+                       for stmt in handler.body for sub in ast.walk(stmt))
+
+
 def ALL_RULES() -> list[Rule]:
     """Fresh instances of every per-file rule (R6 is added by the engine)."""
     return [
@@ -602,4 +718,5 @@ def ALL_RULES() -> list[Rule]:
         TelemetryGuardRule(),
         ForkSafetyRule(),
         EnvAtImportRule(),
+        BareSocketRetryRule(),
     ]

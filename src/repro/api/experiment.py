@@ -57,6 +57,9 @@ class Experiment:
         self._checkpoint = None
         self._telemetry_level: str | None = None
         self._trace_path: str | os.PathLike | None = None
+        self._fault_policy: str = "abort"
+        self._max_restarts: int = 0
+        self._snapshot_every: int | None = None
 
     # -- alternate starting points ----------------------------------------
 
@@ -147,6 +150,33 @@ class Experiment:
         self._dataset_options = dict(options)
         return self
 
+    def fault_policy(self, policy: str = "abort", *, max_restarts: int = 0,
+                     snapshot_every: int | None = None) -> "Experiment":
+        """Choose what a distributed run does when a rank dies mid-run.
+
+        ``abort`` (the default) keeps the legacy contract: survivors are
+        stopped and the run reports the dead ranks.  ``degrade`` finishes the
+        run with the dead ranks' cells frozen at their last checkpoint
+        (:attr:`RunResult.degraded_ranks` names them).  ``recover`` migrates
+        the dead ranks' cells onto surviving slaves — or, on the socket
+        backend with ``max_restarts > 0``, onto freshly respawned replacement
+        workers — and resumes them from their latest in-run checkpoint.
+
+        ``snapshot_every`` is the per-cell checkpoint cadence in iterations
+        (default: every iteration for non-abort policies, off for abort —
+        the abort default keeps the no-fault message flow byte-identical to
+        runs without recovery enabled).
+        """
+        from repro.parallel.recovery import validate_fault_policy
+
+        validate_fault_policy(policy)
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self._fault_policy = policy
+        self._max_restarts = max_restarts
+        self._snapshot_every = snapshot_every
+        return self
+
     def profile(self, enabled: bool = True) -> "Experiment":
         """Record the per-routine Table IV profile during the run."""
         self._profile = enabled
@@ -229,7 +259,20 @@ class Experiment:
     def run(self) -> RunResult:
         """Resolve backend + dataset, drive the run loop, return the result."""
         config = self.config
-        backend = BACKENDS.create(config.execution.backend, **self._backend_options)
+        options = dict(self._backend_options)
+        fault_requested = (self._fault_policy != "abort" or self._max_restarts
+                           or self._snapshot_every is not None)
+        if fault_requested:
+            if config.execution.backend == "sequential":
+                raise ValueError(
+                    "fault_policy applies to distributed backends; the "
+                    "'sequential' backend has no ranks to lose")
+            options.setdefault("fault_policy", self._fault_policy)
+            if self._max_restarts:
+                options.setdefault("max_restarts", self._max_restarts)
+            if self._snapshot_every is not None:
+                options.setdefault("snapshot_every", self._snapshot_every)
+        backend = BACKENDS.create(config.execution.backend, **options)
         if not isinstance(backend, TrainerBackend):
             raise TypeError(
                 f"backend factory for {config.execution.backend!r} produced "

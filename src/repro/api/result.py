@@ -84,6 +84,36 @@ class RunResult:
         return list(self.distributed.dead_ranks) if self.distributed is not None else []
 
     @property
+    def fault_policy(self) -> str:
+        """The fault policy the run executed under (``abort`` when the
+        substrate has no ranks to lose)."""
+        return (self.distributed.fault_policy
+                if self.distributed is not None else "abort")
+
+    @property
+    def degraded_ranks(self) -> list[int]:
+        """Dead ranks whose cells finished frozen at their last checkpoint."""
+        if self.distributed is not None:
+            return list(self.distributed.degraded_ranks)
+        return []
+
+    @property
+    def recovered_ranks(self) -> list[int]:
+        """Dead ranks whose cells were trained to completion anyway."""
+        if self.distributed is not None:
+            return list(self.distributed.recovered_ranks)
+        return []
+
+    @property
+    def ok(self) -> bool:
+        """Did the run deliver what its fault policy promises?
+
+        Sequential runs are always ok; distributed runs defer to
+        :attr:`DistributedResult.ok` (abort: no deaths; degrade: frozen
+        cells are the contract; recover: every lost cell recovered)."""
+        return self.distributed.ok if self.distributed is not None else True
+
+    @property
     def traces(self) -> list:
         """Event traces of a traced distributed run (empty otherwise)."""
         return list(self.distributed.traces) if self.distributed is not None else []
@@ -148,7 +178,14 @@ class RunResult:
 
     def summary(self) -> str:
         """One line for CLI/log output."""
-        status = "complete" if self.complete else f"dead ranks {self.dead_ranks}"
+        if self.complete:
+            status = "complete"
+        elif self.recovered_ranks or self.degraded_ranks:
+            status = (f"dead ranks {self.dead_ranks} "
+                      f"(recovered {self.recovered_ranks}, "
+                      f"degraded {self.degraded_ranks})")
+        else:
+            status = f"dead ranks {self.dead_ranks}"
         early = ", stopped early" if self.stopped_early else ""
         return (f"{self.backend} run: {self.iterations_run} iteration(s) in "
                 f"{self.wall_time_s:.2f}s, {status}{early}, "

@@ -120,6 +120,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="train a grid of GANs")
     _add_experiment_arguments(run)
+    run.add_argument("--fault-policy", choices=("abort", "degrade", "recover"),
+                     default="abort",
+                     help="what to do when a rank dies mid-run: abort the "
+                          "survivors (default), finish with the dead cells "
+                          "frozen at their last checkpoint, or migrate the "
+                          "dead cells to surviving/respawned workers and "
+                          "train them to completion")
+    run.add_argument("--max-restarts", type=int, default=0, metavar="N",
+                     help="socket backend + --fault-policy recover: respawn "
+                          "up to N replacement workers for dead ones "
+                          "(default 0: recover by in-grid adoption only)")
+    run.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                     help="per-cell checkpoint cadence in iterations "
+                          "(default: every iteration for non-abort fault "
+                          "policies, off for abort)")
     run.add_argument("--profile", action="store_true")
     run.add_argument("--checkpoint", metavar="PATH",
                      help="write a checkpoint here after training")
@@ -198,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     # (--format/--baseline/--select/...), which argparse's REMAINDER would
     # mangle.  The stub keeps `repro --help` honest.
     sub.add_parser("lint", help="project-invariant static analysis "
-                                "(rules R1-R8; repro lint --list-rules)",
+                                "(rules R1-R9; repro lint --list-rules)",
                    add_help=False)
 
     return parser
@@ -300,6 +315,9 @@ def _cmd_run(args) -> int:
     from repro.api import JsonlMetrics
 
     experiment = _build_experiment(args).profile(args.profile)
+    experiment.fault_policy(args.fault_policy,
+                            max_restarts=args.max_restarts,
+                            snapshot_every=args.snapshot_every)
     level = args.telemetry
     if level is None:
         level = os.environ.get("REPRO_TELEMETRY", "basic")
@@ -334,9 +352,18 @@ def _cmd_run(args) -> int:
         # at the aborted point so `repro resume` trains the remainder.
         result.save_checkpoint(args.checkpoint)
         print(f"checkpoint written to {args.checkpoint}"
-              + ("" if result.complete else " (partial: run aborted early)"))
-    if not result.complete:
-        print(f"WARNING: dead ranks {result.dead_ranks}", file=sys.stderr)
+              + ("" if result.ok else " (partial: run aborted early)"))
+    if result.dead_ranks:
+        # One breakdown line regardless of policy, so operators see what
+        # the fault machinery actually did with each lost rank.
+        print(f"fault report ({result.fault_policy}): "
+              f"died {result.dead_ranks}, "
+              f"recovered {result.recovered_ranks}, "
+              f"degraded {result.degraded_ranks}", file=sys.stderr)
+    if not result.ok:
+        print(f"WARNING: run did not meet its {result.fault_policy!r} "
+              f"fault-policy contract (dead ranks {result.dead_ranks})",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -8,6 +8,14 @@ counter and the full configuration — into a single ``.npz`` and restores a
 :class:`~repro.coevolution.sequential.SequentialTrainer` that continues
 where the previous job stopped.
 
+Two granularities live here:
+
+* :class:`TrainingCheckpoint` — the whole grid at one iteration, written
+  end-of-run or between jobs (the original wall-time-limit use case);
+* :class:`CellSnapshot` / :class:`CellCheckpointStore` — periodic in-run
+  per-cell snapshots streamed to the master during distributed training,
+  the state the fault-recovery path resumes a lost cell from.
+
 Resume semantics: cell RNG streams are re-derived from ``(seed, cell,
 iteration)``, so a resumed run is deterministic given the checkpoint, though
 not bit-identical to the uninterrupted run (the standard trade-off; noted in
@@ -18,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +34,14 @@ import numpy as np
 from repro.config import ExperimentConfig
 from repro.coevolution.genome import Genome
 
-__all__ = ["TrainingCheckpoint", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "TrainingCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CellSnapshot",
+    "CellCheckpointStore",
+    "initial_cell_snapshot",
+]
 
 _FORMAT_VERSION = 1
 
@@ -140,4 +156,125 @@ def load_checkpoint(path: str | os.PathLike) -> TrainingCheckpoint:
         iteration=int(metadata["iteration"]),
         center_genomes=genomes,
         mixture_weights=mixtures,
+    )
+
+
+# -- periodic in-run per-cell snapshots (fault recovery) -----------------------
+
+
+@dataclass(frozen=True)
+class CellSnapshot:
+    """One cell's resumable state after ``iteration`` completed iterations.
+
+    Genomes are storage-dtype copies (the same quantization boundary as
+    exchange payloads — see :meth:`Cell.center_genomes`), so taking a
+    snapshot never perturbs training and the snapshot is safe to queue on
+    any transport.
+    """
+
+    cell_index: int
+    iteration: int
+    generator_genome: Genome
+    discriminator_genome: Genome
+    mixture_weights: np.ndarray
+
+
+class CellCheckpointStore:
+    """Latest per-cell snapshot, kept in master memory (optionally on disk).
+
+    Thread-safe; :meth:`update` keeps only the newest snapshot per cell.
+    With a ``directory`` every accepted snapshot is also written atomically
+    as ``cell_<index>.npz`` so a crashed *master* leaves recoverable state
+    behind too.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self._lock = threading.Lock()
+        self._latest: dict[int, CellSnapshot] = {}
+        self._directory = None if directory is None else os.fspath(directory)
+        if self._directory is not None:
+            os.makedirs(self._directory, exist_ok=True)
+
+    def update(self, snapshot: CellSnapshot) -> bool:
+        """Keep ``snapshot`` iff it is newer than the stored one."""
+        with self._lock:
+            current = self._latest.get(snapshot.cell_index)
+            if current is not None and current.iteration >= snapshot.iteration:
+                return False
+            self._latest[snapshot.cell_index] = snapshot
+        if self._directory is not None:
+            self._spill(snapshot)
+        return True
+
+    def latest(self, cell_index: int) -> CellSnapshot | None:
+        with self._lock:
+            return self._latest.get(cell_index)
+
+    def iterations(self) -> dict[int, int]:
+        """cell index -> iteration of the stored snapshot."""
+        with self._lock:
+            return {cell: s.iteration for cell, s in self._latest.items()}
+
+    def _spill(self, snapshot: CellSnapshot) -> None:
+        path = os.path.join(self._directory, f"cell_{snapshot.cell_index}.npz")
+        g, d = snapshot.generator_genome, snapshot.discriminator_genome
+        metadata = {
+            "version": _FORMAT_VERSION,
+            "cell_index": snapshot.cell_index,
+            "iteration": snapshot.iteration,
+            "learning_rates": [g.learning_rate, d.learning_rate],
+            "loss_name": g.loss_name,
+        }
+        arrays = {
+            "metadata": np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8),
+            "generator": g.parameters,
+            "discriminator": d.parameters,
+            "mixture": snapshot.mixture_weights,
+        }
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+
+
+def initial_cell_snapshot(config: ExperimentConfig, cell_index: int,
+                          neighborhood_size: int) -> CellSnapshot:
+    """A cell's iteration-0 state, derived without a dataset.
+
+    Replays :class:`~repro.coevolution.cell.Cell` construction exactly —
+    same RNG streams, same mustangs loss draw, same storage-dtype
+    quantization — so a rank that dies before its first in-run snapshot can
+    still be recovered from deterministic initial state.  Guarded by a
+    parity test against a real ``Cell``; keep the two in lockstep.
+    """
+    from repro.coevolution.cell import _cell_rng
+    from repro.coevolution.genome import genome_from_network
+    from repro.coevolution.mixture import MixtureWeights
+    from repro.gan.networks import Discriminator, Generator
+    from repro.nn.losses import MUSTANGS_LOSSES
+    from repro.registry import dtype_policy
+
+    rng = _cell_rng(config.seed, cell_index, stream=0)
+    if config.training.loss_function == "mustangs":
+        loss_cls = MUSTANGS_LOSSES[int(rng.integers(len(MUSTANGS_LOSSES)))]
+        loss_name = loss_cls.name
+    else:
+        loss_name = config.training.loss_function
+    init_rng = _cell_rng(config.seed, cell_index, stream=2)
+    generator = Generator(config.network, init_rng)
+    discriminator = Discriminator(config.network, init_rng)
+    lr = config.mutation.initial_learning_rate
+    g = genome_from_network(generator, lr, loss_name)
+    d = genome_from_network(discriminator, lr, loss_name)
+    storage = np.dtype(
+        dtype_policy(getattr(config.network, "dtype", "float64")).storage)
+    if g.parameters.dtype != storage:
+        g = Genome(g.parameters.astype(storage), lr, loss_name)
+        d = Genome(d.parameters.astype(storage), lr, loss_name)
+    return CellSnapshot(
+        cell_index=cell_index,
+        iteration=0,
+        generator_genome=g,
+        discriminator_genome=d,
+        mixture_weights=MixtureWeights.uniform(neighborhood_size).weights.copy(),
     )

@@ -24,6 +24,7 @@ Entry point: :func:`repro.mpi.launcher.run_mpi` — the ``mpiexec`` of this
 runtime.
 """
 
+from repro.mpi.backoff import BackoffPolicy, retry_connect, with_backoff
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, MAX_USER_TAG
 from repro.mpi.comm import CartComm, Comm, Status
 from repro.mpi.errors import MpiError, MpiTimeoutError, MpiWorkerError
@@ -44,6 +45,9 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "MAX_USER_TAG",
+    "BackoffPolicy",
+    "retry_connect",
+    "with_backoff",
     "Comm",
     "CartComm",
     "Status",

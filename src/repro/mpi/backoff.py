@@ -1,0 +1,105 @@
+"""Bounded retry with exponential backoff and jitter for the transport layer.
+
+This module is the **only** sanctioned home of socket retry loops in the
+codebase (lint rule R9, :mod:`repro.analysis.rules`): a bare
+``while True: try: sock.connect(...) except OSError: pass`` loop hides the
+real failure forever and hammers the peer in lock-step with every other
+retrier.  :func:`with_backoff` gives every retry site the same contract —
+a bounded number of attempts, exponentially growing waits, and
+*jitter* so a thundering herd of reconnecting workers spreads out instead
+of synchronizing.
+
+Jitter draws from a private :class:`random.Random` instance (never the
+interpreter-global RNG — rule R2: transport timing must not perturb the
+seeded training streams).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["BackoffPolicy", "with_backoff", "retry_connect", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Shape of one bounded retry schedule."""
+
+    attempts: int = 5
+    """Total tries (first call included); 1 means no retry at all."""
+    base_delay_s: float = 0.05
+    """Wait before the first retry."""
+    max_delay_s: float = 2.0
+    """Ceiling on any single wait."""
+    multiplier: float = 2.0
+    """Exponential growth factor between retries."""
+    jitter: float = 0.25
+    """Fraction of each delay drawn uniformly at random (0 disables)."""
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """The ``attempts - 1`` waits of this schedule."""
+        delay = self.base_delay_s
+        for _ in range(max(0, self.attempts - 1)):
+            jittered = delay
+            if self.jitter:
+                jittered *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(self.max_delay_s, max(0.0, jittered))
+            delay = min(self.max_delay_s, delay * self.multiplier)
+
+
+DEFAULT_POLICY = BackoffPolicy()
+
+
+def _fresh_rng() -> random.Random:
+    # Seeded from the monotonic clock so concurrent retriers (forked
+    # workers share nothing else) de-synchronize; deliberately NOT the
+    # global RNG, whose state belongs to seeded training streams.
+    return random.Random(time.monotonic_ns())
+
+
+def with_backoff(fn: Callable[[], Any], *,
+                 policy: BackoffPolicy = DEFAULT_POLICY,
+                 retryable: tuple[type[BaseException], ...] = (OSError,),
+                 on_retry: Callable[[int, BaseException], None] | None = None,
+                 rng: random.Random | None = None) -> Any:
+    """Call ``fn`` under the policy; re-raise the last error when exhausted.
+
+    ``on_retry(attempt, exc)`` fires before each wait — transports use it to
+    bump their ``send_retries``/``reconnects`` counters so recovery work is
+    visible in :class:`~repro.mpi.stats.TransportStats`.
+    """
+    rng = rng if rng is not None else _fresh_rng()
+    delays = policy.delays(rng)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retryable as exc:
+            try:
+                delay = next(delays)
+            except StopIteration:
+                raise exc from None
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            time.sleep(delay)
+
+
+def retry_connect(address: tuple[str, int], *, timeout: float,
+                  policy: BackoffPolicy = DEFAULT_POLICY,
+                  on_retry: Callable[[int, BaseException], None] | None = None,
+                  ) -> socket.socket:
+    """``socket.create_connection`` under backoff.
+
+    Used by workers joining (or re-joining, after a respawn) a coordinator:
+    a replacement worker often races the coordinator's late-accept loop, so
+    its first connect can land on a queue the listener has not drained yet.
+    """
+    def connect() -> socket.socket:
+        return socket.create_connection(address, timeout=timeout)
+
+    return with_backoff(connect, policy=policy, on_retry=on_retry)

@@ -429,6 +429,20 @@ class Comm:
         assert duplicate is not None
         return duplicate
 
+    def Attach_derived(self, suffix: Sequence[int], group: Sequence[int]) -> "Comm":
+        """Re-attach to an already-derived sub-communicator, non-collectively.
+
+        Context tuples are pure functions of the derivation order (see
+        :meth:`Split`), so a rank that knows which collectives its peers ran
+        — e.g. a respawned worker rejoining a job whose ``Split``/``Dup``
+        happened before it was born — can reconstruct the derived
+        communicator from ``(derivation seq, color)`` and the member list
+        without making anyone re-enter a collective.  The caller is
+        responsible for passing the same suffix and group order the original
+        derivation produced.
+        """
+        return Comm(self._endpoint, self._context + tuple(suffix), list(group))
+
     def Create_cart(self, dims: Sequence[int], periods: Sequence[bool] | bool = True,
                     timeout: float | None = None) -> "CartComm":
         """Create a Cartesian view of this communicator (row-major ranks)."""

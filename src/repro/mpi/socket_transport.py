@@ -35,11 +35,14 @@ import subprocess
 import sys
 import threading
 import time
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from repro.mpi import wire
+from repro.mpi.backoff import retry_connect
 from repro.mpi.endpoint import SHUTDOWN
 from repro.mpi.errors import MpiError
+from repro.mpi.stats import TransportStats
 from repro.mpi.transport import Transport, WorkerOutcome, execute_rank
 from repro.telemetry import bus as telemetry
 
@@ -184,13 +187,22 @@ class SocketTransport(Transport):
         Dtype policy name of the run (``float64``/``float32``/``mixed16``).
         Advertised in the hello handshake; every peer of one run must
         present the same policy or the coordinator rejects it.
+    max_restarts:
+        Total replacement workers the coordinator may admit over the run
+        (0, the default, keeps the legacy fail-fast behavior).  A lost
+        connection to a *spawned* worker respawns its subprocess; an
+        externally attached worker's replacement command is printed for the
+        operator.  Either way the listener keeps accepting after the
+        rendezvous and the reborn worker re-runs the per-rank program — the
+        master's fault-recovery layer then resumes it from checkpoint.
     """
 
     name = "socket"
 
     def __init__(self, size: int, *, hosts: Any = None, bind: str = "127.0.0.1:0",
                  start_timeout: float = 60.0, token: str | None = None,
-                 python: str | None = None, dtype: str = "float64"):
+                 python: str | None = None, dtype: str = "float64",
+                 max_restarts: int = 0):
         super().__init__(size)
         self.hosts = parse_host_spec(hosts, size)
         self.bind_host, self.bind_port = parse_address(bind, default_port=0)
@@ -223,6 +235,17 @@ class SocketTransport(Transport):
         #: Cap on concurrent pre-auth admissions; connections beyond it are
         #: refused outright so a flood cannot exhaust threads or FDs.
         self._admit_slots = threading.BoundedSemaphore(32)
+        # -- respawn state (all guarded by _admit_lock) ---------------------
+        self.max_restarts = max_restarts
+        self._restarts_used = 0
+        self._program: bytes | None = None
+        #: Worker indexes whose connection died and whose replacement is
+        #: still awaited; frames to their ranks are parked, not dropped.
+        self._respawn_pending: set[int] = set()
+        #: Bounded per-index buffers of MSG frames addressed to a
+        #: respawn-pending worker, flushed to the replacement on re-admit.
+        self._parked: dict[int, deque] = {}
+        self._late_thread: threading.Thread | None = None
 
     # -- public address (for hints and spawned workers) --------------------
 
@@ -269,6 +292,7 @@ class SocketTransport(Transport):
                 "the socket transport sends the per-rank program to remote "
                 "workers, so fn and args must be picklable (module-level "
                 f"function, no closures): {exc}") from exc
+        self._program = program
 
         # IPv6 literals ([::1], ::) get an AF_INET6 listener; everything
         # else (hostnames, IPv4, wildcard) stays AF_INET.
@@ -294,14 +318,25 @@ class SocketTransport(Transport):
                 "program": program,
             })
             wire.write_frame(conn.sock, frame)
-            conn.reader = threading.Thread(
-                target=self._reader_loop, args=(conn,),
-                name=f"mpi-router-recv-{conn.index}", daemon=True)
-            conn.writer = threading.Thread(
-                target=self._writer_loop, args=(conn,),
-                name=f"mpi-router-send-{conn.index}", daemon=True)
-            conn.reader.start()
-            conn.writer.start()
+            self._start_io_threads(conn)
+        if self.max_restarts > 0:
+            # The listener stays open past the rendezvous: replacement
+            # workers for dead connections are admitted here for the rest
+            # of the run.
+            self._late_thread = threading.Thread(
+                target=self._late_accept_loop,
+                name="mpi-late-accept", daemon=True)
+            self._late_thread.start()
+
+    def _start_io_threads(self, conn: _WorkerConnection) -> None:
+        conn.reader = threading.Thread(
+            target=self._reader_loop, args=(conn,),
+            name=f"mpi-router-recv-{conn.index}", daemon=True)
+        conn.writer = threading.Thread(
+            target=self._writer_loop, args=(conn,),
+            name=f"mpi-router-send-{conn.index}", daemon=True)
+        conn.reader.start()
+        conn.writer.start()
 
     @property
     def _local_connect_host(self) -> str:
@@ -315,7 +350,7 @@ class SocketTransport(Transport):
             return "127.0.0.1"
         return self.bind_host
 
-    def _spawn_local_workers(self) -> None:
+    def _worker_popen(self, index: int) -> subprocess.Popen:
         port = self.address[1]
         connect = self._format_address(self._local_connect_host, port)
         env = dict(os.environ)
@@ -324,23 +359,26 @@ class SocketTransport(Transport):
         # hand them the parent's import path verbatim.
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in sys.path if p) or env.get("PYTHONPATH", "")
-        for index, (hostname, slots) in enumerate(self.hosts):
+        return subprocess.Popen(
+            [self.python, "-m", "repro", "worker",
+             "--connect", connect,
+             "--slots", str(len(self._blocks[index])), "--index", str(index),
+             "--token", self.token, "--quiet",
+             "--dtype", self.dtype,
+             # The START frame only arrives once *all* workers joined,
+             # so a spawned worker must wait out the same rendezvous
+             # window as the coordinator, not its own 60s default.
+             "--timeout", str(self.start_timeout)],
+            env=env,
+        )
+
+    def _spawn_local_workers(self) -> None:
+        for index, (hostname, _slots) in enumerate(self.hosts):
             if not _is_local(hostname):
                 print(f"[socket] waiting for worker {index} on {hostname}: "
                       f"run `{self.worker_command(index)}`", file=sys.stderr)
                 continue
-            self._procs[index] = subprocess.Popen(
-                [self.python, "-m", "repro", "worker",
-                 "--connect", connect,
-                 "--slots", str(slots), "--index", str(index),
-                 "--token", self.token, "--quiet",
-                 "--dtype", self.dtype,
-                 # The START frame only arrives once *all* workers joined,
-                 # so a spawned worker must wait out the same rendezvous
-                 # window as the coordinator, not its own 60s default.
-                 "--timeout", str(self.start_timeout)],
-                env=env,
-            )
+            self._procs[index] = self._worker_popen(index)
 
     def _rendezvous(self) -> None:
         # Records how long the job sat waiting for workers to connect —
@@ -521,10 +559,19 @@ class SocketTransport(Transport):
 
         Frames addressed to a dead worker are dropped — the exact semantics
         of the process transport's abandoned relay lanes, which the
-        heartbeat/abort path depends on.
+        heartbeat/abort path depends on.  Exception: a worker whose
+        replacement is still awaited gets its frames *parked* (bounded) and
+        flushed on re-admission, so the master's control messages sent into
+        the respawn gap are delivered rather than lost.
         """
         conn = self._rank_conn.get(frame.rank)
         if conn is None or conn.dead:
+            if conn is not None and not self._shut_down:
+                with self._admit_lock:
+                    if conn.index in self._respawn_pending:
+                        self._parked.setdefault(
+                            conn.index, deque(maxlen=512)).append(
+                                (frame.rank, frame.header, frame.body))
             return
         conn.outbound.put(frame.parts)
 
@@ -564,6 +611,137 @@ class SocketTransport(Transport):
                        f"{conn.host} lost before rank {rank} reported a "
                        f"result{exit_note}"),
             ))
+        if unreported and not self._shut_down:
+            # Silent socket death becomes an explicit liveness broadcast:
+            # surviving workers learn which peer ranks are gone (and, after
+            # a respawn, back) instead of inferring it from dropped frames.
+            self._broadcast_rank_lost(sorted(unreported), "lost")
+            self._maybe_respawn(conn)
+
+    def _broadcast_rank_lost(self, ranks: list[int], state: str) -> None:
+        frame = wire.pack_frame(wire.RANK_LOST, 0,
+                                {"ranks": list(ranks), "state": state})
+        for conn in self._connections:
+            if conn is None or conn.dead:
+                continue
+            conn.outbound.put(frame)
+        if telemetry.enabled():
+            telemetry.count(f"socket.rank_{state}", len(ranks))
+
+    def _maybe_respawn(self, conn: _WorkerConnection) -> None:
+        """Queue a replacement worker for a dead connection, budget allowing."""
+        with self._admit_lock:
+            if (self._shut_down or self.max_restarts <= 0
+                    or self._restarts_used >= self.max_restarts
+                    or conn.index in self._respawn_pending):
+                return
+            self._restarts_used += 1
+            self._respawn_pending.add(conn.index)
+        if telemetry.enabled():
+            telemetry.count("socket.respawns")
+        if _is_local(conn.host):
+            self._procs[conn.index] = self._worker_popen(conn.index)
+            print(f"[socket] respawned worker {conn.index} for rank(s) "
+                  f"{conn.ranks}", file=sys.stderr)
+        else:
+            print(f"[socket] worker {conn.index} on {conn.host} lost; to "
+                  f"recover, run `{self.worker_command(conn.index)}`",
+                  file=sys.stderr)
+
+    # -- late admission (replacement workers) --------------------------------
+
+    def _late_accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._shut_down:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed by shutdown()
+                return
+            if not self._admit_slots.acquire(blocking=False):
+                sock.close()
+                continue
+            threading.Thread(
+                target=self._admit_late, args=(sock,),
+                name="mpi-late-admit", daemon=True).start()
+
+    def _admit_late(self, sock: socket.socket) -> None:
+        """Validate a replacement worker's hello and splice it into the run.
+
+        Same trust boundary as the rendezvous :meth:`_admit` — size-capped
+        JSON hello, token compared first — plus one extra requirement: the
+        offered ``--index`` must name a connection previously marked dead
+        with a respawn pending.
+        """
+        try:
+            sock.settimeout(5.0)
+            frame = wire.read_frame(sock, max_body=_HELLO_MAX_BYTES)
+            sock.settimeout(None)
+            if frame.kind != wire.HELLO:
+                raise wire.WireError(f"expected HELLO, got kind {frame.kind}")
+            hello = json.loads(frame.body)
+            if not isinstance(hello, dict):
+                raise wire.WireError("hello is not a JSON object")
+            if not hmac.compare_digest(
+                    str(hello.get("token") or ""), self.token):
+                raise wire.WireError("bad rendezvous token")
+            if hello.get("version") != _WIRE_VERSION:
+                raise wire.WireError(
+                    f"wire version mismatch: coordinator {_WIRE_VERSION}, "
+                    f"worker {hello.get('version')}")
+            if hello.get("dtype", "float64") != self.dtype:
+                raise wire.WireError(
+                    f"dtype policy mismatch: coordinator runs {self.dtype!r}")
+            index = hello.get("index")
+            if index is None:
+                raise wire.WireError(
+                    "replacement workers must present --index")
+            index = int(index)
+            with self._admit_lock:
+                if self._shut_down:
+                    raise wire.WireError("coordinator is shutting down")
+                if index not in self._respawn_pending:
+                    raise wire.WireError(
+                        f"worker slot {index} is not awaiting a replacement")
+                if hello.get("slots") != len(self._blocks[index]):
+                    raise wire.WireError(
+                        f"worker {index} offered {hello.get('slots')} "
+                        f"slot(s), host spec expects "
+                        f"{len(self._blocks[index])}")
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                conn = _WorkerConnection(index, self.hosts[index][0], sock,
+                                         self._blocks[index])
+                self._connections[index] = conn
+                for rank in conn.ranks:
+                    self._rank_conn[rank] = conn
+                parked = self._parked.pop(index, None)
+                self._respawn_pending.discard(index)
+            assert self._program is not None
+            wire.write_frame(conn.sock, wire.pack_frame(wire.START, conn.index, {
+                "ranks": conn.ranks,
+                "size": self.size,
+                "program": self._program,
+                "respawn": True,
+            }))
+            self._start_io_threads(conn)
+            if parked:
+                # Control frames the master sent into the respawn gap
+                # (heartbeat requests, fault notices) arrive late, not never.
+                for rank, header, body in parked:
+                    conn.outbound.put((header, body))
+            self._broadcast_rank_lost(list(conn.ranks), "back")
+            if telemetry.enabled():
+                telemetry.count("socket.workers_readmitted")
+            print(f"[socket] worker {index} re-admitted, hosting rank(s) "
+                  f"{conn.ranks}", file=sys.stderr)
+        except Exception as exc:  # noqa: BLE001 - anything a stranger sends
+            if telemetry.enabled():
+                telemetry.count("socket.hello_rejected")
+            print(f"[socket] rejected late connection: {exc}", file=sys.stderr)
+            sock.close()
+        finally:
+            self._admit_slots.release()
 
     # -- collection / teardown ----------------------------------------------
 
@@ -659,13 +837,19 @@ class SocketTransport(Transport):
 class _WorkerHub:
     """One worker process's shared connection: demux inboxes + framed sends."""
 
-    def __init__(self, sock: socket.socket, ranks: list[int], size: int):
+    def __init__(self, sock: socket.socket, ranks: list[int], size: int,
+                 stats_by_rank: dict[int, TransportStats] | None = None):
         self.sock = sock
         self.ranks = set(ranks)
         self.size = size
         self.inboxes: dict[int, queue.SimpleQueue] = {
             rank: queue.SimpleQueue() for rank in ranks
         }
+        #: World ranks the coordinator declared lost (RANK_LOST frames);
+        #: sends to them are dropped at the hub instead of burning a frame
+        #: on a route the coordinator would discard anyway.
+        self.lost_ranks: set[int] = set()
+        self.stats_by_rank = stats_by_rank or {}
         self.shutdown_seen = threading.Event()
         self._send_lock = threading.Lock()
         self._closed = False
@@ -686,6 +870,9 @@ class _WorkerHub:
 
     def _remote_putter(self, dest: int) -> Callable[[Any], None]:
         def put(envelope: Any) -> None:
+            if dest in self.lost_ranks:
+                return  # declared dead by the coordinator: drop, fail-fast
+
             # Gather-write parts: the envelope's genome vectors ride as
             # live memoryviews straight into sendmsg — the first hop makes
             # zero payload copies, like the coordinator's forward path.
@@ -718,6 +905,8 @@ class _WorkerHub:
                     inbox = self.inboxes.get(frame.rank)
                     if inbox is not None:
                         inbox.put(frame.payload())
+                elif frame.kind == wire.RANK_LOST:
+                    self._on_rank_lost(frame.payload())
                 elif frame.kind == wire.SHUTDOWN:
                     # The coordinator may shut down while hosted ranks are
                     # still mid-run (global timeout, launch failure): close
@@ -733,6 +922,18 @@ class _WorkerHub:
             # (e.g. a payload class defined only in the launcher's
             # __main__) must fail the hosted ranks fast, not strand them.
             self._on_connection_lost()
+
+    def _on_rank_lost(self, notice: Any) -> None:
+        """Apply one RANK_LOST broadcast: track lost peers, count them."""
+        ranks = set(notice.get("ranks", ())) - self.ranks
+        if notice.get("state") == "back":
+            self.lost_ranks -= ranks
+            return
+        fresh = ranks - self.lost_ranks
+        self.lost_ranks |= fresh
+        if fresh:
+            for stats in self.stats_by_rank.values():
+                stats.count_rank_lost(len(fresh))
 
     def _on_connection_lost(self) -> None:
         """Coordinator died: close every hosted endpoint so blocked receives
@@ -761,8 +962,17 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
               "(the coordinator prints the full address to connect to)",
               file=sys.stderr)
         return 2
+    # Bounded backoff with jitter: a respawned worker races the
+    # coordinator's late-accept loop, and fleets of workers starting
+    # together must not hammer the listener in lock-step.
+    connect_retries = [0]
+
+    def _count_retry(_attempt: int, _exc: BaseException) -> None:
+        connect_retries[0] += 1
+
     try:
-        sock = socket.create_connection((host, port), timeout=timeout)
+        sock = retry_connect((host, port), timeout=timeout,
+                             on_retry=_count_retry)
     except OSError as exc:
         print(f"[worker] cannot reach coordinator {host}:{port}: {exc}",
               file=sys.stderr)
@@ -792,19 +1002,34 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
         return 2
     start = frame.payload()
     ranks, size = list(start["ranks"]), int(start["size"])
+    respawn = bool(start.get("respawn", False))
     fn, args = wire.decode_body(start["program"])
     if not quiet:
-        print(f"[worker] hosting rank(s) {ranks} of {size} "
+        mode = "re-hosting" if respawn else "hosting"
+        print(f"[worker] {mode} rank(s) {ranks} of {size} "
               f"(pid {os.getpid()})", file=sys.stderr)
 
-    hub = _WorkerHub(sock, ranks, size)
+    # Pre-seed each rank's transport counters with what the connection
+    # itself already knows (replacement status, connect retries), then hand
+    # them to execute_rank — one stats record per rank, connection events
+    # included.
+    stats_by_rank: dict[int, TransportStats] = {}
+    for rank in ranks:
+        stats = TransportStats(rank)
+        if respawn:
+            stats.count_reconnect()
+        if connect_retries[0]:
+            stats.count_send_retry(connect_retries[0])
+        stats_by_rank[rank] = stats
+    hub = _WorkerHub(sock, ranks, size, stats_by_rank)
     outcomes: dict[int, WorkerOutcome] = {}
 
     def run_rank(rank: int) -> None:
         # puts_block=True: socket sends can stall on a full TCP window, so
         # endpoints route them through per-destination relays.
         outcomes[rank] = execute_rank(rank, size, hub.inboxes[rank],
-                                      hub.peers_for(rank), True, fn, args)
+                                      hub.peers_for(rank), True, fn, args,
+                                      stats=stats_by_rank[rank])
 
     threads = [threading.Thread(target=run_rank, args=(rank,),
                                 name=f"mpi-rank-{rank}", daemon=True)

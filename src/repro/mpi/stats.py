@@ -72,6 +72,15 @@ class TransportStats:
     messages_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    ranks_lost: int = 0
+    """Peer-loss notices this rank observed (``RANK_LOST`` frames, or the
+    synthesized equivalent on in-process transports)."""
+    reconnects: int = 0
+    """Times this rank's hosting connection was (re-)established beyond the
+    first — 1 for every rank of a respawned socket worker."""
+    send_retries: int = 0
+    """Transient transport operations retried through
+    :mod:`repro.mpi.backoff` (connects and sends alike)."""
 
     def count_sent(self, payload: Any) -> None:
         self.messages_sent += 1
@@ -92,12 +101,32 @@ class TransportStats:
             telemetry.count("mpi.messages_received", rank=self.rank)
             telemetry.count("mpi.bytes_received", nbytes, rank=self.rank)
 
+    def count_rank_lost(self, n: int = 1) -> None:
+        self.ranks_lost += n
+        if telemetry.enabled():
+            telemetry.count("mpi.ranks_lost", n, rank=self.rank)
+
+    def count_reconnect(self, n: int = 1) -> None:
+        self.reconnects += n
+        if telemetry.enabled():
+            telemetry.count("mpi.reconnects", n, rank=self.rank)
+
+    def count_send_retry(self, n: int = 1) -> None:
+        self.send_retries += n
+        if telemetry.enabled():
+            telemetry.count("mpi.send_retries", n, rank=self.rank)
+
     def summary(self) -> str:
         """One line for CLI/log output."""
-        return (f"rank {self.rank}: sent {self.messages_sent} msg / "
+        line = (f"rank {self.rank}: sent {self.messages_sent} msg / "
                 f"{_format_bytes(self.bytes_sent)}, received "
                 f"{self.messages_received} msg / "
                 f"{_format_bytes(self.bytes_received)}")
+        if self.ranks_lost or self.reconnects or self.send_retries:
+            line += (f", recovery: {self.ranks_lost} peer(s) lost, "
+                     f"{self.reconnects} reconnect(s), "
+                     f"{self.send_retries} retry(ies)")
+        return line
 
 
 def merge_transport_stats(stats: Iterable[TransportStats]) -> TransportStats:
@@ -108,6 +137,9 @@ def merge_transport_stats(stats: Iterable[TransportStats]) -> TransportStats:
         total.messages_received += record.messages_received
         total.bytes_sent += record.bytes_sent
         total.bytes_received += record.bytes_received
+        total.ranks_lost += record.ranks_lost
+        total.reconnects += record.reconnects
+        total.send_retries += record.send_retries
     return total
 
 
@@ -126,6 +158,9 @@ def transport_stats_from_telemetry(
         messages_received=int(counters.get("mpi.messages_received", 0)),
         bytes_sent=int(counters.get("mpi.bytes_sent", 0)),
         bytes_received=int(counters.get("mpi.bytes_received", 0)),
+        ranks_lost=int(counters.get("mpi.ranks_lost", 0)),
+        reconnects=int(counters.get("mpi.reconnects", 0)),
+        send_retries=int(counters.get("mpi.send_retries", 0)),
     )
 
 

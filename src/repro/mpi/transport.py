@@ -75,14 +75,19 @@ class WorkerOutcome:
 
 def execute_rank(rank: int, size: int, inbox, peers: dict[int, Callable[[Any], None]],
                  puts_block: bool, fn: Callable[..., Any],
-                 args: Sequence[Any]) -> WorkerOutcome:
+                 args: Sequence[Any], *,
+                 stats: TransportStats | None = None) -> WorkerOutcome:
     """Run one rank's program to completion (shared by every transport).
 
     Builds the rank's endpoint and WORLD communicator, runs
     ``fn(world, *args)``, and captures the outcome — value or traceback —
-    together with the endpoint's transport counters.
+    together with the endpoint's transport counters.  A host that already
+    accounts connection-level events (the socket worker hub counting
+    reconnects and peer losses) passes its pre-seeded ``stats`` record in;
+    by default a fresh one is created.
     """
-    stats = TransportStats(rank)
+    if stats is None:
+        stats = TransportStats(rank)
     # Attribute this rank's telemetry (spans from the per-rank program,
     # counters from the endpoint) to its own buffer; the snapshot rides
     # back inside the outcome so the launcher merges all ranks time-aligned.

@@ -54,6 +54,7 @@ __all__ = [
     "MSG",
     "RESULT",
     "SHUTDOWN",
+    "RANK_LOST",
 ]
 
 #: Protocol magic; bump when the frame layout changes.
@@ -65,6 +66,9 @@ START = 2      #: coordinator -> worker: rank assignment + the program
 MSG = 3        #: an Envelope in flight; ``rank`` = destination world rank
 RESULT = 4     #: worker -> coordinator: one rank's outcome; ``rank`` = rank
 SHUTDOWN = 5   #: coordinator -> worker: drain and exit
+RANK_LOST = 6  #: coordinator -> workers: peer ranks lost (or back after a
+               #: respawn) — replaces silent socket death with an explicit
+               #: liveness broadcast; body = {"ranks": [...], "state": ...}
 
 _HEADER = struct.Struct("!2sBiI")   # magic, kind, rank, body_len
 _SEG_LEN = struct.Struct("!Q")

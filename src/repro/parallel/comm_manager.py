@@ -17,6 +17,9 @@ Three communication contexts, exactly as in Section III-D:
 from __future__ import annotations
 
 import threading
+import time
+from collections import Counter
+from typing import TYPE_CHECKING
 
 from repro.mpi import ANY_SOURCE, Comm, MpiTimeoutError
 from repro.mpi.stats import payload_nbytes
@@ -24,6 +27,12 @@ from repro.parallel.grid import Grid
 from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply, Tags
 from repro.profiling import NULL_TIMER, RoutineTimer
 from repro.telemetry import bus as telemetry
+
+from repro.parallel.recovery import RESYNC_TIMEOUT_S
+
+if TYPE_CHECKING:  # type-only: recovery types never constructed here
+    from repro.coevolution.checkpoint import CellSnapshot
+    from repro.parallel.recovery import FaultNotice, FaultState
 
 __all__ = ["CommManager", "MpiCommManager", "ExchangeAborted", "EXCHANGE_MODES"]
 
@@ -74,6 +83,14 @@ class CommManager:
         """Collectively derive the LOCAL and GLOBAL communicators."""
         raise NotImplementedError
 
+    def rejoin_contexts(self, is_active_slave: bool = True) -> None:
+        """Re-derive LOCAL/GLOBAL *non-collectively* (respawned rank)."""
+        raise NotImplementedError
+
+    def try_collect_node_info(self, timeout: float) -> NodeInfo | None:
+        """One late node-info message, if any (respawned-worker detection)."""
+        raise NotImplementedError
+
     # -- heartbeat / control ------------------------------------------------------
 
     def request_status(self, slave_rank: int) -> None:
@@ -94,11 +111,31 @@ class CommManager:
     def poll_abort(self) -> bool:
         raise NotImplementedError
 
+    # -- fault recovery ------------------------------------------------------------
+
+    def send_cell_snapshot(self, snapshot: "CellSnapshot") -> None:
+        raise NotImplementedError
+
+    def drain_cell_snapshots(self) -> "list[CellSnapshot]":
+        raise NotImplementedError
+
+    def send_fault_notice(self, slave_rank: int, notice: "FaultNotice") -> None:
+        raise NotImplementedError
+
+    def poll_fault_notice(self) -> "FaultNotice | None":
+        # Polled unconditionally by the slave serve loop, so the default is
+        # "no notice" rather than NotImplementedError: a comm that does not
+        # participate in fault recovery simply never surfaces one.
+        return None
+
     # -- training-time exchange ------------------------------------------------------
 
     def exchange_genomes(self, grid: Grid, cell_index: int, payload: ExchangePayload,
                          mode: str, timer: RoutineTimer = NULL_TIMER,
                          abort_event: threading.Event | None = None,
+                         fault_state: "FaultState | None" = None,
+                         catch_up: bool = False,
+                         resync_until: int | None = None,
                          ) -> dict[int, ExchangePayload]:
         raise NotImplementedError
 
@@ -159,6 +196,29 @@ class MpiCommManager(CommManager):
         self.local = self.world.Split(color=color, key=self.rank)
         self.global_ = self.world.Dup()
 
+    def rejoin_contexts(self, is_active_slave: bool = True) -> None:
+        """Reconstruct LOCAL/GLOBAL without re-running the collectives.
+
+        A respawned worker joins a job whose :meth:`build_contexts` already
+        ran; the context tuples that derivation produced are deterministic
+        (Split seq 0 with color 1 for LOCAL, Dup = Split seq 1 color 0 for
+        GLOBAL, members ordered by rank), so the reborn rank re-attaches
+        with :meth:`Comm.Attach_derived` and immediately speaks both
+        contexts.
+        """
+        slaves = list(range(1, self.size))
+        everyone = list(range(self.size))
+        self.local = (self.world.Attach_derived((0, 1), slaves)
+                      if is_active_slave else None)
+        self.global_ = self.world.Attach_derived((1, 0), everyone)
+
+    def try_collect_node_info(self, timeout: float) -> NodeInfo | None:
+        try:
+            return self.world.recv(source=ANY_SOURCE, tag=Tags.NODE_INFO,
+                                   timeout=timeout)
+        except MpiTimeoutError:
+            return None
+
     # -- heartbeat / control -------------------------------------------------------------
 
     def request_status(self, slave_rank: int) -> None:
@@ -188,6 +248,25 @@ class MpiCommManager(CommManager):
             return True
         return False
 
+    # -- fault recovery -------------------------------------------------------------
+
+    def send_cell_snapshot(self, snapshot: "CellSnapshot") -> None:
+        self.world.send(snapshot, dest=0, tag=Tags.CHECKPOINT)
+
+    def drain_cell_snapshots(self) -> "list[CellSnapshot]":
+        snapshots = []
+        while self.world.iprobe(source=ANY_SOURCE, tag=Tags.CHECKPOINT):
+            snapshots.append(self.world.recv(source=ANY_SOURCE, tag=Tags.CHECKPOINT))
+        return snapshots
+
+    def send_fault_notice(self, slave_rank: int, notice: "FaultNotice") -> None:
+        self.world.send(notice, dest=slave_rank, tag=Tags.FAULT_NOTICE)
+
+    def poll_fault_notice(self) -> "FaultNotice | None":
+        if self.world.iprobe(source=0, tag=Tags.FAULT_NOTICE):
+            return self.world.recv(source=0, tag=Tags.FAULT_NOTICE)
+        return None
+
     # -- training-time exchange -------------------------------------------------------------
 
     def _local_rank_of_cell(self, grid: Grid, cell: int) -> int:
@@ -198,6 +277,9 @@ class MpiCommManager(CommManager):
     def exchange_genomes(self, grid: Grid, cell_index: int, payload: ExchangePayload,
                          mode: str, timer: RoutineTimer = NULL_TIMER,
                          abort_event: threading.Event | None = None,
+                         fault_state: "FaultState | None" = None,
+                         catch_up: bool = False,
+                         resync_until: int | None = None,
                          ) -> dict[int, ExchangePayload]:
         """One iteration of neighbor exchange; returns cell -> payload.
 
@@ -207,6 +289,14 @@ class MpiCommManager(CommManager):
           receives every center and keeps its neighbors'.
         * ``async`` — send and drain whatever already arrived; missing
           neighbors fall back to their latest known genome (stale exchange).
+
+        Recovery hooks (``neighbors`` mode only — the non-abort fault
+        policies require it): ``fault_state`` satisfies receives from dead
+        cells locally and reroutes sends to adopting ranks; ``catch_up``
+        runs the round communication-free (an adopted cell replaying
+        iterations below its rejoin point); ``resync_until`` bounds the
+        receive wait for the adopted cell's first synchronized iterations,
+        whose peers' original payloads died with the old rank.
         """
         if mode not in EXCHANGE_MODES:
             raise ValueError(f"unknown exchange mode {mode!r}; known: {EXCHANGE_MODES}")
@@ -214,14 +304,21 @@ class MpiCommManager(CommManager):
             return self._exchange_allgather(grid, cell_index, payload, timer)
         if mode == "async":
             return self._exchange_async(grid, cell_index, payload, timer)
-        return self._exchange_neighbors(grid, cell_index, payload, timer, abort_event)
+        return self._exchange_neighbors(grid, cell_index, payload, timer, abort_event,
+                                        fault_state, catch_up, resync_until)
 
     @staticmethod
-    def _exchange_tag(iteration: int) -> int:
-        """Per-iteration tag: a fast neighbor's round-(k+1) message can never
-        match a round-k receive, which would otherwise skew the message
-        accounting when cells drift by one iteration."""
-        return int(Tags.EXCHANGE) * 1000 + iteration
+    def _exchange_tag(iteration: int, dest_cell: int) -> int:
+        """Tag encoding (iteration, destination cell).
+
+        The iteration part keeps a fast neighbor's round-(k+1) message from
+        matching a round-k receive; the destination part keeps a rank that
+        hosts *several* cells (fault recovery: an adopter running a second
+        execution thread) from stealing a co-hosted cell's message on its
+        ``ANY_SOURCE`` receive.  Stays far below ``MAX_USER_TAG`` (2**30)
+        for any realistic grid/iteration count.
+        """
+        return (int(Tags.EXCHANGE) * 1000 + iteration) * 1024 + dest_cell
 
     def _count_exchange(self, payload: ExchangePayload, sends: int) -> None:
         """Mirror one exchange round into the bus (enabled-path only)."""
@@ -232,17 +329,13 @@ class MpiCommManager(CommManager):
 
     def _exchange_neighbors(self, grid: Grid, cell_index: int, payload: ExchangePayload,
                             timer: RoutineTimer, abort_event: threading.Event | None,
+                            fault_state: "FaultState | None" = None,
+                            catch_up: bool = False,
+                            resync_until: int | None = None,
                             ) -> dict[int, ExchangePayload]:
         assert self.local is not None
-        tag = self._exchange_tag(payload.iteration)
+        iteration = payload.iteration
         with timer.section("gather"), telemetry.span("exchange.gather"):
-            # Send my center along every *incoming* edge (cells that list me
-            # as neighbor), then receive one message per outgoing edge.
-            consumers = grid.incoming_neighbors(cell_index)
-            self._count_exchange(payload, len(consumers))
-            for consumer in consumers:
-                self.local.send(payload, dest=self._local_rank_of_cell(grid, consumer),
-                                tag=tag)
             needed = list(grid.neighbor_cells(cell_index))
             received: dict[int, ExchangePayload] = {}
             # Torus self-edges (any grid dimension of 1: on 1x1 all four
@@ -252,18 +345,62 @@ class MpiCommManager(CommManager):
             self_edges = sum(1 for cell in needed if cell == cell_index)
             if self_edges:
                 received[cell_index] = payload
-            pending = len(needed) - self_edges  # 2x2 wraparound counts twice
-            while pending > 0:
+            if catch_up:
+                # Replaying below the rejoin point: nobody expects this
+                # cell's payloads (they satisfy it from the frozen
+                # checkpoint) and nobody resends what its predecessor
+                # received — run the round communication-free; the caller
+                # backfills missing neighbors with the own-center fallback.
+                return received
+            # Send my center along every *incoming* edge (cells that list me
+            # as neighbor), then receive one message per outgoing edge.
+            consumers = grid.incoming_neighbors(cell_index)
+            sends = 0
+            for consumer in consumers:
+                dest = self._local_rank_of_cell(grid, consumer)
+                if fault_state is not None:
+                    if fault_state.skip_send(consumer, iteration):
+                        continue
+                    route = fault_state.send_route(consumer)
+                    if route is not None:
+                        dest = route
+                self.local.send(payload, dest=dest,
+                                tag=self._exchange_tag(iteration, consumer))
+                sends += 1
+            self._count_exchange(payload, sends)
+            tag = self._exchange_tag(iteration, cell_index)
+            outstanding = Counter(cell for cell in needed if cell != cell_index)
+            deadline = (time.monotonic() + RESYNC_TIMEOUT_S
+                        if resync_until is not None and iteration < resync_until
+                        else None)
+            while sum(outstanding.values()) > 0:
+                if fault_state is not None:
+                    # Re-checked every poll: a fault notice that arrives
+                    # while this receive is blocked on a now-dead neighbor
+                    # unblocks it here.
+                    for cell in [c for c, n in outstanding.items() if n > 0]:
+                        frozen = fault_state.frozen_payload(cell, iteration)
+                        if frozen is not None:
+                            received[cell] = frozen
+                            outstanding[cell] = 0
+                    if sum(outstanding.values()) == 0:
+                        break
                 if abort_event is not None and abort_event.is_set():
                     raise ExchangeAborted(f"cell {cell_index}: abort during exchange")
+                if deadline is not None and time.monotonic() > deadline:
+                    # Resync window: the payloads this slot waits for may
+                    # have been sent to the rank that died — fall back to
+                    # the own-center alias instead of blocking forever.
+                    break
                 try:
                     message: ExchangePayload = self.local.recv(
                         source=ANY_SOURCE, tag=tag, timeout=0.25
                     )
                 except MpiTimeoutError:
                     continue
-                received[message.cell_index] = message
-                pending -= 1
+                if outstanding.get(message.cell_index, 0) > 0:
+                    received[message.cell_index] = message
+                    outstanding[message.cell_index] -= 1
         return received
 
     def _exchange_allgather(self, grid: Grid, cell_index: int, payload: ExchangePayload,
@@ -285,7 +422,7 @@ class MpiCommManager(CommManager):
             self._count_exchange(payload, len(consumers))
             for consumer in consumers:
                 self.local.send(payload, dest=self._local_rank_of_cell(grid, consumer),
-                                tag=self._exchange_tag(payload.iteration))
+                                tag=self._exchange_tag(payload.iteration, consumer))
             # Drain whatever is already here; never block.
             while self.local.iprobe(source=ANY_SOURCE, tag=ANY_TAG):
                 message: ExchangePayload = self.local.recv(

@@ -95,13 +95,34 @@ class HeartbeatMonitor:
         with self._lock:
             return [rank for rank, l in self.liveness.items() if l.dead]
 
-    def mark_finished(self, rank: int) -> None:
+    def mark_finished(self, rank: int) -> bool:
         """Called by the master's main thread when a result arrives — result
-        reception is the authoritative end-of-execution signal."""
+        reception is the authoritative end-of-execution signal.
+
+        A result beats a concurrent death declaration: a slave that went
+        quiet during its final iterations (long batch, loaded node) can
+        exhaust the miss budget *after* its FINISHED result is already in
+        flight.  Clearing ``dead`` here resurrects such a rank; the master
+        re-reads :meth:`dead_ranks` before acting on ``deaths_detected`` so
+        a resurrected rank is never aborted or migrated.  Returns whether a
+        death declaration was overturned.
+        """
         with self._lock:
             entry = self.liveness[rank]
             entry.state = SlaveState.FINISHED.value
             entry.missed_rounds = 0
+            resurrected = entry.dead
+            entry.dead = False
+        return resurrected
+
+    def revive(self, rank: int) -> None:
+        """Put a respawned rank back under monitoring (recover policy)."""
+        with self._lock:
+            entry = self.liveness[rank]
+            entry.dead = False
+            entry.missed_rounds = 0
+            entry.state = SlaveState.PROCESSING.value
+            entry.last_reply_at = time.monotonic()
 
     # -- the heartbeat loop ---------------------------------------------------------------
 

@@ -17,10 +17,19 @@ import time
 
 from repro.cluster import ClusterPlatform, PlacementPlan, cluster_uy, place_tasks
 from repro.config import ExperimentConfig
+from repro.coevolution.checkpoint import CellCheckpointStore, initial_cell_snapshot
 from repro.parallel.comm_manager import CommManager
 from repro.parallel.grid import Grid
 from repro.parallel.heartbeat import HeartbeatMonitor
 from repro.parallel.messages import NodeInfo, RunTask, SlaveResult
+from repro.parallel.recovery import (
+    FaultNotice,
+    FrozenCell,
+    ResumeDirective,
+    choose_adopter,
+    rejoin_iteration,
+    validate_fault_policy,
+)
 from repro.parallel.tracing import EventTrace
 from repro.telemetry import bus as telemetry
 
@@ -32,13 +41,17 @@ class MasterOutcome:
 
     def __init__(self, results: dict[int, SlaveResult], dead_ranks: list[int],
                  node_info: list[NodeInfo], placement: dict[int, str],
-                 trace: EventTrace, wall_time_s: float):
+                 trace: EventTrace, wall_time_s: float,
+                 degraded_ranks: list[int] | None = None,
+                 recovered_ranks: list[int] | None = None):
         self.results = results
         self.dead_ranks = dead_ranks
         self.node_info = node_info
         self.placement = placement
         self.trace = trace
         self.wall_time_s = wall_time_s
+        self.degraded_ranks = degraded_ranks or []
+        self.recovered_ranks = recovered_ranks or []
 
     @property
     def complete(self) -> bool:
@@ -56,7 +69,12 @@ class MasterProcess:
                  fault_kill: bool = False,
                  heartbeat_interval_s: float | None = None,
                  miss_limit: int = 8,
-                 telemetry_level: str | None = None):
+                 telemetry_level: str | None = None,
+                 fault_policy: str = "abort",
+                 snapshot_every: int = 0,
+                 max_restarts: int = 0,
+                 restart_grace_s: float = 30.0,
+                 respawn_expected: bool = False):
         self.comm = comm
         self.config = config
         self.platform = platform if platform is not None else cluster_uy()
@@ -66,6 +84,11 @@ class MasterProcess:
         self.trace_enabled = trace
         self.fault_at = dict(fault_at or {})
         self.fault_kill = fault_kill
+        self.fault_policy = validate_fault_policy(fault_policy)
+        self.snapshot_every = snapshot_every
+        self.max_restarts = max_restarts
+        self.restart_grace_s = restart_grace_s
+        self.respawn_expected = respawn_expected
         self.heartbeat_interval_s = (
             heartbeat_interval_s
             if heartbeat_interval_s is not None
@@ -124,6 +147,8 @@ class MasterProcess:
                 telemetry_level=slave_telemetry,
                 fault_at_iteration=self.fault_at.get(cell_index),
                 fault_kill=self.fault_kill,
+                fault_policy=self.fault_policy,
+                snapshot_every=self.snapshot_every,
             ))
         self.trace.record("run tasks sent", f"{len(slave_ranks)} slaves")
 
@@ -138,33 +163,63 @@ class MasterProcess:
         )
         monitor.start()
 
-        # Main thread: collect results as slaves finish.
+        # Main thread: collect results as slaves finish.  Recovery
+        # bookkeeping: ``hosted`` maps each live rank to every cell it
+        # currently trains (grows through adoption), ``outstanding`` to the
+        # subset the master still awaits a result for.
         results: dict[int, SlaveResult] = {}
+        hosted = {rank: {grid.cell_of_rank(rank)} for rank in slave_ranks}
+        outstanding = {rank: set(cells) for rank, cells in hosted.items()}
+        store = CellCheckpointStore()
+        ledger: list[FaultNotice] = []
+        handled_dead: set[int] = set()
+        degraded_ranks: set[int] = set()
+        recovered_ranks: set[int] = set()
+        self._restarts_used = 0
         aborted = False
         try:
             while True:
                 result = comm.try_collect_result(timeout=0.1)
                 if result is not None:
-                    results[result.cell_index] = result
-                    monitor.mark_finished(result.rank)
-                    self.trace.record("result received", f"cell {result.cell_index}")
+                    self._note_result(result, results, outstanding, monitor)
+                self._drain_snapshots(store)
                 if monitor.deaths_detected.is_set() and not aborted:
-                    # Failure detected: gracefully abort the survivors.
-                    aborted = True
-                    dead = set(monitor.dead_ranks())
-                    self.trace.record("slave failure detected",
-                                      ", ".join(str(r) for r in sorted(dead)))
-                    for rank in slave_ranks:
-                        if rank not in dead:
-                            comm.send_abort(rank)
+                    # Clear *before* reading the dead set: a death declared
+                    # between the read and the clear must re-raise the flag.
+                    monitor.deaths_detected.clear()
+                    dead_now = sorted(set(monitor.dead_ranks()) - handled_dead)
+                    if dead_now:
+                        with telemetry.span("fault.detected", rank=0):
+                            self.trace.record(
+                                "slave failure detected",
+                                ", ".join(str(r) for r in dead_now))
+                            if self.fault_policy == "abort":
+                                # Paper-faithful: gracefully abort survivors.
+                                aborted = True
+                                handled_dead.update(dead_now)
+                                dead = set(monitor.dead_ranks())
+                                for rank in slave_ranks:
+                                    if rank not in dead:
+                                        comm.send_abort(rank)
+                            else:
+                                self._handle_deaths(
+                                    dead_now, grid=grid, results=results,
+                                    hosted=hosted, outstanding=outstanding,
+                                    store=store, monitor=monitor, ledger=ledger,
+                                    handled_dead=handled_dead,
+                                    degraded_ranks=degraded_ranks,
+                                    recovered_ranks=recovered_ranks,
+                                    config_json=config_json,
+                                    placement=placement,
+                                    slave_telemetry=slave_telemetry,
+                                    node_info=node_info)
                 if len(results) == len(slave_ranks):
                     break
                 if monitor.all_accounted():
                     # Everyone is finished or dead; drain stragglers briefly.
                     result = comm.try_collect_result(timeout=1.0)
                     if result is not None:
-                        results[result.cell_index] = result
-                        monitor.mark_finished(result.rank)
+                        self._note_result(result, results, outstanding, monitor)
                         continue
                     break
         finally:
@@ -175,9 +230,203 @@ class MasterProcess:
         self.trace.record("final results gathered", f"{len(results)} cells")
         return MasterOutcome(
             results=results,
-            dead_ranks=monitor.dead_ranks(),
+            dead_ranks=sorted(handled_dead | set(monitor.dead_ranks())),
             node_info=node_info,
             placement=placement,
             trace=self.trace,
             wall_time_s=time.perf_counter() - start,
+            degraded_ranks=sorted(degraded_ranks),
+            recovered_ranks=sorted(recovered_ranks),
         )
+
+    # -- recovery machinery ---------------------------------------------------------
+
+    def _note_result(self, result: SlaveResult, results: dict[int, SlaveResult],
+                     outstanding: dict[int, set[int]],
+                     monitor: HeartbeatMonitor) -> None:
+        results[result.cell_index] = result
+        owner = next((rank for rank, cells in outstanding.items()
+                      if result.cell_index in cells), None)
+        if owner is not None:
+            outstanding[owner].discard(result.cell_index)
+        sender = result.rank
+        if sender in outstanding and not outstanding[sender]:
+            # A rank is finished only once every cell it hosts (own plus
+            # adopted) has reported; until then the heartbeat keeps watch.
+            resurrected = monitor.mark_finished(sender)
+            if resurrected:
+                self.trace.record("rank resurrected by result", f"rank {sender}")
+        label = "recovered result received" if result.recovered else "result received"
+        self.trace.record(label, f"cell {result.cell_index} from rank {sender}")
+
+    def _drain_snapshots(self, store: CellCheckpointStore) -> None:
+        if not self.snapshot_every:
+            return
+        for snapshot in self.comm.drain_cell_snapshots():
+            store.update(snapshot)
+
+    def _handle_deaths(self, dead_now: list[int], *, grid: Grid,
+                       results: dict[int, SlaveResult],
+                       hosted: dict[int, set[int]],
+                       outstanding: dict[int, set[int]],
+                       store: CellCheckpointStore,
+                       monitor: HeartbeatMonitor,
+                       ledger: list[FaultNotice],
+                       handled_dead: set[int],
+                       degraded_ranks: set[int],
+                       recovered_ranks: set[int],
+                       config_json: str,
+                       placement: dict[int, str],
+                       slave_telemetry: str | None,
+                       node_info: list[NodeInfo]) -> None:
+        """Turn a wave of detected deaths into migrations/respawns/freezes."""
+        comm = self.comm
+        # Drain in-flight results first: a result that raced its own death
+        # declaration means the cell needs no recovery at all.
+        while True:
+            result = comm.try_collect_result(timeout=0.0)
+            if result is None:
+                break
+            self._note_result(result, results, outstanding, monitor)
+        self._drain_snapshots(store)
+        lost: list[tuple[int, int]] = []  # (dead rank, orphaned cell)
+        for rank in dead_now:
+            handled_dead.add(rank)
+            cells = outstanding.pop(rank, set())
+            hosted.pop(rank, None)
+            lost.extend((rank, cell) for cell in sorted(cells)
+                        if cell not in results)
+        if not lost:
+            return
+        snapshots = {
+            cell: (store.latest(cell)
+                   or initial_cell_snapshot(self.config, cell,
+                                            grid.neighborhood_size(cell)))
+            for _rank, cell in lost
+        }
+        known = [l.iteration for l in monitor.snapshot().values() if not l.dead]
+        known += list(store.iterations().values())
+        known += [snap.iteration for snap in snapshots.values()]
+        diameter = grid.rows // 2 + grid.cols // 2
+        total = self.config.coevolution.iterations
+        rejoin = rejoin_iteration(known, diameter, total)
+
+        reborn: dict[int, NodeInfo] = {}
+        if self.fault_policy == "recover" and self.respawn_expected:
+            budget = self.max_restarts - self._restarts_used
+            want = sorted({rank for rank, _cell in lost})[:max(0, budget)]
+            if want:
+                reborn = self._await_respawns(
+                    want, results=results, outstanding=outstanding,
+                    store=store, monitor=monitor)
+                self._restarts_used += len(reborn)
+                node_info.extend(reborn.values())
+
+        frozen_cells: list[FrozenCell] = []
+        resume_ranks: dict[int, FrozenCell] = {}
+        for rank, cell in lost:
+            snap = snapshots[cell]
+            if rank in reborn:
+                frozen = FrozenCell(
+                    cell_index=cell, iteration=snap.iteration,
+                    generator_genome=snap.generator_genome,
+                    discriminator_genome=snap.discriminator_genome,
+                    mixture_weights=snap.mixture_weights,
+                    adopter_rank=rank, rejoin_iteration=rejoin)
+                resume_ranks[rank] = frozen
+                hosted.setdefault(rank, set()).add(cell)
+                outstanding.setdefault(rank, set()).add(cell)
+                monitor.revive(rank)
+                recovered_ranks.add(rank)
+                self.trace.record("rank respawned",
+                                  f"rank {rank} resumes cell {cell} at "
+                                  f"iteration {snap.iteration}, rejoin {rejoin}")
+            elif self.fault_policy == "recover":
+                adopter = choose_adopter(outstanding, excluded=handled_dead)
+                if adopter is not None:
+                    frozen = FrozenCell(
+                        cell_index=cell, iteration=snap.iteration,
+                        generator_genome=snap.generator_genome,
+                        discriminator_genome=snap.discriminator_genome,
+                        mixture_weights=snap.mixture_weights,
+                        adopter_rank=adopter, rejoin_iteration=rejoin)
+                    hosted.setdefault(adopter, set()).add(cell)
+                    outstanding.setdefault(adopter, set()).add(cell)
+                    recovered_ranks.add(rank)
+                    with telemetry.span("fault.migrated", rank=0):
+                        self.trace.record(
+                            "cell migrated",
+                            f"cell {cell} -> rank {adopter} from iteration "
+                            f"{snap.iteration}, rejoin {rejoin}")
+                else:
+                    frozen = self._freeze_cell(rank, cell, snap, results,
+                                               degraded_ranks, total)
+            else:  # degrade
+                frozen = self._freeze_cell(rank, cell, snap, results,
+                                           degraded_ranks, total)
+            frozen_cells.append(frozen)
+
+        notice = FaultNotice(
+            policy=self.fault_policy,
+            dead_ranks=tuple(sorted({rank for rank, _cell in lost})),
+            cells=tuple(frozen_cells))
+        ledger.append(notice)
+        for rank, cells in outstanding.items():
+            if cells and rank not in resume_ranks:
+                comm.send_fault_notice(rank, notice)
+        for rank, frozen in resume_ranks.items():
+            with telemetry.span("fault.restarted", rank=0):
+                comm.send_run_task(rank, RunTask(
+                    config_json=config_json,
+                    cell_index=frozen.cell_index,
+                    grid_payload=grid.to_payload(),
+                    assigned_node=placement[rank],
+                    exchange_mode=self.exchange_mode,
+                    profile=self.profile,
+                    trace=self.trace_enabled,
+                    telemetry_level=slave_telemetry,
+                    fault_policy=self.fault_policy,
+                    snapshot_every=self.snapshot_every,
+                    resume=ResumeDirective(
+                        snapshot=frozen.snapshot(),
+                        rejoin_iteration=frozen.rejoin_iteration,
+                        notices=tuple(ledger)),
+                ))
+
+    def _freeze_cell(self, rank: int, cell: int, snap, results: dict[int, SlaveResult],
+                     degraded_ranks: set[int], total_iterations: int) -> FrozenCell:
+        """Degrade: the cell stays at its checkpoint for the rest of the run."""
+        degraded_ranks.add(rank)
+        results[cell] = SlaveResult(
+            rank=rank, cell_index=cell,
+            generator_genome=snap.generator_genome,
+            discriminator_genome=snap.discriminator_genome,
+            mixture_weights=snap.mixture_weights,
+            reports=[])
+        self.trace.record("cell frozen",
+                          f"cell {cell} degraded at iteration {snap.iteration}")
+        return FrozenCell(
+            cell_index=cell, iteration=snap.iteration,
+            generator_genome=snap.generator_genome,
+            discriminator_genome=snap.discriminator_genome,
+            mixture_weights=snap.mixture_weights,
+            adopter_rank=None, rejoin_iteration=total_iterations)
+
+    def _await_respawns(self, want: list[int], *, results, outstanding,
+                        store, monitor) -> dict[int, NodeInfo]:
+        """Wait (bounded) for replacement workers to introduce themselves."""
+        reborn: dict[int, NodeInfo] = {}
+        pending = set(want)
+        deadline = time.monotonic() + self.restart_grace_s
+        self.trace.record("awaiting respawn", ", ".join(str(r) for r in want))
+        while pending and time.monotonic() < deadline:
+            info = self.comm.try_collect_node_info(timeout=0.1)
+            if info is not None and info.rank in pending:
+                reborn[info.rank] = info
+                pending.discard(info.rank)
+                continue
+            result = self.comm.try_collect_result(timeout=0.0)
+            if result is not None:
+                self._note_result(result, results, outstanding, monitor)
+            self._drain_snapshots(store)
+        return reborn

@@ -31,6 +31,8 @@ class Tags(enum.IntEnum):
     RESULT = 5
     ABORT = 6
     EXCHANGE = 7
+    CHECKPOINT = 8
+    FAULT_NOTICE = 9
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,17 @@ class RunTask:
     fault_kill: bool = False
     """Harden the injected fault to ``os._exit`` — a real process death the
     transport must detect externally (process/socket backends only)."""
+    fault_policy: str = "abort"
+    """What the master does when a rank dies (``abort``/``degrade``/
+    ``recover``); slaves need it to know whether fault notices may arrive."""
+    snapshot_every: int = 0
+    """Ship a :class:`~repro.coevolution.checkpoint.CellSnapshot` to the
+    master every N completed iterations (0 = never; the default keeps the
+    no-fault message flow byte-identical to the pre-recovery protocol)."""
+    resume: Any = None
+    """A :class:`~repro.parallel.recovery.ResumeDirective` when this task
+    restarts a respawned worker from checkpointed state; ``None`` for the
+    normal from-scratch start."""
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,10 @@ class SlaveResult:
     ``None`` when telemetry is off) — the in-band fallback for workers
     whose transport-level outcome does not reach the master process."""
     aborted: bool = False
+    recovered: bool = False
+    """True when this result was produced by fault recovery — an adopted
+    cell on a surviving rank or a respawned worker resuming from its
+    checkpoint — rather than by the cell's original uninterrupted run."""
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,224 @@
+"""Fault recovery for distributed training: policies, migration, rejoin.
+
+The paper's heartbeat thread (Section III-B, Fig. 3) only *detects* slave
+failure; the master then aborts the survivors.  This module is the layer
+that turns detection into recovery.  Three policies:
+
+* ``abort`` — the paper-faithful default: survivors are aborted gracefully
+  and the run reports its dead ranks.
+* ``degrade`` — the dead rank's cells are frozen at their latest
+  checkpoint: neighbors keep exchanging against the frozen center genomes
+  and the run completes with ``degraded_ranks`` populated.
+* ``recover`` — the dead rank's cells *migrate*: either a freshly
+  respawned replacement worker (socket backend, up to ``--max-restarts``)
+  resumes them from checkpoint, or a surviving slave adopts them, runs
+  them in a second execution thread, and rejoins the synchronous exchange.
+
+The rejoin protocol (why it cannot deadlock)
+--------------------------------------------
+
+Only *direct* neighbors of a dead cell ``c`` ever send to it
+(:meth:`Grid.incoming_neighbors`), and the synchronous neighbors exchange
+sends before it receives.  When ``c`` stops answering, its direct
+neighbors block inside their exchange at most one iteration past ``c``'s
+last send — so when the master's :class:`FaultNotice` reaches them they
+are still *before* the rejoin iteration ``R``.  From the notice on:
+
+* exchange receives *from* ``c`` at iterations ``< R`` are satisfied
+  locally from the frozen checkpoint genomes (no message needed);
+* sends *to* ``c`` at iterations ``< R`` are skipped — nobody listens;
+* from iteration ``R`` the adopter speaks for ``c``: it sends ``c``'s
+  center to ``c``'s consumers and receives from ``c``'s neighbors, with
+  the routing override mapping cell ``c`` to the adopting rank.
+
+The adopted cell catches up from its checkpoint to ``R`` without
+communicating (neighbor slots fall back to its own center, exactly the
+async-mode fallback), then exchanges synchronously.  ``R`` is chosen past
+every live cell's known iteration plus the torus diameter; because
+payloads sent to the dead rank before the notice are lost, the adopter's
+first synchronized iterations additionally carry a bounded resync timeout
+(:data:`RESYNC_TIMEOUT_S`) instead of blocking forever on a payload that
+can no longer arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.coevolution.checkpoint import CellSnapshot
+from repro.parallel.messages import ExchangePayload
+
+__all__ = [
+    "FAULT_POLICIES",
+    "validate_fault_policy",
+    "FrozenCell",
+    "FaultNotice",
+    "ResumeDirective",
+    "FaultState",
+    "choose_adopter",
+    "rejoin_iteration",
+    "RESYNC_WINDOW",
+    "RESYNC_TIMEOUT_S",
+]
+
+FAULT_POLICIES = ("abort", "degrade", "recover")
+
+#: Iterations past the rejoin point during which an adopted cell's exchange
+#: receives time out to the own-center fallback instead of blocking forever —
+#: covers payloads its predecessor received-but-lost around the death window.
+RESYNC_WINDOW = 32
+
+#: Per-iteration budget of that bounded wait (seconds).
+RESYNC_TIMEOUT_S = 5.0
+
+
+def validate_fault_policy(policy: str) -> str:
+    if policy not in FAULT_POLICIES:
+        raise ValueError(
+            f"unknown fault policy {policy!r}; expected one of {FAULT_POLICIES}")
+    return policy
+
+
+@dataclass(frozen=True)
+class FrozenCell:
+    """One dead cell as the survivors must treat it from now on.
+
+    ``adopter_rank`` is the WORLD rank now speaking for the cell (``None``
+    under ``degrade`` — frozen for the rest of the run).  Exchange receives
+    from this cell at iterations ``< rejoin_iteration`` are satisfied from
+    the frozen genomes; sends to it before then are skipped.
+    """
+
+    cell_index: int
+    iteration: int
+    generator_genome: object
+    discriminator_genome: object
+    mixture_weights: object
+    adopter_rank: int | None
+    rejoin_iteration: int
+
+    def snapshot(self) -> CellSnapshot:
+        return CellSnapshot(
+            cell_index=self.cell_index,
+            iteration=self.iteration,
+            generator_genome=self.generator_genome,
+            discriminator_genome=self.discriminator_genome,
+            mixture_weights=self.mixture_weights,
+        )
+
+
+@dataclass(frozen=True)
+class FaultNotice:
+    """Master -> surviving slaves: ranks died, here is the new world order."""
+
+    policy: str
+    dead_ranks: tuple[int, ...]
+    cells: tuple[FrozenCell, ...]
+
+
+@dataclass(frozen=True)
+class ResumeDirective:
+    """Master -> respawned worker: resume your cell from this state.
+
+    ``notices`` replays every fault the run has seen so far, so the reborn
+    rank's exchange treats earlier dead cells exactly like the survivors do.
+    """
+
+    snapshot: CellSnapshot
+    rejoin_iteration: int
+    notices: tuple[FaultNotice, ...] = ()
+
+
+class FaultState:
+    """A slave's thread-safe view of every dead cell in the run.
+
+    The main (communication) thread applies :class:`FaultNotice` messages;
+    the execution threads consult it on every exchange round — including
+    mid-wait, so a notice that arrives while a receive is blocked on a dead
+    neighbor unblocks it on the next poll.
+    """
+
+    def __init__(self, first_slave_rank: int = 1):
+        self._lock = threading.Lock()
+        self._frozen: dict[int, FrozenCell] = {}
+        self._first_slave_rank = first_slave_rank
+
+    def apply(self, notice: FaultNotice) -> list[FrozenCell]:
+        """Record a notice; returns only the cells not seen before."""
+        fresh: list[FrozenCell] = []
+        with self._lock:
+            for cell in notice.cells:
+                if cell.cell_index not in self._frozen:
+                    self._frozen[cell.cell_index] = cell
+                    fresh.append(cell)
+        return fresh
+
+    def frozen_cells(self) -> list[FrozenCell]:
+        with self._lock:
+            return list(self._frozen.values())
+
+    def frozen_payload(self, cell_index: int, iteration: int) -> ExchangePayload | None:
+        """The locally-satisfiable payload for a dead neighbor, if any."""
+        with self._lock:
+            frozen = self._frozen.get(cell_index)
+        if frozen is None or iteration >= frozen.rejoin_iteration:
+            return None
+        return ExchangePayload(
+            cell_index=cell_index,
+            iteration=iteration,
+            generator_genome=frozen.generator_genome,
+            discriminator_genome=frozen.discriminator_genome,
+        )
+
+    def skip_send(self, cell_index: int, iteration: int) -> bool:
+        """True when nobody will ever receive a send to this cell now."""
+        with self._lock:
+            frozen = self._frozen.get(cell_index)
+        if frozen is None:
+            return False
+        return frozen.adopter_rank is None or iteration < frozen.rejoin_iteration
+
+    def send_route(self, cell_index: int) -> int | None:
+        """LOCAL-rank override for sends to an adopted cell (else ``None``)."""
+        with self._lock:
+            frozen = self._frozen.get(cell_index)
+        if frozen is None or frozen.adopter_rank is None:
+            return None
+        return frozen.adopter_rank - self._first_slave_rank
+
+
+def choose_adopter(outstanding: Mapping[int, Iterable[int]],
+                   excluded: Iterable[int] = ()) -> int | None:
+    """The surviving rank that should adopt the next orphaned cell.
+
+    Candidates are ranks still working (non-empty outstanding cell set) and
+    not themselves dead; least-loaded wins, lowest rank breaks ties.
+    Returns ``None`` when nobody can adopt (all survivors already finished).
+    """
+    banned = set(excluded)
+    candidates = []
+    for rank, cells in outstanding.items():
+        if rank in banned:
+            continue
+        load = len(list(cells))
+        if load:
+            candidates.append((load, rank))
+    if not candidates:
+        return None
+    return min(candidates)[1]
+
+
+def rejoin_iteration(known_iterations: Iterable[int], grid_diameter: int,
+                     total_iterations: int) -> int:
+    """First iteration at which a recovered cell exchanges synchronously.
+
+    Past every iteration any cell is known to have reached, plus the torus
+    diameter (synchronous exchange bounds inter-cell drift by graph
+    distance) and a safety margin for heartbeat staleness.  Clamped to the
+    run length: a rejoin at ``total_iterations`` means the recovered cell
+    trains to completion without re-entering the synchronous exchange.
+    """
+    horizon = max(list(known_iterations) or [0])
+    return min(total_iterations, horizon + grid_diameter + 8)

@@ -123,10 +123,33 @@ class DistributedResult:
     telemetry: Any = None
     """Merged :class:`repro.telemetry.bus.MergedTelemetry` across every rank
     plus the launcher (``None`` when telemetry was off for the run)."""
+    fault_policy: str = "abort"
+    degraded_ranks: list[int] = field(default_factory=list)
+    """Ranks whose cells finished frozen at their last checkpoint (degrade
+    policy, or recover with nobody left to adopt)."""
+    recovered_ranks: list[int] = field(default_factory=list)
+    """Dead ranks whose cells were trained to completion anyway — by a
+    respawned replacement worker or an adopting survivor."""
 
     @property
     def complete(self) -> bool:
         return not self.dead_ranks
+
+    @property
+    def ok(self) -> bool:
+        """Did the run deliver what its fault policy promises?
+
+        ``abort``: only a fault-free run is ok.  ``degrade``: ok — frozen
+        cells are the documented contract.  ``recover``: ok unless a cell
+        could not be recovered and fell back to degraded.
+        """
+        if not self.dead_ranks:
+            return True
+        if self.fault_policy == "abort":
+            return False
+        if self.fault_policy == "degrade":
+            return True
+        return not self.degraded_ranks
 
     def distributed_profile(self) -> TimerSnapshot:
         """Wall-clock view of the four routines: max across concurrent slaves."""
@@ -151,6 +174,10 @@ class DistributedRunner:
                  placement: PlacementPlan | None = None,
                  fault_at: dict[int, int] | None = None,
                  fault_kill: bool = False,
+                 fault_policy: str = "abort",
+                 max_restarts: int = 0,
+                 snapshot_every: int | None = None,
+                 restart_grace_s: float = 30.0,
                  allow_failures: bool | None = None,
                  heartbeat_interval_s: float | None = None,
                  miss_limit: int = 8, timeout_s: float = 600.0,
@@ -194,6 +221,16 @@ class DistributedRunner:
             # co-hosted rank dies with the victim, so the faulted rank
             # must ride alone on its worker for the test to mean anything.
             self._check_fault_kill_isolation(config, fault_at, hosts)
+        from repro.parallel.recovery import validate_fault_policy
+
+        validate_fault_policy(fault_policy)
+        if fault_policy != "abort" and exchange_mode != "neighbors":
+            raise ValueError(
+                f"fault policy {fault_policy!r} needs the synchronous "
+                "'neighbors' exchange (frozen-cell satisfaction and rejoin "
+                f"are defined against it), got exchange_mode={exchange_mode!r}")
+        if max_restarts and fault_policy != "recover":
+            raise ValueError("max_restarts only applies to fault_policy='recover'")
         self.exchange_mode = exchange_mode
         self.profile = profile
         self.trace = trace
@@ -201,6 +238,15 @@ class DistributedRunner:
         self.placement = placement
         self.fault_at = fault_at
         self.fault_kill = fault_kill
+        self.fault_policy = fault_policy
+        self.max_restarts = max_restarts
+        # Non-abort policies need in-run checkpoints to recover from; default
+        # to every iteration.  0 (the abort default) sends nothing, keeping
+        # the no-fault message flow byte-identical to the legacy protocol.
+        if snapshot_every is None:
+            snapshot_every = 1 if fault_policy != "abort" else 0
+        self.snapshot_every = snapshot_every
+        self.restart_grace_s = restart_grace_s
         self.allow_failures = allow_failures
         self.heartbeat_interval_s = heartbeat_interval_s
         self.miss_limit = miss_limit
@@ -285,6 +331,11 @@ class DistributedRunner:
             # mixed-dtype peers are rejected at rendezvous, not after they
             # corrupt a genome exchange.
             options.setdefault("dtype", self.config.network.dtype)
+            if self.fault_policy == "recover" and self.max_restarts > 0:
+                # The coordinator respawns a replacement worker for a dead
+                # connection; the reborn rank re-introduces itself and the
+                # master resumes it from checkpoint.
+                options.setdefault("max_restarts", self.max_restarts)
         return options
 
     def run(self) -> DistributedResult:
@@ -303,6 +354,15 @@ class DistributedRunner:
             trace=self.trace,
             fault_at=self.fault_at,
             fault_kill=self.fault_kill,
+            fault_policy=self.fault_policy,
+            snapshot_every=self.snapshot_every,
+            max_restarts=self.max_restarts,
+            restart_grace_s=self.restart_grace_s,
+            # Only the socket transport can put a new process under a dead
+            # rank; elsewhere "recover" falls back to in-grid adoption.
+            respawn_expected=(self.backend == "socket"
+                              and self.fault_policy == "recover"
+                              and self.max_restarts > 0),
             heartbeat_interval_s=self.heartbeat_interval_s,
             miss_limit=self.miss_limit,
             # In-band propagation: the master rank (and through its RunTask
@@ -313,7 +373,7 @@ class DistributedRunner:
 
         start = time.perf_counter()
         fault_tolerant = (self.allow_failures if self.allow_failures is not None
-                          else bool(self.fault_at))
+                          else bool(self.fault_at) or self.fault_policy != "abort")
         outcomes = run_mpi(
             size, _distributed_entry,
             args=(config, self._dataset_payload(), master_options),
@@ -399,4 +459,7 @@ class DistributedRunner:
             master_wall_time_s=outcome.wall_time_s,
             transport_stats=list(transport_stats or []),
             telemetry=merged,
+            fault_policy=self.fault_policy,
+            degraded_ranks=list(getattr(outcome, "degraded_ranks", [])),
+            recovered_ranks=list(getattr(outcome, "recovered_ranks", [])),
         )

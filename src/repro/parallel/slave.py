@@ -29,11 +29,13 @@ import time
 
 from repro.config import ExperimentConfig
 from repro.coevolution.cell import Cell
+from repro.coevolution.checkpoint import CellSnapshot
 from repro.coevolution.genome import Genome
 from repro.data.dataset import ArrayDataset
 from repro.parallel.comm_manager import CommManager, ExchangeAborted
 from repro.parallel.grid import Grid
 from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply
+from repro.parallel.recovery import RESYNC_WINDOW, FaultState, FrozenCell
 from repro.parallel.states import SlaveStateMachine
 from repro.parallel.tracing import EventTrace
 from repro.profiling import NULL_TIMER, RoutineTimer
@@ -60,6 +62,11 @@ class SlaveProcess:
         self._iteration = 0
         self._iteration_lock = threading.Lock()
         self._execution_error: BaseException | None = None
+        self.fault_state = FaultState()
+        self._adopted_threads: list[threading.Thread] = []
+        self._task: RunTask | None = None
+        self._config: ExperimentConfig | None = None
+        self._grid: Grid | None = None
 
     # -- public entry point -------------------------------------------------------
 
@@ -77,11 +84,19 @@ class SlaveProcess:
             telemetry.set_level(task.telemetry_level)
         self.trace.record("run task received", f"cell {task.cell_index}")
         self.machine.start_processing()
-        # 3. Join the LOCAL/GLOBAL communication contexts (collective).
-        comm.build_contexts(is_active_slave=True)
+        # 3. Join the LOCAL/GLOBAL communication contexts.  A respawned
+        # worker re-attaches non-collectively — its peers built theirs
+        # before it was born and will not re-enter the collective.
+        if task.resume is not None:
+            comm.rejoin_contexts(is_active_slave=True)
+            for notice in task.resume.notices:
+                self.fault_state.apply(notice)
+        else:
+            comm.build_contexts(is_active_slave=True)
         # 4. Launch the execution thread (Fig. 3: "Create execution thread").
         config = ExperimentConfig.from_json(task.config_json)
         grid = Grid.from_payload(task.grid_payload)
+        self._task, self._config, self._grid = task, config, grid
         timer = RoutineTimer() if task.profile else NULL_TIMER
         result_box: dict[str, SlaveResult] = {}
         execution = threading.Thread(
@@ -91,20 +106,33 @@ class SlaveProcess:
             daemon=True,
         )
         execution.start()
-        # 5. Main thread: the master's communication interface.
-        while execution.is_alive():
+        # 5. Main thread: the master's communication interface.  Keeps
+        # serving while *any* hosted cell still trains — the slave may have
+        # adopted a dead rank's cell into a second execution thread.
+        result: SlaveResult | None = None
+        own_shipped = False
+        while True:
             self._serve_master_once()
+            if not execution.is_alive() and not own_shipped:
+                execution.join()
+                if self._execution_error is not None and not isinstance(
+                        self._execution_error, ExchangeAborted):
+                    raise self._execution_error
+                # Ship the own-cell result as soon as it exists — the
+                # master should not wait for adopted cells to see it.
+                result = result_box["result"]
+                self.trace.record("send results to master")
+                result.trace_events = list(self.trace.events)  # include the send event
+                comm.send_result(result)
+                own_shipped = True
+            if own_shipped and not any(t.is_alive() for t in self._adopted_threads):
+                break
             time.sleep(self.poll_interval_s)
-        execution.join()
-        if self._execution_error is not None and not isinstance(
-                self._execution_error, ExchangeAborted):
-            raise self._execution_error
-        # 6. Finished: ship results (Fig. 3: "Send results to master").
+        for thread in self._adopted_threads:
+            thread.join()
+        # 6. Finished: every hosted cell is done (Fig. 3: "Send results to
+        # master" — adopted cells shipped theirs from their own threads).
         self.machine.finish()
-        result = result_box["result"]
-        self.trace.record("send results to master")
-        result.trace_events = list(self.trace.events)  # include the send event
-        comm.send_result(result)
         # Answer any still-in-flight status request so the heartbeat sees a
         # clean FINISHED before this rank exits.
         self._serve_master_once()
@@ -116,6 +144,11 @@ class SlaveProcess:
         if self.comm.poll_abort():
             self.abort_event.set()
             self.trace.record("abort received")
+        while True:
+            notice = self.comm.poll_fault_notice()
+            if notice is None:
+                break
+            self._apply_fault_notice(notice)
         while self.comm.poll_status_request():
             with self._iteration_lock:
                 iteration = self._iteration
@@ -127,6 +160,30 @@ class SlaveProcess:
                     timestamp=time.time(),
                 )
             )
+
+    def _apply_fault_notice(self, notice) -> None:
+        """Record dead cells; adopt the ones assigned to this rank.
+
+        Runs on the main thread.  The execution threads pick the frozen
+        cells up through :class:`FaultState` on their next exchange poll;
+        adoption spawns one additional execution thread per inherited cell.
+        """
+        fresh = self.fault_state.apply(notice)
+        if not fresh:
+            return
+        self.trace.record(
+            "fault notice received",
+            f"cells {[fc.cell_index for fc in fresh]} ({notice.policy})")
+        for frozen in fresh:
+            if frozen.adopter_rank == self.comm.rank:
+                thread = threading.Thread(
+                    target=self._adopted_main,
+                    args=(frozen,),
+                    name=f"slave-{self.comm.rank}-adopt-{frozen.cell_index}",
+                    daemon=True,
+                )
+                self._adopted_threads.append(thread)
+                thread.start()
 
     # -- execution thread ----------------------------------------------------------------
 
@@ -152,11 +209,41 @@ class SlaveProcess:
         cell = Cell(config, cell_index, self.dataset,
                     neighborhood_size=grid.neighborhood_size(cell_index))
         self._cell = cell
+        start, rejoin = 0, 0
+        if task.resume is not None:
+            # Respawned worker: resume the cell from its checkpoint and
+            # rejoin the synchronous exchange at the negotiated iteration.
+            snapshot: CellSnapshot = task.resume.snapshot
+            cell.restore(snapshot.generator_genome, snapshot.discriminator_genome,
+                         snapshot.mixture_weights, snapshot.iteration)
+            start, rejoin = snapshot.iteration, task.resume.rejoin_iteration
+            with self._iteration_lock:
+                self._iteration = start
+            self.trace.record("resume from checkpoint",
+                              f"iteration {start}, rejoin {rejoin}")
         self.trace.record("start training")
-        for iteration in range(config.coevolution.iterations):
+        result = self._train_cell(
+            task, config, grid, cell, timer, cell_index=cell_index,
+            start=start, rejoin=rejoin,
+            inject_fault=task.resume is None, track_iteration=True,
+        )
+        result.recovered = task.resume is not None
+        return result
+
+    def _train_cell(self, task: RunTask, config: ExperimentConfig, grid: Grid,
+                    cell: Cell, timer: RoutineTimer, *, cell_index: int,
+                    start: int = 0, rejoin: int = 0, inject_fault: bool = False,
+                    track_iteration: bool = False) -> SlaveResult:
+        """The per-iteration loop, shared by the primary cell, a resumed
+        cell (respawned worker) and adopted cells (second execution
+        thread).  Iterations below ``rejoin`` run communication-free (see
+        :mod:`repro.parallel.recovery`)."""
+        resync_until = rejoin + RESYNC_WINDOW if rejoin else None
+        for iteration in range(start, config.coevolution.iterations):
             if self.abort_event.is_set():
                 raise ExchangeAborted(f"cell {cell_index}: abort before iteration {iteration}")
-            if task.fault_at_iteration is not None and iteration == task.fault_at_iteration:
+            if (inject_fault and task.fault_at_iteration is not None
+                    and iteration == task.fault_at_iteration):
                 if task.fault_kill:
                     # A genuine process death: no exception, no result, no
                     # goodbye — the transport and the heartbeat layer must
@@ -170,14 +257,64 @@ class SlaveProcess:
             payload = ExchangePayload(cell_index, iteration, own_g, own_d)
             self.trace.record("get results from neighbours", f"iteration {iteration}")
             received = self.comm.exchange_genomes(
-                grid, cell_index, payload, task.exchange_mode, timer, self.abort_event
+                grid, cell_index, payload, task.exchange_mode, timer, self.abort_event,
+                fault_state=self.fault_state,
+                catch_up=iteration < rejoin,
+                resync_until=resync_until,
             )
             neighbors = self._order_neighbors(grid, cell_index, received, cell)
             self.trace.record("train one iteration", f"iteration {iteration}")
             cell.step(neighbors, timer)
-            with self._iteration_lock:
-                self._iteration = iteration + 1
-        return self._final_result(task, cell, timer)
+            if track_iteration:
+                with self._iteration_lock:
+                    self._iteration = iteration + 1
+            if task.snapshot_every and (iteration + 1) % task.snapshot_every == 0 \
+                    and iteration + 1 < config.coevolution.iterations:
+                g, d = cell.center_genomes()
+                self.comm.send_cell_snapshot(CellSnapshot(
+                    cell_index=cell_index,
+                    iteration=iteration + 1,
+                    generator_genome=g,
+                    discriminator_genome=d,
+                    mixture_weights=cell.mixture.weights.copy(),
+                ))
+        return self._final_result(task, cell, timer, cell_index=cell_index)
+
+    def _adopted_main(self, frozen: FrozenCell) -> None:
+        """Second execution thread: train an adopted cell to completion.
+
+        Restores the dead rank's cell from its checkpoint, catches up
+        communication-free to the rejoin iteration, then exchanges
+        synchronously on the dead cell's behalf.  Ships its own
+        :class:`SlaveResult` (tagged ``recovered``) when done.
+        """
+        telemetry.bind_rank(self.comm.rank)
+        task, config, grid = self._task, self._config, self._grid
+        assert task is not None and config is not None and grid is not None
+        cell_index = frozen.cell_index
+        self.trace.record("adopt cell", f"cell {cell_index} from iteration {frozen.iteration}")
+        timer = RoutineTimer() if task.profile else NULL_TIMER
+        try:
+            cell = Cell(config, cell_index, self.dataset,
+                        neighborhood_size=grid.neighborhood_size(cell_index))
+            cell.restore(frozen.generator_genome, frozen.discriminator_genome,
+                         frozen.mixture_weights, frozen.iteration)
+            result = self._train_cell(
+                task, config, grid, cell, timer, cell_index=cell_index,
+                start=frozen.iteration, rejoin=frozen.rejoin_iteration,
+                inject_fault=False, track_iteration=False,
+            )
+        except ExchangeAborted:
+            # The run is being torn down; the master no longer waits for
+            # this cell, so there is nothing useful to ship.
+            self.trace.record("adopted cell aborted", f"cell {cell_index}")
+            return
+        except BaseException as exc:  # noqa: BLE001 - adoption must not kill the host
+            self.trace.record("adopted cell failed", f"cell {cell_index}: {exc!r}")
+            return
+        result.recovered = True
+        self.trace.record("send adopted results to master", f"cell {cell_index}")
+        self.comm.send_result(result)
 
     @staticmethod
     def _order_neighbors(grid: Grid, cell_index: int,
@@ -204,11 +341,12 @@ class SlaveProcess:
 
     # -- results --------------------------------------------------------------------------
 
-    def _final_result(self, task: RunTask, cell: Cell, timer: RoutineTimer) -> SlaveResult:
+    def _final_result(self, task: RunTask, cell: Cell, timer: RoutineTimer, *,
+                      cell_index: int | None = None) -> SlaveResult:
         g_genome, d_genome = cell.center_genomes()
         return SlaveResult(
             rank=self.comm.rank,
-            cell_index=task.cell_index,
+            cell_index=task.cell_index if cell_index is None else cell_index,
             generator_genome=g_genome,
             discriminator_genome=d_genome,
             mixture_weights=cell.mixture.weights.copy(),

@@ -1,0 +1,33 @@
+"""Linted as repro.mpi.fixture: hand-rolled socket retry loops (R9)."""
+
+import socket
+
+from repro.mpi.wire import write_frame
+
+
+def connect_forever(address):
+    while True:
+        try:
+            return socket.create_connection(address, timeout=5.0)
+        except OSError:
+            continue  # unbounded, unjittered, uncounted
+
+
+def send_with_attempts(sock, frame):
+    for _attempt in range(10):
+        try:
+            write_frame(sock, frame)
+            return True
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # swallowed: goes around again with no delay
+    return False
+
+
+def recv_until_alive(sock):
+    done = False
+    while not done:
+        try:
+            sock.recv(4096)
+            done = True
+        except socket.timeout:
+            done = False

@@ -1,0 +1,56 @@
+"""Linted as repro.mpi.fixture: sanctioned shapes around socket I/O (R9)."""
+
+import socket
+
+from repro.mpi.backoff import retry_connect, with_backoff
+from repro.mpi.errors import MpiTimeoutError
+from repro.mpi.wire import write_frame
+
+
+def connect(address):
+    # Transient-failure retry routed through the one sanctioned home.
+    return retry_connect(address, timeout=5.0)
+
+
+def send(sock, frame):
+    return with_backoff(lambda: write_frame(sock, frame))
+
+
+def send_fan_out(connections, frame):
+    # A for-over-peers is a fan-out, not a retry: each pass visits a
+    # different connection, best-effort.
+    for conn in connections:
+        try:
+            write_frame(conn.sock, frame)
+        except OSError:
+            pass
+
+
+def poll(comm):
+    # Polling with a timeout is not a failure retry.
+    while True:
+        try:
+            return comm.recv(timeout=0.25)
+        except MpiTimeoutError:
+            continue
+
+
+def accept_loop(listener):
+    # A server accepting its next client is not retrying a failed op.
+    while True:
+        try:
+            sock, _ = listener.accept()
+        except socket.timeout:
+            continue
+        except OSError:
+            return
+        sock.close()
+
+
+def read_one(sock):
+    # The handler escapes the loop: failure handling, not a retry.
+    while True:
+        try:
+            return sock.recv(4096)
+        except OSError:
+            return None

@@ -23,6 +23,7 @@ RULE_MODULES = {
     "R6": "repro.nn.fixture",
     "R7": "repro.cluster.fixture",
     "R8": "repro.data.fixture",
+    "R9": "repro.mpi.fixture",
 }
 
 
@@ -44,6 +45,17 @@ def test_bad_fixture_is_flagged(rule):
 def test_good_fixture_passes(rule):
     findings = lint_fixture(f"{rule.lower()}_good.py", RULE_MODULES[rule])
     assert not findings, f"{rule} good fixture should be clean: {findings}"
+
+
+def test_r9_flags_each_retry_shape():
+    findings = lint_fixture("r9_bad.py", RULE_MODULES["R9"])
+    hits = [f for f in findings if f.rule == "R9"]
+    assert len(hits) == 3  # while-retry, range-attempt, timeout-swallow
+
+
+def test_r9_exempts_the_backoff_module():
+    findings = lint_fixture("r9_bad.py", "repro.mpi.backoff")
+    assert not any(f.rule == "R9" for f in findings)
 
 
 def test_r2_flags_every_enemy_once():

@@ -66,7 +66,8 @@ class ScriptedComm(CommManager):
 
     # exchange ---------------------------------------------------------------------
     def exchange_genomes(self, grid, cell_index, payload, mode, timer=None,
-                         abort_event=None):
+                         abort_event=None, fault_state=None, catch_up=False,
+                         resync_until=None):
         if abort_event is not None and abort_event.is_set():
             from repro.parallel.comm_manager import ExchangeAborted
 
