@@ -1,4 +1,4 @@
-"""The project-invariant rules (R1–R9), each grounded in a real bug class.
+"""The project-invariant rules (R1–R10), each grounded in a real bug class.
 
 Every rule documents the incident or contract it machine-checks; the
 history lives in ``CHANGES.md`` and the invariant statements in
@@ -708,6 +708,71 @@ class BareSocketRetryRule(Rule):
                        for stmt in handler.body for sub in ast.walk(stmt))
 
 
+# --------------------------------------------------------------------------
+# R10: inter-rank payloads carry a membership-epoch tag.
+# --------------------------------------------------------------------------
+
+class EpochTagRule(Rule):
+    """Payload-bearing wire dataclasses must declare an ``epoch`` field.
+
+    Elastic membership fences the exchange by epoch: when a cell changes
+    hands (death, drain, live join) the membership epoch bumps, and the
+    leaving rank's in-flight frames — stamped with the older epoch — are
+    dropped instead of being delivered as if they came from the new owner.
+    The fence only works if every payload that crosses ranks carries the
+    tag.  A payload dataclass without an ``epoch`` field is invisible to
+    the fence: its frames survive a hand-off and can corrupt the adopting
+    rank's generation with pre-migration state.
+
+    Checked syntactically: any ``@dataclass`` in the transport or parallel
+    layers whose name ends in ``Payload`` must have a class-level ``epoch``
+    annotation (a plain ``epoch: int = 0`` keeps static runs byte-stable).
+    Control messages (tasks, notices, replies) are exempt — they are
+    master-mediated and never raced across a hand-off.
+    """
+
+    id = "R10"
+    slug = "epoch-tag"
+    severity = "error"
+    description = "payload-bearing wire dataclass without an epoch tag"
+    components = frozenset({"mpi", "parallel"})
+
+    _DATACLASS = {"dataclasses.dataclass", "dataclass"}
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Payload"):
+                continue
+            if not self._is_dataclass(ctx, node):
+                continue
+            if not self._declares_epoch(node):
+                out.append(self.finding(
+                    ctx, node,
+                    f"payload dataclass {node.name} has no 'epoch' field: "
+                    "frames from a rank that left survive its hand-off and "
+                    "bypass the membership fence — declare 'epoch: int = 0' "
+                    "and stamp it from FaultState.current_epoch()",
+                ))
+        return out
+
+    def _is_dataclass(self, ctx: FileContext, node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if resolve_call(ctx, target) in self._DATACLASS:
+                return True
+        return False
+
+    @staticmethod
+    def _declares_epoch(node: ast.ClassDef) -> bool:
+        return any(isinstance(stmt, ast.AnnAssign)
+                   and isinstance(stmt.target, ast.Name)
+                   and stmt.target.id == "epoch"
+                   for stmt in node.body)
+
+
 def ALL_RULES() -> list[Rule]:
     """Fresh instances of every per-file rule (R6 is added by the engine)."""
     return [
@@ -719,4 +784,5 @@ def ALL_RULES() -> list[Rule]:
         ForkSafetyRule(),
         EnvAtImportRule(),
         BareSocketRetryRule(),
+        EpochTagRule(),
     ]

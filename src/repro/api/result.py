@@ -105,6 +105,29 @@ class RunResult:
         return []
 
     @property
+    def drained_ranks(self) -> list[int]:
+        """Ranks that left voluntarily mid-run (graceful drain, not a fault)."""
+        if self.distributed is not None:
+            return list(getattr(self.distributed, "drained_ranks", []))
+        return []
+
+    @property
+    def joined_ranks(self) -> list[int]:
+        """Ranks admitted through the live rendezvous after launch."""
+        if self.distributed is not None:
+            return list(getattr(self.distributed, "joined_ranks", []))
+        return []
+
+    @property
+    def membership(self):
+        """The run's :class:`repro.parallel.elastic.MembershipLog` — every
+        epoch transition in order (``None`` on sequential runs and backends
+        that do not report one)."""
+        if self.distributed is not None:
+            return getattr(self.distributed, "membership", None)
+        return None
+
+    @property
     def ok(self) -> bool:
         """Did the run deliver what its fault policy promises?
 
@@ -187,6 +210,11 @@ class RunResult:
         else:
             status = f"dead ranks {self.dead_ranks}"
         early = ", stopped early" if self.stopped_early else ""
+        elastic = ""
+        if self.drained_ranks:
+            elastic += f", drained {self.drained_ranks}"
+        if self.joined_ranks:
+            elastic += f", joined {self.joined_ranks}"
         return (f"{self.backend} run: {self.iterations_run} iteration(s) in "
-                f"{self.wall_time_s:.2f}s, {status}{early}, "
+                f"{self.wall_time_s:.2f}s, {status}{early}{elastic}, "
                 f"best cell {self.best_cell_index()}")

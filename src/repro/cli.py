@@ -33,6 +33,14 @@ Commands
     Attach this machine to a socket-backend run:
     ``python -m repro worker --connect coordinator:5555 --slots 4``.
     The coordinator side is ``repro run --backend socket --hosts ...``.
+    With ``--join``, attach to an *already running* job through the live
+    rendezvous, filling a vacant rank slot (a dead or drained worker's).
+    SIGTERM/SIGINT drain the worker gracefully: its cells are
+    checkpointed and handed off, then it exits 0.
+``drain``
+    Ask a live socket-backend run to release one rank gracefully:
+    ``python -m repro drain 3 --connect coordinator:5555``.  The rank
+    checkpoints its cells, hands them off, and its worker exits cleanly.
 ``trace``
     Digest a Perfetto trace written by ``repro run --trace out.json``:
     per-routine totals, comm/compute overlap, slowest cells.
@@ -106,6 +114,10 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="socket backend only: coordinator listen "
                              "address (default 127.0.0.1, ephemeral port; "
                              "bind 0.0.0.0:PORT for remote workers)")
+    parser.add_argument("--token", metavar="TOKEN", dest="token",
+                        help="socket backend only: fixed rendezvous token "
+                             "(default: generated per run); share it with "
+                             "'repro worker --join' and 'repro drain'")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,6 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--dtype", default="float64",
                         help="dtype policy of the run this worker joins "
                              "(must match the coordinator's --dtype)")
+    worker.add_argument("--join", action="store_true",
+                        help="attach to an already-running job through the "
+                             "live rendezvous, filling a vacant rank slot "
+                             "(a dead or drained worker's)")
+
+    drain = sub.add_parser("drain", help="gracefully release one rank of a "
+                                         "live socket-backend run")
+    drain.add_argument("rank", type=int,
+                       help="WORLD rank to drain (1..cells; rank 0 is the "
+                            "master)")
+    drain.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="the coordinator's rendezvous address")
+    drain.add_argument("--token", default=None,
+                       help="rendezvous token printed by the coordinator")
+    drain.add_argument("--timeout", type=float, default=10.0,
+                       help="seconds to wait for the coordinator's reply")
 
     trace = sub.add_parser("trace", help="summarize a Perfetto trace written "
                                          "by 'repro run --trace'")
@@ -213,7 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     # (--format/--baseline/--select/...), which argparse's REMAINDER would
     # mangle.  The stub keeps `repro --help` honest.
     sub.add_parser("lint", help="project-invariant static analysis "
-                                "(rules R1-R9; repro lint --list-rules)",
+                                "(rules R1-R10; repro lint --list-rules)",
                    add_help=False)
 
     return parser
@@ -239,7 +267,7 @@ def _build_experiment(args):
     from repro.config import paper_table1_config
 
     backend_options = {}
-    for option in ("hosts", "bind"):
+    for option in ("hosts", "bind", "token"):
         value = getattr(args, option, None)
         if value is not None:
             if args.backend != "socket":
@@ -471,6 +499,18 @@ def _cmd_worker(args) -> int:
         timeout=args.timeout,
         quiet=args.quiet,
         dtype=args.dtype,
+        join=args.join,
+    )
+
+
+def _cmd_drain(args) -> int:
+    from repro.mpi.socket_transport import drain_request
+
+    return drain_request(
+        args.connect,
+        rank=args.rank,
+        token=args.token,
+        timeout=args.timeout,
     )
 
 
@@ -503,6 +543,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "sample": _cmd_sample,
     "worker": _cmd_worker,
+    "drain": _cmd_drain,
     "trace": _cmd_trace,
 }
 

@@ -19,6 +19,7 @@ __all__ = [
     "place_tasks",
     "plan_from_hosts",
     "platform_from_hosts",
+    "migration_count",
     "table2_resources",
     "PER_TASK_MEMORY_MB",
 ]
@@ -50,6 +51,23 @@ class PlacementPlan:
 
     def max_load(self) -> int:
         return max(self.tasks_per_node().values())
+
+    def reassign(self, rank: int, node: str) -> "PlacementPlan":
+        """A copy with ``rank`` hosted on ``node``.
+
+        The elastic-membership update: when a joiner fills a vacant rank
+        slot from a different machine (or a drained node's ranks move), the
+        master keeps the reported placement truthful by re-pinning just
+        that rank — every other assignment is untouched, so
+        :func:`migration_count` against the original plan counts exactly
+        the moves the re-balance made.
+        """
+        if not 0 <= rank < len(self.task_nodes):
+            raise ValueError(
+                f"rank {rank} outside the plan's {len(self.task_nodes)} tasks")
+        nodes = list(self.task_nodes)
+        nodes[rank] = node
+        return PlacementPlan(tuple(nodes))
 
 
 def place_tasks(platform: ClusterPlatform, tasks: int,
@@ -124,6 +142,21 @@ def platform_from_hosts(hosts: list[tuple[str, int]],
         for host, slots in merged.items()
     ]
     return ClusterPlatform(name="socket-hosts", nodes=nodes)
+
+
+def migration_count(before: PlacementPlan, after: PlacementPlan) -> int:
+    """How many ranks changed hosts between two plans.
+
+    The re-balancer's objective function is "minimize migrations while
+    respecting neighborhood locality"; this is the migration half, used by
+    tests (and telemetry) to hold a re-balance to that contract.
+    """
+    if before.tasks != after.tasks:
+        raise ValueError(
+            f"plans differ in size ({before.tasks} vs {after.tasks}); "
+            f"elastic membership fills vacant slots, it never resizes")
+    return sum(1 for old, new in zip(before.task_nodes, after.task_nodes)
+               if old != new)
 
 
 def table2_resources(grid_rows: int, grid_cols: int) -> dict[str, int]:

@@ -39,6 +39,24 @@ class BackoffPolicy:
     """Exponential growth factor between retries."""
     jitter: float = 0.25
     """Fraction of each delay drawn uniformly at random (0 disables)."""
+    deadline_s: float | None = None
+    """Wall-clock budget for the whole schedule (``None`` = unbounded).
+    When the budget runs out the *last underlying error* is re-raised —
+    never a synthetic timeout, so the caller still sees what actually
+    failed (connection refused vs. reset vs. ...)."""
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(
+                f"attempts must be >= 1 (got {self.attempts}); an "
+                f"attempts=0 policy would never call the operation at all")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1] (got {self.jitter})")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive when set (got {self.deadline_s})")
 
     def delays(self, rng: random.Random) -> Iterator[float]:
         """The ``attempts - 1`` waits of this schedule."""
@@ -74,6 +92,8 @@ def with_backoff(fn: Callable[[], Any], *,
     """
     rng = rng if rng is not None else _fresh_rng()
     delays = policy.delays(rng)
+    deadline = (None if policy.deadline_s is None
+                else time.monotonic() + policy.deadline_s)
     attempt = 0
     while True:
         attempt += 1
@@ -83,6 +103,10 @@ def with_backoff(fn: Callable[[], Any], *,
             try:
                 delay = next(delays)
             except StopIteration:
+                raise exc from None
+            if deadline is not None and time.monotonic() + delay > deadline:
+                # Budget exhausted: surface the real failure, not a
+                # synthetic timeout — the caller needs the actual errno.
                 raise exc from None
             if on_retry is not None:
                 on_retry(attempt, exc)

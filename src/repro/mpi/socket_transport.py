@@ -49,6 +49,7 @@ from repro.telemetry import bus as telemetry
 __all__ = [
     "SocketTransport",
     "worker_main",
+    "drain_request",
     "parse_host_spec",
     "parse_address",
 ]
@@ -61,7 +62,12 @@ LOCAL_HOSTNAMES = {"localhost", "127.0.0.1", "::1"}
 #     peers whose policy differs (mixed-dtype grids would corrupt genome
 #     exchange silently — a float16 vector widening into a float64 arena
 #     trains a different trajectory than every other cell).
-_WIRE_VERSION = 3
+# v4: elastic membership — the hello may carry "join" (fill a vacant slot
+#     mid-run) or "cmd": "drain" (control client); the coordinator
+#     broadcasts epoch-stamped MEMBERSHIP frames and START carries the
+#     slot's incarnation count + cumulative peer losses so TransportStats
+#     aggregate across incarnations instead of resetting.
+_WIRE_VERSION = 4
 
 #: Size cap on the pre-auth hello body.  A real hello is ~150 bytes; the
 #: coordinator refuses to buffer more than this for a peer that has not
@@ -246,6 +252,18 @@ class SocketTransport(Transport):
         #: respawn-pending worker, flushed to the replacement on re-admit.
         self._parked: dict[int, deque] = {}
         self._late_thread: threading.Thread | None = None
+        # -- elastic membership state (guarded by _admit_lock) --------------
+        #: Wire-level membership epoch; bumped on every MEMBERSHIP
+        #: broadcast.  Static runs never broadcast, so it stays 0.
+        self._epoch = 0
+        #: Times each worker slot's connection was established (1 = the
+        #: original rendezvous).  Carried in late START frames so a
+        #: replacement or joiner seeds ``reconnects`` with its slot's full
+        #: history, not just "1 if respawn".
+        self._index_incarnations: dict[int, int] = {}
+        #: Cumulative ranks lost over the run — a joiner's ``ranks_lost``
+        #: starts here instead of at zero.
+        self._ranks_lost_total = 0
 
     # -- public address (for hints and spawned workers) --------------------
 
@@ -319,14 +337,14 @@ class SocketTransport(Transport):
             })
             wire.write_frame(conn.sock, frame)
             self._start_io_threads(conn)
-        if self.max_restarts > 0:
-            # The listener stays open past the rendezvous: replacement
-            # workers for dead connections are admitted here for the rest
-            # of the run.
-            self._late_thread = threading.Thread(
-                target=self._late_accept_loop,
-                name="mpi-late-accept", daemon=True)
-            self._late_thread.start()
+        # The listener stays open past the rendezvous: replacement workers
+        # for dead connections, elastic joiners filling vacant slots, and
+        # `repro drain` control clients are all admitted here for the rest
+        # of the run.
+        self._late_thread = threading.Thread(
+            target=self._late_accept_loop,
+            name="mpi-late-accept", daemon=True)
+        self._late_thread.start()
 
     def _start_io_threads(self, conn: _WorkerConnection) -> None:
         conn.reader = threading.Thread(
@@ -611,16 +629,37 @@ class SocketTransport(Transport):
                        f"{conn.host} lost before rank {rank} reported a "
                        f"result{exit_note}"),
             ))
-        if unreported and not self._shut_down:
+        if self._shut_down:
+            return
+        if unreported:
             # Silent socket death becomes an explicit liveness broadcast:
             # surviving workers learn which peer ranks are gone (and, after
             # a respawn, back) instead of inferring it from dropped frames.
-            self._broadcast_rank_lost(sorted(unreported), "lost")
+            self._broadcast_membership(sorted(unreported), "lost")
             self._maybe_respawn(conn)
+        else:
+            # Every hosted rank reported before the connection closed: a
+            # planned departure (drain), not a death.  Peers stop sending
+            # to the ranks, the slot becomes vacant — a later
+            # `repro worker --join` may fill it.
+            self._broadcast_membership(sorted(conn.ranks), "left")
 
-    def _broadcast_rank_lost(self, ranks: list[int], state: str) -> None:
-        frame = wire.pack_frame(wire.RANK_LOST, 0,
-                                {"ranks": list(ranks), "state": state})
+    def _broadcast_membership(self, ranks: list[int], state: str) -> None:
+        """Epoch-stamped MEMBERSHIP broadcast (generalizes RANK_LOST).
+
+        States: ``lost`` (death), ``back`` (respawned replacement),
+        ``left`` (graceful drain), ``joined`` (elastic joiner).  Each
+        broadcast bumps the wire-level epoch; static runs never get here,
+        so their epoch stays 0 and no extra frame ever moves.
+        """
+        with self._admit_lock:
+            self._epoch += 1
+            epoch = self._epoch
+            if state == "lost":
+                self._ranks_lost_total += len(ranks)
+        frame = wire.pack_frame(wire.MEMBERSHIP, 0,
+                                {"epoch": epoch, "ranks": list(ranks),
+                                 "state": state})
         for conn in self._connections:
             if conn is None or conn.dead:
                 continue
@@ -667,12 +706,19 @@ class SocketTransport(Transport):
                 name="mpi-late-admit", daemon=True).start()
 
     def _admit_late(self, sock: socket.socket) -> None:
-        """Validate a replacement worker's hello and splice it into the run.
+        """Validate a late hello and splice the peer into the run.
 
         Same trust boundary as the rendezvous :meth:`_admit` — size-capped
-        JSON hello, token compared first — plus one extra requirement: the
-        offered ``--index`` must name a connection previously marked dead
-        with a respawn pending.
+        JSON hello, token compared first.  Three admissible shapes:
+
+        * a **replacement** worker (``--index`` naming a connection marked
+          dead with a respawn pending) — PR-9 semantics;
+        * an **elastic joiner** (``--join``) — admitted into any vacant
+          slot (a dead or drained connection with no respawn pending)
+          whose rank count matches its ``--slots``;
+        * a **drain control client** (``repro drain <rank>``) — asks the
+          coordinator to request a graceful drain of the worker hosting
+          the rank, gets a one-frame acknowledgement, and disconnects.
         """
         try:
             sock.settimeout(5.0)
@@ -690,39 +736,61 @@ class SocketTransport(Transport):
                 raise wire.WireError(
                     f"wire version mismatch: coordinator {_WIRE_VERSION}, "
                     f"worker {hello.get('version')}")
+            if hello.get("cmd") == "drain":
+                self._admit_drain_request(sock, hello)
+                return
             if hello.get("dtype", "float64") != self.dtype:
                 raise wire.WireError(
                     f"dtype policy mismatch: coordinator runs {self.dtype!r}")
             index = hello.get("index")
-            if index is None:
+            joining = bool(hello.get("join"))
+            if index is None and not joining:
                 raise wire.WireError(
-                    "replacement workers must present --index")
-            index = int(index)
+                    "replacement workers must present --index "
+                    "(or --join to fill any vacant slot)")
             with self._admit_lock:
                 if self._shut_down:
                     raise wire.WireError("coordinator is shutting down")
-                if index not in self._respawn_pending:
+                if index is None:
+                    index = self._vacant_slot_for(hello)
+                index = int(index)
+                respawning = index in self._respawn_pending
+                if not respawning and not joining:
                     raise wire.WireError(
                         f"worker slot {index} is not awaiting a replacement")
+                if joining and not respawning and not self._slot_vacant(index):
+                    raise wire.WireError(
+                        f"worker slot {index} is not vacant")
                 if hello.get("slots") != len(self._blocks[index]):
                     raise wire.WireError(
                         f"worker {index} offered {hello.get('slots')} "
                         f"slot(s), host spec expects "
                         f"{len(self._blocks[index])}")
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                conn = _WorkerConnection(index, self.hosts[index][0], sock,
+                host = (str(hello.get("host")) if joining and hello.get("host")
+                        else self.hosts[index][0])
+                conn = _WorkerConnection(index, host, sock,
                                          self._blocks[index])
                 self._connections[index] = conn
                 for rank in conn.ranks:
                     self._rank_conn[rank] = conn
                 parked = self._parked.pop(index, None)
                 self._respawn_pending.discard(index)
+                incarnation = self._index_incarnations.get(index, 1) + 1
+                self._index_incarnations[index] = incarnation
+                peer_losses = self._ranks_lost_total
             assert self._program is not None
             wire.write_frame(conn.sock, wire.pack_frame(wire.START, conn.index, {
                 "ranks": conn.ranks,
                 "size": self.size,
                 "program": self._program,
-                "respawn": True,
+                "respawn": respawning,
+                "join": joining and not respawning,
+                # Incarnation carryover: the worker seeds its ranks'
+                # TransportStats from the slot's full history so counters
+                # aggregate across incarnations instead of resetting.
+                "incarnation": incarnation,
+                "peer_losses": peer_losses,
             }))
             self._start_io_threads(conn)
             if parked:
@@ -730,10 +798,12 @@ class SocketTransport(Transport):
                 # (heartbeat requests, fault notices) arrive late, not never.
                 for rank, header, body in parked:
                     conn.outbound.put((header, body))
-            self._broadcast_rank_lost(list(conn.ranks), "back")
+            self._broadcast_membership(
+                list(conn.ranks), "back" if respawning else "joined")
             if telemetry.enabled():
                 telemetry.count("socket.workers_readmitted")
-            print(f"[socket] worker {index} re-admitted, hosting rank(s) "
+            verb = "re-admitted" if respawning else "joined"
+            print(f"[socket] worker {index} {verb}, hosting rank(s) "
                   f"{conn.ranks}", file=sys.stderr)
         except Exception as exc:  # noqa: BLE001 - anything a stranger sends
             if telemetry.enabled():
@@ -742,6 +812,66 @@ class SocketTransport(Transport):
             sock.close()
         finally:
             self._admit_slots.release()
+
+    def _slot_vacant(self, index: int) -> bool:
+        """A slot whose connection is gone and no replacement is pending
+        (caller holds ``_admit_lock``)."""
+        conn = self._connections[index]
+        return (conn is not None and conn.dead
+                and index not in self._respawn_pending)
+
+    def _vacant_slot_for(self, hello: dict) -> int:
+        """The lowest vacant slot matching a joiner's rank count
+        (caller holds ``_admit_lock``)."""
+        candidates = [
+            i for i in range(len(self._blocks))
+            if self._slot_vacant(i)
+            and len(self._blocks[i]) == hello.get("slots")
+        ]
+        if not candidates:
+            raise wire.WireError(
+                f"no vacant worker slot takes {hello.get('slots')} rank(s); "
+                f"joiners can only fill slots whose worker died or drained")
+        return candidates[0]
+
+    def _admit_drain_request(self, sock: socket.socket, hello: dict) -> None:
+        """Handle a ``repro drain`` control client (post-auth).
+
+        Queues a DRAIN frame for the worker hosting the target rank, then
+        acknowledges and closes — the control connection never becomes a
+        member of the run.
+        """
+        rank = int(hello.get("rank", -1))
+        conn = self._rank_conn.get(rank)
+        if conn is None or conn.dead:
+            reply = {"ok": False,
+                     "error": f"rank {rank} is not hosted by a live worker"}
+        else:
+            conn.outbound.put(wire.pack_frame(
+                wire.DRAIN, rank,
+                body=json.dumps({"rank": rank}).encode("utf-8")))
+            reply = {"ok": True, "rank": rank}
+            if telemetry.enabled():
+                telemetry.count("socket.drain_requests")
+        try:
+            wire.write_frame(sock, wire.pack_frame(
+                wire.DRAIN, rank, body=json.dumps(reply).encode("utf-8")))
+        finally:
+            sock.close()
+
+    def drain_rank(self, rank: int) -> None:
+        """Ask the worker hosting ``rank`` to drain it gracefully.
+
+        The in-process twin of the ``repro drain`` control client (tests,
+        embedding applications).  The request is advisory: the rank
+        checkpoints its cells, hands them to the master, and its worker
+        exits 0 once every hosted rank drained.
+        """
+        conn = self._rank_conn.get(rank)
+        if conn is None or conn.dead:
+            raise ValueError(f"rank {rank} is not hosted by a live worker")
+        conn.outbound.put(wire.pack_frame(
+            wire.DRAIN, rank, body=json.dumps({"rank": rank}).encode("utf-8")))
 
     # -- collection / teardown ----------------------------------------------
 
@@ -907,6 +1037,17 @@ class _WorkerHub:
                         inbox.put(frame.payload())
                 elif frame.kind == wire.RANK_LOST:
                     self._on_rank_lost(frame.payload())
+                elif frame.kind == wire.MEMBERSHIP:
+                    self._on_membership(frame.payload())
+                elif frame.kind == wire.DRAIN:
+                    # Coordinator requests a graceful drain of one hosted
+                    # rank: flag it in the process-wide registry; the
+                    # rank's slave loop winds down at the next iteration
+                    # boundary.
+                    from repro.parallel import elastic
+
+                    if frame.rank in self.ranks:
+                        elastic.request_drain(frame.rank)
                 elif frame.kind == wire.SHUTDOWN:
                     # The coordinator may shut down while hosted ranks are
                     # still mid-run (global timeout, launch failure): close
@@ -935,6 +1076,25 @@ class _WorkerHub:
             for stats in self.stats_by_rank.values():
                 stats.count_rank_lost(len(fresh))
 
+    def _on_membership(self, notice: Any) -> None:
+        """Apply one epoch-stamped MEMBERSHIP broadcast.
+
+        ``lost`` keeps RANK_LOST semantics (peers dropped + counted);
+        ``left`` is a *planned* departure — peers stop sending to the
+        ranks but the loss counter stays untouched (a drain is not a
+        fault); ``back``/``joined`` put the ranks back in play.
+        """
+        state = notice.get("state")
+        ranks = set(notice.get("ranks", ())) - self.ranks
+        if state in ("back", "joined"):
+            self.lost_ranks -= ranks
+            return
+        fresh = ranks - self.lost_ranks
+        self.lost_ranks |= fresh
+        if fresh and state == "lost":
+            for stats in self.stats_by_rank.values():
+                stats.count_rank_lost(len(fresh))
+
     def _on_connection_lost(self) -> None:
         """Coordinator died: close every hosted endpoint so blocked receives
         fail fast instead of hanging the worker forever."""
@@ -947,14 +1107,96 @@ class _WorkerHub:
         self.shutdown_seen.set()
 
 
+def _seed_transport_stats(ranks: list[int], start: dict,
+                          connect_retries: int) -> dict[int, TransportStats]:
+    """One pre-seeded :class:`TransportStats` per hosted rank.
+
+    Seeds each counter with what the connection itself already knows:
+    the slot's incarnation history from the coordinator (``incarnation`` =
+    total connections ever made for this slot, so ``reconnects`` =
+    ``incarnation - 1`` — aggregated across every respawn/join, never
+    reset), the run's cumulative peer losses (``peer_losses`` — a joiner
+    admitted after a death must report the loss its slot lived through),
+    and this process's own connect retries.  Pre-v4 coordinators send
+    neither field; the legacy ``respawn`` flag then seeds one reconnect.
+    """
+    incarnation = int(start.get("incarnation", 0))
+    if incarnation <= 0:
+        incarnation = 2 if start.get("respawn") else 1
+    peer_losses = int(start.get("peer_losses", 0))
+    stats_by_rank: dict[int, TransportStats] = {}
+    for rank in ranks:
+        stats = TransportStats(rank)
+        stats.apply_carryover(reconnects=incarnation - 1,
+                              ranks_lost=peer_losses,
+                              send_retries=connect_retries)
+        stats_by_rank[rank] = stats
+    return stats_by_rank
+
+
+def drain_request(connect: str, *, rank: int, token: str | None = None,
+                  timeout: float = 10.0) -> int:
+    """The ``repro drain <rank>`` control client.
+
+    Connects to a live coordinator, authenticates with the rendezvous
+    token, and asks it to drain ``rank`` gracefully.  Returns a process
+    exit code: 0 when the drain was requested, 2 on any failure.
+    """
+    host, port = parse_address(connect)
+    if port < 1:
+        print(f"[drain] bad --connect {connect!r}: expected host:port",
+              file=sys.stderr)
+        return 2
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        print(f"[drain] cannot reach coordinator {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        sock.settimeout(timeout)
+        wire.write_frame(sock, wire.pack_frame(
+            wire.HELLO, rank, body=json.dumps({
+                "version": _WIRE_VERSION,
+                "token": token,
+                "cmd": "drain",
+                "rank": rank,
+            }).encode("utf-8")))
+        frame = wire.read_frame(sock, max_body=_HELLO_MAX_BYTES)
+        if frame.kind != wire.DRAIN:
+            print(f"[drain] protocol error: expected DRAIN reply, got kind "
+                  f"{frame.kind}", file=sys.stderr)
+            return 2
+        reply = json.loads(frame.body)
+        if not reply.get("ok"):
+            print(f"[drain] coordinator refused: "
+                  f"{reply.get('error', 'unknown error')}", file=sys.stderr)
+            return 2
+        print(f"[drain] rank {rank} drain requested", file=sys.stderr)
+        return 0
+    except (wire.WireError, OSError, ValueError) as exc:
+        print(f"[drain] failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
 def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
                 index: int | None = None, timeout: float = 60.0,
-                quiet: bool = False, dtype: str = "float64") -> int:
+                quiet: bool = False, dtype: str = "float64",
+                join: bool = False) -> int:
     """Entry point of ``repro worker``: host ``slots`` ranks of a socket job.
 
     Connects to the coordinator at ``connect`` (``host:port``), completes
     the rendezvous handshake, runs its assigned ranks, reports their
-    outcomes, and exits 0 when every hosted rank succeeded.
+    outcomes, and exits 0 when every hosted rank succeeded.  With
+    ``join=True`` the worker asks to be admitted *mid-run* into a vacant
+    slot (a dead or drained worker's rank block) — elastic membership.
+    SIGTERM/SIGINT are handled as "drain, then exit 0": hosted ranks
+    checkpoint and hand off their cells instead of dying mid-frame.
     """
     host, port = parse_address(connect)
     if port < 1:  # the default_port=0 sentinel: no port in the address
@@ -988,6 +1230,7 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
         "host": socket.gethostname(),
         "pid": os.getpid(),
         "dtype": dtype,
+        "join": join,
     }).encode("utf-8")))
     sock.settimeout(timeout)
     try:
@@ -1003,24 +1246,38 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
     start = frame.payload()
     ranks, size = list(start["ranks"]), int(start["size"])
     respawn = bool(start.get("respawn", False))
+    joined = bool(start.get("join", False))
     fn, args = wire.decode_body(start["program"])
     if not quiet:
-        mode = "re-hosting" if respawn else "hosting"
+        mode = ("joining as" if joined
+                else "re-hosting" if respawn else "hosting")
         print(f"[worker] {mode} rank(s) {ranks} of {size} "
               f"(pid {os.getpid()})", file=sys.stderr)
 
+    # SIGTERM/SIGINT mean "drain, then exit 0", not "die mid-frame": flag
+    # every hosted rank in the drain registry; the slave loops checkpoint
+    # and hand off their cells at the next iteration boundary.  Only
+    # installable from the main thread — embedded callers (tests driving
+    # worker_main from a thread) simply keep their own handlers.
+    from repro.parallel import elastic
+
+    def _drain_on_signal(_signum, _frame):  # pragma: no cover - signal path
+        for rank in ranks:
+            elastic.request_drain(rank)
+
+    try:
+        import signal
+
+        signal.signal(signal.SIGTERM, _drain_on_signal)
+        signal.signal(signal.SIGINT, _drain_on_signal)
+    except ValueError:
+        pass
+
     # Pre-seed each rank's transport counters with what the connection
-    # itself already knows (replacement status, connect retries), then hand
-    # them to execute_rank — one stats record per rank, connection events
-    # included.
-    stats_by_rank: dict[int, TransportStats] = {}
-    for rank in ranks:
-        stats = TransportStats(rank)
-        if respawn:
-            stats.count_reconnect()
-        if connect_retries[0]:
-            stats.count_send_retry(connect_retries[0])
-        stats_by_rank[rank] = stats
+    # itself already knows (incarnation history, run-wide peer losses,
+    # connect retries), then hand them to execute_rank — one stats record
+    # per rank, connection events included.
+    stats_by_rank = _seed_transport_stats(ranks, start, connect_retries[0])
     hub = _WorkerHub(sock, ranks, size, stats_by_rank)
     outcomes: dict[int, WorkerOutcome] = {}
 
@@ -1046,13 +1303,20 @@ def worker_main(connect: str, *, slots: int = 1, token: str | None = None,
             failed += 1
         hub.send_result(outcome)
     # Linger for the coordinator's shutdown frame so the socket is not torn
-    # down under the last result bytes.
-    hub.shutdown_seen.wait(timeout=timeout)
+    # down under the last result bytes.  A fully drained worker leaves much
+    # sooner: its departure is planned, the master has acknowledged the
+    # hand-off, and the coordinator treats the clean disconnect as "left"
+    # (the slot becomes joinable) — only a short grace period protects the
+    # final RESULT bytes in flight.
+    drained = all(elastic.was_drained(rank) for rank in ranks)
+    linger = min(2.0, timeout) if drained else timeout
+    hub.shutdown_seen.wait(timeout=linger)
     try:
         sock.close()
     except OSError:
         pass
     if not quiet:
-        print(f"[worker] done: {len(ranks) - failed}/{len(ranks)} rank(s) "
+        verb = "drained" if drained else "done"
+        print(f"[worker] {verb}: {len(ranks) - failed}/{len(ranks)} rank(s) "
               "succeeded", file=sys.stderr)
     return 0 if failed == 0 else 1

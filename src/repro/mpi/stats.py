@@ -116,6 +116,24 @@ class TransportStats:
         if telemetry.enabled():
             telemetry.count("mpi.send_retries", n, rank=self.rank)
 
+    def apply_carryover(self, *, reconnects: int = 0, ranks_lost: int = 0,
+                        send_retries: int = 0) -> None:
+        """Seed recovery counters carried across a rank's incarnations.
+
+        A respawned or joining worker starts from fresh counters, but the
+        rank's *history* — how many times its hosting connection was
+        re-established, how many peer losses it lived through — must
+        aggregate across incarnations, not reset.  The coordinator carries
+        those totals in the START frame; the worker applies them here
+        before the first message moves.
+        """
+        if reconnects:
+            self.count_reconnect(reconnects)
+        if ranks_lost:
+            self.count_rank_lost(ranks_lost)
+        if send_retries:
+            self.count_send_retry(send_retries)
+
     def summary(self) -> str:
         """One line for CLI/log output."""
         line = (f"rank {self.rank}: sent {self.messages_sent} msg / "

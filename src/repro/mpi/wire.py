@@ -55,6 +55,8 @@ __all__ = [
     "RESULT",
     "SHUTDOWN",
     "RANK_LOST",
+    "MEMBERSHIP",
+    "DRAIN",
 ]
 
 #: Protocol magic; bump when the frame layout changes.
@@ -69,6 +71,15 @@ SHUTDOWN = 5   #: coordinator -> worker: drain and exit
 RANK_LOST = 6  #: coordinator -> workers: peer ranks lost (or back after a
                #: respawn) — replaces silent socket death with an explicit
                #: liveness broadcast; body = {"ranks": [...], "state": ...}
+MEMBERSHIP = 7  #: coordinator -> workers: epoch-stamped membership change,
+                #: generalizing RANK_LOST to elastic join/leave; body =
+                #: {"epoch": int, "ranks": [...], "state": "lost"|"back"|
+                #: "joined"|"left"}
+DRAIN = 8      #: control verb: coordinator -> worker requests the named
+               #: rank drain gracefully (checkpoint + hand off its cells);
+               #: also the reply kind for the ``repro drain`` control
+               #: client.  ``rank`` = target world rank; body carries the
+               #: acknowledgement payload on replies.
 
 _HEADER = struct.Struct("!2sBiI")   # magic, kind, rank, body_len
 _SEG_LEN = struct.Struct("!Q")

@@ -88,8 +88,13 @@ class CommManager:
         raise NotImplementedError
 
     def try_collect_node_info(self, timeout: float) -> NodeInfo | None:
-        """One late node-info message, if any (respawned-worker detection)."""
-        raise NotImplementedError
+        """One late node-info message, if any (respawn/join detection).
+
+        Polled unconditionally by the master loop, so the default is "no
+        late arrivals" rather than NotImplementedError: comms without an
+        open rendezvous simply never see one.
+        """
+        return None
 
     # -- heartbeat / control ------------------------------------------------------
 
@@ -127,6 +132,23 @@ class CommManager:
         # "no notice" rather than NotImplementedError: a comm that does not
         # participate in fault recovery simply never surfaces one.
         return None
+
+    # -- elastic membership (graceful drain) ---------------------------------------
+
+    def send_drain_notice(self, notice) -> None:
+        """Leaving slave -> master: final checkpoints for hand-off."""
+        raise NotImplementedError
+
+    def poll_drain_notice(self):
+        # Defaults mirror poll_fault_notice: polled unconditionally by the
+        # master loop, absent on comms without elastic membership.
+        return None
+
+    def send_drain_ack(self, slave_rank: int) -> None:
+        raise NotImplementedError
+
+    def poll_drain_ack(self) -> bool:
+        return False
 
     # -- training-time exchange ------------------------------------------------------
 
@@ -267,6 +289,29 @@ class MpiCommManager(CommManager):
             return self.world.recv(source=0, tag=Tags.FAULT_NOTICE)
         return None
 
+    # -- elastic membership (graceful drain) ---------------------------------------
+    #
+    # DRAIN shares one tag in both directions: slave -> 0 carries the
+    # DrainNotice (final checkpoints), 0 -> slave carries the ack (None).
+    # Direction disambiguates — iprobe filters on the source rank.
+
+    def send_drain_notice(self, notice) -> None:
+        self.world.send(notice, dest=0, tag=Tags.DRAIN)
+
+    def poll_drain_notice(self):
+        if self.world.iprobe(source=ANY_SOURCE, tag=Tags.DRAIN):
+            return self.world.recv(source=ANY_SOURCE, tag=Tags.DRAIN)
+        return None
+
+    def send_drain_ack(self, slave_rank: int) -> None:
+        self.world.send(None, dest=slave_rank, tag=Tags.DRAIN)
+
+    def poll_drain_ack(self) -> bool:
+        if self.world.iprobe(source=0, tag=Tags.DRAIN):
+            self.world.recv(source=0, tag=Tags.DRAIN)
+            return True
+        return False
+
     # -- training-time exchange -------------------------------------------------------------
 
     def _local_rank_of_cell(self, grid: Grid, cell: int) -> int:
@@ -398,6 +443,17 @@ class MpiCommManager(CommManager):
                     )
                 except MpiTimeoutError:
                     continue
+                if fault_state is not None:
+                    # Epoch fence: a payload stamped before the epoch in
+                    # which its cell last changed hands is the leaving
+                    # rank's final in-flight frame — drop it, the cell's
+                    # new owner re-sends under the current epoch.  Static
+                    # runs never bump epochs, so every payload passes.
+                    min_epoch = fault_state.min_epoch_for(message.cell_index)
+                    if getattr(message, "epoch", 0) < min_epoch:
+                        if telemetry.enabled():
+                            telemetry.count("exchange.stale_dropped")
+                        continue
                 if outstanding.get(message.cell_index, 0) > 0:
                     received[message.cell_index] = message
                     outstanding[message.cell_index] -= 1

@@ -1,0 +1,194 @@
+"""Elastic membership: epochs, the membership log, and graceful drains.
+
+PR 9 could resurrect a *dead* rank like-for-like; this module is the layer
+that makes membership itself dynamic.  The master owns one
+:class:`MembershipTable` whose **epoch** counter increases monotonically —
+every join, planned departure (drain), death, and respawn bumps it — and
+whose :class:`MembershipLog` records each transition so a churned run can
+be audited after the fact.  Exchange payloads are stamped with the epoch
+current at send time; receivers fence out frames from before the epoch in
+which a cell last changed hands (see ``FaultState.min_epoch_for``), so a
+stale payload from a drained rank's final iterations cannot corrupt its
+adopter's generation.
+
+The module also hosts the process-wide **drain registry**: the bridge
+between asynchronous drain triggers (a SIGTERM handler, a ``DRAIN`` wire
+frame from the coordinator) and the slave loops that must wind down at the
+next iteration boundary.  A registry rather than per-object state because
+the triggers fire in contexts (signal handlers, transport reader threads)
+that have no handle on the :class:`~repro.parallel.slave.SlaveProcess`
+instances hosted by the process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.coevolution.checkpoint import CellSnapshot
+
+__all__ = [
+    "MEMBERSHIP_KINDS",
+    "MembershipEvent",
+    "MembershipLog",
+    "MembershipTable",
+    "DrainNotice",
+    "request_drain",
+    "drain_requested",
+    "mark_drained",
+    "was_drained",
+    "reset_drain_registry",
+]
+
+#: Every way the member set can change.  ``launch`` is epoch 0 (the initial
+#: roster); the rest bump the epoch by one each.
+MEMBERSHIP_KINDS = ("launch", "death", "drain", "join", "respawn")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One epoch transition: what changed, which ranks, which cells."""
+
+    epoch: int
+    kind: str
+    ranks: tuple[int, ...]
+    cells: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in MEMBERSHIP_KINDS:
+            raise ValueError(
+                f"unknown membership kind {self.kind!r}; "
+                f"expected one of {MEMBERSHIP_KINDS}")
+
+
+class MembershipLog:
+    """Append-only record of every epoch transition in a run.
+
+    Deliberately timestamp-free (rule R2): the log rides home inside the
+    :class:`~repro.parallel.runner.DistributedResult` and must not make an
+    otherwise-deterministic result object differ between runs.
+    """
+
+    def __init__(self, events: Iterable[MembershipEvent] = ()):
+        self._events: list[MembershipEvent] = list(events)
+
+    def record(self, event: MembershipEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> tuple[MembershipEvent, ...]:
+        return tuple(self._events)
+
+    def epochs(self) -> list[int]:
+        return [event.epoch for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{e.epoch}:{e.kind}{list(e.ranks)}"
+                         for e in self._events)
+        return f"MembershipLog([{body}])"
+
+
+class MembershipTable:
+    """The master's authoritative view of who is in the run, by epoch.
+
+    Static-membership runs never call :meth:`bump`, so the epoch stays 0
+    for the whole run — every payload is stamped 0, every fence passes, and
+    the message flow is byte-identical to a build without this module.
+    """
+
+    def __init__(self, slave_ranks: Iterable[int]):
+        self._lock = threading.Lock()
+        self._epoch = 0
+        ranks = tuple(sorted(slave_ranks))
+        self._members: set[int] = set(ranks)
+        self._log = MembershipLog()
+        self._log.record(MembershipEvent(epoch=0, kind="launch", ranks=ranks))
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    @property
+    def log(self) -> MembershipLog:
+        return self._log
+
+    def members(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._members))
+
+    def bump(self, kind: str, ranks: Iterable[int],
+             cells: Iterable[int] = ()) -> int:
+        """Record one membership change; returns the new epoch."""
+        ranks = tuple(sorted(ranks))
+        with self._lock:
+            self._epoch += 1
+            if kind in ("join", "respawn"):
+                self._members.update(ranks)
+            elif kind in ("death", "drain"):
+                self._members.difference_update(ranks)
+            event = MembershipEvent(epoch=self._epoch, kind=kind,
+                                    ranks=ranks, cells=tuple(sorted(cells)))
+            self._log.record(event)
+            return self._epoch
+
+
+@dataclass(frozen=True)
+class DrainNotice:
+    """Leaving slave -> master: my final checkpoints, hand these cells off."""
+
+    rank: int
+    snapshots: tuple[CellSnapshot, ...] = field(default_factory=tuple)
+
+    @property
+    def cells(self) -> tuple[int, ...]:
+        return tuple(snap.cell_index for snap in self.snapshots)
+
+
+# --------------------------------------------------------------------------
+# Drain registry: the asynchronous drain trigger, visible process-wide.
+# --------------------------------------------------------------------------
+
+_drain_lock = threading.Lock()
+_drain_requested: set[int] = set()
+_drained: set[int] = set()
+
+
+def request_drain(rank: int) -> None:
+    """Ask the named rank (hosted in this process) to drain gracefully.
+
+    Callable from signal handlers and transport reader threads alike: a
+    set-add under a lock, no allocation-heavy work.
+    """
+    with _drain_lock:
+        _drain_requested.add(rank)
+
+
+def drain_requested(rank: int) -> bool:
+    with _drain_lock:
+        return rank in _drain_requested
+
+
+def mark_drained(rank: int) -> None:
+    """Record that the rank finished its drain protocol."""
+    with _drain_lock:
+        _drained.add(rank)
+
+
+def was_drained(rank: int) -> bool:
+    with _drain_lock:
+        return rank in _drained
+
+
+def reset_drain_registry() -> None:
+    """Clear the registry (tests, and worker processes reusing a PID)."""
+    with _drain_lock:
+        _drain_requested.clear()
+        _drained.clear()

@@ -124,6 +124,20 @@ class HeartbeatMonitor:
             entry.state = SlaveState.PROCESSING.value
             entry.last_reply_at = time.monotonic()
 
+    def retire(self, rank: int) -> None:
+        """Stop monitoring a gracefully drained rank.
+
+        A drain is a planned departure: the rank is accounted (so the
+        monitor stops requesting its status and :meth:`all_accounted` can
+        complete) but *not* dead — ``dead_ranks`` must stay empty for a
+        run whose only churn was voluntary.
+        """
+        with self._lock:
+            entry = self.liveness[rank]
+            entry.state = SlaveState.FINISHED.value
+            entry.missed_rounds = 0
+            entry.dead = False
+
     # -- the heartbeat loop ---------------------------------------------------------------
 
     def _loop(self) -> None:

@@ -33,6 +33,7 @@ class Tags(enum.IntEnum):
     EXCHANGE = 7
     CHECKPOINT = 8
     FAULT_NOTICE = 9
+    DRAIN = 10
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,11 @@ class RunTask:
     """A :class:`~repro.parallel.recovery.ResumeDirective` when this task
     restarts a respawned worker from checkpointed state; ``None`` for the
     normal from-scratch start."""
+    standby: bool = False
+    """True when this task parks an elastically-joined rank with no cell of
+    its own yet: the slave replays the resume directive's fault notices,
+    joins the communicators, and serves the master loop — ready to adopt a
+    cell when a later drain or death re-balances onto it."""
 
 
 @dataclass(frozen=True)
@@ -119,9 +125,18 @@ class SlaveResult:
 
 @dataclass(frozen=True)
 class ExchangePayload:
-    """Slave <-> slave (LOCAL): one cell's center genomes for one iteration."""
+    """Slave <-> slave (LOCAL): one cell's center genomes for one iteration.
+
+    ``epoch`` is the membership epoch current when the payload was built
+    (lint rule R10: payload-bearing wire kinds carry an epoch tag).
+    Receivers drop payloads older than the epoch in which the sending cell
+    last changed hands — the fence that keeps a drained rank's in-flight
+    frames from corrupting its adopter's generation.  Static-membership
+    runs never bump the epoch, so it stays 0 end to end.
+    """
 
     cell_index: int
     iteration: int
     generator_genome: Genome
     discriminator_genome: Genome
+    epoch: int = 0

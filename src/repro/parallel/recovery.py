@@ -58,6 +58,7 @@ __all__ = [
     "ResumeDirective",
     "FaultState",
     "choose_adopter",
+    "plan_rebalance",
     "rejoin_iteration",
     "RESYNC_WINDOW",
     "RESYNC_TIMEOUT_S",
@@ -98,6 +99,11 @@ class FrozenCell:
     mixture_weights: object
     adopter_rank: int | None
     rejoin_iteration: int
+    epoch: int = 0
+    """Membership epoch at which this hand-off happened.  A later notice
+    for the same cell with a higher epoch *replaces* this entry (a frozen
+    cell reclaimed by a joiner, an adopted cell re-adopted after a second
+    death); exchange payloads stamped with an older epoch are fenced out."""
 
     def snapshot(self) -> CellSnapshot:
         return CellSnapshot(
@@ -124,9 +130,11 @@ class ResumeDirective:
 
     ``notices`` replays every fault the run has seen so far, so the reborn
     rank's exchange treats earlier dead cells exactly like the survivors do.
+    ``snapshot`` is ``None`` for a standby joiner — a rank admitted with no
+    cell to resume, parked until a re-balance assigns it one.
     """
 
-    snapshot: CellSnapshot
+    snapshot: CellSnapshot | None
     rejoin_iteration: int
     notices: tuple[FaultNotice, ...] = ()
 
@@ -146,14 +154,39 @@ class FaultState:
         self._first_slave_rank = first_slave_rank
 
     def apply(self, notice: FaultNotice) -> list[FrozenCell]:
-        """Record a notice; returns only the cells not seen before."""
+        """Record a notice; returns only the cells not seen before.
+
+        A cell already known is replaced (and returned as fresh) when the
+        notice carries a strictly newer epoch — the elastic case of a
+        frozen cell reclaimed by a joiner, or an adopted cell changing
+        hands again.  Same-epoch duplicates stay idempotent.
+        """
         fresh: list[FrozenCell] = []
         with self._lock:
             for cell in notice.cells:
-                if cell.cell_index not in self._frozen:
+                existing = self._frozen.get(cell.cell_index)
+                if existing is None or cell.epoch > existing.epoch:
                     self._frozen[cell.cell_index] = cell
                     fresh.append(cell)
         return fresh
+
+    def current_epoch(self) -> int:
+        """Highest membership epoch this slave has seen (0 = static run)."""
+        with self._lock:
+            if not self._frozen:
+                return 0
+            return max(cell.epoch for cell in self._frozen.values())
+
+    def min_epoch_for(self, cell_index: int) -> int:
+        """Epoch fence for receives attributed to ``cell_index``.
+
+        Payloads stamped with an older epoch predate the cell's last
+        hand-off — they are the leaving rank's final in-flight frames and
+        must be dropped, not delivered to the new owner's neighbors.
+        """
+        with self._lock:
+            frozen = self._frozen.get(cell_index)
+        return 0 if frozen is None else frozen.epoch
 
     def frozen_cells(self) -> list[FrozenCell]:
         with self._lock:
@@ -170,6 +203,7 @@ class FaultState:
             iteration=iteration,
             generator_genome=frozen.generator_genome,
             discriminator_genome=frozen.discriminator_genome,
+            epoch=frozen.epoch,
         )
 
     def skip_send(self, cell_index: int, iteration: int) -> bool:
@@ -208,6 +242,66 @@ def choose_adopter(outstanding: Mapping[int, Iterable[int]],
     if not candidates:
         return None
     return min(candidates)[1]
+
+
+def plan_rebalance(orphans: Iterable[int],
+                   candidates: Mapping[int, Iterable[int]],
+                   grid=None,
+                   excluded: Iterable[int] = ()) -> dict[int, int | None]:
+    """Deterministically assign orphaned cells to surviving/standby ranks.
+
+    ``candidates`` maps each eligible rank to the cells it currently hosts
+    (standby joiners appear with an empty set).  For every orphan — visited
+    in sorted order, so the plan is a pure function of its inputs — the
+    best candidate minimizes ``(-locality, load, rank)``:
+
+    * *locality* counts the candidate's hosted cells adjacent to the orphan
+      on the torus (both exchange directions), so a migrated cell lands
+      next to the neighbors it already talks to where possible;
+    * *load* is the candidate's cell count including earlier assignments
+      from this same plan, so one re-balance spreads a storm of orphans
+      instead of piling them on a single rank;
+    * lowest rank breaks remaining ties.
+
+    With ``grid=None`` (or a grid too small for locality to differentiate,
+    e.g. 2x2 where every cell neighbors every other) the scoring degrades
+    to exactly :func:`choose_adopter`'s least-loaded-lowest-rank rule.
+    Orphans nobody can take map to ``None``.
+    """
+    banned = set(excluded)
+    loads: dict[int, int] = {}
+    hosted: dict[int, set[int]] = {}
+    for rank, cells in candidates.items():
+        if rank in banned:
+            continue
+        cell_set = set(cells)
+        hosted[rank] = cell_set
+        loads[rank] = len(cell_set)
+
+    plan: dict[int, int | None] = {}
+    for orphan in sorted(set(orphans)):
+        neighborhood: set[int] = set()
+        if grid is not None:
+            neighborhood.update(grid.neighbor_cells(orphan))
+            neighborhood.update(grid.incoming_neighbors(orphan))
+            neighborhood.discard(orphan)
+        best = None
+        for rank in sorted(hosted):
+            # choose_adopter compatibility: an idle survivor (load 0 that
+            # was never a standby joiner) is still eligible here — the
+            # caller controls eligibility via the candidates mapping.
+            locality = len(hosted[rank] & neighborhood)
+            key = (-locality, loads[rank], rank)
+            if best is None or key < best[0]:
+                best = (key, rank)
+        if best is None:
+            plan[orphan] = None
+            continue
+        rank = best[1]
+        plan[orphan] = rank
+        hosted[rank].add(orphan)
+        loads[rank] += 1
+    return plan
 
 
 def rejoin_iteration(known_iterations: Iterable[int], grid_diameter: int,

@@ -130,6 +130,18 @@ class DistributedResult:
     recovered_ranks: list[int] = field(default_factory=list)
     """Dead ranks whose cells were trained to completion anyway — by a
     respawned replacement worker or an adopting survivor."""
+    drained_ranks: list[int] = field(default_factory=list)
+    """Ranks that left *voluntarily* mid-run (``repro drain``, SIGTERM):
+    their cells were checkpointed and handed off, so a drain is never a
+    fault — it does not appear in ``dead_ranks`` and leaves ``ok`` True."""
+    joined_ranks: list[int] = field(default_factory=list)
+    """Ranks admitted through the live rendezvous after launch — elastic
+    joiners filling vacant slots (as standby adopters or reclaiming a
+    degraded cell)."""
+    membership: Any = None
+    """The run's :class:`repro.parallel.elastic.MembershipLog` — every
+    epoch transition (launch/death/drain/join/respawn) in order, or ``None``
+    when the backend did not report one."""
 
     @property
     def complete(self) -> bool:
@@ -184,6 +196,7 @@ class DistributedRunner:
                  dataset: ArrayDataset | None = None,
                  dataset_spec: tuple[str, dict] | None = None,
                  hosts: Any = None, bind: str | None = None,
+                 token: str | None = None,
                  transport_options: dict[str, Any] | None = None):
         from repro import _deprecation
 
@@ -208,10 +221,12 @@ class DistributedRunner:
         # Host-spec-derived *placement* stays socket-only below — it
         # encodes that transport's contiguous-block rank assignment.
         self.remote = self.backend not in ("process", "threaded")
-        if not self.remote and (hosts is not None or bind is not None):
+        if not self.remote and (hosts is not None or bind is not None
+                                or token is not None):
             raise ValueError(
-                f"hosts/bind do not apply to the in-process {self.backend!r} "
-                "backend; use a remote transport such as 'socket'")
+                f"hosts/bind/token do not apply to the in-process "
+                f"{self.backend!r} backend; use a remote transport such as "
+                "'socket'")
         if fault_kill and self.backend == "threaded":
             raise ValueError(
                 "fault_kill terminates the hosting process; on the threaded "
@@ -255,6 +270,7 @@ class DistributedRunner:
         self.dataset_spec = dataset_spec
         self.hosts = hosts
         self.bind = bind
+        self.token = token
         self.transport_options = dict(transport_options or {})
 
     # -- wiring ----------------------------------------------------------------
@@ -331,6 +347,11 @@ class DistributedRunner:
             # mixed-dtype peers are rejected at rendezvous, not after they
             # corrupt a genome exchange.
             options.setdefault("dtype", self.config.network.dtype)
+            if self.token is not None:
+                # A caller-fixed rendezvous token: lets operators join
+                # workers (`repro worker --join`) or drain ranks
+                # (`repro drain`) without scraping the generated one.
+                options.setdefault("token", self.token)
             if self.fault_policy == "recover" and self.max_restarts > 0:
                 # The coordinator respawns a replacement worker for a dead
                 # connection; the reborn rank re-introduces itself and the
@@ -462,4 +483,7 @@ class DistributedRunner:
             fault_policy=self.fault_policy,
             degraded_ranks=list(getattr(outcome, "degraded_ranks", [])),
             recovered_ranks=list(getattr(outcome, "recovered_ranks", [])),
+            drained_ranks=list(getattr(outcome, "drained_ranks", [])),
+            joined_ranks=list(getattr(outcome, "joined_ranks", [])),
+            membership=getattr(outcome, "membership", None),
         )

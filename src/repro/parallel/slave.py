@@ -32,6 +32,7 @@ from repro.coevolution.cell import Cell
 from repro.coevolution.checkpoint import CellSnapshot
 from repro.coevolution.genome import Genome
 from repro.data.dataset import ArrayDataset
+from repro.parallel import elastic
 from repro.parallel.comm_manager import CommManager, ExchangeAborted
 from repro.parallel.grid import Grid
 from repro.parallel.messages import ExchangePayload, NodeInfo, RunTask, SlaveResult, StatusReply
@@ -41,11 +42,21 @@ from repro.parallel.tracing import EventTrace
 from repro.profiling import NULL_TIMER, RoutineTimer
 from repro.telemetry import bus as telemetry
 
-__all__ = ["SlaveProcess", "InjectedFault"]
+__all__ = ["SlaveProcess", "InjectedFault", "DrainRequested"]
+
+#: How long a draining slave waits for the master's ack before exiting
+#: anyway — the master may itself be tearing down.
+DRAIN_ACK_TIMEOUT_S = 30.0
 
 
 class InjectedFault(RuntimeError):
     """Deliberate crash requested by a fault-injection run task."""
+
+
+class DrainRequested(RuntimeError):
+    """Raised inside an execution thread at an iteration boundary when the
+    rank has been asked to leave gracefully.  Not an error: the main thread
+    turns it into a :class:`~repro.parallel.elastic.DrainNotice` hand-off."""
 
 
 class SlaveProcess:
@@ -67,11 +78,22 @@ class SlaveProcess:
         self._task: RunTask | None = None
         self._config: ExperimentConfig | None = None
         self._grid: Grid | None = None
+        # Elastic drain bookkeeping: every hosted cell (own + adopted)
+        # registers here so a graceful departure can checkpoint whatever is
+        # still unfinished and hand it off through a DrainNotice.
+        self._drain = threading.Event()
+        self._cells: dict[int, Cell] = {}
+        self._cell_iterations: dict[int, int] = {}
+        self._completed_cells: set[int] = set()
 
     # -- public entry point -------------------------------------------------------
 
-    def run(self) -> SlaveResult:
-        """Full slave lifecycle; returns the result it also sent the master."""
+    def run(self) -> SlaveResult | None:
+        """Full slave lifecycle; returns the result it also sent the master.
+
+        Returns ``None`` on the elastic exits — a drained rank (its cells
+        left through a :class:`~repro.parallel.elastic.DrainNotice`) and a
+        standby joiner released by the master's end-of-run abort."""
         comm = self.comm
         # 1. Introduce ourselves (Fig. 3: "Send node name to master").
         comm.send_node_info(NodeInfo(comm.rank, socket.gethostname(), os.getpid()))
@@ -84,6 +106,10 @@ class SlaveProcess:
             telemetry.set_level(task.telemetry_level)
         self.trace.record("run task received", f"cell {task.cell_index}")
         self.machine.start_processing()
+        if task.standby:
+            # An elastically-joined rank with no cell of its own: park,
+            # answer heartbeats, stay ready to adopt.
+            return self._standby_main(task)
         # 3. Join the LOCAL/GLOBAL communication contexts.  A respawned
         # worker re-attaches non-collectively — its peers built theirs
         # before it was born and will not re-enter the collective.
@@ -116,8 +142,13 @@ class SlaveProcess:
             if not execution.is_alive() and not own_shipped:
                 execution.join()
                 if self._execution_error is not None and not isinstance(
-                        self._execution_error, ExchangeAborted):
+                        self._execution_error, (ExchangeAborted, DrainRequested)):
                     raise self._execution_error
+                if isinstance(self._execution_error, DrainRequested):
+                    # Planned departure: hand unfinished cells to the
+                    # master instead of shipping a result.
+                    self._drain_and_exit()
+                    return None
                 # Ship the own-cell result as soon as it exists — the
                 # master should not wait for adopted cells to see it.
                 result = result_box["result"]
@@ -128,6 +159,11 @@ class SlaveProcess:
             if own_shipped and not any(t.is_alive() for t in self._adopted_threads):
                 break
             time.sleep(self.poll_interval_s)
+        if self._drain.is_set():
+            # Drain arrived after the own cell shipped: hand off whatever
+            # adopted cells stopped unfinished (possibly none).
+            self._drain_and_exit()
+            return result
         for thread in self._adopted_threads:
             thread.join()
         # 6. Finished: every hosted cell is done (Fig. 3: "Send results to
@@ -144,6 +180,12 @@ class SlaveProcess:
         if self.comm.poll_abort():
             self.abort_event.set()
             self.trace.record("abort received")
+        if not self._drain.is_set() and elastic.drain_requested(self.comm.rank):
+            # Set by the transport (DRAIN wire frame, `repro drain`) or by a
+            # signal handler (SIGTERM on `repro worker`); the execution
+            # threads observe the event at their next iteration boundary.
+            self._drain.set()
+            self.trace.record("drain requested")
         while True:
             notice = self.comm.poll_fault_notice()
             if notice is None:
@@ -160,6 +202,84 @@ class SlaveProcess:
                     timestamp=time.time(),
                 )
             )
+
+    def _standby_main(self, task: RunTask) -> None:
+        """Park an elastically-joined rank until it adopts or is released.
+
+        The joiner attaches to the communication contexts non-collectively
+        (its peers built theirs long before it was born), replays the run's
+        fault history so its view of frozen cells matches the survivors',
+        then serves the master loop: heartbeats keep it monitored, a
+        :class:`FaultNotice` naming it as adopter starts execution threads
+        exactly like any surviving slave's, and the master's end-of-run
+        abort (or a drain) releases it.
+        """
+        comm = self.comm
+        comm.rejoin_contexts(is_active_slave=True)
+        if task.resume is not None:
+            for notice in task.resume.notices:
+                self.fault_state.apply(notice)
+        config = ExperimentConfig.from_json(task.config_json)
+        grid = Grid.from_payload(task.grid_payload)
+        self._task, self._config, self._grid = task, config, grid
+        self.trace.record("standby", "parked, ready to adopt")
+        while True:
+            self._serve_master_once()
+            live_adopted = any(t.is_alive() for t in self._adopted_threads)
+            if self._drain.is_set() and not live_adopted:
+                self._drain_and_exit()
+                return None
+            if self.abort_event.is_set() and not live_adopted:
+                break
+            time.sleep(self.poll_interval_s)
+        for thread in self._adopted_threads:
+            thread.join()
+        self.machine.finish()
+        self._serve_master_once()
+        return None
+
+    def _drain_and_exit(self) -> None:
+        """The graceful-departure protocol (planned leave, not a fault).
+
+        Joins the execution threads (they stopped at an iteration
+        boundary), checkpoints every hosted cell that has not finished,
+        ships the batch to the master as a :class:`DrainNotice`, then keeps
+        answering heartbeats until the master acknowledges the hand-off —
+        the ack means the cells have new owners and this rank may vanish
+        without being declared dead.
+        """
+        comm = self.comm
+        for thread in self._adopted_threads:
+            thread.join()
+        snapshots = []
+        for cell_index, cell in sorted(self._cells.items()):
+            if cell_index in self._completed_cells:
+                continue
+            g_genome, d_genome = cell.center_genomes()
+            snapshots.append(CellSnapshot(
+                cell_index=cell_index,
+                iteration=self._cell_iterations.get(cell_index, 0),
+                generator_genome=g_genome,
+                discriminator_genome=d_genome,
+                mixture_weights=cell.mixture.weights.copy(),
+            ))
+        notice = elastic.DrainNotice(rank=comm.rank, snapshots=tuple(snapshots))
+        comm.send_drain_notice(notice)
+        self.trace.record("drain notice sent", f"{len(snapshots)} cell(s)")
+        deadline = time.monotonic() + DRAIN_ACK_TIMEOUT_S
+        acked = False
+        while time.monotonic() < deadline:
+            self._serve_master_once()
+            if comm.poll_drain_ack():
+                acked = True
+                break
+            if self.abort_event.is_set():
+                break
+            time.sleep(self.poll_interval_s)
+        elastic.mark_drained(comm.rank)
+        self.machine.finish()
+        self._serve_master_once()
+        self.trace.record("drained", "acked" if acked else "ack timeout")
 
     def _apply_fault_notice(self, notice) -> None:
         """Record dead cells; adopt the ones assigned to this rank.
@@ -194,6 +314,11 @@ class SlaveProcess:
         telemetry.bind_rank(self.comm.rank)
         try:
             result = self._train(task, config, grid, timer)
+        except DrainRequested as exc:
+            # No result: the main thread checkpoints the cell into a
+            # DrainNotice and the adopting rank ships the real result.
+            self._execution_error = exc
+            return
         except ExchangeAborted as exc:
             self._execution_error = exc
             result = self._partial_result(task, timer, aborted=True)
@@ -239,9 +364,16 @@ class SlaveProcess:
         thread).  Iterations below ``rejoin`` run communication-free (see
         :mod:`repro.parallel.recovery`)."""
         resync_until = rejoin + RESYNC_WINDOW if rejoin else None
+        self._cells[cell_index] = cell
+        self._cell_iterations[cell_index] = start
         for iteration in range(start, config.coevolution.iterations):
             if self.abort_event.is_set():
                 raise ExchangeAborted(f"cell {cell_index}: abort before iteration {iteration}")
+            if self._drain.is_set():
+                # Iteration boundary only — the cell state is consistent
+                # here, so the drain checkpoint is exact.
+                raise DrainRequested(
+                    f"cell {cell_index}: drain before iteration {iteration}")
             if (inject_fault and task.fault_at_iteration is not None
                     and iteration == task.fault_at_iteration):
                 if task.fault_kill:
@@ -254,7 +386,8 @@ class SlaveProcess:
                     f"slave {self.comm.rank} crashing at iteration {iteration} as requested"
                 )
             own_g, own_d = cell.center_genomes()
-            payload = ExchangePayload(cell_index, iteration, own_g, own_d)
+            payload = ExchangePayload(cell_index, iteration, own_g, own_d,
+                                      epoch=self.fault_state.current_epoch())
             self.trace.record("get results from neighbours", f"iteration {iteration}")
             received = self.comm.exchange_genomes(
                 grid, cell_index, payload, task.exchange_mode, timer, self.abort_event,
@@ -265,6 +398,7 @@ class SlaveProcess:
             neighbors = self._order_neighbors(grid, cell_index, received, cell)
             self.trace.record("train one iteration", f"iteration {iteration}")
             cell.step(neighbors, timer)
+            self._cell_iterations[cell_index] = iteration + 1
             if track_iteration:
                 with self._iteration_lock:
                     self._iteration = iteration + 1
@@ -278,6 +412,7 @@ class SlaveProcess:
                     discriminator_genome=d,
                     mixture_weights=cell.mixture.weights.copy(),
                 ))
+        self._completed_cells.add(cell_index)
         return self._final_result(task, cell, timer, cell_index=cell_index)
 
     def _adopted_main(self, frozen: FrozenCell) -> None:
@@ -304,6 +439,11 @@ class SlaveProcess:
                 start=frozen.iteration, rejoin=frozen.rejoin_iteration,
                 inject_fault=False, track_iteration=False,
             )
+        except DrainRequested:
+            # The host rank is leaving; the main thread hands this cell's
+            # checkpoint to the master inside its DrainNotice.
+            self.trace.record("adopted cell draining", f"cell {cell_index}")
+            return
         except ExchangeAborted:
             # The run is being torn down; the master no longer waits for
             # this cell, so there is nothing useful to ship.

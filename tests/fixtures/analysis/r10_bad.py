@@ -1,0 +1,17 @@
+"""Linted as repro.parallel.fixture: payload dataclasses missing the epoch tag."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GossipPayload:
+    cell_index: int
+    iteration: int
+    generators: list = field(default_factory=list)
+    discriminators: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class WeightsPayload:
+    cell_index: int
+    weights: tuple = ()

@@ -1,0 +1,25 @@
+"""Linted as repro.parallel.fixture: epoch-tagged payloads and exempt shapes."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GossipPayload:
+    cell_index: int
+    iteration: int
+    generators: list = field(default_factory=list)
+    discriminators: list = field(default_factory=list)
+    epoch: int = 0
+
+
+@dataclass
+class DrainNotice:
+    # Control message: master-mediated, never raced across a hand-off.
+    rank: int
+    snapshots: tuple = ()
+
+
+class LegacyPayload:
+    # Not a dataclass, not a wire frame — a plain helper is out of scope.
+    def __init__(self, cell_index):
+        self.cell_index = cell_index

@@ -24,6 +24,7 @@ RULE_MODULES = {
     "R7": "repro.cluster.fixture",
     "R8": "repro.data.fixture",
     "R9": "repro.mpi.fixture",
+    "R10": "repro.parallel.fixture",
 }
 
 
@@ -56,6 +57,21 @@ def test_r9_flags_each_retry_shape():
 def test_r9_exempts_the_backoff_module():
     findings = lint_fixture("r9_bad.py", "repro.mpi.backoff")
     assert not any(f.rule == "R9" for f in findings)
+
+
+def test_r10_flags_each_payload_shape():
+    findings = lint_fixture("r10_bad.py", RULE_MODULES["R10"])
+    hits = [f for f in findings if f.rule == "R10"]
+    assert len(hits) == 2  # plain dataclass + dataclass(frozen=True)
+
+
+def test_r10_only_applies_to_wire_layers():
+    source = ("from dataclasses import dataclass\n\n"
+              "@dataclass\n"
+              "class PlotPayload:\n"
+              "    series: tuple = ()\n")
+    outside = lint_source(source, module="repro.viz.fixture")
+    assert not any(f.rule == "R10" for f in outside)
 
 
 def test_r2_flags_every_enemy_once():

@@ -1,0 +1,123 @@
+"""Edge cases of the sanctioned retry schedule (:mod:`repro.mpi.backoff`).
+
+The happy path (retries then success) is exercised constantly by the
+socket transport tests; what lives here are the contract edges — schedule
+validation, jitter bounds, and what surfaces when the deadline budget is
+exhausted mid-schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.mpi.backoff import BackoffPolicy, with_backoff
+
+
+class Flaky:
+    """Fails ``failures`` times with the given errors, then succeeds."""
+
+    def __init__(self, *errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return "ok"
+
+
+class TestPolicyValidation:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts must be >= 1"):
+            BackoffPolicy(attempts=0)
+
+    def test_negative_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts must be >= 1"):
+            BackoffPolicy(attempts=-3)
+
+    def test_one_attempt_means_no_retry(self):
+        flaky = Flaky(OSError("refused"))
+        with pytest.raises(OSError, match="refused"):
+            with_backoff(flaky, policy=BackoffPolicy(
+                attempts=1, base_delay_s=0.0))
+        assert flaky.calls == 1
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BackoffPolicy(base_delay_s=-0.01)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            BackoffPolicy(deadline_s=0.0)
+
+
+class TestJitterBounds:
+    def test_delays_stay_within_jitter_band(self):
+        policy = BackoffPolicy(attempts=50, base_delay_s=0.1,
+                               max_delay_s=1000.0, multiplier=1.0,
+                               jitter=0.25)
+        delays = list(policy.delays(random.Random(7)))
+        assert len(delays) == 49
+        for delay in delays:
+            assert 0.1 * 0.75 <= delay <= 0.1 * 1.25
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = BackoffPolicy(attempts=5, base_delay_s=0.05,
+                               max_delay_s=2.0, multiplier=2.0, jitter=0.0)
+        assert list(policy.delays(random.Random(7))) == [
+            0.05, 0.1, 0.2, 0.4]
+
+    def test_max_delay_caps_jittered_waits(self):
+        policy = BackoffPolicy(attempts=20, base_delay_s=1.0,
+                               max_delay_s=1.0, multiplier=4.0, jitter=1.0)
+        for delay in policy.delays(random.Random(3)):
+            assert 0.0 <= delay <= 1.0
+
+    def test_schedule_length_is_attempts_minus_one(self):
+        policy = BackoffPolicy(attempts=4, jitter=0.0)
+        assert len(list(policy.delays(random.Random(0)))) == 3
+
+
+class TestDeadline:
+    def test_deadline_raises_last_underlying_error(self):
+        # The schedule still has attempts left, but the next wait would
+        # blow the budget: the *last real* error must surface, never a
+        # synthetic timeout.
+        flaky = Flaky(OSError("refused"), ConnectionResetError("reset"))
+        policy = BackoffPolicy(attempts=10, base_delay_s=0.05,
+                               max_delay_s=0.05, jitter=0.0,
+                               deadline_s=0.08)
+        with pytest.raises(ConnectionResetError, match="reset"):
+            with_backoff(flaky, policy=policy)
+        assert flaky.calls == 2  # third try was over budget
+
+    def test_exhausted_attempts_raise_last_error(self):
+        flaky = Flaky(OSError("first"), OSError("second"), OSError("last"))
+        policy = BackoffPolicy(attempts=3, base_delay_s=0.0, jitter=0.0)
+        with pytest.raises(OSError, match="last"):
+            with_backoff(flaky, policy=policy)
+        assert flaky.calls == 3
+
+    def test_on_retry_sees_each_failure(self):
+        seen = []
+        flaky = Flaky(OSError("a"), OSError("b"))
+        policy = BackoffPolicy(attempts=5, base_delay_s=0.0, jitter=0.0)
+        result = with_backoff(
+            flaky, policy=policy,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))))
+        assert result == "ok"
+        assert seen == [(1, "a"), (2, "b")]
+
+    def test_non_retryable_error_escapes_immediately(self):
+        flaky = Flaky(KeyError("boom"))
+        with pytest.raises(KeyError):
+            with_backoff(flaky, policy=BackoffPolicy(
+                attempts=5, base_delay_s=0.0))
+        assert flaky.calls == 1
